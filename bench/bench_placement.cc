@@ -1,0 +1,142 @@
+// E7/E14: ReqSync placement ablations (§4.5.4).
+//  - Percolation + consolidation (the paper's algorithm) versus
+//    insertion-only placement: without percolation each join's calls
+//    must complete before the next join issues its own (Figure 6(b)),
+//    halving the achievable concurrency on two-engine queries.
+//  - The optimistic-work pitfall: when most calls cancel, the
+//    asynchronous plan still pays for downstream work on provisional
+//    tuples that sequential execution never created.
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "exec/executor.h"
+#include "parser/parser.h"
+#include "plan/binder.h"
+#include "wsq/demo.h"
+
+namespace {
+
+double RunWith(wsq::DemoEnv& env, const char* sql, bool async,
+               wsq::RewriteOptions rewrite, uint64_t* calls) {
+  wsq::WsqDatabase::ExecOptions options;
+  options.async_iteration = async;
+  options.rewrite = rewrite;
+  auto r = env.db().Execute(sql, options);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n%s\n", r.status().ToString().c_str(), sql);
+    std::exit(1);
+  }
+  *calls = r->stats.external_calls;
+  return r->stats.elapsed_micros * 1e-6;
+}
+
+}  // namespace
+
+int main() {
+  wsq::DemoOptions options;
+  options.corpus.num_documents = 6000;
+  options.latency = wsq::LatencyModel::Fixed(25000);
+  wsq::DemoEnv env(options);
+
+  const char* kTwoEngines =
+      "Select Name, AV.URL, G.URL "
+      "From Sigs, WebPages_AV AV, WebPages_Google G "
+      "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+      "G.Rank <= 3 and AV.T2 = 'computer' and G.T2 = 'computer'";
+
+  std::printf("Two-engine query (74 potential calls), 25 ms latency\n\n");
+  uint64_t calls = 0;
+  double sync_secs = RunWith(env, kTwoEngines, false, {}, &calls);
+  std::printf("  %-34s %8.3fs  (%llu calls)\n",
+              "sequential (no async iteration):", sync_secs,
+              (unsigned long long)calls);
+
+  wsq::RewriteOptions insert_only;
+  insert_only.insert_only = true;
+  insert_only.consolidate = false;
+  double staged = RunWith(env, kTwoEngines, true, insert_only, &calls);
+  std::printf("  %-34s %8.3fs  (%llu calls)\n",
+              "insertion-only ReqSync (Fig 6b):", staged,
+              (unsigned long long)calls);
+
+  double full = RunWith(env, kTwoEngines, true, {}, &calls);
+  std::printf("  %-34s %8.3fs  (%llu calls)\n",
+              "percolated + consolidated (Fig 6d):", full,
+              (unsigned long long)calls);
+  std::printf("\n  improvement: sequential/staged = %.1fx, "
+              "sequential/full = %.1fx, staged/full = %.1fx\n",
+              sync_secs / staged, sync_secs / full, staged / full);
+  std::printf("  Expected: full percolation overlaps BOTH joins' calls "
+              "(one latency wave);\n  insertion-only waits out the "
+              "first join's wave before starting the second.\n\n");
+
+  // Optimistic-work pitfall: a constant that matches (almost) nothing —
+  // every WebPages call cancels, so async did all its dependent-join
+  // work for tuples that disappear.
+  const char* kMostlyEmpty =
+      "Select Name, AV.URL, G.URL "
+      "From Sigs, WebPages_AV AV, WebPages_Google G "
+      "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+      "G.Rank <= 3 and AV.T2 = 'zzyzxq' and G.T2 = 'zzyzxq'";
+  uint64_t sync_calls = 0, async_calls = 0;
+  double sync_empty = RunWith(env, kMostlyEmpty, false, {}, &sync_calls);
+  double async_empty = RunWith(env, kMostlyEmpty, true, {}, &async_calls);
+  std::printf("All-cancelling query (every search returns 0 rows):\n");
+  std::printf("  sequential: %7.3fs with %llu calls "
+              "(cancellations stop the pipeline early)\n",
+              sync_empty, (unsigned long long)sync_calls);
+  std::printf("  async:      %7.3fs with %llu calls "
+              "(optimistic plan issued every call)\n",
+              async_empty, (unsigned long long)async_calls);
+  std::printf("  async still wins on wall-clock (%.1fx) but paid %llu "
+              "extra backend calls —\n  the §4.5.4 \"optimistic "
+              "approach will have performed more work than "
+              "necessary\".\n\n",
+              sync_empty / async_empty,
+              (unsigned long long)(async_calls - sync_calls));
+
+  // Time-to-first-row: buffered vs streaming ReqSync (§4.1's
+  // materialize-vs-stream optimization issue). Measured at the
+  // operator level so the first Next() is visible.
+  std::printf("Time-to-first-row: buffered vs streaming ReqSync\n");
+  for (bool streaming : {false, true}) {
+    auto stmt = wsq::Parser::ParseSelect(
+                    "Select Name, Count From States, WebCount "
+                    "Where Name = T1")
+                    .value();
+    wsq::Binder binder(env.db().catalog(), env.db().vtables());
+    wsq::RewriteOptions rewrite;
+    rewrite.streaming_reqsync = streaming;
+    auto plan = wsq::ApplyAsyncIteration(
+                    std::move(binder.Bind(*stmt)).value(), rewrite)
+                    .value();
+    wsq::ExecContext ctx;
+    ctx.pump = env.db().pump();
+    auto root = wsq::BuildOperatorTree(*plan, &ctx).value();
+    wsq::Stopwatch timer;
+    if (!root->Open().ok()) return 1;
+    wsq::Row row;
+    auto first = root->Next(&row);
+    double ttfr = timer.ElapsedMicros() * 1e-6;
+    size_t rows = (first.ok() && *first) ? 1 : 0;
+    while (true) {
+      auto more = root->Next(&row);
+      if (!more.ok() || !*more) break;
+      ++rows;
+    }
+    double total = timer.ElapsedMicros() * 1e-6;
+    (void)root->Close();
+    std::printf("  %-10s first row %.3fs, all %zu rows %.3fs\n",
+                streaming ? "streaming:" : "buffered:", ttfr, rows,
+                total);
+  }
+  std::printf(
+      "  Expected: near-identical here — draining 50 provisional "
+      "tuples is cheap, so\n  both modes block on the same first "
+      "completion. Streaming pays off when the\n  child drain itself "
+      "is expensive (\"very large joins\", paper section 4.1);\n  see "
+      "tests/exec/req_sync_test.cc StreamingEmitsBeforeChildExhausted "
+      "for the\n  operator-level behaviour.\n");
+  return 0;
+}

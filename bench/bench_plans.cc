@@ -1,0 +1,76 @@
+// Regenerates the paper's plan-diagram figures (2–8) as EXPLAIN text:
+// for each figure, the input (sequential) plan and the output of the
+// §4.5 ReqSync placement algorithm. The async_rewriter_test suite
+// asserts these shapes; this binary renders them for side-by-side
+// comparison with the paper.
+
+#include <cstdio>
+
+#include "wsq/demo.h"
+
+namespace {
+
+void Show(wsq::DemoEnv& env, const char* figure, const char* sql,
+          wsq::RewriteOptions options = wsq::RewriteOptions()) {
+  std::printf("==== %s\n%s\n\n", figure, sql);
+  auto sync_plan = env.db().ExplainSelect(sql, /*async=*/false);
+  auto async_plan = env.db().ExplainSelect(sql, /*async=*/true, options);
+  if (!sync_plan.ok() || !async_plan.ok()) {
+    std::printf("error: %s\n",
+                (!sync_plan.ok() ? sync_plan : async_plan)
+                    .status()
+                    .ToString()
+                    .c_str());
+    return;
+  }
+  std::printf("-- input plan\n%s\n-- after asynchronous iteration\n%s\n",
+              sync_plan->c_str(), async_plan->c_str());
+}
+
+}  // namespace
+
+int main() {
+  wsq::DemoOptions options;
+  options.corpus.num_documents = 500;  // plans only; tiny Web suffices
+  options.latency = wsq::LatencyModel::Instant();
+  wsq::DemoEnv env(options);
+
+  // Table R for the Figure 7 query.
+  (void)env.db().Execute("CREATE TABLE R (X INT)");
+  (void)env.db().Execute("INSERT INTO R VALUES (1), (2), (3)");
+
+  Show(env, "Figures 2 & 3: Sigs x WebCount near 'Knuth'",
+       "Select * From Sigs, WebCount "
+       "Where Name = T1 and T2 = 'Knuth' Order By Count Desc");
+
+  Show(env, "Figure 4: Sigs x WebPages (Rank <= 3)",
+       "Select * From Sigs, WebPages Where Name = T1 and Rank <= 3");
+
+  Show(env,
+       "Figures 5 & 6: Sigs x WebPages_AV x WebPages_Google "
+       "(consolidated ReqSync)",
+       "Select * From Sigs, WebPages_AV AV, WebPages_Google G "
+       "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+       "G.Rank <= 3");
+
+  Show(env,
+       "Figure 6(b) ablation: insertion only (per-join ReqSyncs)",
+       "Select * From Sigs, WebPages_AV AV, WebPages_Google G "
+       "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+       "G.Rank <= 3",
+       wsq::RewriteOptions{/*insert_only=*/true, /*consolidate=*/false,
+                           /*rewrite_clashing_joins=*/true});
+
+  Show(env, "Figure 7: cross-product with R between two WebCount joins",
+       "Select * From Sigs, WebCount_AV AV, R, WebCount_Google G "
+       "Where Name = AV.T1 and Name = G.T1");
+
+  Show(env,
+       "Figure 8: join on URL across two WebPages "
+       "(join rewritten as selection over cross-product)",
+       "Select S.URL From Sigs, WebPages S, CSFields, "
+       "WebPages_Google C "
+       "Where Sigs.Name = S.T1 and CSFields.Name = C.T1 and "
+       "S.Rank <= 5 and C.Rank <= 5 and S.URL = C.URL");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Reproduces the paper's Table 1 (§5): three query templates, two runs
+// of eight instances each, executed with conventional sequential
+// iteration and with asynchronous iteration.
+//
+// The search latency is simulated (default 25 ms vs the paper's ~1 s
+// AltaVista round trips) so the whole table regenerates in about a
+// minute; the reported *improvement factors* are the paper's result and
+// are latency-scale independent as long as search time dominates local
+// processing. Pass a latency in milliseconds as argv[1] to change the
+// scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "data/datasets.h"
+#include "wsq/demo.h"
+
+namespace {
+
+using wsq::DemoEnv;
+using wsq::DemoOptions;
+using wsq::StrFormat;
+using wsq::TemplateConstants;
+
+struct RunResult {
+  double sync_secs = 0;
+  double async_secs = 0;
+  uint64_t async_calls = 0;
+  uint64_t sync_calls = 0;
+};
+
+double RunOnce(DemoEnv& env, const std::string& sql, bool async,
+               uint64_t* calls) {
+  auto r = env.Run(sql, async);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n%s\n",
+                 r.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  *calls = r->stats.external_calls;
+  return r->stats.elapsed_micros * 1e-6;
+}
+
+RunResult RunInstances(DemoEnv& env,
+                       const std::vector<std::string>& queries) {
+  RunResult out;
+  // Time all queries with asynchronous iteration, then all queries
+  // sequentially (the paper's protocol, modulo its two-hour
+  // anti-caching waits — our simulated engines do not cache).
+  for (const std::string& sql : queries) {
+    out.async_secs += RunOnce(env, sql, true, &out.async_calls);
+  }
+  for (const std::string& sql : queries) {
+    out.sync_secs += RunOnce(env, sql, false, &out.sync_calls);
+  }
+  out.sync_secs /= static_cast<double>(queries.size());
+  out.async_secs /= static_cast<double>(queries.size());
+  return out;
+}
+
+std::vector<std::string> Template1(int run) {
+  // Select Name, Count From States, WebCount
+  // Where Name = T1 and WebCount.T2 = V1
+  std::vector<std::string> out;
+  const auto& c = TemplateConstants();
+  for (int i = 0; i < 8; ++i) {
+    size_t v1 = (run * 8 + i) % c.size();
+    out.push_back(StrFormat(
+        "Select Name, Count From States, WebCount "
+        "Where Name = T1 and WebCount.T2 = '%s'",
+        c[v1].c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> Template2(int run) {
+  // Two searches per state: one WebCount and one WebPages (Rank <= 2).
+  std::vector<std::string> out;
+  const auto& c = TemplateConstants();
+  for (int i = 0; i < 8; ++i) {
+    size_t v1 = (run * 4 + i) % c.size();
+    size_t v2 = (v1 + 8) % c.size();
+    out.push_back(StrFormat(
+        "Select Name, Count, URL, Rank "
+        "From States, WebCount, WebPages "
+        "Where Name = WebCount.T1 and WebCount.T2 = '%s' and "
+        "Name = WebPages.T1 and WebPages.T2 = '%s' and "
+        "WebPages.Rank <= 2",
+        c[v1].c_str(), c[v2].c_str()));
+  }
+  return out;
+}
+
+std::vector<std::string> Template3(int run) {
+  // Two engines per Sig (§4.4 / Figure 5), with the added constant V1.
+  std::vector<std::string> out;
+  const auto& c = TemplateConstants();
+  for (int i = 0; i < 8; ++i) {
+    size_t v1 = (run * 8 + i + 3) % c.size();
+    out.push_back(StrFormat(
+        "Select Name, AV.URL, G.URL "
+        "From Sigs, WebPages_AV AV, WebPages_Google G "
+        "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+        "G.Rank <= 3 and AV.T2 = '%s' and G.T2 = '%s'",
+        c[v1].c_str(), c[v1].c_str()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int latency_ms = 25;
+  if (argc > 1) latency_ms = std::atoi(argv[1]);
+
+  DemoOptions options;
+  options.corpus.num_documents = 12000;
+  options.latency =
+      wsq::LatencyModel{latency_ms * 1000, latency_ms * 300, 0.0, 1.0};
+  DemoEnv env(options);
+
+  std::printf("Table 1 reproduction — synthetic search latency "
+              "%d ms (paper: ~1 s live AltaVista/Google)\n\n",
+              latency_ms);
+  std::printf("%-26s %12s %12s %12s %8s %8s\n", "", "Sync (secs)",
+              "Async (secs)", "Improvement", "SCalls", "ACalls");
+
+  struct TemplateSpec {
+    const char* name;
+    std::vector<std::string> (*make)(int run);
+  };
+  TemplateSpec templates[] = {{"Template 1", Template1},
+                              {"Template 2", Template2},
+                              {"Template 3", Template3}};
+
+  for (const TemplateSpec& t : templates) {
+    std::printf("%s\n", t.name);
+    for (int run = 0; run < 2; ++run) {
+      RunResult r = RunInstances(env, t.make(run));
+      std::printf(
+          "  Run %d (8 queries)        %12.2f %12.2f %11.1fx %8llu %8llu\n",
+          run + 1, r.sync_secs, r.async_secs, r.sync_secs / r.async_secs,
+          (unsigned long long)r.sync_calls,
+          (unsigned long long)r.async_calls);
+    }
+  }
+
+  std::printf(
+      "\nPaper reported (live Web, 1999): 23.13/3.88 = 6.0x and "
+      "32.8/3.5 = 9.4x (T1);\n70.75/5.25 = 13.5x and 64.25/5.13 = "
+      "12.5x (T2); 122.5/6.25 = 19.6x and 76.13/4.63 = 16.4x (T3).\n"
+      "Expected shape: improvement grows with per-query call count "
+      "(T1 < T2, T3).\nWhen SCalls < ACalls the asynchronous plan did "
+      "optimistic work that\nsequential execution avoided (paper "
+      "section 4.5.4).\n");
+  return 0;
+}

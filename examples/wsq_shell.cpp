@@ -1,0 +1,165 @@
+// An interactive WSQ shell — the reproduction of the paper's "simple
+// interface that allows users to pose limited queries over our WSQ
+// implementation" (§5, http://www-db.stanford.edu/wsq back in 2000).
+//
+// Reads SQL from stdin (interactive or piped), executes against the
+// demo environment, and prints result tables with per-query stats.
+//
+//   \help              command list
+//   \tables            stored and virtual tables
+//   \sync | \async     switch execution strategy (default async)
+//   \plan <select>     show the plan without executing
+//   \latency <ms>      report the configured latency
+//   \quit
+//
+// Example session:
+//   wsq> SELECT Name, Count FROM States, WebCount WHERE Name = T1
+//        ORDER BY Count DESC LIMIT 5;
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "dsq/dsq_engine.h"
+#include "wsq/demo.h"
+
+namespace {
+
+constexpr int kLatencyMs = 25;
+
+void PrintHelp() {
+  std::printf(
+      "Commands:\n"
+      "  \\help                this text\n"
+      "  \\tables              list stored and virtual tables\n"
+      "  \\sync / \\async       choose execution strategy\n"
+      "  \\plan <select...>    EXPLAIN the (async) plan\n"
+      "  \\dsq <phrase>        DSQ: explain a phrase with DB terms\n"
+      "  \\latency             show simulated search latency\n"
+      "  \\quit                exit\n"
+      "Anything else is executed as SQL (';' optional; statements may\n"
+      "span lines until a ';').\n");
+}
+
+void PrintTables(wsq::DemoEnv& env) {
+  std::printf("stored tables:\n");
+  for (const std::string& name : env.db().catalog()->ListTables()) {
+    auto table = env.db().catalog()->GetTable(name);
+    std::printf("  %-12s %s\n", name.c_str(),
+                (*table)->schema().ToString().c_str());
+  }
+  std::printf("virtual tables:\n");
+  for (const std::string& name : env.db().vtables()->List()) {
+    std::printf("  %s\n", name.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  wsq::DemoOptions options;
+  options.corpus.num_documents = 8000;
+  options.latency = wsq::LatencyModel{kLatencyMs * 1000,
+                                      kLatencyMs * 300, 0.0, 1.0};
+  wsq::DemoEnv env(options);
+
+  bool async = true;
+  bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("WSQ/DSQ shell — simulated Web (%zu pages, %d ms "
+                "search latency).\nType \\help for commands.\n",
+                env.corpus().size(), kLatencyMs);
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "wsq> " : "...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(wsq::Trim(line));
+    if (trimmed.empty()) continue;
+
+    // Meta commands act immediately.
+    if (trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\help") {
+        PrintHelp();
+      } else if (trimmed == "\\tables") {
+        PrintTables(env);
+      } else if (trimmed == "\\sync") {
+        async = false;
+        std::printf("execution: sequential\n");
+      } else if (trimmed == "\\async") {
+        async = true;
+        std::printf("execution: asynchronous iteration\n");
+      } else if (trimmed == "\\latency") {
+        std::printf("simulated search latency: %d ms\n", kLatencyMs);
+      } else if (wsq::StartsWith(trimmed, "\\dsq ")) {
+        wsq::DsqEngine dsq(&env.db(), &env.altavista_service());
+        auto r = dsq.Explain(trimmed.substr(5),
+                             {"States.Name", "Movies.Title",
+                              "Sigs.Name"});
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+        } else {
+          std::printf("database terms near \"%s\" "
+                      "(%llu concurrent searches):\n",
+                      r->phrase.c_str(),
+                      (unsigned long long)r->external_calls);
+          for (const auto& t : r->terms) {
+            std::printf("  %-24s %-14s %lld pages\n", t.term.c_str(),
+                        t.source.c_str(), (long long)t.count);
+          }
+          if (r->terms.empty()) std::printf("  (no correlations)\n");
+        }
+      } else if (wsq::StartsWith(trimmed, "\\plan ")) {
+        auto plan = env.db().ExplainSelect(trimmed.substr(6), async);
+        if (plan.ok()) {
+          std::printf("%s", plan->c_str());
+        } else {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+        }
+      } else {
+        std::printf("unknown command (try \\help)\n");
+      }
+      continue;
+    }
+
+    // Accumulate SQL until a terminating ';' (or EOF flushes).
+    if (!buffer.empty()) buffer += " ";
+    buffer += trimmed;
+    if (buffer.back() != ';') continue;
+
+    std::string sql = buffer;
+    buffer.clear();
+
+    auto r = env.Run(sql, async);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", r->result.ToString(40).c_str());
+    std::printf("(%zu rows, %.3fs, %llu Web searches, %s)\n",
+                r->result.rows.size(), r->stats.elapsed_micros * 1e-6,
+                (unsigned long long)r->stats.external_calls,
+                async ? "async" : "sync");
+  }
+
+  // Flush an unterminated trailing statement (piped input).
+  if (!buffer.empty()) {
+    auto r = env.Run(buffer, async);
+    if (r.ok()) {
+      std::printf("%s(%zu rows)\n", r->result.ToString(40).c_str(),
+                  r->result.rows.size());
+    } else {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

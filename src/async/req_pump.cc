@@ -1,0 +1,179 @@
+#include "async/req_pump.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wsq {
+
+ReqPump::ReqPump(Limits limits) : limits_(limits) {}
+
+ReqPump::~ReqPump() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drop never-dispatched queued calls, then wait for in-flight ones.
+  for (const QueuedCall& q : queue_) {
+    results_[q.id] =
+        CallResult{Status::Cancelled("ReqPump shut down"), {}};
+    --outstanding_;
+  }
+  queue_.clear();
+  cv_.wait(lock, [this] { return in_flight_global_ == 0; });
+}
+
+bool ReqPump::CanDispatchLocked(const std::string& destination) const {
+  if (limits_.max_global > 0 && in_flight_global_ >= limits_.max_global) {
+    return false;
+  }
+  if (limits_.max_per_destination > 0) {
+    auto it = in_flight_by_dest_.find(destination);
+    if (it != in_flight_by_dest_.end() &&
+        it->second >= limits_.max_per_destination) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn) {
+  CallId id;
+  bool dispatch_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    ++stats_.registered;
+    ++outstanding_;
+    dispatch_now = CanDispatchLocked(destination);
+    if (dispatch_now) {
+      ++in_flight_global_;
+      ++in_flight_by_dest_[destination];
+      stats_.max_in_flight =
+          std::max(stats_.max_in_flight,
+                   static_cast<uint64_t>(in_flight_global_));
+    } else {
+      queue_.push_back(QueuedCall{id, destination, std::move(fn)});
+      stats_.queued_peak =
+          std::max(stats_.queued_peak,
+                   static_cast<uint64_t>(queue_.size()));
+    }
+  }
+  if (dispatch_now) {
+    Dispatch(id, destination, std::move(fn));
+  }
+  return id;
+}
+
+void ReqPump::Dispatch(CallId id, const std::string& destination,
+                       AsyncCallFn fn) {
+  // The completion may fire synchronously (e.g. a cache hit) or from a
+  // service thread later; both paths go through OnComplete.
+  fn([this, id, destination](CallResult result) {
+    OnComplete(id, destination, std::move(result));
+  });
+}
+
+void ReqPump::OnComplete(CallId id, const std::string& destination,
+                         CallResult result) {
+  std::vector<QueuedCall> to_dispatch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!result.status.ok()) {
+      ++stats_.failed;
+    }
+    ++stats_.completed;
+    results_[id] = std::move(result);
+    --in_flight_global_;
+    --in_flight_by_dest_[destination];
+    ++completion_seq_;
+    --outstanding_;
+    to_dispatch = CollectDispatchable();
+    for (const QueuedCall& q : to_dispatch) {
+      ++in_flight_global_;
+      ++in_flight_by_dest_[q.destination];
+    }
+    stats_.max_in_flight =
+        std::max(stats_.max_in_flight,
+                 static_cast<uint64_t>(in_flight_global_));
+  }
+  cv_.notify_all();
+  for (QueuedCall& q : to_dispatch) {
+    Dispatch(q.id, q.destination, std::move(q.fn));
+  }
+}
+
+std::vector<ReqPump::QueuedCall> ReqPump::CollectDispatchable() {
+  std::vector<QueuedCall> out;
+  // FIFO per scan; a blocked head does not starve other destinations.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    // Account for calls already chosen in this scan.
+    int pending_global = static_cast<int>(out.size());
+    if (limits_.max_global > 0 &&
+        in_flight_global_ + pending_global >= limits_.max_global) {
+      break;
+    }
+    int pending_dest = 0;
+    for (const QueuedCall& q : out) {
+      if (q.destination == it->destination) ++pending_dest;
+    }
+    bool dest_ok = true;
+    if (limits_.max_per_destination > 0) {
+      auto found = in_flight_by_dest_.find(it->destination);
+      int current = found == in_flight_by_dest_.end() ? 0 : found->second;
+      dest_ok = current + pending_dest < limits_.max_per_destination;
+    }
+    if (dest_ok) {
+      out.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool ReqPump::IsComplete(CallId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.count(id) > 0;
+}
+
+bool ReqPump::TryTake(CallId id, CallResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(id);
+  if (it == results_.end()) return false;
+  *out = std::move(it->second);
+  results_.erase(it);
+  return true;
+}
+
+CallResult ReqPump::TakeBlocking(CallId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, id] { return results_.count(id) > 0; });
+  CallResult out = std::move(results_[id]);
+  results_.erase(id);
+  return out;
+}
+
+uint64_t ReqPump::completion_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completion_seq_;
+}
+
+void ReqPump::WaitForCompletionBeyond(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this, seq] { return completion_seq_ > seq; });
+}
+
+void ReqPump::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+ReqPumpStats ReqPump::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int ReqPump::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_global_;
+}
+
+}  // namespace wsq

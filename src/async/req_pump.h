@@ -1,0 +1,139 @@
+#ifndef WSQ_ASYNC_REQ_PUMP_H_
+#define WSQ_ASYNC_REQ_PUMP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/row.h"
+#include "types/value.h"
+
+namespace wsq {
+
+/// Outcome of one asynchronous external call: zero or more result rows
+/// (a WebCount call yields exactly one; a WebPages call yields 0..k).
+struct CallResult {
+  Status status;
+  std::vector<Row> rows;
+};
+
+/// Completion sink handed to the call's dispatch function.
+using CallCompletion = std::function<void(CallResult)>;
+
+/// A self-dispatching asynchronous call: invoked once when ReqPump
+/// grants it a slot; must eventually invoke the completion exactly once
+/// (from any thread).
+using AsyncCallFn = std::function<void(CallCompletion)>;
+
+/// Observability counters (paper §4.1: resource monitoring).
+struct ReqPumpStats {
+  uint64_t registered = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Peak concurrently-dispatched calls (all destinations).
+  uint64_t max_in_flight = 0;
+  /// Peak length of the resource-limit wait queue.
+  uint64_t queued_peak = 0;
+};
+
+/// The paper's "Request Pump" (§4.1): a global module that issues
+/// asynchronous external calls, stores their responses in a hash table
+/// (ReqPumpHash) keyed by call id, signals consumers (ReqSync operators)
+/// as calls complete, and enforces concurrency limits — one global
+/// counter and one per destination, with a FIFO queue for calls that
+/// exceed a limit.
+class ReqPump {
+ public:
+  struct Limits {
+    /// Max concurrently-dispatched calls overall; 0 = unbounded.
+    int max_global = 0;
+    /// Max concurrently-dispatched calls per destination; 0 = unbounded.
+    int max_per_destination = 0;
+  };
+
+  ReqPump() : ReqPump(Limits{0, 0}) {}
+  explicit ReqPump(Limits limits);
+
+  ReqPump(const ReqPump&) = delete;
+  ReqPump& operator=(const ReqPump&) = delete;
+
+  /// Blocks until all dispatched calls complete; queued calls that were
+  /// never dispatched are dropped.
+  ~ReqPump();
+
+  /// Registers call `fn` against `destination` and returns immediately
+  /// with its id. The call is dispatched now if limits allow, else
+  /// queued FIFO.
+  CallId Register(const std::string& destination, AsyncCallFn fn);
+
+  /// True once the call's result is available in ReqPumpHash.
+  bool IsComplete(CallId id) const;
+
+  /// Removes and returns the result if complete; nullopt otherwise.
+  bool TryTake(CallId id, CallResult* out);
+
+  /// Blocks until call `id` completes, then removes and returns it.
+  CallResult TakeBlocking(CallId id);
+
+  /// Monotonic count of completions; use with WaitForCompletionBeyond
+  /// to sleep until any call finishes.
+  uint64_t completion_seq() const;
+
+  /// Blocks until completion_seq() > `seq` (returns immediately if it
+  /// already is).
+  void WaitForCompletionBeyond(uint64_t seq);
+
+  /// Blocks until every registered call has completed (benches).
+  void Drain();
+
+  ReqPumpStats stats() const;
+  const Limits& limits() const { return limits_; }
+
+  /// Currently dispatched (in-flight) calls.
+  int in_flight() const;
+
+ private:
+  struct QueuedCall {
+    CallId id;
+    std::string destination;
+    AsyncCallFn fn;
+  };
+
+  /// Dispatches `fn` for call `id`; caller must NOT hold mu_.
+  void Dispatch(CallId id, const std::string& destination, AsyncCallFn fn);
+
+  /// Invoked by call completions.
+  void OnComplete(CallId id, const std::string& destination,
+                  CallResult result);
+
+  /// Pops dispatchable queued calls under mu_; returns them for
+  /// dispatch outside the lock.
+  std::vector<QueuedCall> CollectDispatchable();
+
+  bool CanDispatchLocked(const std::string& destination) const;
+
+  Limits limits_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  CallId next_id_ = 1;
+  uint64_t completion_seq_ = 0;
+  int in_flight_global_ = 0;
+  std::map<std::string, int> in_flight_by_dest_;
+  std::deque<QueuedCall> queue_;
+  std::unordered_map<CallId, CallResult> results_;  // "ReqPumpHash"
+  uint64_t outstanding_ = 0;  // registered but not yet completed/dropped
+  ReqPumpStats stats_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_ASYNC_REQ_PUMP_H_

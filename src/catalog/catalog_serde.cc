@@ -1,0 +1,167 @@
+#include "catalog/catalog_serde.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace wsq {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x77737164;  // "wsqd"
+constexpr uint16_t kVersion = 2;
+
+class Writer {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void I32(int32_t v) { Raw(&v, 4); }
+  void Str(const std::string& s) {
+    U16(static_cast<uint16_t>(s.size()));
+    bytes_.append(s);
+  }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+  }
+  std::string bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8() {
+    WSQ_RETURN_IF_ERROR(Need(1));
+    uint8_t v = static_cast<uint8_t>(bytes_[pos_]);
+    pos_ += 1;
+    return v;
+  }
+  Result<uint16_t> U16() {
+    WSQ_RETURN_IF_ERROR(Need(2));
+    uint16_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 2);
+    pos_ += 2;
+    return v;
+  }
+  Result<uint32_t> U32() {
+    WSQ_RETURN_IF_ERROR(Need(4));
+    uint32_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  Result<int32_t> I32() {
+    WSQ_ASSIGN_OR_RETURN(uint32_t v, U32());
+    return static_cast<int32_t>(v);
+  }
+  Result<std::string> Str() {
+    WSQ_ASSIGN_OR_RETURN(uint16_t len, U16());
+    WSQ_RETURN_IF_ERROR(Need(len));
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      return Status::IOError("catalog page truncated");
+    }
+    return Status::OK();
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, BufferPool* pool,
+                   PageId root_page) {
+  Writer w;
+  std::vector<std::string> names = catalog.ListTables();
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.U16(static_cast<uint16_t>(names.size()));
+  for (const std::string& name : names) {
+    WSQ_ASSIGN_OR_RETURN(TableInfo * table, catalog.GetTable(name));
+    w.Str(table->name());
+    w.I32(table->heap()->first_page());
+    const Schema& schema = table->schema();
+    w.U16(static_cast<uint16_t>(schema.NumColumns()));
+    for (const Column& c : schema.columns()) {
+      w.Str(c.name);
+      w.U8(static_cast<uint8_t>(c.type));
+    }
+    w.U16(static_cast<uint16_t>(table->indexes().size()));
+    for (const auto& index : table->indexes()) {
+      w.Str(index->name());
+      w.U16(static_cast<uint16_t>(index->column()));
+      w.I32(index->tree()->root());
+    }
+  }
+
+  if (w.bytes().size() > kPageSize) {
+    return Status::InvalidArgument(
+        StrFormat("catalog (%zu bytes) exceeds the root page",
+                  w.bytes().size()));
+  }
+
+  WSQ_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(root_page));
+  PageGuard guard(pool, page);
+  std::memset(page->data(), 0, kPageSize);
+  std::memcpy(page->data(), w.bytes().data(), w.bytes().size());
+  guard.MarkDirty();
+  guard.Release();
+  return pool->FlushPage(root_page);
+}
+
+Status LoadCatalog(Catalog* catalog, BufferPool* pool,
+                   PageId root_page) {
+  WSQ_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(root_page));
+  PageGuard guard(pool, page);
+  Reader r(std::string_view(page->data(), kPageSize));
+
+  WSQ_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kMagic) {
+    return Status::IOError("not a WSQ database (bad catalog magic)");
+  }
+  WSQ_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kVersion) {
+    return Status::IOError(
+        StrFormat("unsupported catalog version %u", version));
+  }
+  WSQ_ASSIGN_OR_RETURN(uint16_t num_tables, r.U16());
+  for (uint16_t t = 0; t < num_tables; ++t) {
+    WSQ_ASSIGN_OR_RETURN(std::string name, r.Str());
+    WSQ_ASSIGN_OR_RETURN(int32_t first_page, r.I32());
+    WSQ_ASSIGN_OR_RETURN(uint16_t num_cols, r.U16());
+    Schema schema;
+    for (uint16_t c = 0; c < num_cols; ++c) {
+      WSQ_ASSIGN_OR_RETURN(std::string col_name, r.Str());
+      WSQ_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      if (type > static_cast<uint8_t>(TypeId::kString)) {
+        return Status::IOError("bad column type in catalog");
+      }
+      schema.AddColumn(Column(col_name, static_cast<TypeId>(type)));
+    }
+    WSQ_ASSIGN_OR_RETURN(TableInfo * table,
+                         catalog->AttachTable(name, schema, first_page));
+    WSQ_ASSIGN_OR_RETURN(uint16_t num_indexes, r.U16());
+    for (uint16_t i = 0; i < num_indexes; ++i) {
+      WSQ_ASSIGN_OR_RETURN(std::string index_name, r.Str());
+      WSQ_ASSIGN_OR_RETURN(uint16_t column, r.U16());
+      WSQ_ASSIGN_OR_RETURN(int32_t root, r.I32());
+      WSQ_RETURN_IF_ERROR(
+          table->AttachIndex(index_name, column, root, pool).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wsq

@@ -1,0 +1,34 @@
+#ifndef WSQ_CATALOG_CATALOG_SERDE_H_
+#define WSQ_CATALOG_CATALOG_SERDE_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace wsq {
+
+/// The catalog lives on a fixed root page of a persistent database
+/// (page 0 by convention). SaveCatalog serializes every stored table's
+/// name, schema, and heap root; LoadCatalog attaches them back.
+///
+/// Format (single page):
+///   magic:u32  version:u16  num_tables:u16
+///   per table: name_len:u16 name  first_page:i32  num_cols:u16
+///     per column: name_len:u16 name  type:u8
+/// A catalog that does not fit one page is rejected (InvalidArgument) —
+/// at ~40 bytes per column that is several dozen tables, far beyond the
+/// paper's workloads.
+inline constexpr PageId kCatalogRootPage = 0;
+
+/// Writes the catalog to `root_page` (which must already be allocated).
+Status SaveCatalog(const Catalog& catalog, BufferPool* pool,
+                   PageId root_page = kCatalogRootPage);
+
+/// Reads `root_page` and attaches every recorded table to `catalog`
+/// (which should be freshly constructed).
+Status LoadCatalog(Catalog* catalog, BufferPool* pool,
+                   PageId root_page = kCatalogRootPage);
+
+}  // namespace wsq
+
+#endif  // WSQ_CATALOG_CATALOG_SERDE_H_

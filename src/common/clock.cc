@@ -1,0 +1,11 @@
+#include "common/clock.h"
+
+namespace wsq {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace wsq

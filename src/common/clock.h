@@ -1,0 +1,31 @@
+#ifndef WSQ_COMMON_CLOCK_H_
+#define WSQ_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wsq {
+
+/// Monotonic microsecond timestamp.
+int64_t NowMicros();
+
+/// Simple scoped stopwatch over the steady clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowMicros()) {}
+
+  /// Elapsed time since construction or last Reset().
+  int64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+  void Reset() { start_ = NowMicros(); }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_CLOCK_H_

@@ -1,0 +1,28 @@
+#ifndef WSQ_COMMON_MACROS_H_
+#define WSQ_COMMON_MACROS_H_
+
+#include <utility>
+
+#include "common/status.h"
+
+// Propagates a non-OK Status out of the current function.
+#define WSQ_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::wsq::Status _wsq_status = (expr);              \
+    if (!_wsq_status.ok()) return _wsq_status;       \
+  } while (false)
+
+#define WSQ_CONCAT_IMPL(a, b) a##b
+#define WSQ_CONCAT(a, b) WSQ_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>); on error returns the Status, else
+// assigns the value to `lhs` (which may include a declaration).
+#define WSQ_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  WSQ_ASSIGN_OR_RETURN_IMPL(WSQ_CONCAT(_wsq_result_, __LINE__), lhs, rexpr)
+
+#define WSQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // WSQ_COMMON_MACROS_H_

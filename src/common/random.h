@@ -1,0 +1,59 @@
+#ifndef WSQ_COMMON_RANDOM_H_
+#define WSQ_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsq {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+///
+/// Used everywhere randomness is needed (corpus generation, latency
+/// jitter, workload constants) so that runs are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf(s) sampler over {0, .., n-1} with precomputed CDF.
+///
+/// Rank 0 is the most frequent element. Used to give the synthetic Web
+/// corpus a realistic skewed term distribution.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s=0 is uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Samples a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_RANDOM_H_

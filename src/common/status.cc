@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+namespace wsq {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string();
+  return *kEmpty;
+}
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(message)});
+  }
+}
+
+#define WSQ_STATUS_FACTORY(Name, Code)              \
+  Status Status::Name(std::string msg) {            \
+    return Status(StatusCode::Code, std::move(msg)); \
+  }
+
+WSQ_STATUS_FACTORY(InvalidArgument, kInvalidArgument)
+WSQ_STATUS_FACTORY(NotFound, kNotFound)
+WSQ_STATUS_FACTORY(AlreadyExists, kAlreadyExists)
+WSQ_STATUS_FACTORY(OutOfRange, kOutOfRange)
+WSQ_STATUS_FACTORY(ResourceExhausted, kResourceExhausted)
+WSQ_STATUS_FACTORY(Cancelled, kCancelled)
+WSQ_STATUS_FACTORY(NotImplemented, kNotImplemented)
+WSQ_STATUS_FACTORY(IOError, kIOError)
+WSQ_STATUS_FACTORY(ParseError, kParseError)
+WSQ_STATUS_FACTORY(BindError, kBindError)
+WSQ_STATUS_FACTORY(TypeError, kTypeError)
+WSQ_STATUS_FACTORY(ExecutionError, kExecutionError)
+WSQ_STATUS_FACTORY(Internal, kInternal)
+
+#undef WSQ_STATUS_FACTORY
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,87 @@
+#ifndef WSQ_COMMON_STATUS_H_
+#define WSQ_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wsq {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kCancelled,
+  kNotImplemented,
+  kIOError,
+  kParseError,
+  kBindError,
+  kTypeError,
+  kExecutionError,
+  kInternal,
+};
+
+/// Returns a short stable name for `code`, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// This is the library-wide error model (no exceptions cross public API
+/// boundaries). OK status carries no allocation; error states allocate a
+/// small shared state so Status stays cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status IOError(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status BindError(std::string msg);
+  static Status TypeError(std::string msg);
+  static Status ExecutionError(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;  // null == OK
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_STATUS_H_

@@ -1,0 +1,69 @@
+#ifndef WSQ_DATA_DATASETS_H_
+#define WSQ_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "web/corpus.h"
+
+namespace wsq {
+
+/// One row of the paper's States(Name, Population, Capital) table.
+/// Populations are July 1998 U.S. Census Bureau estimates [Uni98]
+/// (rounded; the paper's Query 2 uses the same source).
+struct StateRecord {
+  std::string name;
+  int64_t population;
+  std::string capital;
+};
+
+/// All 50 U.S. states.
+const std::vector<StateRecord>& UsStates1998();
+
+/// The 37 ACM Special Interest Groups circa 1999 (paper §4.1:
+/// "37 tuples for the 37 ACM Sigs").
+const std::vector<std::string>& AcmSigs();
+
+/// Computer-science fields for the paper's CSFields(Name) table (§4.5.4
+/// Example 3).
+const std::vector<std::string>& CsFields();
+
+/// Movie titles for the DSQ scenario (§1: "states and the movies that
+/// appear on the Web most often near the phrase 'scuba diving'").
+const std::vector<std::string>& MovieTitles();
+
+/// Constant pool for the Table 1 query templates ("computer",
+/// "beaches", "crime", "politics", "frogs", ...; §5). 16 distinct
+/// values — Template 2 draws two disjoint sets of 8.
+const std::vector<std::string>& TemplateConstants();
+
+/// Entity and co-occurrence specs that give the synthetic Web the
+/// paper's observable structure:
+///  - state mention counts correlated with prominence (Query 1 order:
+///    California, Washington, New York, Texas, Michigan up top);
+///  - Alaska & friends dominating the per-capita ranking (Query 2);
+///  - "four corners" near Colorado > New Mexico > Arizona > Utah with a
+///    sharp drop after the fourth (Query 3);
+///  - six capitals (Atlanta, Lincoln, Boston, Jackson, Pierre,
+///    Columbia) outscoring their states (Query 4's complete result);
+///  - "Knuth" near SIGACT > SIGPLAN > SIGGRAPH > SIGMOD > SIGCOMM >
+///    SIGSAM and nowhere else (§4.1 footnote 3);
+///  - "scuba diving" near coastal states and diving movies (DSQ, §1);
+///  - every template constant co-occurring with a spread of states.
+struct PaperCorpusSpec {
+  std::vector<EntitySpec> entities;
+  std::vector<CooccurrenceSpec> cooccurrences;
+};
+PaperCorpusSpec MakePaperCorpusSpec();
+
+/// Generates the standard synthetic Web used by tests, examples, and
+/// benches. Pass a config to control size/seed; entities/co-occurrences
+/// come from MakePaperCorpusSpec().
+Corpus MakePaperCorpus(const CorpusConfig& config);
+
+/// Default corpus configuration (20k documents, seed 42).
+CorpusConfig DefaultPaperCorpusConfig();
+
+}  // namespace wsq
+
+#endif  // WSQ_DATA_DATASETS_H_

@@ -1,0 +1,46 @@
+#include "exec/basic_ops.h"
+
+#include "common/macros.h"
+
+namespace wsq {
+
+Result<bool> FilterOperator::Next(Row* row) {
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    WSQ_ASSIGN_OR_RETURN(bool pass,
+                         EvalPredicate(node_->predicate(), *row));
+    if (pass) return true;
+  }
+}
+
+Result<bool> ProjectOperator::Next(Row* row) {
+  Row input;
+  WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+  if (!more) return false;
+  Row out;
+  for (const BoundExprPtr& e : node_->exprs()) {
+    WSQ_ASSIGN_OR_RETURN(Value v, e->Eval(input));
+    out.Append(std::move(v));
+  }
+  *row = std::move(out);
+  return true;
+}
+
+Result<bool> LimitOperator::Next(Row* row) {
+  if (emitted_ >= node_->limit()) return false;
+  WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+  if (!more) return false;
+  ++emitted_;
+  return true;
+}
+
+Result<bool> DistinctOperator::Next(Row* row) {
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    if (seen_.insert(*row).second) return true;
+  }
+}
+
+}  // namespace wsq

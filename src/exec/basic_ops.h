@@ -1,0 +1,92 @@
+#ifndef WSQ_EXEC_BASIC_OPS_H_
+#define WSQ_EXEC_BASIC_OPS_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// Selection σ: emits child rows satisfying the predicate.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(const FilterNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const FilterNode* node_;
+  OperatorPtr child_;
+};
+
+/// Projection π: evaluates one expression per output column.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(const ProjectNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const ProjectNode* node_;
+  OperatorPtr child_;
+};
+
+/// LIMIT n: stops after n rows.
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(const LimitNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const LimitNode* node_;
+  OperatorPtr child_;
+  int64_t emitted_ = 0;
+};
+
+/// Duplicate elimination via row hashing.
+class DistinctOperator : public Operator {
+ public:
+  DistinctOperator(const DistinctNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        child_(std::move(child)) {}
+
+  Status Open() override {
+    seen_.clear();
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override;
+  Status Close() override { return child_->Close(); }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return r.Hash(); }
+  };
+
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_BASIC_OPS_H_

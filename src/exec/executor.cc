@@ -1,0 +1,217 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "exec/basic_ops.h"
+#include "exec/join_ops.h"
+#include "exec/req_sync_op.h"
+#include "exec/scan_ops.h"
+#include "exec/sort_agg_ops.h"
+
+namespace wsq {
+
+namespace {
+
+Result<std::unique_ptr<VScanOperator>> BuildVScan(const EVScanNode& node,
+                                                  ExecContext* ctx) {
+  if (node.async) {
+    if (ctx->pump == nullptr) {
+      return Status::InvalidArgument(
+          "plan contains an AEVScan but no ReqPump was supplied");
+    }
+    return std::unique_ptr<VScanOperator>(
+        std::make_unique<AEVScanOperator>(&node, ctx->pump));
+  }
+  return std::unique_ptr<VScanOperator>(
+      std::make_unique<EVScanOperator>(&node, &ctx->sync_external_calls));
+}
+
+}  // namespace
+
+Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
+                                      ExecContext* ctx) {
+  switch (plan.kind()) {
+    case PlanNode::Kind::kScan:
+      return OperatorPtr(std::make_unique<SeqScanOperator>(
+          static_cast<const ScanNode*>(&plan)));
+
+    case PlanNode::Kind::kIndexScan:
+      return OperatorPtr(std::make_unique<IndexScanOperator>(
+          static_cast<const IndexScanNode*>(&plan)));
+
+    case PlanNode::Kind::kEVScan: {
+      WSQ_ASSIGN_OR_RETURN(
+          std::unique_ptr<VScanOperator> scan,
+          BuildVScan(static_cast<const EVScanNode&>(plan), ctx));
+      return OperatorPtr(std::move(scan));
+    }
+
+    case PlanNode::Kind::kFilter: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<FilterOperator>(
+          static_cast<const FilterNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kProject: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<ProjectOperator>(
+          static_cast<const ProjectNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kNestedLoopJoin: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr left,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr right,
+                           BuildOperatorTree(*plan.child(1), ctx));
+      return OperatorPtr(std::make_unique<NestedLoopJoinOperator>(
+          static_cast<const NestedLoopJoinNode*>(&plan), std::move(left),
+          std::move(right)));
+    }
+
+    case PlanNode::Kind::kCrossProduct: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr left,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr right,
+                           BuildOperatorTree(*plan.child(1), ctx));
+      return OperatorPtr(std::make_unique<CrossProductOperator>(
+          static_cast<const CrossProductNode*>(&plan), std::move(left),
+          std::move(right)));
+    }
+
+    case PlanNode::Kind::kDependentJoin: {
+      if (plan.child(1)->kind() != PlanNode::Kind::kEVScan) {
+        return Status::Internal(
+            "dependent join requires an EVScan as its right child "
+            "(plan rewrite produced: " +
+            plan.child(1)->Label() + ")");
+      }
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr left,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      WSQ_ASSIGN_OR_RETURN(
+          std::unique_ptr<VScanOperator> right,
+          BuildVScan(static_cast<const EVScanNode&>(*plan.child(1)),
+                     ctx));
+      return OperatorPtr(std::make_unique<DependentJoinOperator>(
+          static_cast<const DependentJoinNode*>(&plan), std::move(left),
+          std::move(right)));
+    }
+
+    case PlanNode::Kind::kSort: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<SortOperator>(
+          static_cast<const SortNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kDistinct: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<DistinctOperator>(
+          static_cast<const DistinctNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kAggregate: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<AggregateOperator>(
+          static_cast<const AggregateNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kLimit: {
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<LimitOperator>(
+          static_cast<const LimitNode*>(&plan), std::move(child)));
+    }
+
+    case PlanNode::Kind::kReqSync: {
+      if (ctx->pump == nullptr) {
+        return Status::InvalidArgument(
+            "plan contains a ReqSync but no ReqPump was supplied");
+      }
+      WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
+                           BuildOperatorTree(*plan.child(0), ctx));
+      return OperatorPtr(std::make_unique<ReqSyncOperator>(
+          static_cast<const ReqSyncNode*>(&plan), std::move(child),
+          ctx->pump));
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+  WSQ_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
+  ResultSet result;
+  result.schema = plan.schema();
+
+  WSQ_RETURN_IF_ERROR(root->Open());
+  Row row;
+  while (true) {
+    auto more = root->Next(&row);
+    if (!more.ok()) {
+      root->Close();  // reap outstanding calls even on error
+      return more.status();
+    }
+    if (!*more) break;
+    result.rows.push_back(std::move(row));
+  }
+  WSQ_RETURN_IF_ERROR(root->Close());
+  return result;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  size_t n = rows.size();
+  if (max_rows > 0) n = std::min(n, max_rows);
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  header.reserve(schema.NumColumns());
+  for (const Column& c : schema.columns()) {
+    header.push_back(c.QualifiedName());
+  }
+  cells.push_back(header);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<std::string> line;
+    line.reserve(rows[r].size());
+    for (const Value& v : rows[r].values()) {
+      line.push_back(v.is_string() ? v.AsString() : v.ToString());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::vector<size_t> widths(schema.NumColumns(), 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+  }
+
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t c = 0; c < cells[i].size(); ++c) {
+      out += cells[i][c];
+      if (c + 1 < cells[i].size()) {
+        out.append(widths[c] - cells[i][c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+    if (i == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      }
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  if (n < rows.size()) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - n);
+  }
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,42 @@
+#ifndef WSQ_EXEC_EXECUTOR_H_
+#define WSQ_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "async/req_pump.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// Shared execution state: the ReqPump for asynchronous calls plus a
+/// counter of synchronous (blocking) external calls, so QueryStats can
+/// report call counts for both execution strategies.
+struct ExecContext {
+  ReqPump* pump = nullptr;
+  std::atomic<uint64_t> sync_external_calls{0};
+};
+
+/// A fully-materialized query result.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  /// Fixed-width table rendering with a header row.
+  std::string ToString(size_t max_rows = 0) const;
+};
+
+/// Compiles a logical plan into a physical operator tree. `ctx->pump`
+/// is required when the plan contains asynchronous scans or ReqSyncs;
+/// `ctx` must outlive the returned operators.
+Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
+                                      ExecContext* ctx);
+
+/// Builds, opens, drains, and closes the plan.
+Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_EXECUTOR_H_

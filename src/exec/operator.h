@@ -1,0 +1,53 @@
+#ifndef WSQ_EXEC_OPERATOR_H_
+#define WSQ_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace wsq {
+
+/// Physical operator in the paper's iterator model [Gra93]: Open /
+/// GetNext (here `Next`) / Close. `schema` points into the logical plan
+/// node, which outlives the operator tree.
+class Operator {
+ public:
+  explicit Operator(const Schema* schema) : schema_(schema) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual Status Open() = 0;
+
+  /// Produces the next tuple into `row`; returns false at end of
+  /// stream. `row` is only valid when true is returned.
+  virtual Result<bool> Next(Row* row) = 0;
+
+  virtual Status Close() = 0;
+
+  const Schema& schema() const { return *schema_; }
+
+ private:
+  const Schema* schema_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// A virtual table scan that receives dependent-join bindings before
+/// each (re-)Open: term index (1-based) → value.
+class VScanOperator : public Operator {
+ public:
+  explicit VScanOperator(const Schema* schema) : Operator(schema) {}
+
+  /// Replaces the dependent term bindings; takes effect at next Open().
+  virtual void BindTerms(
+      std::vector<std::pair<size_t, Value>> bindings) = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_OPERATOR_H_

@@ -1,0 +1,171 @@
+#include "exec/req_sync_op.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace wsq {
+
+void ReqSyncOperator::AddEntry(Row row, std::set<CallId> pending) {
+  uint64_t id = next_entry_id_++;
+  for (CallId c : pending) {
+    waiters_[c].push_back(id);
+  }
+  entries_.emplace(id, Entry{std::move(row), std::move(pending)});
+  peak_buffered_ = std::max(peak_buffered_, entries_.size());
+}
+
+void ReqSyncOperator::Absorb(Row row) {
+  std::vector<CallId> pending = row.PendingCalls();
+  if (pending.empty()) {
+    ready_.push_back(std::move(row));
+  } else {
+    AddEntry(std::move(row),
+             std::set<CallId>(pending.begin(), pending.end()));
+  }
+}
+
+Status ReqSyncOperator::Open() {
+  entries_.clear();
+  waiters_.clear();
+  ready_.clear();
+  next_entry_id_ = 1;
+  peak_buffered_ = 0;
+  child_drained_ = false;
+
+  WSQ_RETURN_IF_ERROR(child_->Open());
+  if (node_->streaming) {
+    // Streaming mode: the child is drained lazily from Next(), so the
+    // first completed tuples can flow before every call is issued.
+    return Status::OK();
+  }
+  // Full-buffering implementation, as in the paper: drain the child
+  // entirely. Draining is what launches all the asynchronous calls
+  // below us — the dependent joins keep producing provisional tuples
+  // without waiting for any search to finish.
+  Row row;
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    Absorb(std::move(row));
+  }
+  child_drained_ = true;
+  return Status::OK();
+}
+
+Result<Row> ReqSyncOperator::PatchRow(const Row& row, CallId call,
+                                      const Row& values) {
+  Row out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row.value(i);
+    if (v.is_placeholder() && v.AsPlaceholder().call == call) {
+      int32_t field = v.AsPlaceholder().field;
+      if (field < 0 || static_cast<size_t>(field) >= values.size()) {
+        return Status::Internal(StrFormat(
+            "call result has %zu fields, placeholder wants field %d",
+            values.size(), field));
+      }
+      out.Append(values.value(static_cast<size_t>(field)));
+    } else {
+      out.Append(v);
+    }
+  }
+  return out;
+}
+
+Status ReqSyncOperator::ProcessCompletion(CallId call,
+                                          const CallResult& result) {
+  WSQ_RETURN_IF_ERROR(result.status);
+
+  auto waiting = waiters_.find(call);
+  if (waiting == waiters_.end()) return Status::OK();
+  std::vector<uint64_t> ids = std::move(waiting->second);
+  waiters_.erase(waiting);
+
+  for (uint64_t id : ids) {
+    auto it = entries_.find(id);
+    // Stale reference: the tuple was proliferated (and re-registered
+    // under new ids) or cancelled by another call's completion.
+    if (it == entries_.end()) continue;
+    Entry entry = std::move(it->second);
+    entries_.erase(it);
+    entry.pending.erase(call);
+
+    // n = 0 → cancellation; n = 1 → completion; n > 1 → proliferation
+    // (paper §4.3). Copies keep placeholders for other pending calls.
+    for (const Row& values : result.rows) {
+      WSQ_ASSIGN_OR_RETURN(Row patched,
+                           PatchRow(entry.row, call, values));
+      if (entry.pending.empty()) {
+        ready_.push_back(std::move(patched));
+      } else {
+        AddEntry(std::move(patched), entry.pending);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ReqSyncOperator::Close() {
+  for (const auto& [call, ids] : waiters_) {
+    CallResult discarded = pump_->TakeBlocking(call);
+    (void)discarded;
+  }
+  waiters_.clear();
+  entries_.clear();
+  ready_.clear();
+  return child_->Close();
+}
+
+Result<bool> ReqSyncOperator::PollCompletions() {
+  bool progressed = false;
+  std::vector<CallId> calls;
+  calls.reserve(waiters_.size());
+  for (const auto& [call, ids] : waiters_) calls.push_back(call);
+  for (CallId call : calls) {
+    CallResult result;
+    if (pump_->TryTake(call, &result)) {
+      WSQ_RETURN_IF_ERROR(ProcessCompletion(call, result));
+      progressed = true;
+    }
+  }
+  return progressed;
+}
+
+Result<bool> ReqSyncOperator::Next(Row* row) {
+  while (true) {
+    if (!ready_.empty()) {
+      *row = std::move(ready_.front());
+      ready_.pop_front();
+      return true;
+    }
+
+    if (!child_drained_) {
+      // Streaming mode: pull the next child tuple (which launches its
+      // calls) and absorb any completions that have already landed.
+      Row input;
+      WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+      if (more) {
+        Absorb(std::move(input));
+      } else {
+        child_drained_ = true;
+      }
+      WSQ_RETURN_IF_ERROR(PollCompletions().status());
+      continue;
+    }
+
+    if (entries_.empty()) return false;
+
+    // Snapshot the completion sequence BEFORE scanning so a completion
+    // that lands mid-scan is not missed (it would bump the sequence and
+    // make the wait below return immediately).
+    uint64_t seq = pump_->completion_seq();
+    WSQ_ASSIGN_OR_RETURN(bool progressed, PollCompletions());
+    if (!progressed && ready_.empty() && !entries_.empty()) {
+      pump_->WaitForCompletionBeyond(seq);
+    }
+  }
+}
+
+}  // namespace wsq

@@ -1,0 +1,80 @@
+#ifndef WSQ_EXEC_REQ_SYNC_OP_H_
+#define WSQ_EXEC_REQ_SYNC_OP_H_
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "async/req_pump.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// The paper's ReqSync operator (§4.1, §4.3–4.4).
+///
+/// Open() drains the child, buffering incomplete tuples indexed by the
+/// pending calls they wait on; complete tuples pass straight to the
+/// ready queue. Next() serves ready tuples, blocking on ReqPump
+/// completions otherwise. When a call completes with n result rows,
+/// each waiting tuple is cancelled (n=0), completed (n=1), or
+/// proliferated into n patched copies (n>1) — copies inherit
+/// placeholders for other still-pending calls (§4.4).
+class ReqSyncOperator : public Operator {
+ public:
+  ReqSyncOperator(const ReqSyncNode* node, OperatorPtr child,
+                  ReqPump* pump)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)),
+        pump_(pump) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+
+  /// Reaps any still-outstanding call results (relevant on error/early
+  /// termination paths) so they do not accumulate in the shared
+  /// ReqPumpHash, then closes the child.
+  Status Close() override;
+
+  /// Peak number of tuples buffered while waiting (observability).
+  size_t peak_buffered() const { return peak_buffered_; }
+
+ private:
+  struct Entry {
+    Row row;
+    std::set<CallId> pending;
+  };
+
+  /// Applies one completed call to every tuple waiting on it.
+  Status ProcessCompletion(CallId call, const CallResult& result);
+
+  /// Classifies one child row into the ready queue or the wait index.
+  void Absorb(Row row);
+
+  /// Non-blocking: drains every already-completed call we wait on.
+  /// Returns true if any tuple changed state.
+  Result<bool> PollCompletions();
+
+  /// Replaces placeholders of `call` in `row` with `values` fields.
+  static Result<Row> PatchRow(const Row& row, CallId call,
+                              const Row& values);
+
+  void AddEntry(Row row, std::set<CallId> pending);
+
+  const ReqSyncNode* node_;
+  OperatorPtr child_;
+  ReqPump* pump_;
+  bool child_drained_ = false;
+
+  uint64_t next_entry_id_ = 1;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::unordered_map<CallId, std::vector<uint64_t>> waiters_;
+  std::deque<Row> ready_;
+  size_t peak_buffered_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_REQ_SYNC_OP_H_

@@ -1,0 +1,164 @@
+#include "exec/scan_ops.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "storage/serde.h"
+
+namespace wsq {
+
+Status SeqScanOperator::Open() {
+  scanner_.emplace(node_->table());
+  return Status::OK();
+}
+
+Result<bool> SeqScanOperator::Next(Row* row) {
+  return scanner_->Next(row);
+}
+
+Status SeqScanOperator::Close() {
+  scanner_.reset();
+  return Status::OK();
+}
+
+Status IndexScanOperator::Open() {
+  next_ = 0;
+  const BPlusTree* tree = node_->index()->tree();
+  if (node_->IsEquality()) {
+    WSQ_ASSIGN_OR_RETURN(rids_, tree->SearchEqual(*node_->lo().value));
+  } else {
+    const Value* lo = node_->lo().value.has_value()
+                          ? &*node_->lo().value
+                          : nullptr;
+    const Value* hi = node_->hi().value.has_value()
+                          ? &*node_->hi().value
+                          : nullptr;
+    WSQ_ASSIGN_OR_RETURN(
+        rids_, tree->SearchRange(lo, node_->lo().inclusive, hi,
+                                 node_->hi().inclusive));
+  }
+  return Status::OK();
+}
+
+Result<bool> IndexScanOperator::Next(Row* row) {
+  if (next_ >= rids_.size()) return false;
+  WSQ_ASSIGN_OR_RETURN(std::string bytes,
+                       node_->table()->heap()->Get(rids_[next_++]));
+  WSQ_ASSIGN_OR_RETURN(*row, DeserializeRow(bytes));
+  return true;
+}
+
+Status IndexScanOperator::Close() {
+  rids_.clear();
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::string> TermToString(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kString:
+      return v.AsString();
+    case TypeId::kInt64:
+      return std::to_string(v.AsInt());
+    case TypeId::kDouble:
+      return StrFormat("%g", v.AsDouble());
+    case TypeId::kNull:
+      return Status::ExecutionError(
+          "NULL cannot be used as a virtual table search term");
+    case TypeId::kPlaceholder:
+      return Status::ExecutionError(
+          "incomplete (placeholder) value used as a search term — "
+          "dependent join on a pending external result");
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+Result<VTableRequest> VScanBase::BuildRequest() const {
+  VTableRequest request;
+  request.search_exp = node_->search_exp;
+  request.rank_limit = node_->rank_limit;
+  request.terms.resize(node_->num_terms());
+
+  std::vector<bool> filled(node_->num_terms(), false);
+  for (const auto& [term, value] : node_->constant_terms) {
+    WSQ_ASSIGN_OR_RETURN(request.terms[term - 1], TermToString(value));
+    filled[term - 1] = true;
+  }
+  for (const auto& [term, value] : bound_terms_) {
+    if (term == 0 || term > node_->num_terms()) {
+      return Status::Internal(
+          StrFormat("binding for T%zu out of range", term));
+    }
+    WSQ_ASSIGN_OR_RETURN(request.terms[term - 1], TermToString(value));
+    filled[term - 1] = true;
+  }
+  for (size_t i = 0; i < filled.size(); ++i) {
+    if (!filled[i]) {
+      return Status::ExecutionError(
+          StrFormat("T%zu of %s is unbound at scan time", i + 1,
+                    node_->effective_name().c_str()));
+    }
+  }
+  return request;
+}
+
+Result<std::vector<Value>> VScanBase::InputValues(
+    const VTableRequest& request) const {
+  std::vector<Value> inputs;
+  inputs.reserve(1 + request.terms.size());
+  inputs.push_back(
+      Value::Str(node_->table()->EffectiveSearchExp(request)));
+  for (const std::string& t : request.terms) {
+    inputs.push_back(Value::Str(t));
+  }
+  return inputs;
+}
+
+Status EVScanOperator::Open() {
+  rows_.clear();
+  next_ = 0;
+  WSQ_ASSIGN_OR_RETURN(VTableRequest request, BuildRequest());
+  if (call_counter_ != nullptr) {
+    call_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  WSQ_ASSIGN_OR_RETURN(rows_, node_->table()->Fetch(request));
+  return Status::OK();
+}
+
+Result<bool> EVScanOperator::Next(Row* row) {
+  if (next_ >= rows_.size()) return false;
+  *row = rows_[next_++];
+  return true;
+}
+
+Status EVScanOperator::Close() {
+  rows_.clear();
+  return Status::OK();
+}
+
+Status AEVScanOperator::Open() {
+  emitted_ = false;
+  WSQ_ASSIGN_OR_RETURN(VTableRequest request, BuildRequest());
+  WSQ_ASSIGN_OR_RETURN(inputs_, InputValues(request));
+  call_ = node_->table()->SubmitAsync(request, pump_);
+  return Status::OK();
+}
+
+Result<bool> AEVScanOperator::Next(Row* row) {
+  if (emitted_) return false;
+  emitted_ = true;
+  Row out;
+  for (const Value& v : inputs_) out.Append(v);
+  size_t outputs = node_->table()->NumOutputColumns();
+  for (size_t field = 0; field < outputs; ++field) {
+    out.Append(Value::Pending(call_, static_cast<int32_t>(field)));
+  }
+  *row = std::move(out);
+  return true;
+}
+
+Status AEVScanOperator::Close() { return Status::OK(); }
+
+}  // namespace wsq

@@ -1,0 +1,112 @@
+#ifndef WSQ_EXEC_SCAN_OPS_H_
+#define WSQ_EXEC_SCAN_OPS_H_
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "async/req_pump.h"
+#include "catalog/catalog.h"
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// Stored-table sequential scan.
+class SeqScanOperator : public Operator {
+ public:
+  explicit SeqScanOperator(const ScanNode* node)
+      : Operator(&node->schema()), node_(node) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  const ScanNode* node_;
+  std::optional<TableScanner> scanner_;
+};
+
+/// Equality lookup through a B+ tree index.
+class IndexScanOperator : public Operator {
+ public:
+  explicit IndexScanOperator(const IndexScanNode* node)
+      : Operator(&node->schema()), node_(node) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  const IndexScanNode* node_;
+  std::vector<Rid> rids_;
+  size_t next_ = 0;
+};
+
+/// Shared logic for external virtual table scans: assembling the
+/// VTableRequest from constants plus dependent bindings.
+class VScanBase : public VScanOperator {
+ public:
+  explicit VScanBase(const EVScanNode* node)
+      : VScanOperator(&node->schema()), node_(node) {}
+
+  void BindTerms(
+      std::vector<std::pair<size_t, Value>> bindings) override {
+    bound_terms_ = std::move(bindings);
+  }
+
+ protected:
+  /// Builds the request; fails if any term is missing or NULL.
+  Result<VTableRequest> BuildRequest() const;
+
+  /// Leading (input-column) values shared by every emitted row.
+  Result<std::vector<Value>> InputValues(
+      const VTableRequest& request) const;
+
+  const EVScanNode* node_;
+  std::vector<std::pair<size_t, Value>> bound_terms_;
+};
+
+/// Blocking external scan: one synchronous call per Open (paper's
+/// baseline execution).
+class EVScanOperator : public VScanBase {
+ public:
+  /// `call_counter` (optional) is bumped once per blocking external
+  /// call, for QueryStats.
+  EVScanOperator(const EVScanNode* node,
+                 std::atomic<uint64_t>* call_counter = nullptr)
+      : VScanBase(node), call_counter_(call_counter) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  std::atomic<uint64_t>* call_counter_;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+/// Asynchronous external scan (paper §4.1): Open registers the call
+/// with ReqPump; Next immediately returns ONE provisional tuple whose
+/// output attributes are placeholders naming the call. A ReqSync
+/// operator above patches, cancels, or proliferates it later.
+class AEVScanOperator : public VScanBase {
+ public:
+  AEVScanOperator(const EVScanNode* node, ReqPump* pump)
+      : VScanBase(node), pump_(pump) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  ReqPump* pump_;
+  CallId call_ = kInvalidCallId;
+  std::vector<Value> inputs_;
+  bool emitted_ = false;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_SCAN_OPS_H_

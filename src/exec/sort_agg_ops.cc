@@ -1,0 +1,188 @@
+#include "exec/sort_agg_ops.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace wsq {
+
+Status SortOperator::Open() {
+  rows_.clear();
+  next_ = 0;
+  WSQ_RETURN_IF_ERROR(child_->Open());
+
+  // Materialize rows with their precomputed sort keys.
+  std::vector<std::pair<std::vector<Value>, Row>> keyed;
+  Row row;
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    std::vector<Value> keys;
+    keys.reserve(node_->keys().size());
+    for (const SortNode::SortKey& k : node_->keys()) {
+      WSQ_ASSIGN_OR_RETURN(Value v, k.expr->Eval(row));
+      if (v.is_placeholder()) {
+        return Status::ExecutionError(
+            "sort key is an incomplete (placeholder) value");
+      }
+      keys.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(keys), std::move(row));
+  }
+  WSQ_RETURN_IF_ERROR(child_->Close());
+
+  const auto& key_specs = node_->keys();
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [&key_specs](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < key_specs.size(); ++i) {
+                       int c = a.first[i].Compare(b.first[i]);
+                       if (c == 0) continue;
+                       return key_specs[i].descending ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+
+  rows_.reserve(keyed.size());
+  for (auto& [keys, r] : keyed) rows_.push_back(std::move(r));
+  return Status::OK();
+}
+
+Result<bool> SortOperator::Next(Row* row) {
+  if (next_ >= rows_.size()) return false;
+  *row = rows_[next_++];
+  return true;
+}
+
+Status SortOperator::Close() {
+  rows_.clear();
+  return Status::OK();
+}
+
+Status AggregateOperator::Accumulate(const Row& input,
+                                     std::vector<Accumulator>* accs) {
+  const auto& specs = node_->aggs();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Accumulator& acc = (*accs)[i];
+    if (specs[i].func == AggFunc::kCountStar) {
+      ++acc.count;
+      continue;
+    }
+    WSQ_ASSIGN_OR_RETURN(Value v, specs[i].arg->Eval(input));
+    if (v.is_null()) continue;  // aggregates skip NULLs
+    if (v.is_placeholder()) {
+      return Status::ExecutionError(
+          "aggregate over an incomplete (placeholder) value");
+    }
+    ++acc.count;
+    switch (specs[i].func) {
+      case AggFunc::kCount:
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (!v.is_numeric()) {
+          return Status::TypeError("SUM/AVG require numeric input");
+        }
+        if (v.is_double() || acc.sum_is_double) {
+          if (!acc.sum_is_double) {
+            acc.sum_double = static_cast<double>(acc.sum_int);
+            acc.sum_is_double = true;
+          }
+          acc.sum_double += v.NumericAsDouble();
+        } else {
+          acc.sum_int += v.AsInt();
+        }
+        break;
+      case AggFunc::kMin:
+        if (!acc.has_value || v.Compare(acc.min) < 0) acc.min = v;
+        break;
+      case AggFunc::kMax:
+        if (!acc.has_value || v.Compare(acc.max) > 0) acc.max = v;
+        break;
+      case AggFunc::kCountStar:
+        break;
+    }
+    acc.has_value = true;
+  }
+  return Status::OK();
+}
+
+Result<Value> AggregateOperator::Finalize(
+    const AggregateNode::AggSpec& spec, const Accumulator& acc) const {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int(acc.count);
+    case AggFunc::kSum:
+      if (acc.count == 0) return Value::Null();
+      return acc.sum_is_double ? Value::Real(acc.sum_double)
+                               : Value::Int(acc.sum_int);
+    case AggFunc::kAvg: {
+      if (acc.count == 0) return Value::Null();
+      double total = acc.sum_is_double
+                         ? acc.sum_double
+                         : static_cast<double>(acc.sum_int);
+      return Value::Real(total / static_cast<double>(acc.count));
+    }
+    case AggFunc::kMin:
+      return acc.has_value ? acc.min : Value::Null();
+    case AggFunc::kMax:
+      return acc.has_value ? acc.max : Value::Null();
+  }
+  return Status::Internal("unknown aggregate function");
+}
+
+Status AggregateOperator::Open() {
+  results_.clear();
+  next_ = 0;
+  WSQ_RETURN_IF_ERROR(child_->Open());
+
+  // Group rows by key; std::map keeps deterministic group order.
+  std::map<Row, std::vector<Accumulator>,
+           bool (*)(const Row&, const Row&)>
+      groups(+[](const Row& a, const Row& b) { return a.Compare(b) < 0; });
+
+  Row input;
+  bool any_input = false;
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
+    if (!more) break;
+    any_input = true;
+    Row key;
+    for (const BoundExprPtr& g : node_->group_by()) {
+      WSQ_ASSIGN_OR_RETURN(Value v, g->Eval(input));
+      key.Append(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(
+        std::move(key), node_->aggs().size(), Accumulator{});
+    WSQ_RETURN_IF_ERROR(Accumulate(input, &it->second));
+  }
+  WSQ_RETURN_IF_ERROR(child_->Close());
+
+  // Global aggregate over empty input still yields one row.
+  if (!any_input && node_->group_by().empty()) {
+    groups.try_emplace(Row(), node_->aggs().size(), Accumulator{});
+  }
+
+  for (const auto& [key, accs] : groups) {
+    Row out = key;
+    for (size_t i = 0; i < node_->aggs().size(); ++i) {
+      WSQ_ASSIGN_OR_RETURN(Value v, Finalize(node_->aggs()[i], accs[i]));
+      out.Append(std::move(v));
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateOperator::Next(Row* row) {
+  if (next_ >= results_.size()) return false;
+  *row = results_[next_++];
+  return true;
+}
+
+Status AggregateOperator::Close() {
+  results_.clear();
+  return Status::OK();
+}
+
+}  // namespace wsq

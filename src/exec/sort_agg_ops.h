@@ -1,0 +1,69 @@
+#ifndef WSQ_EXEC_SORT_AGG_OPS_H_
+#define WSQ_EXEC_SORT_AGG_OPS_H_
+
+#include <map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// ORDER BY: materializes the child and stable-sorts on the key
+/// expressions (precomputed per row).
+class SortOperator : public Operator {
+ public:
+  SortOperator(const SortNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  const SortNode* node_;
+  OperatorPtr child_;
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+/// GROUP BY + aggregate evaluation; groups ordered deterministically
+/// by key. NULL arguments are skipped (except COUNT(*)); a global
+/// aggregate over empty input yields one row.
+class AggregateOperator : public Operator {
+ public:
+  AggregateOperator(const AggregateNode* node, OperatorPtr child)
+      : Operator(&node->schema()),
+        node_(node),
+        child_(std::move(child)) {}
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  Status Close() override;
+
+ private:
+  struct Accumulator {
+    int64_t count = 0;       // rows seen (non-null arg for kCount)
+    int64_t sum_int = 0;
+    double sum_double = 0;
+    bool sum_is_double = false;
+    Value min;
+    Value max;
+    bool has_value = false;
+  };
+
+  Status Accumulate(const Row& input, std::vector<Accumulator>* accs);
+  Result<Value> Finalize(const AggregateNode::AggSpec& spec,
+                         const Accumulator& acc) const;
+
+  const AggregateNode* node_;
+  OperatorPtr child_;
+  std::vector<Row> results_;
+  size_t next_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_EXEC_SORT_AGG_OPS_H_

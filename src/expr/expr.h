@@ -1,0 +1,216 @@
+#ifndef WSQ_EXPR_EXPR_H_
+#define WSQ_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "parser/ast.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace wsq {
+
+/// Expression tree bound to column positions of a concrete row shape.
+/// Produced by the binder (plan module) from a ParsedExpr + Schema.
+class BoundExpr {
+ public:
+  enum class Kind { kColumnRef, kLiteral, kUnary, kBinary, kFunction };
+
+  virtual ~BoundExpr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// Evaluates against `row`. Binary/unary operations on placeholder
+  /// values fail with ExecutionError — by construction (ReqSync
+  /// placement) complete values are always available where needed, so
+  /// such a failure indicates a planner bug.
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Static result type (TypeId::kNull when unknown/variable).
+  virtual TypeId OutputType() const = 0;
+
+  /// Rendering using the bound schema's column names.
+  virtual std::string ToString() const = 0;
+
+  virtual std::unique_ptr<BoundExpr> Clone() const = 0;
+
+  /// Appends the row indices of every column referenced.
+  virtual void CollectColumns(std::vector<size_t>* indices) const = 0;
+
+  /// Rewrites every column index through `mapping` (old index →
+  /// new index); used when operators are moved during the asynchronous-
+  /// iteration rewrite. `mapping[i] < 0` means column i is unavailable,
+  /// which is an error if referenced.
+  virtual Status RemapColumns(const std::vector<int>& mapping) = 0;
+
+ protected:
+  explicit BoundExpr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+class BoundColumnRef : public BoundExpr {
+ public:
+  BoundColumnRef(size_t index, Column column)
+      : BoundExpr(Kind::kColumnRef),
+        index_(index),
+        column_(std::move(column)) {}
+
+  size_t index() const { return index_; }
+  const Column& column() const { return column_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId OutputType() const override { return column_.type; }
+  std::string ToString() const override {
+    return column_.QualifiedName();
+  }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<BoundColumnRef>(index_, column_);
+  }
+  void CollectColumns(std::vector<size_t>* indices) const override {
+    indices->push_back(index_);
+  }
+  Status RemapColumns(const std::vector<int>& mapping) override;
+
+ private:
+  size_t index_;
+  Column column_;
+};
+
+class BoundLiteral : public BoundExpr {
+ public:
+  explicit BoundLiteral(Value value)
+      : BoundExpr(Kind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId OutputType() const override { return value_.type(); }
+  std::string ToString() const override { return value_.ToString(); }
+  BoundExprPtr Clone() const override {
+    return std::make_unique<BoundLiteral>(value_);
+  }
+  void CollectColumns(std::vector<size_t>*) const override {}
+  Status RemapColumns(const std::vector<int>&) override {
+    return Status::OK();
+  }
+
+ private:
+  Value value_;
+};
+
+class BoundUnary : public BoundExpr {
+ public:
+  BoundUnary(UnaryOp op, BoundExprPtr operand)
+      : BoundExpr(Kind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const BoundExpr& operand() const { return *operand_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId OutputType() const override;
+  std::string ToString() const override;
+  BoundExprPtr Clone() const override {
+    return std::make_unique<BoundUnary>(op_, operand_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* indices) const override {
+    operand_->CollectColumns(indices);
+  }
+  Status RemapColumns(const std::vector<int>& mapping) override {
+    return operand_->RemapColumns(mapping);
+  }
+
+ private:
+  UnaryOp op_;
+  BoundExprPtr operand_;
+};
+
+/// Built-in scalar functions.
+enum class ScalarFunc { kUpper, kLower, kLength, kAbs };
+
+std::string_view ScalarFuncToString(ScalarFunc f);
+
+/// True (filling `out`) when `name` names a scalar function.
+bool LookupScalarFunc(const std::string& name, ScalarFunc* out);
+
+/// SQL LIKE pattern match: '%' = any run, '_' = any single character.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+class BoundFunction : public BoundExpr {
+ public:
+  BoundFunction(ScalarFunc func, std::vector<BoundExprPtr> args)
+      : BoundExpr(Kind::kFunction),
+        func_(func),
+        args_(std::move(args)) {}
+
+  ScalarFunc func() const { return func_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId OutputType() const override;
+  std::string ToString() const override;
+  BoundExprPtr Clone() const override;
+  void CollectColumns(std::vector<size_t>* indices) const override {
+    for (const auto& a : args_) a->CollectColumns(indices);
+  }
+  Status RemapColumns(const std::vector<int>& mapping) override {
+    for (auto& a : args_) {
+      WSQ_RETURN_IF_ERROR(a->RemapColumns(mapping));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ScalarFunc func_;
+  std::vector<BoundExprPtr> args_;
+};
+
+class BoundBinary : public BoundExpr {
+ public:
+  BoundBinary(BinaryOp op, BoundExprPtr left, BoundExprPtr right)
+      : BoundExpr(Kind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const BoundExpr& left() const { return *left_; }
+  const BoundExpr& right() const { return *right_; }
+
+  Result<Value> Eval(const Row& row) const override;
+  TypeId OutputType() const override;
+  std::string ToString() const override;
+  BoundExprPtr Clone() const override {
+    return std::make_unique<BoundBinary>(op_, left_->Clone(),
+                                         right_->Clone());
+  }
+  void CollectColumns(std::vector<size_t>* indices) const override {
+    left_->CollectColumns(indices);
+    right_->CollectColumns(indices);
+  }
+  Status RemapColumns(const std::vector<int>& mapping) override {
+    WSQ_RETURN_IF_ERROR(left_->RemapColumns(mapping));
+    return right_->RemapColumns(mapping);
+  }
+
+ private:
+  BinaryOp op_;
+  BoundExprPtr left_;
+  BoundExprPtr right_;
+};
+
+/// SQL truthiness: non-zero numerics are true; NULL and placeholders are
+/// not true. Strings are not valid predicates (TypeError).
+Result<bool> ValueIsTrue(const Value& v);
+
+/// Evaluates `expr` as a predicate over `row`; NULL results are false.
+Result<bool> EvalPredicate(const BoundExpr& expr, const Row& row);
+
+}  // namespace wsq
+
+#endif  // WSQ_EXPR_EXPR_H_

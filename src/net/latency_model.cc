@@ -1,0 +1,17 @@
+#include "net/latency_model.h"
+
+namespace wsq {
+
+int64_t LatencyModel::SampleMicros(Rng& rng) const {
+  int64_t sample = base_micros;
+  if (jitter_micros > 0) {
+    sample += rng.UniformRange(-jitter_micros, jitter_micros);
+  }
+  if (heavy_tail_prob > 0 && rng.Bernoulli(heavy_tail_prob)) {
+    sample = static_cast<int64_t>(static_cast<double>(sample) *
+                                  tail_factor);
+  }
+  return sample < 0 ? 0 : sample;
+}
+
+}  // namespace wsq

@@ -1,0 +1,41 @@
+#ifndef WSQ_NET_LATENCY_MODEL_H_
+#define WSQ_NET_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace wsq {
+
+/// Deterministic model of wide-area request latency.
+///
+/// The paper measured AltaVista/Google calls at roughly a second each
+/// (§1, §5). Benchmarks here default to tens of milliseconds so the
+/// suite runs in minutes; the async/sync *ratio* — the reported result —
+/// depends on latency/compute overlap, not the absolute scale
+/// (DESIGN.md §2).
+struct LatencyModel {
+  /// Mean service latency.
+  int64_t base_micros = 40000;
+  /// Uniform jitter: sample in [base - jitter, base + jitter].
+  int64_t jitter_micros = 10000;
+  /// With this probability the sample is multiplied by `tail_factor`
+  /// (models slow outliers / engine load spikes).
+  double heavy_tail_prob = 0.0;
+  double tail_factor = 4.0;
+
+  /// Next latency sample; always >= 0.
+  int64_t SampleMicros(Rng& rng) const;
+
+  /// A zero-latency model (for tests that only check plumbing).
+  static LatencyModel Instant() { return LatencyModel{0, 0, 0.0, 1.0}; }
+
+  /// Fixed latency with no jitter.
+  static LatencyModel Fixed(int64_t micros) {
+    return LatencyModel{micros, 0, 0.0, 1.0};
+  }
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_LATENCY_MODEL_H_

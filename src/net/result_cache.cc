@@ -1,0 +1,83 @@
+#include "net/result_cache.h"
+
+#include "common/clock.h"
+
+namespace wsq {
+
+ResultCache::ResultCache(size_t capacity, int64_t ttl_micros)
+    : capacity_(capacity == 0 ? 1 : capacity), ttl_micros_(ttl_micros) {}
+
+std::optional<SearchResponse> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (ttl_micros_ > 0 &&
+      NowMicros() - it->second->inserted_micros > ttl_micros_) {
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Move to MRU.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->response;
+}
+
+void ResultCache::Put(const std::string& key, SearchResponse response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->response = std::move(response);
+    it->second->inserted_micros = NowMicros();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(response), NowMicros()});
+  map_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+}
+
+void CachingSearchService::Submit(SearchRequest request,
+                                  SearchCallback done) {
+  // Key includes the engine name: different engines answer the same
+  // query differently (NEAR support, ranking), and one ResultCache may
+  // sit in front of several engines.
+  std::string key = wrapped_->name() + "\x1f" + request.CacheKey();
+  if (auto cached = cache_->Get(key)) {
+    done(std::move(*cached));
+    return;
+  }
+  ResultCache* cache = cache_;
+  wrapped_->Submit(std::move(request),
+                   [cache, key, done = std::move(done)](
+                       SearchResponse resp) {
+                     if (resp.status.ok()) cache->Put(key, resp);
+                     done(std::move(resp));
+                   });
+}
+
+}  // namespace wsq

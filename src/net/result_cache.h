@@ -1,0 +1,72 @@
+#ifndef WSQ_NET_RESULT_CACHE_H_
+#define WSQ_NET_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/search_service.h"
+
+namespace wsq {
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// LRU cache of search responses keyed by request
+/// (paper §4: "caching techniques [HN96] are important for avoiding
+/// repeated external calls").
+class ResultCache {
+ public:
+  /// `capacity` entries; `ttl_micros` <= 0 disables expiry.
+  explicit ResultCache(size_t capacity, int64_t ttl_micros = 0);
+
+  std::optional<SearchResponse> Get(const std::string& key);
+  void Put(const std::string& key, SearchResponse response);
+
+  size_t size() const;
+  ResultCacheStats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    SearchResponse response;
+    int64_t inserted_micros;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  int64_t ttl_micros_;
+  std::list<Entry> lru_;  // front = MRU
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  ResultCacheStats stats_;
+};
+
+/// SearchService decorator that answers repeated requests from a
+/// ResultCache. Cache hits complete synchronously (zero latency), which
+/// reproduces the paper's observation that "repeated searches with
+/// identical keyword expressions may run far faster the second time".
+class CachingSearchService : public SearchService {
+ public:
+  CachingSearchService(SearchService* wrapped, ResultCache* cache)
+      : wrapped_(wrapped), cache_(cache) {}
+
+  const std::string& name() const override { return wrapped_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override;
+
+ private:
+  SearchService* wrapped_;
+  ResultCache* cache_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_RESULT_CACHE_H_

@@ -1,0 +1,87 @@
+#include "net/retry_service.h"
+
+#include <thread>
+
+namespace wsq {
+
+RetryingSearchService::RetryingSearchService(SearchService* wrapped,
+                                             RetryPolicy policy)
+    : wrapped_(wrapped), policy_(policy) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+RetryingSearchService::~RetryingSearchService() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void RetryingSearchService::TrackStart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++outstanding_;
+}
+
+void RetryingSearchService::TrackFinish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --outstanding_;
+  }
+  cv_.notify_all();
+}
+
+void RetryingSearchService::Submit(SearchRequest request,
+                                   SearchCallback done) {
+  TrackStart();
+  Attempt(std::move(request), std::move(done), 1,
+          policy_.initial_backoff_micros);
+}
+
+void RetryingSearchService::Attempt(SearchRequest request,
+                                    SearchCallback done, int attempt,
+                                    int64_t backoff_micros) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.attempts;
+  }
+  SearchRequest retry_copy = request;
+  wrapped_->Submit(
+      std::move(request),
+      [this, retry_copy = std::move(retry_copy),
+       done = std::move(done), attempt,
+       backoff_micros](SearchResponse resp) mutable {
+        if (resp.status.ok() || attempt >= policy_.max_attempts) {
+          if (!resp.status.ok()) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.gave_up;
+          }
+          done(std::move(resp));
+          TrackFinish();
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.retries;
+        }
+        // Back off on a scheduler thread, then resubmit. Detached is
+        // safe: TrackFinish gates our destructor on its completion.
+        int64_t next_backoff = static_cast<int64_t>(
+            static_cast<double>(backoff_micros) *
+            policy_.backoff_multiplier);
+        std::thread([this, retry_copy = std::move(retry_copy),
+                     done = std::move(done), attempt, backoff_micros,
+                     next_backoff]() mutable {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(backoff_micros));
+          Attempt(std::move(retry_copy), std::move(done), attempt + 1,
+                  next_backoff);
+          TrackFinish();  // balances the extra TrackStart below
+        }).detach();
+        TrackStart();  // keep outstanding_ > 0 across the handoff
+      });
+}
+
+RetryStats RetryingSearchService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace wsq

@@ -1,0 +1,64 @@
+#ifndef WSQ_NET_RETRY_SERVICE_H_
+#define WSQ_NET_RETRY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "net/search_service.h"
+
+namespace wsq {
+
+/// Retry behaviour for transient engine failures.
+struct RetryPolicy {
+  /// Total attempts, including the first (>= 1).
+  int max_attempts = 3;
+  /// Delay before the first retry.
+  int64_t initial_backoff_micros = 10000;
+  /// Backoff grows geometrically per retry.
+  double backoff_multiplier = 2.0;
+};
+
+struct RetryStats {
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t gave_up = 0;
+};
+
+/// SearchService decorator that retries failed requests with
+/// exponential backoff. The paper's related-work discussion ([BT98])
+/// treats temporarily-unavailable sources as a first-class concern;
+/// this keeps a flaky engine from aborting a whole WSQ query.
+///
+/// Retries run on short-lived scheduler threads (the error path is
+/// rare); the destructor blocks until all in-flight retries resolve.
+class RetryingSearchService : public SearchService {
+ public:
+  RetryingSearchService(SearchService* wrapped, RetryPolicy policy);
+  ~RetryingSearchService() override;
+
+  const std::string& name() const override { return wrapped_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override;
+
+  RetryStats stats() const;
+
+ private:
+  void Attempt(SearchRequest request, SearchCallback done, int attempt,
+               int64_t backoff_micros);
+  void TrackStart();
+  void TrackFinish();
+
+  SearchService* wrapped_;
+  RetryPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t outstanding_ = 0;
+  RetryStats stats_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_RETRY_SERVICE_H_

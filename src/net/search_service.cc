@@ -1,0 +1,27 @@
+#include "net/search_service.h"
+
+#include "common/strings.h"
+
+namespace wsq {
+
+std::string SearchRequest::CacheKey() const {
+  return StrFormat("%c:%zu:", kind == Kind::kCount ? 'c' : 't', k) + query;
+}
+
+SearchResponse SearchService::Execute(SearchRequest request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  SearchResponse out;
+  Submit(std::move(request), [&](SearchResponse resp) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(resp);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,57 @@
+#ifndef WSQ_NET_SEARCH_SERVICE_H_
+#define WSQ_NET_SEARCH_SERVICE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/search_engine.h"
+
+namespace wsq {
+
+/// A request to a (remote) search engine.
+struct SearchRequest {
+  enum class Kind {
+    kCount,  ///< WebCount: total hits only.
+    kTopK,   ///< WebPages: ranked URLs up to `k`.
+  };
+
+  Kind kind = Kind::kCount;
+  std::string query;
+  size_t k = 20;
+
+  /// Cache key: kind + k + query.
+  std::string CacheKey() const;
+};
+
+struct SearchResponse {
+  Status status;
+  int64_t count = 0;             // kCount
+  std::vector<SearchHit> hits;   // kTopK
+};
+
+using SearchCallback = std::function<void(SearchResponse)>;
+
+/// Asynchronous interface to one search engine "across the network".
+///
+/// Submit returns immediately; the callback fires from a service thread
+/// once the simulated round-trip elapses. Implementations must eventually
+/// complete every accepted request, including during shutdown.
+class SearchService {
+ public:
+  virtual ~SearchService() = default;
+
+  virtual const std::string& name() const = 0;
+
+  virtual void Submit(SearchRequest request, SearchCallback done) = 0;
+
+  /// Blocking convenience wrapper around Submit.
+  SearchResponse Execute(SearchRequest request);
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_SEARCH_SERVICE_H_

@@ -1,0 +1,118 @@
+#include "net/simulated_service.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace wsq {
+
+SimulatedSearchService::SimulatedSearchService(const SearchEngine* engine,
+                                               Options options)
+    : engine_(engine),
+      options_(options),
+      rng_(options.seed ^ 0xcafe),
+      timer_([this] { TimerLoop(); }) {}
+
+SimulatedSearchService::~SimulatedSearchService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  timer_.join();
+}
+
+void SimulatedSearchService::Submit(SearchRequest request,
+                                    SearchCallback done) {
+  int64_t now = NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t latency = options_.latency.SampleMicros(rng_);
+    int64_t start = now;
+    if (options_.server_capacity > 0) {
+      // All slots busy: the request starts when the earliest slot frees.
+      while (!slot_free_times_.empty() && slot_free_times_.top() <= now) {
+        slot_free_times_.pop();
+      }
+      if (slot_free_times_.size() >= options_.server_capacity) {
+        start = slot_free_times_.top();
+        slot_free_times_.pop();
+      }
+      slot_free_times_.push(start + latency);
+    }
+    Pending p;
+    p.deadline_micros = start + latency;
+    p.seq = next_seq_++;
+    p.request = std::move(request);
+    p.done = std::move(done);
+    heap_.push(std::move(p));
+    ++stats_.total_requests;
+    ++in_flight_;
+    stats_.max_concurrent = std::max(stats_.max_concurrent, in_flight_);
+  }
+  cv_.notify_all();
+}
+
+SimulatedServiceStats SimulatedSearchService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimulatedSearchService::Quiesce() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+SearchResponse SimulatedSearchService::Evaluate(
+    const SearchRequest& request) const {
+  SearchResponse resp;
+  if (request.kind == SearchRequest::Kind::kCount) {
+    auto r = engine_->Count(request.query);
+    if (!r.ok()) {
+      resp.status = r.status();
+    } else {
+      resp.count = *r;
+    }
+  } else {
+    auto r = engine_->Search(request.query, request.k);
+    if (!r.ok()) {
+      resp.status = r.status();
+    } else {
+      resp.hits = std::move(*r);
+    }
+  }
+  return resp;
+}
+
+void SimulatedSearchService::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (heap_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock,
+               [this] { return stopping_ || !heap_.empty(); });
+      continue;
+    }
+    int64_t now = NowMicros();
+    int64_t deadline = heap_.top().deadline_micros;
+    // During shutdown pending requests still complete — just without
+    // waiting out their remaining simulated latency.
+    if (now < deadline && !stopping_) {
+      cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      continue;
+    }
+    Pending p = std::move(const_cast<Pending&>(heap_.top()));
+    heap_.pop();
+    lock.unlock();
+    // Evaluate and deliver outside the lock: callbacks may re-enter
+    // Submit (e.g. a ReqPump dispatching queued calls).
+    SearchResponse resp = Evaluate(p.request);
+    p.done(std::move(resp));
+    lock.lock();
+    --in_flight_;
+    ++stats_.completed_requests;
+    if (in_flight_ == 0) cv_.notify_all();
+  }
+}
+
+}  // namespace wsq

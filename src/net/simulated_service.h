@@ -1,0 +1,97 @@
+#ifndef WSQ_NET_SIMULATED_SERVICE_H_
+#define WSQ_NET_SIMULATED_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/latency_model.h"
+#include "net/search_service.h"
+#include "search/search_engine.h"
+
+namespace wsq {
+
+struct SimulatedServiceStats {
+  uint64_t total_requests = 0;
+  uint64_t completed_requests = 0;
+  /// Peak number of requests simultaneously in service.
+  uint64_t max_concurrent = 0;
+};
+
+/// Event-driven simulation of a remote search engine.
+///
+/// One timer thread holds any number of pending requests in a deadline
+/// heap — no thread-per-request, mirroring the Flash-style event loop
+/// the paper cites for ReqPump [PDZ99]. Each request occupies one of
+/// `server_capacity` service slots for its sampled latency; requests
+/// beyond capacity queue server-side (slot reuse), which is how the
+/// "search engines can handle many concurrent requests" knob is modeled
+/// and swept in benches.
+class SimulatedSearchService : public SearchService {
+ public:
+  struct Options {
+    LatencyModel latency;
+    /// Concurrent requests the engine can serve; 0 = unbounded.
+    size_t server_capacity = 0;
+    uint64_t seed = 1;
+  };
+
+  SimulatedSearchService(const SearchEngine* engine, Options options);
+  ~SimulatedSearchService() override;
+
+  const std::string& name() const override { return engine_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override;
+
+  SimulatedServiceStats stats() const;
+
+  /// Blocks until no requests are pending (tests/benches).
+  void Quiesce();
+
+ private:
+  struct Pending {
+    int64_t deadline_micros;
+    uint64_t seq;  // FIFO tie-break
+    SearchRequest request;
+    SearchCallback done;
+
+    bool operator>(const Pending& o) const {
+      if (deadline_micros != o.deadline_micros) {
+        return deadline_micros > o.deadline_micros;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  void TimerLoop();
+  SearchResponse Evaluate(const SearchRequest& request) const;
+
+  const SearchEngine* engine_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+      heap_;
+  /// Completion deadlines of requests currently holding a server slot;
+  /// min-heap so the earliest-freeing slot is reused first.
+  std::priority_queue<int64_t, std::vector<int64_t>, std::greater<>>
+      slot_free_times_;
+  Rng rng_;
+  uint64_t next_seq_ = 0;
+  uint64_t in_flight_ = 0;
+  SimulatedServiceStats stats_;
+  bool stopping_ = false;
+  std::thread timer_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_SIMULATED_SERVICE_H_

@@ -1,0 +1,316 @@
+#ifndef WSQ_PARSER_AST_H_
+#define WSQ_PARSER_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace wsq {
+
+/// Operators shared by parsed and bound expressions.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp {
+  kNeg,
+  kNot,
+};
+
+std::string_view BinaryOpToString(BinaryOp op);
+std::string_view UnaryOpToString(UnaryOp op);
+
+/// True for =, <>, <, <=, >, >=.
+bool IsComparisonOp(BinaryOp op);
+
+/// Parsed (unbound) expression tree.
+class ParsedExpr {
+ public:
+  enum class Kind {
+    kColumnRef,
+    kLiteral,
+    kUnary,
+    kBinary,
+    kStar,
+    kFunctionCall,
+  };
+
+  explicit ParsedExpr(Kind kind) : kind_(kind) {}
+  virtual ~ParsedExpr() = default;
+
+  Kind kind() const { return kind_; }
+
+  /// SQL-ish rendering for error messages and plan display.
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<ParsedExpr> Clone() const = 0;
+
+ private:
+  Kind kind_;
+};
+
+using ParsedExprPtr = std::unique_ptr<ParsedExpr>;
+
+/// `name` or `qualifier.name`.
+class ColumnRefExpr : public ParsedExpr {
+ public:
+  ColumnRefExpr(std::string qualifier, std::string name)
+      : ParsedExpr(Kind::kColumnRef),
+        qualifier_(std::move(qualifier)),
+        name_(std::move(name)) {}
+
+  const std::string& qualifier() const { return qualifier_; }
+  const std::string& name() const { return name_; }
+
+  std::string ToString() const override;
+  ParsedExprPtr Clone() const override {
+    return std::make_unique<ColumnRefExpr>(qualifier_, name_);
+  }
+
+ private:
+  std::string qualifier_;
+  std::string name_;
+};
+
+class LiteralExpr : public ParsedExpr {
+ public:
+  explicit LiteralExpr(Value value)
+      : ParsedExpr(Kind::kLiteral), value_(std::move(value)) {}
+
+  const Value& value() const { return value_; }
+
+  std::string ToString() const override { return value_.ToString(); }
+  ParsedExprPtr Clone() const override {
+    return std::make_unique<LiteralExpr>(value_);
+  }
+
+ private:
+  Value value_;
+};
+
+class UnaryExpr : public ParsedExpr {
+ public:
+  UnaryExpr(UnaryOp op, ParsedExprPtr operand)
+      : ParsedExpr(Kind::kUnary), op_(op), operand_(std::move(operand)) {}
+
+  UnaryOp op() const { return op_; }
+  const ParsedExpr& operand() const { return *operand_; }
+
+  std::string ToString() const override;
+  ParsedExprPtr Clone() const override {
+    return std::make_unique<UnaryExpr>(op_, operand_->Clone());
+  }
+
+ private:
+  UnaryOp op_;
+  ParsedExprPtr operand_;
+};
+
+class BinaryExpr : public ParsedExpr {
+ public:
+  BinaryExpr(BinaryOp op, ParsedExprPtr left, ParsedExprPtr right)
+      : ParsedExpr(Kind::kBinary),
+        op_(op),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  BinaryOp op() const { return op_; }
+  const ParsedExpr& left() const { return *left_; }
+  const ParsedExpr& right() const { return *right_; }
+
+  std::string ToString() const override;
+  ParsedExprPtr Clone() const override {
+    return std::make_unique<BinaryExpr>(op_, left_->Clone(),
+                                        right_->Clone());
+  }
+
+ private:
+  BinaryOp op_;
+  ParsedExprPtr left_;
+  ParsedExprPtr right_;
+};
+
+/// `*` in a select list or inside COUNT(*).
+class StarExpr : public ParsedExpr {
+ public:
+  StarExpr() : ParsedExpr(Kind::kStar) {}
+  std::string ToString() const override { return "*"; }
+  ParsedExprPtr Clone() const override {
+    return std::make_unique<StarExpr>();
+  }
+};
+
+/// `name(args...)` — aggregates (COUNT/SUM/AVG/MIN/MAX) and scalar
+/// functions.
+class FuncExpr : public ParsedExpr {
+ public:
+  FuncExpr(std::string name, std::vector<ParsedExprPtr> args)
+      : ParsedExpr(Kind::kFunctionCall),
+        name_(std::move(name)),
+        args_(std::move(args)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ParsedExprPtr>& args() const { return args_; }
+
+  std::string ToString() const override;
+  ParsedExprPtr Clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<ParsedExprPtr> args_;
+};
+
+/// One item in a select list: expression plus optional alias.
+struct SelectItem {
+  ParsedExprPtr expr;
+  std::string alias;
+};
+
+/// `table [alias]` in a FROM clause.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty if none
+
+  /// Name the table is referred to by in the query.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderByItem {
+  ParsedExprPtr expr;
+  bool descending = false;
+};
+
+/// Top-level statements.
+class Statement {
+ public:
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateIndex,
+    kDropTable,
+    kInsert,
+    kDelete,
+    kUpdate,
+    kExplain,
+  };
+
+  explicit Statement(Kind kind) : kind_(kind) {}
+  virtual ~Statement() = default;
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+class SelectStatement : public Statement {
+ public:
+  SelectStatement() : Statement(Kind::kSelect) {}
+
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  ParsedExprPtr where;  // null if absent
+  std::vector<ParsedExprPtr> group_by;
+  ParsedExprPtr having;  // null if absent
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+};
+
+class CreateTableStatement : public Statement {
+ public:
+  CreateTableStatement() : Statement(Kind::kCreateTable) {}
+
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+class InsertStatement : public Statement {
+ public:
+  InsertStatement() : Statement(Kind::kInsert) {}
+
+  std::string table;
+  /// One entry per VALUES tuple; each value is a literal or signed
+  /// literal expression.
+  std::vector<std::vector<ParsedExprPtr>> rows;
+};
+
+/// DELETE FROM table [WHERE expr].
+class DeleteStatement : public Statement {
+ public:
+  DeleteStatement() : Statement(Kind::kDelete) {}
+
+  std::string table;
+  ParsedExprPtr where;  // null deletes every row
+};
+
+/// CREATE INDEX name ON table (column).
+class CreateIndexStatement : public Statement {
+ public:
+  CreateIndexStatement() : Statement(Kind::kCreateIndex) {}
+
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+/// DROP TABLE name.
+class DropTableStatement : public Statement {
+ public:
+  DropTableStatement() : Statement(Kind::kDropTable) {}
+
+  std::string table;
+};
+
+/// UPDATE table SET col = expr [, ...] [WHERE expr].
+class UpdateStatement : public Statement {
+ public:
+  UpdateStatement() : Statement(Kind::kUpdate) {}
+
+  struct Assignment {
+    std::string column;
+    ParsedExprPtr value;
+  };
+
+  std::string table;
+  std::vector<Assignment> assignments;
+  ParsedExprPtr where;  // null updates every row
+};
+
+/// EXPLAIN [SYNC|ASYNC] <select>. Prints the physical plan (after the
+/// asynchronous-iteration rewrite when ASYNC).
+class ExplainStatement : public Statement {
+ public:
+  ExplainStatement() : Statement(Kind::kExplain) {}
+
+  bool async = false;
+  std::unique_ptr<SelectStatement> select;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_PARSER_AST_H_

@@ -1,0 +1,307 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace wsq {
+
+std::string_view TokenTypeToString(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "<eof>";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kStringLiteral: return "string";
+    case TokenType::kIntegerLiteral: return "integer";
+    case TokenType::kFloatLiteral: return "float";
+    case TokenType::kSelect: return "SELECT";
+    case TokenType::kDistinct: return "DISTINCT";
+    case TokenType::kFrom: return "FROM";
+    case TokenType::kWhere: return "WHERE";
+    case TokenType::kAnd: return "AND";
+    case TokenType::kOr: return "OR";
+    case TokenType::kNot: return "NOT";
+    case TokenType::kOrder: return "ORDER";
+    case TokenType::kGroup: return "GROUP";
+    case TokenType::kBy: return "BY";
+    case TokenType::kAsc: return "ASC";
+    case TokenType::kDesc: return "DESC";
+    case TokenType::kLimit: return "LIMIT";
+    case TokenType::kAs: return "AS";
+    case TokenType::kNull: return "NULL";
+    case TokenType::kCreate: return "CREATE";
+    case TokenType::kTable: return "TABLE";
+    case TokenType::kInsert: return "INSERT";
+    case TokenType::kDelete: return "DELETE";
+    case TokenType::kUpdate: return "UPDATE";
+    case TokenType::kSet: return "SET";
+    case TokenType::kIndex: return "INDEX";
+    case TokenType::kOn: return "ON";
+    case TokenType::kDrop: return "DROP";
+    case TokenType::kLike: return "LIKE";
+    case TokenType::kInto: return "INTO";
+    case TokenType::kValues: return "VALUES";
+    case TokenType::kExplain: return "EXPLAIN";
+    case TokenType::kAsync: return "ASYNC";
+    case TokenType::kSync: return "SYNC";
+    case TokenType::kHaving: return "HAVING";
+    case TokenType::kTypeInt: return "INT";
+    case TokenType::kTypeDouble: return "DOUBLE";
+    case TokenType::kTypeString: return "STRING";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+TokenType KeywordType(const std::string& upper) {
+  static const auto* const kKeywords =
+      new std::unordered_map<std::string, TokenType>{
+          {"SELECT", TokenType::kSelect},
+          {"DISTINCT", TokenType::kDistinct},
+          {"FROM", TokenType::kFrom},
+          {"WHERE", TokenType::kWhere},
+          {"AND", TokenType::kAnd},
+          {"OR", TokenType::kOr},
+          {"NOT", TokenType::kNot},
+          {"ORDER", TokenType::kOrder},
+          {"GROUP", TokenType::kGroup},
+          {"BY", TokenType::kBy},
+          {"ASC", TokenType::kAsc},
+          {"DESC", TokenType::kDesc},
+          {"LIMIT", TokenType::kLimit},
+          {"AS", TokenType::kAs},
+          {"NULL", TokenType::kNull},
+          {"CREATE", TokenType::kCreate},
+          {"TABLE", TokenType::kTable},
+          {"INSERT", TokenType::kInsert},
+          {"DELETE", TokenType::kDelete},
+          {"UPDATE", TokenType::kUpdate},
+          {"SET", TokenType::kSet},
+          {"INDEX", TokenType::kIndex},
+          {"ON", TokenType::kOn},
+          {"DROP", TokenType::kDrop},
+          {"LIKE", TokenType::kLike},
+          {"INTO", TokenType::kInto},
+          {"VALUES", TokenType::kValues},
+          {"EXPLAIN", TokenType::kExplain},
+          {"ASYNC", TokenType::kAsync},
+          {"SYNC", TokenType::kSync},
+          {"HAVING", TokenType::kHaving},
+          {"INT", TokenType::kTypeInt},
+          {"INTEGER", TokenType::kTypeInt},
+          {"BIGINT", TokenType::kTypeInt},
+          {"DOUBLE", TokenType::kTypeDouble},
+          {"FLOAT", TokenType::kTypeDouble},
+          {"REAL", TokenType::kTypeDouble},
+          {"STRING", TokenType::kTypeString},
+          {"TEXT", TokenType::kTypeString},
+          {"VARCHAR", TokenType::kTypeString},
+      };
+  auto it = kKeywords->find(upper);
+  return it == kKeywords->end() ? TokenType::kIdentifier : it->second;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::Error(const std::string& message) const {
+  return Status::ParseError(
+      StrFormat("%s at line %d column %d", message.c_str(), line_, column_));
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(Token tok, NextToken());
+    bool eof = tok.type == TokenType::kEof;
+    tokens.push_back(std::move(tok));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+Result<Token> Lexer::NextToken() {
+  // Skip whitespace and comments.
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (AtEnd()) {
+    tok.type = TokenType::kEof;
+    return tok;
+  }
+
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    std::string text;
+    while (!AtEnd() && IsIdentChar(Peek())) text.push_back(Advance());
+    tok.type = KeywordType(ToUpper(text));
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    std::string text;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    if (!AtEnd() && Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      text.push_back(Advance());
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      size_t save = pos_;
+      std::string exp;
+      exp.push_back(Advance());
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        exp.push_back(Advance());
+      }
+      if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        while (!AtEnd() &&
+               std::isdigit(static_cast<unsigned char>(Peek()))) {
+          exp.push_back(Advance());
+        }
+        text += exp;
+        is_float = true;
+      } else {
+        pos_ = save;  // 'e' belongs to a following identifier
+      }
+    }
+    tok.text = text;
+    if (is_float) {
+      tok.type = TokenType::kFloatLiteral;
+      tok.float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      tok.type = TokenType::kIntegerLiteral;
+      errno = 0;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) return Error("integer literal out of range");
+    }
+    return tok;
+  }
+
+  if (c == '\'') {
+    Advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string literal");
+      char ch = Advance();
+      if (ch == '\'') {
+        if (Peek() == '\'') {
+          text.push_back('\'');
+          Advance();
+        } else {
+          break;
+        }
+      } else {
+        text.push_back(ch);
+      }
+    }
+    tok.type = TokenType::kStringLiteral;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  Advance();
+  switch (c) {
+    case ',': tok.type = TokenType::kComma; return tok;
+    case '.': tok.type = TokenType::kDot; return tok;
+    case ';': tok.type = TokenType::kSemicolon; return tok;
+    case '(': tok.type = TokenType::kLParen; return tok;
+    case ')': tok.type = TokenType::kRParen; return tok;
+    case '*': tok.type = TokenType::kStar; return tok;
+    case '+': tok.type = TokenType::kPlus; return tok;
+    case '-': tok.type = TokenType::kMinus; return tok;
+    case '/': tok.type = TokenType::kSlash; return tok;
+    case '%': tok.type = TokenType::kPercent; return tok;
+    case '=': tok.type = TokenType::kEq; return tok;
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kNe;
+        return tok;
+      }
+      return Error("unexpected character '!'");
+    case '<':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kLe;
+      } else if (Peek() == '>') {
+        Advance();
+        tok.type = TokenType::kNe;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        tok.type = TokenType::kGe;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    default:
+      return Error(StrFormat("unexpected character '%c'", c));
+  }
+}
+
+}  // namespace wsq

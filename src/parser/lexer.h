@@ -1,0 +1,37 @@
+#ifndef WSQ_PARSER_LEXER_H_
+#define WSQ_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/token.h"
+
+namespace wsq {
+
+/// Tokenizes a SQL string. Keywords are case-insensitive; string literals
+/// use single quotes with '' as the escape for a quote; -- starts a
+/// comment to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input (the final token is kEof).
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Result<Token> NextToken();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  Status Error(const std::string& message) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_PARSER_LEXER_H_

@@ -1,0 +1,505 @@
+#include "parser/parser.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace wsq {
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEof sentinel
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenType t) {
+  if (Check(t)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Parser::Expect(TokenType t, const std::string& context) {
+  if (Check(t)) return Advance();
+  return Error(StrFormat("expected %s %s, found %s",
+                         std::string(TokenTypeToString(t)).c_str(),
+                         context.c_str(),
+                         std::string(TokenTypeToString(Peek().type)).c_str()));
+}
+
+Status Parser::Error(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::ParseError(StrFormat("%s at line %d column %d",
+                                      message.c_str(), t.line, t.column));
+}
+
+Result<std::unique_ptr<Statement>> Parser::Parse(std::string_view sql) {
+  Lexer lexer(sql);
+  WSQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  WSQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                       parser.ParseStatement());
+  parser.Match(TokenType::kSemicolon);
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.Error("unexpected trailing input");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect(
+    std::string_view sql) {
+  WSQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parse(sql));
+  if (stmt->kind() != Statement::Kind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return std::unique_ptr<SelectStatement>(
+      static_cast<SelectStatement*>(stmt.release()));
+}
+
+Result<ParsedExprPtr> Parser::ParseExpression(std::string_view sql) {
+  Lexer lexer(sql);
+  WSQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr expr, parser.ParseExpr());
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.Error("unexpected trailing input");
+  }
+  return expr;
+}
+
+Result<std::unique_ptr<Statement>> Parser::ParseStatement() {
+  switch (Peek().type) {
+    case TokenType::kSelect: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseSelectStatement());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kCreate: {
+      if (Peek(1).type == TokenType::kIndex) {
+        WSQ_ASSIGN_OR_RETURN(auto stmt, ParseCreateIndex());
+        return std::unique_ptr<Statement>(std::move(stmt));
+      }
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseCreateTable());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kInsert: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseInsert());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kDelete: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseDelete());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kDrop: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseDropTable());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kUpdate: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseUpdate());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    case TokenType::kExplain: {
+      WSQ_ASSIGN_OR_RETURN(auto stmt, ParseExplain());
+      return std::unique_ptr<Statement>(std::move(stmt));
+    }
+    default:
+      return Error(
+          "expected SELECT, CREATE, INSERT, UPDATE, DELETE, or "
+          "EXPLAIN");
+  }
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelectStatement() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kSelect, "").status());
+  auto stmt = std::make_unique<SelectStatement>();
+  stmt->distinct = Match(TokenType::kDistinct);
+
+  // Select list.
+  do {
+    WSQ_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt->select_list.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  WSQ_RETURN_IF_ERROR(
+      Expect(TokenType::kFrom, "after select list").status());
+
+  do {
+    WSQ_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+  } while (Match(TokenType::kComma));
+
+  if (Match(TokenType::kWhere)) {
+    WSQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+
+  if (Match(TokenType::kGroup)) {
+    WSQ_RETURN_IF_ERROR(Expect(TokenType::kBy, "after GROUP").status());
+    do {
+      WSQ_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (Match(TokenType::kHaving)) {
+    WSQ_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+
+  if (Match(TokenType::kOrder)) {
+    WSQ_RETURN_IF_ERROR(Expect(TokenType::kBy, "after ORDER").status());
+    do {
+      OrderByItem item;
+      WSQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match(TokenType::kDesc)) {
+        item.descending = true;
+      } else {
+        Match(TokenType::kAsc);
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+
+  if (Match(TokenType::kLimit)) {
+    WSQ_ASSIGN_OR_RETURN(Token n, Expect(TokenType::kIntegerLiteral,
+                                         "after LIMIT"));
+    if (n.int_value < 0) return Error("LIMIT must be non-negative");
+    stmt->limit = n.int_value;
+  }
+
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  WSQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  if (Match(TokenType::kAs)) {
+    WSQ_ASSIGN_OR_RETURN(Token alias,
+                         Expect(TokenType::kIdentifier, "after AS"));
+    item.alias = alias.text;
+  } else if (Check(TokenType::kIdentifier)) {
+    // Bare alias: `SELECT expr name`.
+    item.alias = Advance().text;
+  }
+  return item;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "in FROM clause"));
+  ref.table = name.text;
+  if (Match(TokenType::kAs)) {
+    WSQ_ASSIGN_OR_RETURN(Token alias,
+                         Expect(TokenType::kIdentifier, "after AS"));
+    ref.alias = alias.text;
+  } else if (Check(TokenType::kIdentifier)) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<std::unique_ptr<CreateTableStatement>> Parser::ParseCreateTable() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kCreate, "").status());
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kTable, "after CREATE").status());
+  auto stmt = std::make_unique<CreateTableStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = name.text;
+  WSQ_RETURN_IF_ERROR(
+      Expect(TokenType::kLParen, "before column list").status());
+  do {
+    ColumnDef def;
+    WSQ_ASSIGN_OR_RETURN(Token col,
+                         Expect(TokenType::kIdentifier, "column name"));
+    def.name = col.text;
+    switch (Peek().type) {
+      case TokenType::kTypeInt:
+        def.type = TypeId::kInt64;
+        break;
+      case TokenType::kTypeDouble:
+        def.type = TypeId::kDouble;
+        break;
+      case TokenType::kTypeString:
+        def.type = TypeId::kString;
+        break;
+      default:
+        return Error("expected a column type (INT, DOUBLE, STRING)");
+    }
+    Advance();
+    stmt->columns.push_back(std::move(def));
+  } while (Match(TokenType::kComma));
+  WSQ_RETURN_IF_ERROR(
+      Expect(TokenType::kRParen, "after column list").status());
+  if (stmt->columns.empty()) {
+    return Error("CREATE TABLE requires at least one column");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<CreateIndexStatement>> Parser::ParseCreateIndex() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kCreate, "").status());
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kIndex, "after CREATE").status());
+  auto stmt = std::make_unique<CreateIndexStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "index name"));
+  stmt->index = name.text;
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kOn, "after index name").status());
+  WSQ_ASSIGN_OR_RETURN(Token table,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = table.text;
+  WSQ_RETURN_IF_ERROR(
+      Expect(TokenType::kLParen, "before column").status());
+  WSQ_ASSIGN_OR_RETURN(Token column,
+                       Expect(TokenType::kIdentifier, "column name"));
+  stmt->column = column.text;
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kRParen, "after column").status());
+  return stmt;
+}
+
+Result<std::unique_ptr<InsertStatement>> Parser::ParseInsert() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kInsert, "").status());
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kInto, "after INSERT").status());
+  auto stmt = std::make_unique<InsertStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = name.text;
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kValues, "after table").status());
+  do {
+    WSQ_RETURN_IF_ERROR(
+        Expect(TokenType::kLParen, "before values tuple").status());
+    std::vector<ParsedExprPtr> row;
+    do {
+      WSQ_ASSIGN_OR_RETURN(ParsedExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (Match(TokenType::kComma));
+    WSQ_RETURN_IF_ERROR(
+        Expect(TokenType::kRParen, "after values tuple").status());
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return stmt;
+}
+
+Result<std::unique_ptr<DeleteStatement>> Parser::ParseDelete() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kDelete, "").status());
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kFrom, "after DELETE").status());
+  auto stmt = std::make_unique<DeleteStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = name.text;
+  if (Match(TokenType::kWhere)) {
+    WSQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<DropTableStatement>> Parser::ParseDropTable() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kDrop, "").status());
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kTable, "after DROP").status());
+  auto stmt = std::make_unique<DropTableStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = name.text;
+  return stmt;
+}
+
+Result<std::unique_ptr<UpdateStatement>> Parser::ParseUpdate() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kUpdate, "").status());
+  auto stmt = std::make_unique<UpdateStatement>();
+  WSQ_ASSIGN_OR_RETURN(Token name,
+                       Expect(TokenType::kIdentifier, "table name"));
+  stmt->table = name.text;
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kSet, "after table").status());
+  do {
+    UpdateStatement::Assignment assignment;
+    WSQ_ASSIGN_OR_RETURN(Token col,
+                         Expect(TokenType::kIdentifier, "column name"));
+    assignment.column = col.text;
+    WSQ_RETURN_IF_ERROR(
+        Expect(TokenType::kEq, "after column name").status());
+    WSQ_ASSIGN_OR_RETURN(assignment.value, ParseExpr());
+    stmt->assignments.push_back(std::move(assignment));
+  } while (Match(TokenType::kComma));
+  if (Match(TokenType::kWhere)) {
+    WSQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<ExplainStatement>> Parser::ParseExplain() {
+  WSQ_RETURN_IF_ERROR(Expect(TokenType::kExplain, "").status());
+  auto stmt = std::make_unique<ExplainStatement>();
+  if (Match(TokenType::kAsync)) {
+    stmt->async = true;
+  } else {
+    Match(TokenType::kSync);
+  }
+  WSQ_ASSIGN_OR_RETURN(stmt->select, ParseSelectStatement());
+  return stmt;
+}
+
+Result<ParsedExprPtr> Parser::ParseExpr() {
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAnd());
+  while (Match(TokenType::kOr)) {
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseAnd() {
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseNot());
+  while (Match(TokenType::kAnd)) {
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseNot() {
+  if (Match(TokenType::kNot)) {
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr operand, ParseNot());
+    return ParsedExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParseComparison();
+}
+
+Result<ParsedExprPtr> Parser::ParseComparison() {
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseAdditive());
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNe: op = BinaryOp::kNe; break;
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLe: op = BinaryOp::kLe; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGe: op = BinaryOp::kGe; break;
+    case TokenType::kLike: op = BinaryOp::kLike; break;
+    default:
+      return left;
+  }
+  Advance();
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseAdditive());
+  return ParsedExprPtr(std::make_unique<BinaryExpr>(op, std::move(left),
+                                                    std::move(right)));
+}
+
+Result<ParsedExprPtr> Parser::ParseAdditive() {
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op = Match(TokenType::kPlus) ? BinaryOp::kAdd
+                                          : (Advance(), BinaryOp::kSub);
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseMultiplicative() {
+  WSQ_ASSIGN_OR_RETURN(ParsedExprPtr left, ParseUnary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash) ||
+         Check(TokenType::kPercent)) {
+    BinaryOp op;
+    if (Match(TokenType::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenType::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      Advance();
+      op = BinaryOp::kMod;
+    }
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ParsedExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    WSQ_ASSIGN_OR_RETURN(ParsedExprPtr operand, ParseUnary());
+    return ParsedExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+  }
+  if (Match(TokenType::kPlus)) {
+    return ParseUnary();
+  }
+  return ParsePrimary();
+}
+
+Result<ParsedExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntegerLiteral: {
+      int64_t v = Advance().int_value;
+      return ParsedExprPtr(std::make_unique<LiteralExpr>(Value::Int(v)));
+    }
+    case TokenType::kFloatLiteral: {
+      double v = Advance().float_value;
+      return ParsedExprPtr(std::make_unique<LiteralExpr>(Value::Real(v)));
+    }
+    case TokenType::kStringLiteral: {
+      std::string v = Advance().text;
+      return ParsedExprPtr(
+          std::make_unique<LiteralExpr>(Value::Str(std::move(v))));
+    }
+    case TokenType::kNull:
+      Advance();
+      return ParsedExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+    case TokenType::kStar:
+      Advance();
+      return ParsedExprPtr(std::make_unique<StarExpr>());
+    case TokenType::kLParen: {
+      Advance();
+      WSQ_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
+      WSQ_RETURN_IF_ERROR(
+          Expect(TokenType::kRParen, "to close '('").status());
+      return inner;
+    }
+    case TokenType::kIdentifier: {
+      std::string first = Advance().text;
+      if (Match(TokenType::kDot)) {
+        // Qualified column: table.column or table.*
+        if (Match(TokenType::kStar)) {
+          // table.* is modeled as a StarExpr with qualifier via
+          // ColumnRef("*"); keep it simple: qualified star unsupported.
+          return Error("qualified * is not supported");
+        }
+        WSQ_ASSIGN_OR_RETURN(Token col, Expect(TokenType::kIdentifier,
+                                               "after '.'"));
+        return ParsedExprPtr(
+            std::make_unique<ColumnRefExpr>(first, col.text));
+      }
+      if (Check(TokenType::kLParen)) {
+        // Function call.
+        Advance();
+        std::vector<ParsedExprPtr> args;
+        if (!Check(TokenType::kRParen)) {
+          do {
+            WSQ_ASSIGN_OR_RETURN(ParsedExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (Match(TokenType::kComma));
+        }
+        WSQ_RETURN_IF_ERROR(
+            Expect(TokenType::kRParen, "after arguments").status());
+        return ParsedExprPtr(
+            std::make_unique<FuncExpr>(first, std::move(args)));
+      }
+      return ParsedExprPtr(std::make_unique<ColumnRefExpr>("", first));
+    }
+    default:
+      return Error(StrFormat(
+          "unexpected token %s in expression",
+          std::string(TokenTypeToString(t.type)).c_str()));
+  }
+}
+
+}  // namespace wsq

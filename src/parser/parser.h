@@ -1,0 +1,76 @@
+#ifndef WSQ_PARSER_PARSER_H_
+#define WSQ_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "parser/ast.h"
+#include "parser/token.h"
+
+namespace wsq {
+
+/// Recursive-descent parser for the Redbase-style SQL subset:
+///
+///   SELECT [DISTINCT] item, ...
+///   FROM table [alias], ...
+///   [WHERE expr] [GROUP BY expr, ...] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+///
+///   CREATE TABLE name (col type, ...)
+///   INSERT INTO name VALUES (lit, ...), ...
+///   EXPLAIN [SYNC|ASYNC] <select>
+class Parser {
+ public:
+  /// Parses a single statement (optionally ';'-terminated).
+  static Result<std::unique_ptr<Statement>> Parse(std::string_view sql);
+
+  /// Parses exactly a SELECT statement.
+  static Result<std::unique_ptr<SelectStatement>> ParseSelect(
+      std::string_view sql);
+
+  /// Parses a standalone scalar expression (used in tests).
+  static Result<ParsedExprPtr> ParseExpression(std::string_view sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType t) const { return Peek().type == t; }
+  bool Match(TokenType t);
+  Result<Token> Expect(TokenType t, const std::string& context);
+  Status Error(const std::string& message) const;
+
+  Result<std::unique_ptr<Statement>> ParseStatement();
+  Result<std::unique_ptr<SelectStatement>> ParseSelectStatement();
+  Result<std::unique_ptr<CreateTableStatement>> ParseCreateTable();
+  Result<std::unique_ptr<CreateIndexStatement>> ParseCreateIndex();
+  Result<std::unique_ptr<DropTableStatement>> ParseDropTable();
+  Result<std::unique_ptr<InsertStatement>> ParseInsert();
+  Result<std::unique_ptr<DeleteStatement>> ParseDelete();
+  Result<std::unique_ptr<UpdateStatement>> ParseUpdate();
+  Result<std::unique_ptr<ExplainStatement>> ParseExplain();
+
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+
+  // Precedence-climbing expression grammar.
+  Result<ParsedExprPtr> ParseExpr();        // OR
+  Result<ParsedExprPtr> ParseAnd();
+  Result<ParsedExprPtr> ParseNot();
+  Result<ParsedExprPtr> ParseComparison();
+  Result<ParsedExprPtr> ParseAdditive();
+  Result<ParsedExprPtr> ParseMultiplicative();
+  Result<ParsedExprPtr> ParseUnary();
+  Result<ParsedExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_PARSER_PARSER_H_

@@ -1,0 +1,86 @@
+#ifndef WSQ_PARSER_TOKEN_H_
+#define WSQ_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wsq {
+
+enum class TokenType {
+  kEof = 0,
+  // Literals and names.
+  kIdentifier,
+  kStringLiteral,
+  kIntegerLiteral,
+  kFloatLiteral,
+  // Keywords.
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kAnd,
+  kOr,
+  kNot,
+  kOrder,
+  kGroup,
+  kBy,
+  kAsc,
+  kDesc,
+  kLimit,
+  kAs,
+  kNull,
+  kCreate,
+  kTable,
+  kInsert,
+  kInto,
+  kDelete,
+  kUpdate,
+  kSet,
+  kIndex,
+  kOn,
+  kDrop,
+  kLike,
+  kValues,
+  kExplain,
+  kAsync,
+  kSync,
+  kHaving,
+  // Type names.
+  kTypeInt,
+  kTypeDouble,
+  kTypeString,
+  // Punctuation and operators.
+  kComma,
+  kDot,
+  kSemicolon,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string_view TokenTypeToString(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  /// Raw text for identifiers; unescaped content for string literals.
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  /// 1-based position in the input for error messages.
+  int line = 1;
+  int column = 1;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_PARSER_TOKEN_H_

@@ -1,0 +1,205 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace wsq {
+
+std::string PlanCostEstimate::ToString() const {
+  return StrFormat(
+      "est. rows=%.0f, external calls=%.0f, max concurrent=%.0f, "
+      "peak ReqSync buffer=%.0f",
+      output_rows, external_calls, max_concurrent_calls,
+      reqsync_buffered_tuples);
+}
+
+namespace {
+
+/// Per-subtree accumulator. `pending_async` tracks async calls that
+/// have been issued below this node but not yet awaited by a ReqSync —
+/// that is the plan's in-flight potential at this point.
+struct SubtreeCost {
+  /// Logical (final, post-patching) cardinality.
+  double rows = 0;
+  /// Tuples that physically flow at execution time: an AEVScan emits
+  /// ONE provisional tuple per open regardless of its logical fan-out,
+  /// so async subtrees carry fewer exec rows until a ReqSync patches
+  /// and proliferates them.
+  double exec_rows = 0;
+  double rows_per_open = 1;       // logical rows per EVScan open
+  double exec_rows_per_open = 1;  // physical rows per EVScan open
+  double calls = 0;
+  double pending_async = 0;
+  double max_concurrent = 0;
+  double peak_buffer = 0;
+};
+
+class Estimator {
+ public:
+  explicit Estimator(const CostModelOptions& options)
+      : options_(options) {}
+
+  Result<SubtreeCost> Visit(const PlanNode& node) {
+    switch (node.kind()) {
+      case PlanNode::Kind::kScan: {
+        const auto& scan = static_cast<const ScanNode&>(node);
+        SubtreeCost c;
+        WSQ_ASSIGN_OR_RETURN(int64_t rows, scan.table()->NumRows());
+        c.rows = static_cast<double>(rows);
+        c.exec_rows = c.rows;
+        return c;
+      }
+
+      case PlanNode::Kind::kIndexScan: {
+        const auto& scan = static_cast<const IndexScanNode&>(node);
+        SubtreeCost c;
+        WSQ_ASSIGN_OR_RETURN(int64_t rows, scan.table()->NumRows());
+        // Equality through a secondary index: assume a selective key.
+        c.rows = std::max(1.0, static_cast<double>(rows) * 0.05);
+        c.exec_rows = c.rows;
+        return c;
+      }
+
+      case PlanNode::Kind::kEVScan: {
+        const auto& ev = static_cast<const EVScanNode&>(node);
+        SubtreeCost c;
+        c.rows_per_open =
+            ev.table()->SingleRowOutput()
+                ? 1.0
+                : std::max(1.0, static_cast<double>(ev.rank_limit) *
+                                    options_.webpages_hit_fraction);
+        c.exec_rows_per_open = ev.async ? 1.0 : c.rows_per_open;
+        // A leaf EVScan (constant-bound) opens exactly once; scans under
+        // a dependent join are charged by the join below.
+        c.rows = c.rows_per_open;
+        c.exec_rows = c.exec_rows_per_open;
+        c.calls = 1;
+        if (ev.async) c.pending_async = 1;
+        c.max_concurrent = c.pending_async;
+        return c;
+      }
+
+      case PlanNode::Kind::kFilter: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost c, Visit(*node.child(0)));
+        c.rows *= options_.predicate_selectivity;
+        c.exec_rows *= options_.predicate_selectivity;
+        return c;
+      }
+
+      case PlanNode::Kind::kProject:
+        return Visit(*node.child(0));
+
+      case PlanNode::Kind::kNestedLoopJoin: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost c, Combine(node));
+        c.rows *= options_.predicate_selectivity;
+        c.exec_rows *= options_.predicate_selectivity;
+        return c;
+      }
+
+      case PlanNode::Kind::kCrossProduct:
+        return Combine(node);
+
+      case PlanNode::Kind::kDependentJoin: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost left, Visit(*node.child(0)));
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost right, Visit(*node.child(1)));
+        SubtreeCost c;
+        c.rows = left.rows * right.rows_per_open;
+        c.exec_rows = left.exec_rows * right.exec_rows_per_open;
+        // One right-side call per left tuple that physically arrives.
+        double calls_here = left.exec_rows * right.calls;
+        c.calls = left.calls + calls_here;
+        // Async right-side calls all stay outstanding (the provisional
+        // tuples flow on without waiting); synchronous ones resolve one
+        // at a time and never accumulate.
+        bool right_async = right.pending_async > 0;
+        c.pending_async =
+            left.pending_async + (right_async ? calls_here : 0);
+        c.max_concurrent = std::max(
+            {left.max_concurrent, right.max_concurrent,
+             c.pending_async});
+        c.peak_buffer = std::max(left.peak_buffer, right.peak_buffer);
+        return c;
+      }
+
+      case PlanNode::Kind::kSort:
+      case PlanNode::Kind::kDistinct:
+        return Visit(*node.child(0));
+
+      case PlanNode::Kind::kAggregate: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost c, Visit(*node.child(0)));
+        const auto& agg = static_cast<const AggregateNode&>(node);
+        c.rows = agg.group_by().empty()
+                     ? 1.0
+                     : std::max(1.0, c.rows *
+                                         options_.predicate_selectivity);
+        c.exec_rows = c.rows;
+        return c;
+      }
+
+      case PlanNode::Kind::kLimit: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost c, Visit(*node.child(0)));
+        const auto& limit = static_cast<const LimitNode&>(node);
+        c.rows = std::min(c.rows, static_cast<double>(limit.limit()));
+        c.exec_rows = std::min(c.exec_rows, c.rows);
+        return c;
+      }
+
+      case PlanNode::Kind::kReqSync: {
+        WSQ_ASSIGN_OR_RETURN(SubtreeCost c, Visit(*node.child(0)));
+        // Everything pending below is outstanding together here. The
+        // full-buffering Open holds the physically-arriving tuples;
+        // patching proliferates them up to the logical cardinality —
+        // the buffer peaks at the larger of the two.
+        c.max_concurrent = std::max(c.max_concurrent, c.pending_async);
+        c.peak_buffer =
+            std::max({c.peak_buffer, c.exec_rows, c.rows});
+        c.pending_async = 0;
+        c.exec_rows = c.rows;  // patched/proliferated from here up
+        return c;
+      }
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+ private:
+  Result<SubtreeCost> Combine(const PlanNode& node) {
+    WSQ_ASSIGN_OR_RETURN(SubtreeCost left, Visit(*node.child(0)));
+    WSQ_ASSIGN_OR_RETURN(SubtreeCost right, Visit(*node.child(1)));
+    SubtreeCost c;
+    c.rows = left.rows * right.rows;
+    c.exec_rows = left.exec_rows * right.exec_rows;
+    c.calls = left.calls + right.calls;
+    c.pending_async = left.pending_async + right.pending_async;
+    c.max_concurrent =
+        std::max({left.max_concurrent, right.max_concurrent,
+                  c.pending_async});
+    c.peak_buffer = std::max(left.peak_buffer, right.peak_buffer);
+    return c;
+  }
+
+  CostModelOptions options_;
+};
+
+}  // namespace
+
+Result<PlanCostEstimate> EstimatePlanCost(
+    const PlanNode& plan, const CostModelOptions& options) {
+  Estimator estimator(options);
+  WSQ_ASSIGN_OR_RETURN(SubtreeCost c, estimator.Visit(plan));
+  PlanCostEstimate out;
+  out.output_rows = c.rows;
+  out.external_calls = c.calls;
+  out.max_concurrent_calls =
+      std::max({c.max_concurrent, c.pending_async,
+                c.calls > 0 ? 1.0 : 0.0});
+  out.reqsync_buffered_tuples = c.peak_buffer;
+  return out;
+}
+
+Result<PlanCostEstimate> EstimatePlanCost(const PlanNode& plan) {
+  return EstimatePlanCost(plan, CostModelOptions());
+}
+
+}  // namespace wsq

@@ -1,0 +1,50 @@
+#ifndef WSQ_PLAN_COST_MODEL_H_
+#define WSQ_PLAN_COST_MODEL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+
+namespace wsq {
+
+/// Static estimates for a (possibly rewritten) plan. The paper defers
+/// "cost-based query optimization in the presence of asynchronous
+/// iteration" to future work but names the quantities that matter
+/// (§4.5.4): external call counts, achievable concurrency, and ReqSync
+/// buffering volume. This model estimates exactly those, so EXPLAIN can
+/// annotate plans and ablations can be compared analytically.
+struct PlanCostEstimate {
+  /// Expected output cardinality.
+  double output_rows = 0;
+  /// Expected total external (search engine) calls.
+  double external_calls = 0;
+  /// Largest number of calls that can be outstanding simultaneously —
+  /// calls issued below one ReqSync before anything blocks. Sequential
+  /// plans score 1 (if they call at all), fully percolated plans score
+  /// the whole call budget.
+  double max_concurrent_calls = 0;
+  /// Peak tuples buffered inside a single ReqSync (its full-buffering
+  /// Open drains the child).
+  double reqsync_buffered_tuples = 0;
+
+  std::string ToString() const;
+};
+
+/// Tuning constants; defaults are deliberately crude — the point is
+/// comparing plan *shapes*, not absolute accuracy.
+struct CostModelOptions {
+  /// Selectivity assumed for each filter/join predicate.
+  double predicate_selectivity = 0.33;
+  /// Expected fraction of the rank limit a WebPages call returns.
+  double webpages_hit_fraction = 0.6;
+};
+
+/// Walks the plan, consulting stored-table cardinalities (heap counts).
+Result<PlanCostEstimate> EstimatePlanCost(const PlanNode& plan);
+Result<PlanCostEstimate> EstimatePlanCost(const PlanNode& plan,
+                                          const CostModelOptions& options);
+
+}  // namespace wsq
+
+#endif  // WSQ_PLAN_COST_MODEL_H_

@@ -1,0 +1,105 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+InvertedIndex::InvertedIndex(const Corpus* corpus) : corpus_(corpus) {
+  for (const Document& doc : corpus->documents()) {
+    for (uint32_t pos = 0; pos < doc.terms.size(); ++pos) {
+      std::vector<Posting>& list = postings_[doc.terms[pos]];
+      if (list.empty() || list.back().doc != doc.id) {
+        list.push_back(Posting{doc.id, {}});
+      }
+      list.back().positions.push_back(pos);
+    }
+  }
+}
+
+const std::vector<Posting>* InvertedIndex::TermPostings(
+    const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+size_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  const std::vector<Posting>* p = TermPostings(term);
+  return p == nullptr ? 0 : p->size();
+}
+
+std::vector<Posting> InvertedIndex::PhrasePostings(
+    const SearchPhrase& phrase) const {
+  std::vector<Posting> result;
+  if (phrase.terms.empty()) return result;
+
+  const std::vector<Posting>* first = TermPostings(phrase.terms[0]);
+  if (first == nullptr) return result;
+
+  if (phrase.terms.size() == 1) return *first;
+
+  // Gather the remaining term postings; bail if any term is absent.
+  std::vector<const std::vector<Posting>*> lists;
+  lists.push_back(first);
+  for (size_t i = 1; i < phrase.terms.size(); ++i) {
+    const std::vector<Posting>* p = TermPostings(phrase.terms[i]);
+    if (p == nullptr) return result;
+    lists.push_back(p);
+  }
+
+  // Intersect doc lists (all are sorted by doc id), then verify
+  // adjacency of positions within each candidate document.
+  std::vector<size_t> cursors(lists.size(), 0);
+  while (true) {
+    // Find the max current doc across lists; advance the laggards.
+    DocId target = 0;
+    bool done = false;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursors[i] >= lists[i]->size()) {
+        done = true;
+        break;
+      }
+      target = std::max(target, (*lists[i])[cursors[i]].doc);
+    }
+    if (done) break;
+
+    bool aligned = true;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      while (cursors[i] < lists[i]->size() &&
+             (*lists[i])[cursors[i]].doc < target) {
+        ++cursors[i];
+      }
+      if (cursors[i] >= lists[i]->size()) {
+        aligned = false;
+        done = true;
+        break;
+      }
+      if ((*lists[i])[cursors[i]].doc != target) aligned = false;
+    }
+    if (done) break;
+    if (!aligned) continue;
+
+    // All lists point at `target`: collect phrase starts.
+    Posting hit{target, {}};
+    const std::vector<uint32_t>& starts =
+        (*lists[0])[cursors[0]].positions;
+    for (uint32_t start : starts) {
+      bool match = true;
+      for (size_t i = 1; i < lists.size(); ++i) {
+        const std::vector<uint32_t>& pos =
+            (*lists[i])[cursors[i]].positions;
+        if (!std::binary_search(pos.begin(), pos.end(),
+                                start + static_cast<uint32_t>(i))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) hit.positions.push_back(start);
+    }
+    if (!hit.positions.empty()) result.push_back(std::move(hit));
+
+    for (size_t i = 0; i < lists.size(); ++i) ++cursors[i];
+  }
+  return result;
+}
+
+}  // namespace wsq

@@ -1,0 +1,50 @@
+#ifndef WSQ_SEARCH_INVERTED_INDEX_H_
+#define WSQ_SEARCH_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/search_expr.h"
+#include "web/corpus.h"
+
+namespace wsq {
+
+/// Positional posting: the sorted token positions of a term (or a phrase
+/// start) within one document.
+struct Posting {
+  DocId doc = 0;
+  std::vector<uint32_t> positions;
+};
+
+/// Positional inverted index over a Corpus.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const Corpus* corpus);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Postings for a single term; null when absent from the corpus.
+  const std::vector<Posting>* TermPostings(const std::string& term) const;
+
+  /// Postings of phrase *start* positions (adjacent-term match).
+  /// Empty when any term is absent or the phrase never occurs.
+  std::vector<Posting> PhrasePostings(const SearchPhrase& phrase) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  size_t num_documents() const { return corpus_->size(); }
+  const Corpus* corpus() const { return corpus_; }
+
+  /// Document frequency of a term (0 when absent).
+  size_t DocumentFrequency(const std::string& term) const;
+
+ private:
+  const Corpus* corpus_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_SEARCH_INVERTED_INDEX_H_

@@ -1,0 +1,154 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace wsq {
+
+SearchEngine::SearchEngine(const Corpus* corpus, SearchEngineConfig config)
+    : corpus_(corpus), config_(std::move(config)), index_(corpus) {}
+
+double SearchEngine::StaticRank(DocId doc) const {
+  // SplitMix-style mix of (rank_seed, doc id).
+  uint64_t z = config_.rank_seed * 0x9E3779B97f4A7C15ull + doc;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return (z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+namespace {
+
+/// Minimum absolute distance between any pair of positions drawn from
+/// two sorted lists (classic two-pointer merge).
+uint32_t MinDistance(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  uint32_t best = UINT32_MAX;
+  while (i < a.size() && j < b.size()) {
+    uint32_t x = a[i], y = b[j];
+    best = std::min(best, x > y ? x - y : y - x);
+    if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<SearchEngine::Match>> SearchEngine::Evaluate(
+    std::string_view query_text) const {
+  WSQ_ASSIGN_OR_RETURN(SearchQuery query, ParseSearchQuery(query_text));
+  bool near = query.use_near && config_.supports_near;
+
+  // Phrase postings per conjunct.
+  std::vector<std::vector<Posting>> phrase_posts;
+  phrase_posts.reserve(query.phrases.size());
+  for (const SearchPhrase& p : query.phrases) {
+    std::vector<Posting> posts = index_.PhrasePostings(p);
+    if (posts.empty()) return std::vector<Match>{};  // conjunct absent
+    phrase_posts.push_back(std::move(posts));
+  }
+
+  // Intersect by doc id (all lists sorted).
+  std::vector<Match> matches;
+  std::vector<size_t> cursors(phrase_posts.size(), 0);
+  while (true) {
+    DocId target = 0;
+    bool done = false;
+    for (size_t i = 0; i < phrase_posts.size(); ++i) {
+      if (cursors[i] >= phrase_posts[i].size()) {
+        done = true;
+        break;
+      }
+      target = std::max(target, phrase_posts[i][cursors[i]].doc);
+    }
+    if (done) break;
+
+    bool aligned = true;
+    for (size_t i = 0; i < phrase_posts.size(); ++i) {
+      while (cursors[i] < phrase_posts[i].size() &&
+             phrase_posts[i][cursors[i]].doc < target) {
+        ++cursors[i];
+      }
+      if (cursors[i] >= phrase_posts[i].size()) {
+        aligned = false;
+        done = true;
+        break;
+      }
+      if (phrase_posts[i][cursors[i]].doc != target) aligned = false;
+    }
+    if (done) break;
+    if (!aligned) continue;
+
+    bool ok = true;
+    if (near && phrase_posts.size() > 1) {
+      // Consecutive phrases must fall within the proximity window
+      // (order-insensitive, AltaVista-style).
+      for (size_t i = 0; i + 1 < phrase_posts.size(); ++i) {
+        const Posting& pa = phrase_posts[i][cursors[i]];
+        const Posting& pb = phrase_posts[i + 1][cursors[i + 1]];
+        size_t span = config_.near_window +
+                      std::max(query.phrases[i].terms.size(),
+                               query.phrases[i + 1].terms.size());
+        if (MinDistance(pa.positions, pb.positions) > span) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      double tf = 0;
+      for (size_t i = 0; i < phrase_posts.size(); ++i) {
+        tf += static_cast<double>(
+            phrase_posts[i][cursors[i]].positions.size());
+      }
+      matches.push_back(Match{target, tf});
+    }
+    for (size_t i = 0; i < phrase_posts.size(); ++i) ++cursors[i];
+  }
+  return matches;
+}
+
+Result<int64_t> SearchEngine::Count(std::string_view query_text) const {
+  WSQ_ASSIGN_OR_RETURN(std::vector<Match> matches, Evaluate(query_text));
+  return static_cast<int64_t>(matches.size());
+}
+
+Result<std::vector<SearchHit>> SearchEngine::Search(
+    std::string_view query_text, size_t k) const {
+  WSQ_ASSIGN_OR_RETURN(std::vector<Match> matches, Evaluate(query_text));
+
+  std::vector<SearchHit> hits;
+  hits.reserve(matches.size());
+  for (const Match& m : matches) {
+    const Document& doc = corpus_->document(m.doc);
+    SearchHit hit;
+    hit.doc = m.doc;
+    hit.url = doc.url;
+    hit.date = doc.date;
+    double content = m.tf / (1.0 + std::log1p(doc.terms.size()));
+    hit.score = (1.0 - config_.static_rank_weight) * content +
+                config_.static_rank_weight * StaticRank(m.doc);
+    hits.push_back(std::move(hit));
+  }
+
+  size_t top = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + top, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  hits.resize(top);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    hits[i].rank = static_cast<int>(i + 1);
+  }
+  return hits;
+}
+
+}  // namespace wsq

@@ -1,0 +1,47 @@
+#ifndef WSQ_SEARCH_SEARCH_EXPR_H_
+#define WSQ_SEARCH_SEARCH_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wsq {
+
+/// A phrase: consecutive terms that must appear adjacently.
+struct SearchPhrase {
+  std::vector<std::string> terms;
+
+  bool operator==(const SearchPhrase& o) const { return terms == o.terms; }
+};
+
+/// A parsed keyword query: phrases combined with NEAR (proximity) or
+/// plain conjunction.
+struct SearchQuery {
+  std::vector<SearchPhrase> phrases;
+  /// True when the query used the NEAR operator between phrases.
+  bool use_near = false;
+
+  std::string ToString() const;
+};
+
+/// Expands a parameterized search expression (paper §3): "%1 near %2"
+/// with terms {"Colorado", "four corners"} becomes
+/// "Colorado near four corners". Placeholders run %1..%9; referencing a
+/// term that was not supplied is an error.
+Result<std::string> ExpandSearchTemplate(
+    std::string_view search_exp, const std::vector<std::string>& terms);
+
+/// The paper's default SearchExp for `n` bound terms:
+/// "%1 near %2 near ... near %n", or "%1 %2 ... %n" for engines without
+/// a NEAR operator (footnote 1).
+std::string DefaultSearchTemplate(size_t n, bool supports_near);
+
+/// Parses an expanded query string. The token `near` (case-insensitive)
+/// is the proximity operator; segments between NEARs are phrases. With
+/// no NEAR, every token is an independent conjunct.
+Result<SearchQuery> ParseSearchQuery(std::string_view text);
+
+}  // namespace wsq
+
+#endif  // WSQ_SEARCH_SEARCH_EXPR_H_

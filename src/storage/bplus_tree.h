@@ -1,0 +1,99 @@
+#ifndef WSQ_STORAGE_BPLUS_TREE_H_
+#define WSQ_STORAGE_BPLUS_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "types/value.h"
+
+namespace wsq {
+
+/// Disk-resident B+ tree mapping single-column keys to record ids —
+/// the IX component of the Redbase substrate the paper built on.
+///
+/// Keys are Values (NULLs rejected) serialized into fixed-width slots;
+/// string keys longer than the slot are rejected at insert time.
+/// Duplicate keys are allowed (secondary index semantics): entries are
+/// (key, rid) pairs ordered by key then rid, so every operation is
+/// deterministic. Deletion removes single entries without rebalancing
+/// (underfull nodes are tolerated — the classic course simplification).
+///
+/// Node page layout:
+///   [ is_leaf:u8 | num_keys:u16 | next_leaf:i32 | entries... ]
+/// Leaf entry:     key slot + Rid(page:i32, slot:u16)
+/// Internal nodes: child0:i32, then (key slot, child:i32) pairs; keys
+/// separate subtrees (key[i] = smallest key in child[i+1]).
+class BPlusTree {
+ public:
+  /// Serialized key capacity per slot; includes a 1-byte type tag and
+  /// 2-byte length for strings.
+  static constexpr size_t kMaxKeyBytes = 64;
+
+  /// Wraps an existing tree rooted at `root`, or an empty one when
+  /// `root` is kInvalidPageId (the first insert allocates it).
+  explicit BPlusTree(BufferPool* pool, PageId root = kInvalidPageId)
+      : pool_(pool), root_(root) {}
+
+  /// Inserts one (key, rid) entry. Duplicate (key, rid) pairs are
+  /// rejected with AlreadyExists.
+  Status Insert(const Value& key, Rid rid);
+
+  /// Removes one (key, rid) entry; NotFound if absent.
+  Status Remove(const Value& key, Rid rid);
+
+  /// All rids whose key equals `key`, in rid order.
+  Result<std::vector<Rid>> SearchEqual(const Value& key) const;
+
+  /// All rids with lo <?= key <?= hi, in (key, rid) order. Null bound
+  /// pointers mean unbounded on that side.
+  Result<std::vector<Rid>> SearchRange(const Value* lo,
+                                       bool lo_inclusive,
+                                       const Value* hi,
+                                       bool hi_inclusive) const;
+
+  /// All (key, rid) entries in key order (tests/verification).
+  Result<std::vector<std::pair<Value, Rid>>> ScanAll() const;
+
+  /// Number of entries; O(leaves).
+  Result<int64_t> Count() const;
+
+  /// Current root page (persist this across restarts; it changes when
+  /// the root splits).
+  PageId root() const { return root_; }
+
+  /// Structural invariants: key ordering within and across nodes,
+  /// leaf-chain consistency, child separation. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    std::string separator;  // serialized first key of the new node
+    PageId new_page = kInvalidPageId;
+  };
+
+  Status InsertInto(PageId page_id, const std::string& key, Rid rid,
+                    SplitResult* out);
+  Status RemoveFrom(PageId page_id, const std::string& key, Rid rid,
+                    bool* removed);
+  Result<PageId> FindLeaf(const std::string& key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+/// Serializes a key value into its fixed-width byte form (the tree's
+/// comparison order is the byte order of this encoding for same-typed
+/// keys and Value::Compare order across types). Exposed for tests.
+Result<std::string> EncodeBTreeKey(const Value& key);
+
+/// Inverse of EncodeBTreeKey.
+Result<Value> DecodeBTreeKey(std::string_view bytes);
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_BPLUS_TREE_H_

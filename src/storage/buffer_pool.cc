@@ -1,0 +1,140 @@
+#include "storage/buffer_pool.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace wsq {
+
+BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
+  if (pool_size == 0) pool_size = 1;
+  frames_.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(pool_size - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* page = frames_[it->second].get();
+    ++page->pin_count_;
+    Touch(it->second);
+    return page;
+  }
+  ++stats_.misses;
+  WSQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  WSQ_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = false;
+  page_table_[page_id] = frame;
+  Touch(frame);
+  return page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSQ_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  WSQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
+  Page* page = frames_[frame].get();
+  page->Reset();
+  page->page_id_ = page_id;
+  page->pin_count_ = 1;
+  page->is_dirty_ = true;
+  page_table_[page_id] = frame;
+  Touch(frame);
+  return page;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) {
+    return Status::NotFound(StrFormat("unpin of non-resident page %d",
+                                      page_id));
+  }
+  Page* page = frames_[it->second].get();
+  if (page->pin_count_ <= 0) {
+    return Status::Internal(StrFormat("unpin of unpinned page %d", page_id));
+  }
+  --page->pin_count_;
+  if (dirty) page->is_dirty_ = true;
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::OK();
+  Page* page = frames_[it->second].get();
+  if (page->is_dirty_) {
+    WSQ_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+    page->is_dirty_ = false;
+    ++stats_.flushes;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [page_id, frame] : page_table_) {
+    Page* page = frames_[frame].get();
+    if (page->is_dirty_) {
+      WSQ_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+      page->is_dirty_ = false;
+      ++stats_.flushes;
+    }
+  }
+  return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least recently used unpinned page.
+  for (size_t frame : lru_) {
+    Page* page = frames_[frame].get();
+    if (page->pin_count_ == 0) {
+      if (page->is_dirty_) {
+        WSQ_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+        ++stats_.flushes;
+      }
+      ++stats_.evictions;
+      page_table_.erase(page->page_id_);
+      auto pos = lru_pos_.find(frame);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+      page->Reset();
+      return frame;
+    }
+  }
+  return Status::ResourceExhausted(
+      "buffer pool exhausted: all pages pinned");
+}
+
+void BufferPool::Touch(size_t frame) {
+  auto pos = lru_pos_.find(frame);
+  if (pos != lru_pos_.end()) {
+    lru_.erase(pos->second);
+  }
+  lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+}
+
+}  // namespace wsq

@@ -1,0 +1,121 @@
+#ifndef WSQ_STORAGE_BUFFER_POOL_H_
+#define WSQ_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace wsq {
+
+/// Counters exposed for tests and the micro benchmarks.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// Page cache with LRU replacement over a DiskManager.
+///
+/// The paper's substrate ("Redbase ... includes a page-level buffer") is
+/// reproduced here. Pinned pages are never evicted; fetching more pinned
+/// pages than the pool has frames is an error.
+class BufferPool {
+ public:
+  /// `pool_size` is the number of frames; must be >= 1.
+  BufferPool(size_t pool_size, DiskManager* disk);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  ~BufferPool();
+
+  /// Returns the pinned page `page_id`, reading it from disk on a miss.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Allocates a new page on disk and returns it pinned.
+  Result<Page*> NewPage();
+
+  /// Drops a pin; `dirty` marks the page as modified.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes a page back if resident and dirty.
+  Status FlushPage(PageId page_id);
+
+  /// Writes back all dirty resident pages.
+  Status FlushAll();
+
+  size_t pool_size() const { return frames_.size(); }
+  BufferPoolStats stats() const;
+
+ private:
+  /// Finds a frame for a new resident page, evicting the LRU unpinned
+  /// page if needed. Caller holds mu_.
+  Result<size_t> GetVictimFrame();
+
+  /// Moves `frame` to the MRU position. Caller holds mu_.
+  void Touch(size_t frame);
+
+  mutable std::mutex mu_;
+  DiskManager* disk_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = LRU, back = MRU
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+/// RAII pin guard: unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept
+      : pool_(o.pool_), page_(o.page_), dirty_(o.dirty_) {
+    o.page_ = nullptr;
+  }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      page_ = o.page_;
+      dirty_ = o.dirty_;
+      o.page_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+
+  /// Marks the page dirty at unpin time.
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+      page_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_;
+  Page* page_;
+  bool dirty_ = false;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_BUFFER_POOL_H_

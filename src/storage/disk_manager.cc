@@ -1,0 +1,124 @@
+#include "storage/disk_manager.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace wsq {
+
+Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange(
+        StrFormat("read of unallocated page %d", page_id));
+  }
+  std::memcpy(out, pages_[page_id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
+    return Status::OutOfRange(
+        StrFormat("write of unallocated page %d", page_id));
+  }
+  std::memcpy(pages_[page_id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+Result<PageId> InMemoryDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+PageId InMemoryDiskManager::NumPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<PageId>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    file = std::fopen(path.c_str(), "wb+");
+  }
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IOError("seek failed on " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IOError("ftell failed on " + path);
+  }
+  PageId num_pages = static_cast<PageId>(size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(path, file, num_pages));
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskManager::ReadPage(PageId page_id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || page_id >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("read of unallocated page %d", page_id));
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("short read of page %d", page_id));
+  }
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId page_id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (page_id < 0 || page_id >= num_pages_) {
+    return Status::OutOfRange(
+        StrFormat("write of unallocated page %d", page_id));
+  }
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+      0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("short write of page %d", page_id));
+  }
+  std::fflush(file_);
+  return Status::OK();
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  if (std::fseek(file_, static_cast<long>(num_pages_) * kPageSize,
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("extend failed");
+  }
+  std::fflush(file_);
+  return num_pages_++;
+}
+
+PageId FileDiskManager::NumPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pages_;
+}
+
+}  // namespace wsq

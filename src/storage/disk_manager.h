@@ -1,0 +1,77 @@
+#ifndef WSQ_STORAGE_DISK_MANAGER_H_
+#define WSQ_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace wsq {
+
+/// Abstraction over the backing store of fixed-size pages.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Reads page `page_id` into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId page_id, char* out) = 0;
+
+  /// Writes kPageSize bytes from `data` to page `page_id`.
+  virtual Status WritePage(PageId page_id, const char* data) = 0;
+
+  /// Extends the store by one zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Number of allocated pages.
+  virtual PageId NumPages() const = 0;
+};
+
+/// Heap-allocated page store; the default for tests and benchmarks.
+class InMemoryDiskManager : public DiskManager {
+ public:
+  InMemoryDiskManager() = default;
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  Result<PageId> AllocatePage() override;
+  PageId NumPages() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed page store for persistent databases.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (creating if necessary) the database file at `path`.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  ~FileDiskManager() override;
+
+  Status ReadPage(PageId page_id, char* out) override;
+  Status WritePage(PageId page_id, const char* data) override;
+  Result<PageId> AllocatePage() override;
+  PageId NumPages() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileDiskManager(std::string path, std::FILE* file, PageId num_pages)
+      : path_(std::move(path)), file_(file), num_pages_(num_pages) {}
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::FILE* file_;
+  PageId num_pages_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_DISK_MANAGER_H_

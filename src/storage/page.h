@@ -1,0 +1,62 @@
+#ifndef WSQ_STORAGE_PAGE_H_
+#define WSQ_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace wsq {
+
+/// Fixed page size for the whole storage layer.
+inline constexpr size_t kPageSize = 4096;
+
+/// Page number within a database file; dense from 0.
+using PageId = int32_t;
+inline constexpr PageId kInvalidPageId = -1;
+
+/// A buffer-pool frame: one page worth of bytes plus bookkeeping.
+///
+/// Pages are owned by the BufferPool; callers receive pinned pointers via
+/// BufferPool::FetchPage / NewPage and must Unpin when done.
+class Page {
+ public:
+  Page() { Reset(); }
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  PageId page_id() const { return page_id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return is_dirty_; }
+
+ private:
+  friend class BufferPool;
+
+  void Reset() {
+    std::memset(data_, 0, kPageSize);
+    page_id_ = kInvalidPageId;
+    pin_count_ = 0;
+    is_dirty_ = false;
+  }
+
+  char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool is_dirty_ = false;
+};
+
+/// Identifies a record inside a heap file: page plus slot index.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_PAGE_H_

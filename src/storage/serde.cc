@@ -1,0 +1,118 @@
+#include "storage/serde.h"
+
+#include <cstring>
+
+namespace wsq {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  std::memcpy(v, in->data(), 4);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> SerializeRow(const Row& row) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row.values()) {
+    out.push_back(static_cast<char>(v.type()));
+    switch (v.type()) {
+      case TypeId::kNull:
+        break;
+      case TypeId::kInt64:
+        PutU64(&out, static_cast<uint64_t>(v.AsInt()));
+        break;
+      case TypeId::kDouble: {
+        uint64_t bits;
+        double d = v.AsDouble();
+        std::memcpy(&bits, &d, 8);
+        PutU64(&out, bits);
+        break;
+      }
+      case TypeId::kString:
+        PutU32(&out, static_cast<uint32_t>(v.AsString().size()));
+        out.append(v.AsString());
+        break;
+      case TypeId::kPlaceholder:
+        return Status::Internal(
+            "attempted to serialize an incomplete tuple (placeholder)");
+    }
+  }
+  return out;
+}
+
+Result<Row> DeserializeRow(std::string_view bytes) {
+  uint32_t n;
+  if (!GetU32(&bytes, &n)) {
+    return Status::IOError("corrupt row: missing arity");
+  }
+  Row row;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (bytes.empty()) return Status::IOError("corrupt row: missing tag");
+    TypeId tag = static_cast<TypeId>(bytes.front());
+    bytes.remove_prefix(1);
+    switch (tag) {
+      case TypeId::kNull:
+        row.Append(Value::Null());
+        break;
+      case TypeId::kInt64: {
+        uint64_t v;
+        if (!GetU64(&bytes, &v)) {
+          return Status::IOError("corrupt row: truncated int");
+        }
+        row.Append(Value::Int(static_cast<int64_t>(v)));
+        break;
+      }
+      case TypeId::kDouble: {
+        uint64_t bits;
+        if (!GetU64(&bytes, &bits)) {
+          return Status::IOError("corrupt row: truncated double");
+        }
+        double d;
+        std::memcpy(&d, &bits, 8);
+        row.Append(Value::Real(d));
+        break;
+      }
+      case TypeId::kString: {
+        uint32_t len;
+        if (!GetU32(&bytes, &len) || bytes.size() < len) {
+          return Status::IOError("corrupt row: truncated string");
+        }
+        row.Append(Value::Str(std::string(bytes.substr(0, len))));
+        bytes.remove_prefix(len);
+        break;
+      }
+      default:
+        return Status::IOError("corrupt row: bad type tag");
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::IOError("corrupt row: trailing bytes");
+  }
+  return row;
+}
+
+}  // namespace wsq

@@ -1,0 +1,20 @@
+#ifndef WSQ_STORAGE_SERDE_H_
+#define WSQ_STORAGE_SERDE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "types/row.h"
+
+namespace wsq {
+
+/// Serializes a row to a compact byte string (tag + payload per value).
+/// Placeholder values are rejected: incomplete tuples never reach storage.
+Result<std::string> SerializeRow(const Row& row);
+
+/// Parses a byte string produced by SerializeRow.
+Result<Row> DeserializeRow(std::string_view bytes);
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_SERDE_H_

@@ -1,0 +1,59 @@
+#include "types/row.h"
+
+#include <algorithm>
+
+namespace wsq {
+
+Row Row::Concat(const Row& left, const Row& right) {
+  std::vector<Value> vals = left.values_;
+  vals.insert(vals.end(), right.values_.begin(), right.values_.end());
+  return Row(std::move(vals));
+}
+
+bool Row::HasPlaceholders() const {
+  for (const Value& v : values_) {
+    if (v.is_placeholder()) return true;
+  }
+  return false;
+}
+
+std::vector<CallId> Row::PendingCalls() const {
+  std::vector<CallId> calls;
+  for (const Value& v : values_) {
+    if (v.is_placeholder()) calls.push_back(v.AsPlaceholder().call);
+  }
+  std::sort(calls.begin(), calls.end());
+  calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+  return calls;
+}
+
+int Row::Compare(const Row& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  if (values_.size() > other.values_.size()) return 1;
+  return 0;
+}
+
+size_t Row::Hash() const {
+  size_t h = 0x345678;
+  for (const Value& v : values_) {
+    h = h * 1000003u ^ v.Hash();
+  }
+  return h;
+}
+
+std::string Row::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,64 @@
+#include "types/schema.h"
+
+#include "common/strings.h"
+
+namespace wsq {
+
+std::string Column::QualifiedName() const {
+  if (qualifier.empty()) return name;
+  return qualifier + "." + name;
+}
+
+Result<size_t> Schema::Find(const std::string& qualifier,
+                            const std::string& name) const {
+  size_t found = columns_.size();
+  int matches = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    found = i;
+    ++matches;
+  }
+  if (matches == 0) {
+    std::string full = qualifier.empty() ? name : qualifier + "." + name;
+    return Status::BindError("column not found: " + full);
+  }
+  if (matches > 1) {
+    return Status::BindError("ambiguous column reference: " + name);
+  }
+  return found;
+}
+
+bool Schema::Contains(const std::string& qualifier,
+                      const std::string& name) const {
+  return Find(qualifier, name).ok();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& alias) const {
+  Schema out = *this;
+  for (Column& c : out.columns_) c.qualifier = alias;
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].QualifiedName();
+    out += ":";
+    out += TypeIdToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,69 @@
+#ifndef WSQ_TYPES_SCHEMA_H_
+#define WSQ_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace wsq {
+
+/// A named, typed output column. `qualifier` is the table name or alias
+/// the column came from (empty for computed columns).
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string qualifier;
+
+  Column() = default;
+  Column(std::string n, TypeId t, std::string q = "")
+      : name(std::move(n)), type(t), qualifier(std::move(q)) {}
+
+  /// "qualifier.name" or just "name".
+  std::string QualifiedName() const;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type && qualifier == o.qualifier;
+  }
+};
+
+/// An ordered list of columns describing a row shape.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  /// Index of the column matching `name` with optional `qualifier`.
+  /// Unqualified lookups must be unambiguous. Case-insensitive.
+  Result<size_t> Find(const std::string& qualifier,
+                      const std::string& name) const;
+
+  /// True if any column matches.
+  bool Contains(const std::string& qualifier, const std::string& name) const;
+
+  /// Concatenation for join outputs.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Copy with every column's qualifier replaced by `alias`.
+  Schema WithQualifier(const std::string& alias) const;
+
+  /// "(<q.name:TYPE>, ...)"
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_TYPES_SCHEMA_H_

@@ -1,0 +1,34 @@
+#include "vtab/virtual_table.h"
+
+#include "common/strings.h"
+
+namespace wsq {
+
+Status VirtualTableRegistry::Register(
+    std::unique_ptr<VirtualTable> table) {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), table->name())) {
+      return Status::AlreadyExists("virtual table already registered: " +
+                                   table->name());
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<VirtualTable*> VirtualTableRegistry::Get(
+    const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t->name(), name)) return t.get();
+  }
+  return Status::NotFound("no such virtual table: " + name);
+}
+
+std::vector<std::string> VirtualTableRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+}  // namespace wsq

@@ -1,0 +1,333 @@
+#include "wsq/database.h"
+
+#include "catalog/catalog_serde.h"
+#include "plan/cost_model.h"
+#include "common/strings.h"
+#include "storage/serde.h"
+#include "common/clock.h"
+#include "common/macros.h"
+#include "parser/parser.h"
+#include "wsq/web_tables.h"
+
+namespace wsq {
+
+WsqDatabase::WsqDatabase(const Options& options,
+                         std::unique_ptr<DiskManager> disk,
+                         bool persistent)
+    : options_(options),
+      disk_(std::move(disk)),
+      persistent_(persistent),
+      buffer_pool_(options.buffer_pool_pages, disk_.get()),
+      catalog_(&buffer_pool_),
+      pump_(options.pump_limits) {}
+
+WsqDatabase::WsqDatabase(const Options& options)
+    : WsqDatabase(options, std::make_unique<InMemoryDiskManager>(),
+                  /*persistent=*/false) {}
+
+WsqDatabase::~WsqDatabase() {
+  if (persistent_) {
+    Status s = Checkpoint();
+    if (!s.ok()) {
+      std::fprintf(stderr, "WsqDatabase checkpoint failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+}
+
+Result<std::unique_ptr<WsqDatabase>> WsqDatabase::Open(
+    const std::string& path, const Options& options) {
+  WSQ_ASSIGN_OR_RETURN(std::unique_ptr<FileDiskManager> disk,
+                       FileDiskManager::Open(path));
+  bool fresh = disk->NumPages() == 0;
+  std::unique_ptr<WsqDatabase> db(new WsqDatabase(
+      options, std::move(disk), /*persistent=*/true));
+  if (fresh) {
+    // Reserve the catalog root page (page 0) and write an empty
+    // catalog so reopen always finds valid metadata.
+    WSQ_ASSIGN_OR_RETURN(Page * root, db->buffer_pool_.NewPage());
+    if (root->page_id() != kCatalogRootPage) {
+      return Status::Internal("catalog root is not page 0");
+    }
+    WSQ_RETURN_IF_ERROR(
+        db->buffer_pool_.UnpinPage(root->page_id(), /*dirty=*/true));
+    WSQ_RETURN_IF_ERROR(SaveCatalog(db->catalog_, &db->buffer_pool_));
+  } else {
+    WSQ_RETURN_IF_ERROR(LoadCatalog(&db->catalog_, &db->buffer_pool_));
+  }
+  return db;
+}
+
+Status WsqDatabase::Checkpoint() {
+  if (!persistent_) {
+    return Status::InvalidArgument(
+        "Checkpoint() requires a file-backed database (use Open)");
+  }
+  WSQ_RETURN_IF_ERROR(SaveCatalog(catalog_, &buffer_pool_));
+  return buffer_pool_.FlushAll();
+}
+
+Status WsqDatabase::RegisterSearchEngine(const std::string& engine_name,
+                                         SearchService* service,
+                                         bool supports_near) {
+  bool first = vtables_.List().empty();
+  WSQ_RETURN_IF_ERROR(vtables_.Register(std::make_unique<WebCountTable>(
+      "WebCount_" + engine_name, service, supports_near)));
+  WSQ_RETURN_IF_ERROR(vtables_.Register(std::make_unique<WebPagesTable>(
+      "WebPages_" + engine_name, service, supports_near)));
+  if (first) {
+    WSQ_RETURN_IF_ERROR(vtables_.Register(std::make_unique<WebCountTable>(
+        "WebCount", service, supports_near)));
+    WSQ_RETURN_IF_ERROR(vtables_.Register(std::make_unique<WebPagesTable>(
+        "WebPages", service, supports_near)));
+  }
+  return Status::OK();
+}
+
+Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
+                                            const ExecOptions& options) {
+  WSQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                       Parser::Parse(sql));
+  switch (stmt->kind()) {
+    case Statement::Kind::kSelect:
+      return ExecuteSelect(static_cast<const SelectStatement&>(*stmt),
+                           options);
+    case Statement::Kind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const CreateTableStatement&>(*stmt));
+    case Statement::Kind::kCreateIndex:
+      return ExecuteCreateIndex(
+          static_cast<const CreateIndexStatement&>(*stmt));
+    case Statement::Kind::kDropTable: {
+      const auto& drop = static_cast<const DropTableStatement&>(*stmt);
+      WSQ_RETURN_IF_ERROR(catalog_.DropTable(drop.table));
+      return QueryExecution{};
+    }
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(static_cast<const InsertStatement&>(*stmt));
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(static_cast<const DeleteStatement&>(*stmt));
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(static_cast<const UpdateStatement&>(*stmt));
+    case Statement::Kind::kExplain: {
+      const auto& explain = static_cast<const ExplainStatement&>(*stmt);
+      Binder binder(&catalog_, &vtables_, options_.binder);
+      WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan,
+                           binder.Bind(*explain.select));
+      if (explain.async) {
+        WSQ_ASSIGN_OR_RETURN(
+            plan, ApplyAsyncIteration(std::move(plan), options.rewrite));
+      }
+      std::string text = plan->ToString();
+      WSQ_ASSIGN_OR_RETURN(PlanCostEstimate cost,
+                           EstimatePlanCost(*plan));
+      text += "-- " + cost.ToString() + "\n";
+      QueryExecution out;
+      out.result.schema =
+          Schema({Column("Plan", TypeId::kString, "")});
+      out.result.rows.push_back(Row({Value::Str(std::move(text))}));
+      return out;
+    }
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<std::string> WsqDatabase::ExplainSelect(const std::string& sql,
+                                               bool async,
+                                               RewriteOptions rewrite) {
+  WSQ_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                       Parser::ParseSelect(sql));
+  Binder binder(&catalog_, &vtables_, options_.binder);
+  WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan, binder.Bind(*stmt));
+  if (async) {
+    WSQ_ASSIGN_OR_RETURN(plan,
+                         ApplyAsyncIteration(std::move(plan), rewrite));
+  }
+  std::string out = plan->ToString();
+  WSQ_ASSIGN_OR_RETURN(PlanCostEstimate cost, EstimatePlanCost(*plan));
+  out += "-- " + cost.ToString() + "\n";
+  return out;
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteSelect(
+    const SelectStatement& stmt, const ExecOptions& options) {
+  Binder binder(&catalog_, &vtables_, options_.binder);
+  WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan, binder.Bind(stmt));
+  if (options.async_iteration) {
+    WSQ_ASSIGN_OR_RETURN(
+        plan, ApplyAsyncIteration(std::move(plan), options.rewrite));
+  }
+
+  uint64_t calls_before = pump_.stats().registered;
+  ExecContext ctx;
+  ctx.pump = &pump_;
+  Stopwatch timer;
+  WSQ_ASSIGN_OR_RETURN(ResultSet result, ExecutePlan(*plan, &ctx));
+
+  QueryExecution out;
+  out.result = std::move(result);
+  out.stats.elapsed_micros = timer.ElapsedMicros();
+  out.stats.external_calls = pump_.stats().registered - calls_before +
+                             ctx.sync_external_calls.load();
+  out.stats.async_iteration = options.async_iteration;
+  return out;
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  if (vtables_.Has(stmt.table)) {
+    return Status::AlreadyExists(
+        "name is taken by a virtual table: " + stmt.table);
+  }
+  Schema schema;
+  for (const ColumnDef& def : stmt.columns) {
+    schema.AddColumn(Column(def.name, def.type));
+  }
+  WSQ_RETURN_IF_ERROR(catalog_.CreateTable(stmt.table, schema).status());
+  return QueryExecution{};
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteCreateIndex(
+    const CreateIndexStatement& stmt) {
+  WSQ_ASSIGN_OR_RETURN(TableInfo * table, catalog_.GetTable(stmt.table));
+  // Index names are unique database-wide.
+  for (const std::string& name : catalog_.ListTables()) {
+    TableInfo* t = *catalog_.GetTable(name);
+    for (const auto& index : t->indexes()) {
+      if (EqualsIgnoreCase(index->name(), stmt.index)) {
+        return Status::AlreadyExists("index already exists: " +
+                                     stmt.index);
+      }
+    }
+  }
+  WSQ_RETURN_IF_ERROR(
+      table->CreateIndex(stmt.index, stmt.column, &buffer_pool_)
+          .status());
+  return QueryExecution{};
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteInsert(
+    const InsertStatement& stmt) {
+  WSQ_ASSIGN_OR_RETURN(TableInfo * table, catalog_.GetTable(stmt.table));
+  const Schema empty;
+  const Row no_row;
+  for (const auto& values : stmt.rows) {
+    Row row;
+    for (size_t i = 0; i < values.size(); ++i) {
+      WSQ_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                           Binder::BindScalar(*values[i], empty));
+      WSQ_ASSIGN_OR_RETURN(Value v, bound->Eval(no_row));
+      // Widen INT literals destined for DOUBLE columns.
+      if (i < table->schema().NumColumns() &&
+          table->schema().column(i).type == TypeId::kDouble &&
+          v.is_int()) {
+        v = Value::Real(static_cast<double>(v.AsInt()));
+      }
+      row.Append(std::move(v));
+    }
+    WSQ_RETURN_IF_ERROR(table->Insert(row));
+  }
+  return QueryExecution{};
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteDelete(
+    const DeleteStatement& stmt) {
+  WSQ_ASSIGN_OR_RETURN(TableInfo * table, catalog_.GetTable(stmt.table));
+  BoundExprPtr predicate;
+  if (stmt.where != nullptr) {
+    WSQ_ASSIGN_OR_RETURN(predicate,
+                         Binder::BindScalar(*stmt.where, table->schema()));
+  }
+
+  // Collect matching rids first, then tombstone (no iterator
+  // invalidation concerns).
+  std::vector<Rid> victims;
+  {
+    HeapFileScanner scanner(table->heap());
+    Rid rid;
+    std::string bytes;
+    while (true) {
+      WSQ_ASSIGN_OR_RETURN(bool more, scanner.Next(&rid, &bytes));
+      if (!more) break;
+      if (predicate != nullptr) {
+        WSQ_ASSIGN_OR_RETURN(Row row, DeserializeRow(bytes));
+        WSQ_ASSIGN_OR_RETURN(bool match, EvalPredicate(*predicate, row));
+        if (!match) continue;
+      }
+      victims.push_back(rid);
+    }
+  }
+  for (const Rid& rid : victims) {
+    WSQ_RETURN_IF_ERROR(table->Delete(rid));  // maintains indexes
+  }
+
+  QueryExecution out;
+  out.result.schema = Schema({Column("Deleted", TypeId::kInt64, "")});
+  out.result.rows.push_back(
+      Row({Value::Int(static_cast<int64_t>(victims.size()))}));
+  return out;
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteUpdate(
+    const UpdateStatement& stmt) {
+  WSQ_ASSIGN_OR_RETURN(TableInfo * table, catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  BoundExprPtr predicate;
+  if (stmt.where != nullptr) {
+    WSQ_ASSIGN_OR_RETURN(predicate,
+                         Binder::BindScalar(*stmt.where, schema));
+  }
+  // Bind assignments: column index + value expression over the old row.
+  std::vector<std::pair<size_t, BoundExprPtr>> assignments;
+  for (const UpdateStatement::Assignment& a : stmt.assignments) {
+    WSQ_ASSIGN_OR_RETURN(size_t col, schema.Find("", a.column));
+    for (const auto& [existing, unused] : assignments) {
+      if (existing == col) {
+        return Status::BindError("column assigned twice: " + a.column);
+      }
+    }
+    WSQ_ASSIGN_OR_RETURN(BoundExprPtr value,
+                         Binder::BindScalar(*a.value, schema));
+    assignments.emplace_back(col, std::move(value));
+  }
+
+  // Materialize the new rows first, then delete + reinsert (a tombstone
+  // plus append; rids are not stable across updates).
+  std::vector<std::pair<Rid, Row>> updates;
+  {
+    HeapFileScanner scanner(table->heap());
+    Rid rid;
+    std::string bytes;
+    while (true) {
+      WSQ_ASSIGN_OR_RETURN(bool more, scanner.Next(&rid, &bytes));
+      if (!more) break;
+      WSQ_ASSIGN_OR_RETURN(Row row, DeserializeRow(bytes));
+      if (predicate != nullptr) {
+        WSQ_ASSIGN_OR_RETURN(bool match, EvalPredicate(*predicate, row));
+        if (!match) continue;
+      }
+      Row updated = row;
+      for (const auto& [col, value] : assignments) {
+        WSQ_ASSIGN_OR_RETURN(Value v, value->Eval(row));
+        if (schema.column(col).type == TypeId::kDouble && v.is_int()) {
+          v = Value::Real(static_cast<double>(v.AsInt()));
+        }
+        updated.value(col) = std::move(v);
+      }
+      updates.emplace_back(rid, std::move(updated));
+    }
+  }
+  for (auto& [rid, row] : updates) {
+    WSQ_RETURN_IF_ERROR(table->Delete(rid));  // maintains indexes
+    WSQ_RETURN_IF_ERROR(table->Insert(row));
+  }
+
+  QueryExecution out;
+  out.result.schema = Schema({Column("Updated", TypeId::kInt64, "")});
+  out.result.rows.push_back(
+      Row({Value::Int(static_cast<int64_t>(updates.size()))}));
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,130 @@
+#ifndef WSQ_WSQ_DATABASE_H_
+#define WSQ_WSQ_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "async/req_pump.h"
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "net/search_service.h"
+#include "plan/async_rewriter.h"
+#include "plan/binder.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "vtab/virtual_table.h"
+
+namespace wsq {
+
+/// Observability for one executed query.
+struct QueryStats {
+  int64_t elapsed_micros = 0;
+  /// External (search engine) calls issued by this query.
+  uint64_t external_calls = 0;
+  /// Whether asynchronous iteration was used.
+  bool async_iteration = false;
+};
+
+struct QueryExecution {
+  ResultSet result;
+  QueryStats stats;
+};
+
+/// The WSQ system facade: a Redbase-style relational engine (catalog,
+/// storage, SQL front end, iterator executor) extended with Web virtual
+/// tables and asynchronous iteration — the full system of the paper.
+class WsqDatabase {
+ public:
+  struct Options {
+    size_t buffer_pool_pages = 256;
+    ReqPump::Limits pump_limits;
+    BinderOptions binder;
+  };
+
+  /// In-memory database (tests, examples, benches).
+  WsqDatabase() : WsqDatabase(Options()) {}
+  explicit WsqDatabase(const Options& options);
+
+  /// Opens (creating if absent) a file-backed database at `path`.
+  /// Stored tables persist across opens; virtual tables and search
+  /// engines are re-registered per process. Call Checkpoint() (also
+  /// run by the destructor) to persist catalog changes and dirty pages.
+  static Result<std::unique_ptr<WsqDatabase>> Open(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<WsqDatabase>> Open(
+      const std::string& path) {
+    return Open(path, Options());
+  }
+
+  ~WsqDatabase();
+
+  /// Persists the catalog to the root page and flushes the buffer
+  /// pool. Only valid for file-backed databases.
+  Status Checkpoint();
+
+  bool persistent() const { return persistent_; }
+
+  WsqDatabase(const WsqDatabase&) = delete;
+  WsqDatabase& operator=(const WsqDatabase&) = delete;
+
+  /// Registers search engine `engine_name`, creating virtual tables
+  /// WebPages_<engine_name> and WebCount_<engine_name>. The first
+  /// registered engine also gets the unsuffixed aliases WebPages and
+  /// WebCount (the paper's convention: "WebPages_AV ... and similar
+  /// virtual tables for Google or any other search engine").
+  /// `service` must outlive this database.
+  Status RegisterSearchEngine(const std::string& engine_name,
+                              SearchService* service, bool supports_near);
+
+  /// Per-query controls.
+  struct ExecOptions {
+    /// Apply the asynchronous-iteration rewrite (paper §4). Off = the
+    /// conventional sequential execution the paper benchmarks against.
+    bool async_iteration = true;
+    RewriteOptions rewrite;
+  };
+
+  /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the
+  /// plan text is returned as a single-column result.
+  Result<QueryExecution> Execute(const std::string& sql,
+                                 const ExecOptions& options);
+  Result<QueryExecution> Execute(const std::string& sql) {
+    return Execute(sql, ExecOptions{});
+  }
+
+  /// The logical plan text for a SELECT, after the async rewrite when
+  /// `async` is set.
+  Result<std::string> ExplainSelect(const std::string& sql, bool async,
+                                    RewriteOptions rewrite = {});
+
+  Catalog* catalog() { return &catalog_; }
+  VirtualTableRegistry* vtables() { return &vtables_; }
+  ReqPump* pump() { return &pump_; }
+  BufferPool* buffer_pool() { return &buffer_pool_; }
+
+ private:
+  WsqDatabase(const Options& options, std::unique_ptr<DiskManager> disk,
+              bool persistent);
+
+  Result<QueryExecution> ExecuteSelect(const SelectStatement& stmt,
+                                       const ExecOptions& options);
+  Result<QueryExecution> ExecuteCreateTable(
+      const CreateTableStatement& stmt);
+  Result<QueryExecution> ExecuteCreateIndex(
+      const CreateIndexStatement& stmt);
+  Result<QueryExecution> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryExecution> ExecuteDelete(const DeleteStatement& stmt);
+  Result<QueryExecution> ExecuteUpdate(const UpdateStatement& stmt);
+
+  Options options_;
+  std::unique_ptr<DiskManager> disk_;
+  bool persistent_ = false;
+  BufferPool buffer_pool_;
+  Catalog catalog_;
+  VirtualTableRegistry vtables_;
+  ReqPump pump_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_WSQ_DATABASE_H_

@@ -1,0 +1,75 @@
+#ifndef WSQ_WSQ_DEMO_H_
+#define WSQ_WSQ_DEMO_H_
+
+#include <memory>
+
+#include "data/datasets.h"
+#include "net/result_cache.h"
+#include "net/simulated_service.h"
+#include "search/search_engine.h"
+#include "wsq/database.h"
+
+namespace wsq {
+
+struct DemoOptions {
+  /// Synthetic Web size and seed.
+  CorpusConfig corpus = DefaultPaperCorpusConfig();
+  /// Simulated search latency for both engines.
+  LatencyModel latency = LatencyModel{40000, 10000, 0.0, 1.0};
+  /// Server-side concurrency capacity (0 = unbounded).
+  size_t server_capacity = 0;
+  /// Attach a client-side result cache of this many entries (0 = none).
+  size_t client_cache_entries = 0;
+  /// ReqPump concurrency limits.
+  ReqPump::Limits pump_limits;
+  uint64_t seed = 42;
+};
+
+/// A ready-to-use WSQ deployment matching the paper's setup (Figure 1):
+/// one synthetic Web, two search engines over it — "AltaVista" (NEAR
+/// support) and "Google" (plain conjunction, different ranking salt) —
+/// simulated network services, and a WsqDatabase preloaded with the
+/// paper's stored tables: States, Sigs, CSFields, Movies.
+///
+/// Virtual tables registered: WebCount/WebPages (AltaVista, the default
+/// engine), WebCount_AV/WebPages_AV, WebCount_Google/WebPages_Google.
+class DemoEnv {
+ public:
+  explicit DemoEnv(const DemoOptions& options = DemoOptions());
+
+  WsqDatabase& db() { return *db_; }
+  const Corpus& corpus() const { return *corpus_; }
+  SimulatedSearchService& altavista_service() { return *av_service_; }
+  SimulatedSearchService& google_service() { return *google_service_; }
+  const SearchEngine& altavista_engine() const { return *av_engine_; }
+  const SearchEngine& google_engine() const { return *google_engine_; }
+  ResultCache* client_cache() { return client_cache_.get(); }
+
+  /// Convenience: Execute and fail loudly in tests/examples.
+  Result<QueryExecution> Run(const std::string& sql,
+                             bool async_iteration = true);
+
+ private:
+  // Declaration order is destruction-order-critical: the database's
+  // ReqPump must be destroyed (draining in-flight calls) while the
+  // services that complete those calls are still alive.
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<SearchEngine> av_engine_;
+  std::unique_ptr<SearchEngine> google_engine_;
+  std::unique_ptr<SimulatedSearchService> av_service_;
+  std::unique_ptr<SimulatedSearchService> google_service_;
+  std::unique_ptr<ResultCache> client_cache_;
+  std::unique_ptr<CachingSearchService> av_cached_;
+  std::unique_ptr<CachingSearchService> google_cached_;
+  std::unique_ptr<WsqDatabase> db_;
+};
+
+/// Loads the paper's stored tables into any database.
+Status LoadStatesTable(WsqDatabase* db);
+Status LoadSigsTable(WsqDatabase* db);
+Status LoadCsFieldsTable(WsqDatabase* db);
+Status LoadMoviesTable(WsqDatabase* db);
+
+}  // namespace wsq
+
+#endif  // WSQ_WSQ_DEMO_H_

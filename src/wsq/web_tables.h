@@ -1,0 +1,78 @@
+#ifndef WSQ_WSQ_WEB_TABLES_H_
+#define WSQ_WSQ_WEB_TABLES_H_
+
+#include <memory>
+#include <string>
+
+#include "net/search_service.h"
+#include "vtab/virtual_table.h"
+
+namespace wsq {
+
+/// The paper's WebCount virtual table (§3):
+///   WebCount(SearchExp, T1, ..., Tn, Count)
+/// For bound SearchExp/terms it contains exactly one tuple whose Count
+/// is the engine's total hit count.
+class WebCountTable : public VirtualTable {
+ public:
+  /// `service` must outlive the table. `supports_near` selects the
+  /// default SearchExp template (paper footnote 1).
+  WebCountTable(std::string name, SearchService* service,
+                bool supports_near);
+
+  const std::string& name() const override { return name_; }
+  const std::string& destination() const override {
+    return service_->name();
+  }
+  Schema SchemaForTerms(size_t n) const override;
+  size_t NumOutputColumns() const override { return 1; }
+  bool SingleRowOutput() const override { return true; }
+  std::string EffectiveSearchExp(
+      const VTableRequest& request) const override;
+
+  Result<std::vector<Row>> Fetch(const VTableRequest& request) override;
+  CallId SubmitAsync(const VTableRequest& request,
+                     ReqPump* pump) override;
+
+ private:
+  Result<std::string> ExpandQuery(const VTableRequest& request) const;
+
+  std::string name_;
+  SearchService* service_;
+  bool supports_near_;
+};
+
+/// The paper's WebPages virtual table (§3):
+///   WebPages(SearchExp, T1, ..., Tn, URL, Rank, Date)
+/// Ranked search results, restricted to Rank <= rank_limit.
+class WebPagesTable : public VirtualTable {
+ public:
+  WebPagesTable(std::string name, SearchService* service,
+                bool supports_near);
+
+  const std::string& name() const override { return name_; }
+  const std::string& destination() const override {
+    return service_->name();
+  }
+  Schema SchemaForTerms(size_t n) const override;
+  size_t NumOutputColumns() const override { return 3; }
+  bool SingleRowOutput() const override { return false; }
+  std::string RankColumn() const override { return "Rank"; }
+  std::string EffectiveSearchExp(
+      const VTableRequest& request) const override;
+
+  Result<std::vector<Row>> Fetch(const VTableRequest& request) override;
+  CallId SubmitAsync(const VTableRequest& request,
+                     ReqPump* pump) override;
+
+ private:
+  Result<std::string> ExpandQuery(const VTableRequest& request) const;
+
+  std::string name_;
+  SearchService* service_;
+  bool supports_near_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_WSQ_WEB_TABLES_H_

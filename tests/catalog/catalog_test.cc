@@ -1,0 +1,128 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : pool_(32, &disk_), catalog_(&pool_) {}
+
+  Schema StatesSchema() {
+    return Schema({Column("Name", TypeId::kString),
+                   Column("Population", TypeId::kInt64),
+                   Column("Capital", TypeId::kString)});
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndGet) {
+  auto t = catalog_.CreateTable("States", StatesSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "States");
+  auto got = catalog_.GetTable("States");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *t);
+}
+
+TEST_F(CatalogTest, QualifiersSetToTableName) {
+  auto t = *catalog_.CreateTable("States", StatesSchema());
+  for (const Column& c : t->schema().columns()) {
+    EXPECT_EQ(c.qualifier, "States");
+  }
+}
+
+TEST_F(CatalogTest, LookupIsCaseInsensitive) {
+  ASSERT_TRUE(catalog_.CreateTable("States", StatesSchema()).ok());
+  EXPECT_TRUE(catalog_.GetTable("states").ok());
+  EXPECT_TRUE(catalog_.GetTable("STATES").ok());
+}
+
+TEST_F(CatalogTest, DuplicateCreateFails) {
+  ASSERT_TRUE(catalog_.CreateTable("States", StatesSchema()).ok());
+  auto dup = catalog_.CreateTable("states", StatesSchema());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, MissingTableNotFound) {
+  auto r = catalog_.GetTable("Nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DropTable) {
+  ASSERT_TRUE(catalog_.CreateTable("States", StatesSchema()).ok());
+  ASSERT_TRUE(catalog_.DropTable("states").ok());
+  EXPECT_FALSE(catalog_.GetTable("States").ok());
+  EXPECT_FALSE(catalog_.DropTable("States").ok());
+  EXPECT_TRUE(catalog_.ListTables().empty());
+}
+
+TEST_F(CatalogTest, ListTablesInCreationOrder) {
+  ASSERT_TRUE(catalog_.CreateTable("B", StatesSchema()).ok());
+  ASSERT_TRUE(catalog_.CreateTable("A", StatesSchema()).ok());
+  auto names = catalog_.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+}
+
+TEST_F(CatalogTest, InsertAndScanRows) {
+  TableInfo* t = *catalog_.CreateTable("States", StatesSchema());
+  ASSERT_TRUE(t->Insert(Row({Value::Str("Colorado"), Value::Int(3970971),
+                             Value::Str("Denver")}))
+                  .ok());
+  ASSERT_TRUE(t->Insert(Row({Value::Str("Utah"), Value::Int(2099758),
+                             Value::Str("Salt Lake City")}))
+                  .ok());
+  auto rows = t->ScanAll();
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].value(0).AsString(), "Colorado");
+  EXPECT_EQ((*rows)[1].value(2).AsString(), "Salt Lake City");
+  EXPECT_EQ(*t->NumRows(), 2);
+}
+
+TEST_F(CatalogTest, InsertArityMismatchFails) {
+  TableInfo* t = *catalog_.CreateTable("States", StatesSchema());
+  auto s = t->Insert(Row({Value::Str("x")}));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(CatalogTest, InsertTypeMismatchFails) {
+  TableInfo* t = *catalog_.CreateTable("States", StatesSchema());
+  auto s = t->Insert(
+      Row({Value::Int(1), Value::Int(2), Value::Str("x")}));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+}
+
+TEST_F(CatalogTest, NullsAndIntWideningAccepted) {
+  TableInfo* t = *catalog_.CreateTable(
+      "T", Schema({Column("A", TypeId::kString),
+                   Column("B", TypeId::kDouble)}));
+  EXPECT_TRUE(t->Insert(Row({Value::Null(), Value::Int(3)})).ok());
+  EXPECT_TRUE(t->Insert(Row({Value::Str("x"), Value::Real(1.5)})).ok());
+}
+
+TEST_F(CatalogTest, TableScannerStreams) {
+  TableInfo* t = *catalog_.CreateTable(
+      "Nums", Schema({Column("N", TypeId::kInt64)}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t->Insert(Row({Value::Int(i)})).ok());
+  }
+  TableScanner scanner(t);
+  Row row;
+  int64_t sum = 0;
+  while (*scanner.Next(&row)) sum += row.value(0).AsInt();
+  EXPECT_EQ(sum, 4950);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wsq {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) hit_lo = true;
+    if (v == 3) hit_hi = true;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(5);
+  ZipfDistribution zipf(100, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(5);
+  ZipfDistribution zipf(1000, 1.2);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  // Rank 0 should be sampled far more often than rank 100.
+  EXPECT_GT(counts[0], counts[100] * 5);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(17);
+  ZipfDistribution zipf(10, 0.0);
+  std::map<size_t, int> counts;
+  const int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kTrials, 0.1, 0.02)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(1);
+  ZipfDistribution zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace wsq

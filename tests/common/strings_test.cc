@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+  EXPECT_EQ(ToUpper("MiXeD 123"), "MIXED 123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringsTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("WebCount", "Web"));
+  EXPECT_FALSE(StartsWith("Web", "WebCount"));
+  EXPECT_TRUE(EndsWith("WebCount", "Count"));
+  EXPECT_FALSE(EndsWith("Count", "WebCount"));
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,131 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsq {
+namespace {
+
+TEST(DatasetsTest, FiftyStatesWithPlausible1998Populations) {
+  const auto& states = UsStates1998();
+  ASSERT_EQ(states.size(), 50u);
+  int64_t total = 0;
+  std::set<std::string> names, capitals;
+  for (const StateRecord& s : states) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.capital.empty());
+    EXPECT_GT(s.population, 400000);     // Wyoming ~481k
+    EXPECT_LT(s.population, 40000000);   // California ~32.7M
+    total += s.population;
+    names.insert(s.name);
+    capitals.insert(s.capital);
+  }
+  EXPECT_EQ(names.size(), 50u);
+  EXPECT_EQ(capitals.size(), 50u);
+  // 1998 US population ≈ 270M; the 50 states sum close to that.
+  EXPECT_GT(total, 255000000);
+  EXPECT_LT(total, 285000000);
+}
+
+TEST(DatasetsTest, StatesSortedByName) {
+  const auto& states = UsStates1998();
+  for (size_t i = 1; i < states.size(); ++i) {
+    EXPECT_LT(states[i - 1].name, states[i].name);
+  }
+}
+
+TEST(DatasetsTest, PaperFactsPresent) {
+  const auto& states = UsStates1998();
+  auto find = [&](const std::string& name) -> const StateRecord* {
+    for (const auto& s : states) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  // The paper's Query 1 commentary: Texas 2nd, Michigan 8th by
+  // population.
+  std::vector<const StateRecord*> by_pop;
+  for (const auto& s : states) by_pop.push_back(&s);
+  std::sort(by_pop.begin(), by_pop.end(),
+            [](const StateRecord* a, const StateRecord* b) {
+              return a->population > b->population;
+            });
+  EXPECT_EQ(by_pop[0]->name, "California");
+  EXPECT_EQ(by_pop[1]->name, "Texas");
+  EXPECT_EQ(by_pop[7]->name, "Michigan");
+  // Query 3/4 entities.
+  EXPECT_EQ(find("Colorado")->capital, "Denver");
+  EXPECT_EQ(find("Nebraska")->capital, "Lincoln");
+  EXPECT_EQ(find("South Carolina")->capital, "Columbia");
+  EXPECT_EQ(find("South Dakota")->capital, "Pierre");
+}
+
+TEST(DatasetsTest, ThirtySevenSigs) {
+  const auto& sigs = AcmSigs();
+  ASSERT_EQ(sigs.size(), 37u);  // paper §4.1: "the 37 ACM Sigs"
+  std::set<std::string> unique(sigs.begin(), sigs.end());
+  EXPECT_EQ(unique.size(), 37u);
+  EXPECT_TRUE(unique.count("SIGMOD"));
+  EXPECT_TRUE(unique.count("SIGACT"));
+  EXPECT_TRUE(unique.count("SIGSAM"));
+}
+
+TEST(DatasetsTest, ConstantsPoolSupportsTemplate2) {
+  // Template 2 needs 16 distinct constants (paper §5).
+  const auto& constants = TemplateConstants();
+  std::set<std::string> unique(constants.begin(), constants.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(DatasetsTest, CorpusSpecCoversAllEntities) {
+  PaperCorpusSpec spec = MakePaperCorpusSpec();
+  std::set<std::string> entities;
+  for (const EntitySpec& e : spec.entities) {
+    EXPECT_GT(e.weight, 0) << e.phrase;
+    entities.insert(e.phrase);
+  }
+  for (const StateRecord& s : UsStates1998()) {
+    EXPECT_TRUE(entities.count(s.name)) << s.name;
+    EXPECT_TRUE(entities.count(s.capital)) << s.capital;
+  }
+  for (const std::string& sig : AcmSigs()) {
+    EXPECT_TRUE(entities.count(sig)) << sig;
+  }
+  for (const std::string& c : TemplateConstants()) {
+    EXPECT_TRUE(entities.count(c)) << c;
+  }
+  // Co-occurrence phrases must themselves be known entities so the
+  // corpus carries both the standalone and the proximity signal.
+  for (const CooccurrenceSpec& c : spec.cooccurrences) {
+    EXPECT_TRUE(entities.count(c.a)) << c.a;
+    EXPECT_TRUE(entities.count(c.b)) << c.b;
+  }
+}
+
+TEST(DatasetsTest, FourCornersWeightsKeepPaperOrder) {
+  PaperCorpusSpec spec = MakePaperCorpusSpec();
+  std::map<std::string, double> weights;
+  for (const CooccurrenceSpec& c : spec.cooccurrences) {
+    if (c.b == "four corners") weights[c.a] = c.weight;
+  }
+  ASSERT_TRUE(weights.count("Colorado"));
+  EXPECT_GT(weights["Colorado"], weights["New Mexico"]);
+  EXPECT_GT(weights["New Mexico"], weights["Arizona"]);
+  EXPECT_GT(weights["Arizona"], weights["Utah"]);
+  EXPECT_GT(weights["Utah"], 4 * weights["California"]);  // the cliff
+}
+
+TEST(DatasetsTest, PaperCorpusIsDeterministic) {
+  CorpusConfig cfg = DefaultPaperCorpusConfig();
+  cfg.num_documents = 300;
+  Corpus a = MakePaperCorpus(cfg);
+  Corpus b = MakePaperCorpus(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.document(i).terms, b.document(i).terms) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wsq

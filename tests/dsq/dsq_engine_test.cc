@@ -1,0 +1,138 @@
+#include "dsq/dsq_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "wsq/demo.h"
+
+namespace wsq {
+namespace {
+
+class DsqEngineTest : public ::testing::Test {
+ protected:
+  static DemoEnv& Env() {
+    static DemoEnv* const kEnv = [] {
+      DemoOptions opt;
+      opt.corpus.num_documents = 6000;
+      opt.latency = LatencyModel::Instant();
+      return new DemoEnv(opt);
+    }();
+    return *kEnv;
+  }
+
+  DsqEngine MakeEngine() {
+    return DsqEngine(&Env().db(), &Env().altavista_service());
+  }
+};
+
+TEST_F(DsqEngineTest, ScubaDivingFindsCoastalStates) {
+  DsqEngine dsq = MakeEngine();
+  auto r = dsq.Explain("scuba diving", {"States.Name"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->terms.empty());
+  // Florida leads — the planted correlation (paper §1's example).
+  EXPECT_EQ(r->terms[0].term, "Florida");
+  std::set<std::string> top3;
+  for (size_t i = 0; i < 3 && i < r->terms.size(); ++i) {
+    top3.insert(r->terms[i].term);
+  }
+  EXPECT_TRUE(top3.count("Hawaii"));
+  EXPECT_EQ(r->external_calls, 50u);  // one call per state
+}
+
+TEST_F(DsqEngineTest, MultipleSourceColumns) {
+  DsqEngine dsq = MakeEngine();
+  auto r = dsq.Explain("scuba diving", {"States.Name", "Movies.Title"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->external_calls, 60u);  // 50 states + 10 movies
+  // Both sources contribute to the top ranks.
+  std::set<std::string> sources;
+  for (const auto& t : r->terms) sources.insert(t.source);
+  EXPECT_TRUE(sources.count("States.Name"));
+  EXPECT_TRUE(sources.count("Movies.Title"));
+  // The planted diving movie ranks.
+  bool deep_descent = false;
+  for (const auto& t : r->terms) {
+    if (t.term == "Deep Descent") deep_descent = true;
+  }
+  EXPECT_TRUE(deep_descent);
+}
+
+TEST_F(DsqEngineTest, PairsFindStateMovieTriples) {
+  DsqEngine dsq = MakeEngine();
+  DsqEngine::Options opt;
+  opt.include_pairs = true;
+  opt.pair_seed_terms = 3;
+  auto r = dsq.Explain("scuba diving", {"States.Name", "Movies.Title"},
+                       opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 60 singles + 3x3 pairs.
+  EXPECT_EQ(r->external_calls, 69u);
+  ASSERT_FALSE(r->pairs.empty());
+  // The planted Florida/Deep-Descent triple surfaces
+  // ("an underwater thriller filmed in Florida", §1).
+  bool found = false;
+  for (const auto& p : r->pairs) {
+    if ((p.term_a == "Florida" && p.term_b == "Deep Descent") ||
+        (p.term_a == "Deep Descent" && p.term_b == "Florida")) {
+      found = true;
+      EXPECT_GT(p.count, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DsqEngineTest, CountsAreRankedDescending) {
+  DsqEngine dsq = MakeEngine();
+  auto r = dsq.Explain("four corners", {"States.Name"});
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->terms.size(); ++i) {
+    EXPECT_GE(r->terms[i - 1].count, r->terms[i].count);
+  }
+  ASSERT_GE(r->terms.size(), 4u);
+  EXPECT_EQ(r->terms[0].term, "Colorado");
+}
+
+TEST_F(DsqEngineTest, ZeroCountsDropped) {
+  DsqEngine dsq = MakeEngine();
+  auto r = dsq.Explain("Knuth", {"Sigs.Name"});
+  ASSERT_TRUE(r.ok());
+  for (const auto& t : r->terms) {
+    EXPECT_GT(t.count, 0) << t.term;
+  }
+  ASSERT_FALSE(r->terms.empty());
+  EXPECT_EQ(r->terms[0].term, "SIGACT");
+}
+
+TEST_F(DsqEngineTest, ZeroCountsKeptWhenRequested) {
+  DsqEngine dsq = MakeEngine();
+  DsqEngine::Options opt;
+  opt.drop_zero_counts = false;
+  opt.top_k = 37;
+  auto r = dsq.Explain("Knuth", {"Sigs.Name"}, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->terms.size(), 37u);
+}
+
+TEST_F(DsqEngineTest, InvalidInputsRejected) {
+  DsqEngine dsq = MakeEngine();
+  EXPECT_FALSE(dsq.Explain("", {"States.Name"}).ok());
+  EXPECT_FALSE(dsq.Explain("x", {}).ok());
+  EXPECT_FALSE(dsq.Explain("x", {"States"}).ok());
+  EXPECT_FALSE(dsq.Explain("x", {"Missing.Name"}).ok());
+  EXPECT_FALSE(dsq.Explain("x", {"States.Nope"}).ok());
+  // Non-string column.
+  EXPECT_FALSE(dsq.Explain("x", {"States.Population"}).ok());
+}
+
+TEST_F(DsqEngineTest, TopKTruncates) {
+  DsqEngine dsq = MakeEngine();
+  DsqEngine::Options opt;
+  opt.top_k = 3;
+  opt.drop_zero_counts = false;
+  auto r = dsq.Explain("computer", {"States.Name"}, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->terms.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,219 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "plan/binder.h"
+#include "storage/disk_manager.h"
+
+namespace wsq {
+namespace {
+
+// Stored-table-only execution coverage: every operator driven through
+// real plans (no virtual tables, no pump needed).
+class OperatorTest : public ::testing::Test {
+ protected:
+  OperatorTest() : pool_(64, &disk_), catalog_(&pool_) {
+    TableInfo* t = *catalog_.CreateTable(
+        "T", Schema({Column("K", TypeId::kString),
+                     Column("V", TypeId::kInt64),
+                     Column("W", TypeId::kDouble)}));
+    struct Rec {
+      const char* k;
+      int64_t v;
+      double w;
+    };
+    for (const Rec& r : std::initializer_list<Rec>{{"a", 1, 0.5},
+                                                   {"b", 2, 1.5},
+                                                   {"a", 3, 2.5},
+                                                   {"c", 2, 3.5},
+                                                   {"b", 2, 4.5}}) {
+      EXPECT_TRUE(t->Insert(Row({Value::Str(r.k), Value::Int(r.v),
+                                 Value::Real(r.w)}))
+                      .ok());
+    }
+    TableInfo* u = *catalog_.CreateTable(
+        "U", Schema({Column("K", TypeId::kString),
+                     Column("X", TypeId::kInt64)}));
+    EXPECT_TRUE(u->Insert(Row({Value::Str("a"), Value::Int(10)})).ok());
+    EXPECT_TRUE(u->Insert(Row({Value::Str("b"), Value::Int(20)})).ok());
+    (void)*catalog_.CreateTable("Empty",
+                                Schema({Column("Z", TypeId::kInt64)}));
+  }
+
+  ResultSet Run(const std::string& sql) {
+    auto stmt = Parser::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_, &vtables_);
+    auto plan = binder.Bind(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\n" << sql;
+    ExecContext ctx;
+    auto result = ExecutePlan(**plan, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(result).value() : ResultSet{};
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  VirtualTableRegistry vtables_;
+};
+
+TEST_F(OperatorTest, SeqScanAllRows) {
+  EXPECT_EQ(Run("SELECT K FROM T").rows.size(), 5u);
+}
+
+TEST_F(OperatorTest, FilterSelectsMatching) {
+  ResultSet r = Run("SELECT K, V FROM T WHERE V = 2");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(OperatorTest, FilterWithCompoundPredicate) {
+  ResultSet r = Run("SELECT K FROM T WHERE V = 2 AND W > 2.0 OR K = 'a'");
+  EXPECT_EQ(r.rows.size(), 4u);  // (c,2,3.5), (b,2,4.5), two 'a' rows
+}
+
+TEST_F(OperatorTest, ProjectComputesExpressions) {
+  ResultSet r = Run("SELECT V * 10 + 1 AS E FROM T WHERE K = 'c'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 21);
+  EXPECT_EQ(r.schema.column(0).name, "E");
+}
+
+TEST_F(OperatorTest, NestedLoopJoin) {
+  ResultSet r = Run(
+      "SELECT T.K, V, X FROM T, U WHERE T.K = U.K ORDER BY X, V");
+  // T has two 'a' rows and two 'b' rows matching U.
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0].value(2).AsInt(), 10);
+  EXPECT_EQ(r.rows[3].value(2).AsInt(), 20);
+}
+
+TEST_F(OperatorTest, CrossProductCardinality) {
+  EXPECT_EQ(Run("SELECT T.K FROM T, U").rows.size(), 10u);
+}
+
+TEST_F(OperatorTest, JoinWithEmptySideYieldsNothing) {
+  EXPECT_TRUE(Run("SELECT K FROM T, Empty").rows.empty());
+  EXPECT_TRUE(Run("SELECT K FROM T, Empty WHERE V = Z").rows.empty());
+}
+
+TEST_F(OperatorTest, SortAscendingAndDescending) {
+  ResultSet asc = Run("SELECT V, W FROM T ORDER BY V, W");
+  ASSERT_EQ(asc.rows.size(), 5u);
+  for (size_t i = 1; i < asc.rows.size(); ++i) {
+    EXPECT_LE(asc.rows[i - 1].value(0).AsInt(),
+              asc.rows[i].value(0).AsInt());
+  }
+  ResultSet desc = Run("SELECT V FROM T ORDER BY V DESC");
+  EXPECT_EQ(desc.rows[0].value(0).AsInt(), 3);
+  EXPECT_EQ(desc.rows[4].value(0).AsInt(), 1);
+}
+
+TEST_F(OperatorTest, SortIsStable) {
+  // Equal keys keep scan order: the three V=2 rows arrive b,c,b.
+  ResultSet r = Run("SELECT K, V FROM T ORDER BY V");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[1].value(0).AsString(), "b");
+  EXPECT_EQ(r.rows[2].value(0).AsString(), "c");
+  EXPECT_EQ(r.rows[3].value(0).AsString(), "b");
+}
+
+TEST_F(OperatorTest, DistinctRemovesDuplicates) {
+  ResultSet r = Run("SELECT DISTINCT K FROM T ORDER BY K");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "a");
+  EXPECT_EQ(r.rows[2].value(0).AsString(), "c");
+}
+
+TEST_F(OperatorTest, DistinctOnFullDuplicateRows) {
+  ResultSet r = Run("SELECT DISTINCT K, V FROM T WHERE V = 2");
+  EXPECT_EQ(r.rows.size(), 2u);  // (b,2) twice collapses
+}
+
+TEST_F(OperatorTest, LimitTruncates) {
+  EXPECT_EQ(Run("SELECT K FROM T LIMIT 2").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT K FROM T LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Run("SELECT K FROM T LIMIT 100").rows.size(), 5u);
+}
+
+TEST_F(OperatorTest, AggregateGlobal) {
+  ResultSet r = Run(
+      "SELECT COUNT(*), SUM(V), MIN(W), MAX(W), AVG(V) FROM T");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 5);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 10);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(2).AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(3).AsDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(r.rows[0].value(4).AsDouble(), 2.0);
+}
+
+TEST_F(OperatorTest, AggregateOverEmptyInput) {
+  ResultSet r = Run("SELECT COUNT(*), SUM(Z), MIN(Z) FROM Empty");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 0);
+  EXPECT_TRUE(r.rows[0].value(1).is_null());
+  EXPECT_TRUE(r.rows[0].value(2).is_null());
+}
+
+TEST_F(OperatorTest, GroupByEmptyInputYieldsNoGroups) {
+  EXPECT_TRUE(Run("SELECT Z, COUNT(*) FROM Empty GROUP BY Z").rows
+                  .empty());
+}
+
+TEST_F(OperatorTest, GroupByWithArithmeticOnAggregates) {
+  ResultSet r = Run(
+      "SELECT K, SUM(V) * 2 AS D FROM T GROUP BY K ORDER BY K");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 8);   // a: (1+3)*2
+  EXPECT_EQ(r.rows[1].value(1).AsInt(), 8);   // b: (2+2)*2
+  EXPECT_EQ(r.rows[2].value(1).AsInt(), 4);   // c: 2*2
+}
+
+TEST_F(OperatorTest, CountColumnSkipsNulls) {
+  TableInfo* n = *catalog_.CreateTable(
+      "N", Schema({Column("A", TypeId::kInt64)}));
+  ASSERT_TRUE(n->Insert(Row({Value::Int(1)})).ok());
+  ASSERT_TRUE(n->Insert(Row({Value::Null()})).ok());
+  ASSERT_TRUE(n->Insert(Row({Value::Int(3)})).ok());
+  ResultSet r = Run("SELECT COUNT(*), COUNT(A), SUM(A) FROM N");
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 3);
+  EXPECT_EQ(r.rows[0].value(1).AsInt(), 2);
+  EXPECT_EQ(r.rows[0].value(2).AsInt(), 4);
+}
+
+TEST_F(OperatorTest, SumWidensToDoubleOnMixedInput) {
+  ResultSet r = Run("SELECT SUM(W) FROM T");
+  EXPECT_TRUE(r.rows[0].value(0).is_double());
+  EXPECT_DOUBLE_EQ(r.rows[0].value(0).AsDouble(), 12.5);
+}
+
+TEST_F(OperatorTest, MinMaxOnStrings) {
+  ResultSet r = Run("SELECT MIN(K), MAX(K) FROM T");
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "a");
+  EXPECT_EQ(r.rows[0].value(1).AsString(), "c");
+}
+
+TEST_F(OperatorTest, ThreeWayJoinPipeline) {
+  ResultSet r = Run(
+      "SELECT T.K, U.X, V FROM T, U, T T2 "
+      "WHERE T.K = U.K AND T2.V = T.V ORDER BY U.X, V, T.K");
+  EXPECT_GT(r.rows.size(), 0u);
+  for (const Row& row : r.rows) {
+    EXPECT_FALSE(row.HasPlaceholders());
+  }
+}
+
+TEST_F(OperatorTest, ExecutionErrorPropagatesFromDeepInPlan) {
+  auto stmt = Parser::ParseSelect("SELECT V / (V - V) FROM T");
+  Binder binder(&catalog_, &vtables_);
+  auto plan = binder.Bind(**stmt);
+  ASSERT_TRUE(plan.ok());
+  ExecContext ctx;
+  auto result = ExecutePlan(**plan, &ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,335 @@
+#include "exec/req_sync_op.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace wsq {
+namespace {
+
+// Minimal plan node giving ReqSyncNode a child with a schema.
+class StubNode : public PlanNode {
+ public:
+  explicit StubNode(Schema schema)
+      : PlanNode(Kind::kScan, std::move(schema)) {}
+  std::string Label() const override { return "Stub"; }
+};
+
+// Serves a fixed list of rows.
+class VectorOperator : public Operator {
+ public:
+  VectorOperator(const Schema* schema, std::vector<Row> rows)
+      : Operator(schema), rows_(std::move(rows)) {}
+
+  Status Open() override {
+    next_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(Row* row) override {
+    if (next_ >= rows_.size()) return false;
+    *row = rows_[next_++];
+    return true;
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+Schema TwoColumnSchema() {
+  return Schema({Column("K", TypeId::kString, "t"),
+                 Column("V", TypeId::kInt64, "t")});
+}
+
+class ReqSyncOpTest : public ::testing::Test {
+ protected:
+  // Builds a ReqSync over fixed input rows and drains it.
+  Result<std::vector<Row>> RunReqSync(std::vector<Row> input,
+                                      ReqPump* pump) {
+    StubNode stub(TwoColumnSchema());
+    auto node = std::make_unique<ReqSyncNode>(
+        std::make_unique<StubNode>(TwoColumnSchema()),
+        std::vector<size_t>{1});
+    auto child = std::make_unique<VectorOperator>(&stub.schema(),
+                                                  std::move(input));
+    ReqSyncOperator op(node.get(), std::move(child), pump);
+    WSQ_RETURN_IF_ERROR(op.Open());
+    std::vector<Row> out;
+    Row row;
+    while (true) {
+      WSQ_ASSIGN_OR_RETURN(bool more, op.Next(&row));
+      if (!more) break;
+      out.push_back(row);
+    }
+    WSQ_RETURN_IF_ERROR(op.Close());
+    return out;
+  }
+
+  // Registers a call that completes with `rows` after `delay_micros`.
+  CallId Delayed(ReqPump* pump, std::vector<Row> rows,
+                 int64_t delay_micros = 2000) {
+    return pump->Register(
+        "engine", [rows = std::move(rows), delay_micros](
+                      CallCompletion done) mutable {
+          std::thread([rows = std::move(rows), delay_micros,
+                       done = std::move(done)]() mutable {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(delay_micros));
+            done(CallResult{Status::OK(), std::move(rows)});
+          }).detach();
+        });
+  }
+};
+
+TEST_F(ReqSyncOpTest, CompleteTuplesPassThrough) {
+  ReqPump pump;
+  std::vector<Row> input = {Row({Value::Str("a"), Value::Int(1)}),
+                            Row({Value::Str("b"), Value::Int(2)})};
+  auto out = RunReqSync(input, &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0], input[0]);
+  EXPECT_EQ((*out)[1], input[1]);
+}
+
+TEST_F(ReqSyncOpTest, SingleRowCompletion) {
+  ReqPump pump;
+  CallId c = Delayed(&pump, {Row({Value::Int(42)})});
+  auto out = RunReqSync(
+      {Row({Value::Str("a"), Value::Pending(c, 0)})}, &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value(1).AsInt(), 42);
+  EXPECT_FALSE((*out)[0].HasPlaceholders());
+}
+
+TEST_F(ReqSyncOpTest, ZeroRowsCancelsTuple) {
+  ReqPump pump;
+  CallId c = Delayed(&pump, {});
+  auto out = RunReqSync(
+      {Row({Value::Str("a"), Value::Pending(c, 0)}),
+       Row({Value::Str("keep"), Value::Int(7)})},
+      &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].value(0).AsString(), "keep");
+}
+
+TEST_F(ReqSyncOpTest, MultiRowProliferation) {
+  ReqPump pump;
+  CallId c = Delayed(&pump, {Row({Value::Int(1)}), Row({Value::Int(2)}),
+                             Row({Value::Int(3)})});
+  auto out = RunReqSync(
+      {Row({Value::Str("x"), Value::Pending(c, 0)})}, &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);  // 1 tuple -> 3 copies (paper §4.3)
+  std::set<int64_t> values;
+  for (const Row& r : *out) {
+    EXPECT_EQ(r.value(0).AsString(), "x");
+    values.insert(r.value(1).AsInt());
+  }
+  EXPECT_EQ(values, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST_F(ReqSyncOpTest, MultipleWaitersOnOneCall) {
+  ReqPump pump;
+  CallId c = Delayed(&pump, {Row({Value::Int(9)})});
+  auto out = RunReqSync(
+      {Row({Value::Str("a"), Value::Pending(c, 0)}),
+       Row({Value::Str("b"), Value::Pending(c, 0)})},
+      &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0].value(1).AsInt(), 9);
+  EXPECT_EQ((*out)[1].value(1).AsInt(), 9);
+}
+
+TEST_F(ReqSyncOpTest, TupleWaitingOnTwoCalls) {
+  // Paper §4.4: a buffered tuple may hold placeholders for two pending
+  // calls; proliferation from the first must copy references to the
+  // second, and all copies must be patched when it completes.
+  ReqPump pump;
+  CallId a = Delayed(&pump, {Row({Value::Int(1)}), Row({Value::Int(2)})},
+                     1000);
+  CallId b = Delayed(&pump, {Row({Value::Int(10)})}, 30000);
+
+  StubNode stub(TwoColumnSchema());
+  Schema three({Column("A", TypeId::kInt64, "t"),
+                Column("B", TypeId::kInt64, "t"),
+                Column("C", TypeId::kString, "t")});
+  auto node = std::make_unique<ReqSyncNode>(
+      std::make_unique<StubNode>(three), std::vector<size_t>{0, 1});
+  auto child = std::make_unique<VectorOperator>(
+      &node->schema(),
+      std::vector<Row>{Row({Value::Pending(a, 0), Value::Pending(b, 0),
+                            Value::Str("x")})});
+  ReqSyncOperator op(node.get(), std::move(child), &pump);
+  ASSERT_TRUE(op.Open().ok());
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    auto more = op.Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    out.push_back(row);
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  // Call a proliferates to 2 copies; call b patches BOTH copies.
+  ASSERT_EQ(out.size(), 2u);
+  std::set<int64_t> a_values;
+  for (const Row& r : out) {
+    a_values.insert(r.value(0).AsInt());
+    EXPECT_EQ(r.value(1).AsInt(), 10);
+    EXPECT_EQ(r.value(2).AsString(), "x");
+  }
+  EXPECT_EQ(a_values, (std::set<int64_t>{1, 2}));
+}
+
+TEST_F(ReqSyncOpTest, FailedCallPropagatesError) {
+  ReqPump pump;
+  CallId c = pump.Register("engine", [](CallCompletion done) {
+    done(CallResult{Status::IOError("engine down"), {}});
+  });
+  auto out = RunReqSync(
+      {Row({Value::Str("a"), Value::Pending(c, 0)})}, &pump);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(ReqSyncOpTest, BadFieldIndexIsInternalError) {
+  ReqPump pump;
+  CallId c = Delayed(&pump, {Row({Value::Int(1)})});
+  auto out = RunReqSync(
+      {Row({Value::Str("a"), Value::Pending(c, 5)})}, &pump);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ReqSyncOpTest, ManyConcurrentCallsAllPatched) {
+  ReqPump pump;
+  std::vector<Row> input;
+  const int kCalls = 64;
+  for (int i = 0; i < kCalls; ++i) {
+    CallId c = Delayed(&pump, {Row({Value::Int(i)})},
+                       1000 + (i % 7) * 500);
+    input.push_back(Row({Value::Str("k" + std::to_string(i)),
+                         Value::Pending(c, 0)}));
+  }
+  auto out = RunReqSync(std::move(input), &pump);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), static_cast<size_t>(kCalls));
+  std::set<int64_t> seen;
+  for (const Row& r : *out) {
+    EXPECT_FALSE(r.HasPlaceholders());
+    seen.insert(r.value(1).AsInt());
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kCalls));
+}
+
+TEST_F(ReqSyncOpTest, EmptyInput) {
+  ReqPump pump;
+  auto out = RunReqSync({}, &pump);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+// Wraps VectorOperator and counts how many rows have been pulled.
+class CountingOperator : public Operator {
+ public:
+  CountingOperator(const Schema* schema, std::vector<Row> rows)
+      : Operator(schema), inner_(schema, std::move(rows)) {}
+
+  Status Open() override { return inner_.Open(); }
+  Result<bool> Next(Row* row) override {
+    auto r = inner_.Next(row);
+    if (r.ok() && *r) ++pulled_;
+    return r;
+  }
+  Status Close() override { return inner_.Close(); }
+
+  int pulled() const { return pulled_; }
+
+ private:
+  VectorOperator inner_;
+  int pulled_ = 0;
+};
+
+TEST_F(ReqSyncOpTest, StreamingEmitsBeforeChildExhausted) {
+  // Paper §4.1: "it might make sense for ReqSync to make completed
+  // tuples available to its parent before exhausting execution of its
+  // child subplan". Row 1's call completes synchronously; rows 2 and 3
+  // are slow — the first output must arrive before they are pulled.
+  ReqPump pump;
+  CallId fast = pump.Register("engine", [](CallCompletion done) {
+    done(CallResult{Status::OK(), {Row({Value::Int(1)})}});
+  });
+  CallId slow_a = Delayed(&pump, {Row({Value::Int(2)})}, 30000);
+  CallId slow_b = Delayed(&pump, {Row({Value::Int(3)})}, 30000);
+
+  StubNode stub(TwoColumnSchema());
+  auto node = std::make_unique<ReqSyncNode>(
+      std::make_unique<StubNode>(TwoColumnSchema()),
+      std::vector<size_t>{1});
+  node->streaming = true;
+  auto child = std::make_unique<CountingOperator>(
+      &stub.schema(),
+      std::vector<Row>{Row({Value::Str("a"), Value::Pending(fast, 0)}),
+                       Row({Value::Str("b"), Value::Pending(slow_a, 0)}),
+                       Row({Value::Str("c"), Value::Pending(slow_b, 0)})});
+  CountingOperator* counter = child.get();
+  ReqSyncOperator op(node.get(), std::move(child), &pump);
+  ASSERT_TRUE(op.Open().ok());
+
+  Row out;
+  auto more = op.Next(&out);
+  ASSERT_TRUE(more.ok() && *more);
+  EXPECT_EQ(out.value(1).AsInt(), 1);
+  // First row surfaced after pulling just one child tuple.
+  EXPECT_EQ(counter->pulled(), 1);
+
+  // The remaining tuples still arrive (and the child fully drains).
+  std::set<int64_t> rest;
+  while (*(more = op.Next(&out))) {
+    rest.insert(out.value(1).AsInt());
+  }
+  EXPECT_EQ(rest, (std::set<int64_t>{2, 3}));
+  EXPECT_EQ(counter->pulled(), 3);
+  ASSERT_TRUE(op.Close().ok());
+}
+
+TEST_F(ReqSyncOpTest, StreamingMatchesBufferedResults) {
+  for (bool streaming : {false, true}) {
+    ReqPump pump;
+    std::vector<Row> input;
+    for (int i = 0; i < 20; ++i) {
+      CallId c = Delayed(&pump, {Row({Value::Int(i)})},
+                         500 + (i % 5) * 700);
+      input.push_back(Row(
+          {Value::Str("k" + std::to_string(i)), Value::Pending(c, 0)}));
+    }
+    StubNode stub(TwoColumnSchema());
+    auto node = std::make_unique<ReqSyncNode>(
+        std::make_unique<StubNode>(TwoColumnSchema()),
+        std::vector<size_t>{1});
+    node->streaming = streaming;
+    auto child = std::make_unique<VectorOperator>(&stub.schema(),
+                                                  std::move(input));
+    ReqSyncOperator op(node.get(), std::move(child), &pump);
+    ASSERT_TRUE(op.Open().ok());
+    std::set<int64_t> seen;
+    Row out;
+    while (true) {
+      auto more = op.Next(&out);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      seen.insert(out.value(1).AsInt());
+    }
+    ASSERT_TRUE(op.Close().ok());
+    EXPECT_EQ(seen.size(), 20u) << "streaming=" << streaming;
+  }
+}
+
+}  // namespace
+}  // namespace wsq

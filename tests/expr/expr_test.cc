@@ -1,0 +1,281 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+BoundExprPtr Col(size_t i, TypeId t = TypeId::kInt64) {
+  return std::make_unique<BoundColumnRef>(i, Column("c", t, "t"));
+}
+BoundExprPtr Lit(Value v) {
+  return std::make_unique<BoundLiteral>(std::move(v));
+}
+BoundExprPtr Bin(BinaryOp op, BoundExprPtr l, BoundExprPtr r) {
+  return std::make_unique<BoundBinary>(op, std::move(l), std::move(r));
+}
+
+TEST(ExprTest, ColumnRefReadsRow) {
+  Row row({Value::Int(7), Value::Str("x")});
+  auto e = Col(1, TypeId::kString);
+  EXPECT_EQ(e->Eval(row)->AsString(), "x");
+}
+
+TEST(ExprTest, ColumnRefOutOfRangeFails) {
+  Row row({Value::Int(7)});
+  auto e = Col(3);
+  EXPECT_FALSE(e->Eval(row).ok());
+}
+
+TEST(ExprTest, IntArithmetic) {
+  Row row;
+  EXPECT_EQ(Bin(BinaryOp::kAdd, Lit(Value::Int(2)), Lit(Value::Int(3)))
+                ->Eval(row)->AsInt(), 5);
+  EXPECT_EQ(Bin(BinaryOp::kSub, Lit(Value::Int(2)), Lit(Value::Int(3)))
+                ->Eval(row)->AsInt(), -1);
+  EXPECT_EQ(Bin(BinaryOp::kMul, Lit(Value::Int(4)), Lit(Value::Int(3)))
+                ->Eval(row)->AsInt(), 12);
+  // Integer division truncates — this matters for paper Query 2
+  // (Count/Population over INT columns).
+  EXPECT_EQ(Bin(BinaryOp::kDiv, Lit(Value::Int(7)), Lit(Value::Int(2)))
+                ->Eval(row)->AsInt(), 3);
+  EXPECT_EQ(Bin(BinaryOp::kMod, Lit(Value::Int(7)), Lit(Value::Int(2)))
+                ->Eval(row)->AsInt(), 1);
+}
+
+TEST(ExprTest, MixedArithmeticWidensToDouble) {
+  Row row;
+  auto v = Bin(BinaryOp::kDiv, Lit(Value::Int(7)), Lit(Value::Real(2.0)))
+               ->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 3.5);
+}
+
+TEST(ExprTest, DivisionByZeroFails) {
+  Row row;
+  EXPECT_FALSE(Bin(BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0)))
+                   ->Eval(row).ok());
+  EXPECT_FALSE(Bin(BinaryOp::kMod, Lit(Value::Int(1)), Lit(Value::Int(0)))
+                   ->Eval(row).ok());
+  EXPECT_FALSE(
+      Bin(BinaryOp::kDiv, Lit(Value::Real(1)), Lit(Value::Real(0)))
+          ->Eval(row).ok());
+}
+
+TEST(ExprTest, ArithmeticOnStringsFails) {
+  Row row;
+  EXPECT_FALSE(Bin(BinaryOp::kAdd, Lit(Value::Str("a")),
+                   Lit(Value::Int(1)))->Eval(row).ok());
+}
+
+TEST(ExprTest, NullPropagatesThroughArithmetic) {
+  Row row;
+  auto v = Bin(BinaryOp::kAdd, Lit(Value::Null()), Lit(Value::Int(1)))
+               ->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, Comparisons) {
+  Row row;
+  EXPECT_EQ(Bin(BinaryOp::kLt, Lit(Value::Int(1)), Lit(Value::Int(2)))
+                ->Eval(row)->AsInt(), 1);
+  EXPECT_EQ(Bin(BinaryOp::kGe, Lit(Value::Int(1)), Lit(Value::Int(2)))
+                ->Eval(row)->AsInt(), 0);
+  EXPECT_EQ(Bin(BinaryOp::kEq, Lit(Value::Str("a")), Lit(Value::Str("a")))
+                ->Eval(row)->AsInt(), 1);
+  EXPECT_EQ(Bin(BinaryOp::kNe, Lit(Value::Str("a")), Lit(Value::Str("b")))
+                ->Eval(row)->AsInt(), 1);
+  // Cross int/double comparison.
+  EXPECT_EQ(Bin(BinaryOp::kEq, Lit(Value::Int(2)), Lit(Value::Real(2.0)))
+                ->Eval(row)->AsInt(), 1);
+}
+
+TEST(ExprTest, StringNumericComparisonFails) {
+  Row row;
+  EXPECT_FALSE(Bin(BinaryOp::kEq, Lit(Value::Str("1")),
+                   Lit(Value::Int(1)))->Eval(row).ok());
+}
+
+TEST(ExprTest, ComparisonWithNullIsNull) {
+  Row row;
+  auto v = Bin(BinaryOp::kEq, Lit(Value::Null()), Lit(Value::Int(1)))
+               ->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(ExprTest, LogicShortCircuits) {
+  Row row;
+  // AND with false left never evaluates (division by zero on) right.
+  auto e = Bin(BinaryOp::kAnd, Lit(Value::Int(0)),
+               Bin(BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0))));
+  auto v = e->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 0);
+
+  auto e2 = Bin(BinaryOp::kOr, Lit(Value::Int(1)),
+                Bin(BinaryOp::kDiv, Lit(Value::Int(1)), Lit(Value::Int(0))));
+  EXPECT_EQ(e2->Eval(row)->AsInt(), 1);
+}
+
+TEST(ExprTest, NullIsFalseInLogic) {
+  Row row;
+  EXPECT_EQ(Bin(BinaryOp::kAnd, Lit(Value::Null()), Lit(Value::Int(1)))
+                ->Eval(row)->AsInt(), 0);
+  EXPECT_EQ(Bin(BinaryOp::kOr, Lit(Value::Null()), Lit(Value::Int(1)))
+                ->Eval(row)->AsInt(), 1);
+}
+
+TEST(ExprTest, UnaryOperators) {
+  Row row;
+  EXPECT_EQ(std::make_unique<BoundUnary>(UnaryOp::kNeg, Lit(Value::Int(5)))
+                ->Eval(row)->AsInt(), -5);
+  EXPECT_DOUBLE_EQ(
+      std::make_unique<BoundUnary>(UnaryOp::kNeg, Lit(Value::Real(2.5)))
+          ->Eval(row)->AsDouble(), -2.5);
+  EXPECT_EQ(std::make_unique<BoundUnary>(UnaryOp::kNot, Lit(Value::Int(0)))
+                ->Eval(row)->AsInt(), 1);
+  EXPECT_FALSE(
+      std::make_unique<BoundUnary>(UnaryOp::kNeg, Lit(Value::Str("x")))
+          ->Eval(row).ok());
+}
+
+TEST(ExprTest, PlaceholderOperationsFail) {
+  Row row({Value::Pending(9, 0)});
+  auto e = Bin(BinaryOp::kAdd, Col(0), Lit(Value::Int(1)));
+  auto v = e->Eval(row);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kExecutionError);
+  // But a bare column reference passes the placeholder through —
+  // projections may copy incomplete values (paper §4.5.2 case 2 is
+  // handled by the rewriter, not the evaluator).
+  EXPECT_TRUE(Col(0)->Eval(row)->is_placeholder());
+}
+
+TEST(ExprTest, EvalPredicate) {
+  Row row({Value::Int(5)});
+  auto e = Bin(BinaryOp::kGt, Col(0), Lit(Value::Int(3)));
+  EXPECT_TRUE(*EvalPredicate(*e, row));
+  Row row2({Value::Int(2)});
+  EXPECT_FALSE(*EvalPredicate(*e, row2));
+  // NULL predicate result is false.
+  auto n = Bin(BinaryOp::kGt, Lit(Value::Null()), Lit(Value::Int(3)));
+  EXPECT_FALSE(*EvalPredicate(*n, row));
+}
+
+TEST(ExprTest, OutputTypeInference) {
+  auto cmp = Bin(BinaryOp::kLt, Col(0), Lit(Value::Int(1)));
+  EXPECT_EQ(cmp->OutputType(), TypeId::kInt64);
+  auto mixed = Bin(BinaryOp::kAdd, Col(0), Lit(Value::Real(1.0)));
+  EXPECT_EQ(mixed->OutputType(), TypeId::kDouble);
+  auto ints = Bin(BinaryOp::kAdd, Col(0), Lit(Value::Int(1)));
+  EXPECT_EQ(ints->OutputType(), TypeId::kInt64);
+}
+
+TEST(ExprTest, CollectColumns) {
+  auto e = Bin(BinaryOp::kAdd, Col(2), Bin(BinaryOp::kMul, Col(0), Col(2)));
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 2u);
+  EXPECT_EQ(cols[1], 0u);
+}
+
+TEST(ExprTest, RemapColumns) {
+  auto e = Bin(BinaryOp::kAdd, Col(0), Col(2));
+  std::vector<int> mapping = {5, -1, 7};
+  ASSERT_TRUE(e->RemapColumns(mapping).ok());
+  std::vector<size_t> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols[0], 5u);
+  EXPECT_EQ(cols[1], 7u);
+}
+
+TEST(ExprTest, RemapToUnavailableColumnFails) {
+  auto e = Col(1);
+  std::vector<int> mapping = {0, -1};
+  EXPECT_FALSE(e->RemapColumns(mapping).ok());
+}
+
+TEST(ExprTest, LikeMatchPatterns) {
+  EXPECT_TRUE(LikeMatch("colorado", "colorado"));
+  EXPECT_TRUE(LikeMatch("colorado", "colo%"));
+  EXPECT_TRUE(LikeMatch("colorado", "%rado"));
+  EXPECT_TRUE(LikeMatch("colorado", "%lor%"));
+  EXPECT_TRUE(LikeMatch("colorado", "c_l_r_d_"));
+  EXPECT_TRUE(LikeMatch("colorado", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "a%b%c"));
+  EXPECT_FALSE(LikeMatch("colorado", "utah%"));
+  EXPECT_FALSE(LikeMatch("colorado", "colorado_"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_FALSE(LikeMatch("abc", ""));
+  // Backtracking stress: the classic pathological pattern.
+  EXPECT_TRUE(LikeMatch("aaaaaaaaab", "a%a%a%b"));
+  EXPECT_FALSE(LikeMatch("aaaaaaaaaa", "a%a%a%b"));
+}
+
+TEST(ExprTest, LikeOperatorEval) {
+  Row row({Value::Str("New Mexico")});
+  auto e = Bin(BinaryOp::kLike, Col(0, TypeId::kString),
+               Lit(Value::Str("New%")));
+  EXPECT_EQ(e->Eval(row)->AsInt(), 1);
+  auto miss = Bin(BinaryOp::kLike, Col(0, TypeId::kString),
+                  Lit(Value::Str("Old%")));
+  EXPECT_EQ(miss->Eval(row)->AsInt(), 0);
+  // Non-string operands are a type error; NULL propagates.
+  auto bad = Bin(BinaryOp::kLike, Lit(Value::Int(1)),
+                 Lit(Value::Str("%")));
+  EXPECT_FALSE(bad->Eval(row).ok());
+  auto null = Bin(BinaryOp::kLike, Lit(Value::Null()),
+                  Lit(Value::Str("%")));
+  EXPECT_TRUE(null->Eval(row)->is_null());
+}
+
+TEST(ExprTest, ScalarFunctions) {
+  Row row({Value::Str("MiXeD"), Value::Int(-7), Value::Real(-2.5)});
+  auto make = [&](ScalarFunc f, BoundExprPtr arg) {
+    std::vector<BoundExprPtr> args;
+    args.push_back(std::move(arg));
+    return std::make_unique<BoundFunction>(f, std::move(args));
+  };
+  EXPECT_EQ(make(ScalarFunc::kUpper, Col(0, TypeId::kString))
+                ->Eval(row)->AsString(), "MIXED");
+  EXPECT_EQ(make(ScalarFunc::kLower, Col(0, TypeId::kString))
+                ->Eval(row)->AsString(), "mixed");
+  EXPECT_EQ(make(ScalarFunc::kLength, Col(0, TypeId::kString))
+                ->Eval(row)->AsInt(), 5);
+  EXPECT_EQ(make(ScalarFunc::kAbs, Col(1))->Eval(row)->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(make(ScalarFunc::kAbs, Col(2, TypeId::kDouble))
+                       ->Eval(row)->AsDouble(), 2.5);
+  // Type errors and NULL propagation.
+  EXPECT_FALSE(make(ScalarFunc::kUpper, Col(1))->Eval(row).ok());
+  EXPECT_FALSE(
+      make(ScalarFunc::kAbs, Col(0, TypeId::kString))->Eval(row).ok());
+  EXPECT_TRUE(make(ScalarFunc::kLength, Lit(Value::Null()))
+                  ->Eval(row)->is_null());
+}
+
+TEST(ExprTest, ScalarFuncLookup) {
+  ScalarFunc f;
+  EXPECT_TRUE(LookupScalarFunc("upper", &f));
+  EXPECT_EQ(f, ScalarFunc::kUpper);
+  EXPECT_TRUE(LookupScalarFunc("LENGTH", &f));
+  EXPECT_FALSE(LookupScalarFunc("COUNT", &f));
+  EXPECT_FALSE(LookupScalarFunc("nope", &f));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = Bin(BinaryOp::kAdd, Col(0), Lit(Value::Int(1)));
+  auto c = e->Clone();
+  std::vector<int> mapping = {4};
+  ASSERT_TRUE(c->RemapColumns(mapping).ok());
+  std::vector<size_t> orig_cols;
+  e->CollectColumns(&orig_cols);
+  EXPECT_EQ(orig_cols[0], 0u);  // original untouched
+}
+
+}  // namespace
+}  // namespace wsq

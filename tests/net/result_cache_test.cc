@@ -1,0 +1,144 @@
+#include "net/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "net/simulated_service.h"
+
+namespace wsq {
+namespace {
+
+SearchResponse CountResponse(int64_t n) {
+  SearchResponse r;
+  r.count = n;
+  return r;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  cache.Put("k", CountResponse(7));
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->count, 7);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, LruEviction) {
+  ResultCache cache(2);
+  cache.Put("a", CountResponse(1));
+  cache.Put("b", CountResponse(2));
+  ASSERT_TRUE(cache.Get("a").has_value());  // a becomes MRU
+  cache.Put("c", CountResponse(3));         // evicts b
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, PutUpdatesExistingKey) {
+  ResultCache cache(2);
+  cache.Put("a", CountResponse(1));
+  cache.Put("a", CountResponse(9));
+  EXPECT_EQ(cache.Get("a")->count, 9);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, TtlExpiry) {
+  ResultCache cache(4, /*ttl_micros=*/20000);
+  cache.Put("a", CountResponse(1));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(ResultCacheTest, ClearEmpties) {
+  ResultCache cache(4);
+  cache.Put("a", CountResponse(1));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(ResultCacheTest, ZeroCapacityClampedToOne) {
+  ResultCache cache(0);
+  cache.Put("a", CountResponse(1));
+  EXPECT_TRUE(cache.Get("a").has_value());
+  cache.Put("b", CountResponse(2));
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+class CachingServiceTest : public ::testing::Test {
+ protected:
+  CachingServiceTest() {
+    CorpusConfig cfg;
+    cfg.num_documents = 200;
+    cfg.vocab_size = 150;
+    cfg.seed = 9;
+    corpus_ = std::make_unique<Corpus>(
+        Corpus::Generate(cfg, {{"colorado", 2.0}}));
+    SearchEngineConfig ecfg;
+    ecfg.name = "AltaVista";
+    engine_ = std::make_unique<SearchEngine>(corpus_.get(), ecfg);
+    SimulatedSearchService::Options opt;
+    opt.latency = LatencyModel::Fixed(20000);
+    service_ = std::make_unique<SimulatedSearchService>(engine_.get(), opt);
+    cache_ = std::make_unique<ResultCache>(16);
+    caching_ = std::make_unique<CachingSearchService>(service_.get(),
+                                                      cache_.get());
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<SimulatedSearchService> service_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<CachingSearchService> caching_;
+};
+
+TEST_F(CachingServiceTest, RepeatedRequestServedFromCache) {
+  SearchRequest req;
+  req.query = "colorado";
+
+  Stopwatch first;
+  SearchResponse r1 = caching_->Execute(req);
+  int64_t first_micros = first.ElapsedMicros();
+  ASSERT_TRUE(r1.status.ok());
+
+  Stopwatch second;
+  SearchResponse r2 = caching_->Execute(req);
+  int64_t second_micros = second.ElapsedMicros();
+  ASSERT_TRUE(r2.status.ok());
+
+  EXPECT_EQ(r1.count, r2.count);
+  EXPECT_GE(first_micros, 15000);   // paid simulated latency
+  EXPECT_LT(second_micros, 5000);   // served locally
+  EXPECT_EQ(service_->stats().total_requests, 1u);
+  EXPECT_EQ(cache_->stats().hits, 1u);
+}
+
+TEST_F(CachingServiceTest, DifferentQueriesNotConflated) {
+  SearchRequest a;
+  a.query = "colorado";
+  SearchRequest b;
+  b.query = "colorado near colorado";
+  SearchResponse ra = caching_->Execute(a);
+  SearchResponse rb = caching_->Execute(b);
+  EXPECT_EQ(service_->stats().total_requests, 2u);
+  EXPECT_GE(ra.count, rb.count);
+}
+
+TEST_F(CachingServiceTest, FailedResponsesNotCached) {
+  SearchRequest bad;
+  bad.query = "";
+  SearchResponse r1 = caching_->Execute(bad);
+  EXPECT_FALSE(r1.status.ok());
+  caching_->Execute(bad);
+  // Both attempts reached the backing service.
+  EXPECT_EQ(service_->stats().total_requests, 2u);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,166 @@
+#include "net/retry_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "net/simulated_service.h"
+
+namespace wsq {
+namespace {
+
+/// Fails the first `failures_` requests it sees, then delegates.
+class FlakyService : public SearchService {
+ public:
+  FlakyService(SearchService* wrapped, int failures)
+      : wrapped_(wrapped), remaining_failures_(failures) {}
+
+  const std::string& name() const override { return wrapped_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override {
+    ++total_requests_;
+    if (remaining_failures_.fetch_sub(1) > 0) {
+      done(SearchResponse{Status::IOError("engine unavailable"), 0, {}});
+      return;
+    }
+    wrapped_->Submit(std::move(request), std::move(done));
+  }
+
+  int total_requests() const { return total_requests_.load(); }
+
+ private:
+  SearchService* wrapped_;
+  std::atomic<int> remaining_failures_;
+  std::atomic<int> total_requests_{0};
+};
+
+class RetryServiceTest : public ::testing::Test {
+ protected:
+  RetryServiceTest() {
+    CorpusConfig cfg;
+    cfg.num_documents = 300;
+    cfg.vocab_size = 200;
+    cfg.seed = 3;
+    corpus_ = std::make_unique<Corpus>(
+        Corpus::Generate(cfg, {{"colorado", 2.0}}));
+    SearchEngineConfig ecfg;
+    ecfg.name = "AltaVista";
+    engine_ = std::make_unique<SearchEngine>(corpus_.get(), ecfg);
+    SimulatedSearchService::Options opt;
+    opt.latency = LatencyModel::Instant();
+    backend_ = std::make_unique<SimulatedSearchService>(engine_.get(),
+                                                        opt);
+  }
+
+  SearchRequest CountRequest() {
+    SearchRequest req;
+    req.kind = SearchRequest::Kind::kCount;
+    req.query = "colorado";
+    return req;
+  }
+
+  RetryPolicy FastPolicy(int attempts) {
+    RetryPolicy policy;
+    policy.max_attempts = attempts;
+    policy.initial_backoff_micros = 500;
+    policy.backoff_multiplier = 2.0;
+    return policy;
+  }
+
+  std::unique_ptr<Corpus> corpus_;
+  std::unique_ptr<SearchEngine> engine_;
+  std::unique_ptr<SimulatedSearchService> backend_;
+};
+
+TEST_F(RetryServiceTest, SucceedsWithoutRetriesOnHealthyBackend) {
+  RetryingSearchService retry(backend_.get(), FastPolicy(3));
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_GT(resp.count, 0);
+  EXPECT_EQ(retry.stats().attempts, 1u);
+  EXPECT_EQ(retry.stats().retries, 0u);
+}
+
+TEST_F(RetryServiceTest, RecoversFromTransientFailures) {
+  FlakyService flaky(backend_.get(), /*failures=*/2);
+  RetryingSearchService retry(&flaky, FastPolicy(3));
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_GT(resp.count, 0);
+  RetryStats stats = retry.stats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.gave_up, 0u);
+}
+
+TEST_F(RetryServiceTest, GivesUpAfterMaxAttempts) {
+  FlakyService flaky(backend_.get(), /*failures=*/100);
+  RetryingSearchService retry(&flaky, FastPolicy(3));
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_FALSE(resp.status.ok());
+  EXPECT_EQ(resp.status.code(), StatusCode::kIOError);
+  RetryStats stats = retry.stats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.gave_up, 1u);
+  EXPECT_EQ(flaky.total_requests(), 3);
+}
+
+TEST_F(RetryServiceTest, SingleAttemptPolicyNeverRetries) {
+  FlakyService flaky(backend_.get(), /*failures=*/1);
+  RetryingSearchService retry(&flaky, FastPolicy(1));
+  SearchResponse resp = retry.Execute(CountRequest());
+  EXPECT_FALSE(resp.status.ok());
+  EXPECT_EQ(retry.stats().retries, 0u);
+}
+
+TEST_F(RetryServiceTest, BackoffDelaysRetry) {
+  FlakyService flaky(backend_.get(), /*failures=*/2);
+  RetryPolicy policy = FastPolicy(3);
+  policy.initial_backoff_micros = 15000;  // 15 ms + 30 ms backoffs
+  RetryingSearchService retry(&flaky, policy);
+  Stopwatch timer;
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_GE(timer.ElapsedMicros(), 40000);
+}
+
+TEST_F(RetryServiceTest, ConcurrentRequestsEachRetryIndependently) {
+  FlakyService flaky(backend_.get(), /*failures=*/8);
+  RetryingSearchService retry(&flaky, FastPolicy(4));
+  std::atomic<int> ok{0};
+  const int kRequests = 16;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done_count = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    retry.Submit(CountRequest(), [&](SearchResponse resp) {
+      if (resp.status.ok()) ++ok;
+      std::lock_guard<std::mutex> lock(mu);
+      ++done_count;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done_count == kRequests; });
+  // All 16 eventually succeed: only 8 failures were injected and each
+  // request tolerates 3.
+  EXPECT_EQ(ok.load(), kRequests);
+}
+
+TEST_F(RetryServiceTest, DestructorWaitsForInFlightRetries) {
+  FlakyService flaky(backend_.get(), /*failures=*/1);
+  std::atomic<bool> completed{false};
+  {
+    RetryPolicy policy = FastPolicy(2);
+    policy.initial_backoff_micros = 20000;
+    RetryingSearchService retry(&flaky, policy);
+    retry.Submit(CountRequest(),
+                 [&](SearchResponse) { completed = true; });
+    // Destructor must block until the backed-off retry completes.
+  }
+  EXPECT_TRUE(completed.load());
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,118 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+std::vector<Token> Lex(std::string_view sql) {
+  Lexer lexer(sql);
+  auto r = lexer.Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto toks = Lex("select SeLeCt SELECT");
+  ASSERT_EQ(toks.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kSelect);
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto toks = Lex("WebCount_AV t1");
+  EXPECT_EQ(toks[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[0].text, "WebCount_AV");
+  EXPECT_EQ(toks[1].text, "t1");
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  auto toks = Lex("12345");
+  EXPECT_EQ(toks[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(toks[0].int_value, 12345);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto toks = Lex("3.25 1e3 2.5E-2");
+  EXPECT_EQ(toks[0].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 3.25);
+  EXPECT_EQ(toks[1].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.025);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto toks = Lex("'four corners' 'it''s'");
+  EXPECT_EQ(toks[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(toks[0].text, "four corners");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto toks = Lex(", . ; ( ) * + - / % = <> != < <= > >=");
+  std::vector<TokenType> expected = {
+      TokenType::kComma, TokenType::kDot,   TokenType::kSemicolon,
+      TokenType::kLParen, TokenType::kRParen, TokenType::kStar,
+      TokenType::kPlus,  TokenType::kMinus, TokenType::kSlash,
+      TokenType::kPercent, TokenType::kEq,  TokenType::kNe,
+      TokenType::kNe,    TokenType::kLt,    TokenType::kLe,
+      TokenType::kGt,    TokenType::kGe,    TokenType::kEof};
+  ASSERT_EQ(toks.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(toks[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  auto toks = Lex("select -- this is a comment\n42");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].type, TokenType::kSelect);
+  EXPECT_EQ(toks[1].type, TokenType::kIntegerLiteral);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto toks = Lex("select\n  from");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].column, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  Lexer lexer("select @");
+  auto r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, TypeKeywordAliases) {
+  auto toks = Lex("int integer bigint double float real string text varchar");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(toks[i].type, TokenType::kTypeInt);
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kTypeDouble);
+  }
+  for (int i = 6; i < 9; ++i) {
+    EXPECT_EQ(toks[i].type, TokenType::kTypeString);
+  }
+}
+
+TEST(LexerTest, MinusVersusCommentDisambiguation) {
+  auto toks = Lex("1 - 2");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].type, TokenType::kMinus);
+}
+
+}  // namespace
+}  // namespace wsq

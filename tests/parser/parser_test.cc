@@ -1,0 +1,233 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+std::unique_ptr<SelectStatement> MustSelect(std::string_view sql) {
+  auto r = Parser::ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto s = MustSelect("SELECT Name FROM States");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->select_list.size(), 1u);
+  EXPECT_EQ(s->select_list[0].expr->ToString(), "Name");
+  ASSERT_EQ(s->from.size(), 1u);
+  EXPECT_EQ(s->from[0].table, "States");
+  EXPECT_EQ(s->where, nullptr);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto s = MustSelect("SELECT * FROM Sigs");
+  ASSERT_EQ(s->select_list.size(), 1u);
+  EXPECT_EQ(s->select_list[0].expr->kind(), ParsedExpr::Kind::kStar);
+}
+
+TEST(ParserTest, PaperQuery1) {
+  auto s = MustSelect(
+      "Select Name, Count From States, WebCount "
+      "Where Name = T1 Order By Count Desc");
+  ASSERT_EQ(s->select_list.size(), 2u);
+  ASSERT_EQ(s->from.size(), 2u);
+  EXPECT_EQ(s->from[1].table, "WebCount");
+  ASSERT_NE(s->where, nullptr);
+  EXPECT_EQ(s->where->ToString(), "(Name = T1)");
+  ASSERT_EQ(s->order_by.size(), 1u);
+  EXPECT_TRUE(s->order_by[0].descending);
+}
+
+TEST(ParserTest, PaperQuery2WithArithmeticAlias) {
+  auto s = MustSelect(
+      "Select Name, Count/Population As C From States, WebCount "
+      "Where Name = T1 Order By C Desc");
+  EXPECT_EQ(s->select_list[1].alias, "C");
+  EXPECT_EQ(s->select_list[1].expr->ToString(), "(Count / Population)");
+}
+
+TEST(ParserTest, PaperQuery4WithTableAliases) {
+  auto s = MustSelect(
+      "Select Capital, C.Count, Name, S.Count "
+      "From States, WebCount C, WebCount S "
+      "Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count");
+  ASSERT_EQ(s->from.size(), 3u);
+  EXPECT_EQ(s->from[1].table, "WebCount");
+  EXPECT_EQ(s->from[1].alias, "C");
+  EXPECT_EQ(s->from[2].alias, "S");
+  EXPECT_EQ(s->select_list[1].expr->ToString(), "C.Count");
+}
+
+TEST(ParserTest, WhereConjunctionNesting) {
+  auto s = MustSelect("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3");
+  // Left-associative AND chain.
+  EXPECT_EQ(s->where->ToString(), "(((x = 1) AND (y = 2)) AND (z = 3))");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto e = Parser::ParseExpression("1 + 2 * 3 - 4 / 2").value();
+  EXPECT_EQ(e->ToString(), "((1 + (2 * 3)) - (4 / 2))");
+  auto cmp = Parser::ParseExpression("a + 1 < b * 2 AND NOT c = 3 OR d > 0").value();
+  EXPECT_EQ(cmp->ToString(),
+            "((((a + 1) < (b * 2)) AND NOT ((c = 3))) OR (d > 0))");
+}
+
+TEST(ParserTest, UnaryMinusAndParens) {
+  auto e = Parser::ParseExpression("-(1 + 2) * 3").value();
+  EXPECT_EQ(e->ToString(), "(-((1 + 2)) * 3)");
+}
+
+TEST(ParserTest, StringLiteralPredicate) {
+  auto s = MustSelect(
+      "Select Name, Count From States, WebCount "
+      "Where Name = T1 and T2 = 'four corners' Order By Count Desc");
+  EXPECT_EQ(s->where->ToString(),
+            "((Name = T1) AND (T2 = 'four corners'))");
+}
+
+TEST(ParserTest, DistinctGroupByHavingLimit) {
+  auto s = MustSelect(
+      "SELECT DISTINCT a, COUNT(*) FROM t GROUP BY a "
+      "HAVING COUNT(*) > 2 ORDER BY a LIMIT 10");
+  EXPECT_TRUE(s->distinct);
+  ASSERT_EQ(s->group_by.size(), 1u);
+  ASSERT_NE(s->having, nullptr);
+  ASSERT_TRUE(s->limit.has_value());
+  EXPECT_EQ(*s->limit, 10);
+  EXPECT_EQ(s->select_list[1].expr->ToString(), "COUNT(*)");
+}
+
+TEST(ParserTest, FunctionCallArguments) {
+  auto e = Parser::ParseExpression("SUM(a + b)").value();
+  const auto& f = static_cast<const FuncExpr&>(*e);
+  EXPECT_EQ(f.name(), "SUM");
+  ASSERT_EQ(f.args().size(), 1u);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto r = Parser::Parse(
+      "CREATE TABLE States (Name STRING, Population INT, Capital TEXT)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* stmt = static_cast<CreateTableStatement*>(r->get());
+  ASSERT_EQ(stmt->kind(), Statement::Kind::kCreateTable);
+  EXPECT_EQ(stmt->table, "States");
+  ASSERT_EQ(stmt->columns.size(), 3u);
+  EXPECT_EQ(stmt->columns[1].type, TypeId::kInt64);
+  EXPECT_EQ(stmt->columns[2].type, TypeId::kString);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto r = Parser::Parse(
+      "INSERT INTO t VALUES ('a', 1), ('b', -2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* stmt = static_cast<InsertStatement*>(r->get());
+  ASSERT_EQ(stmt->rows.size(), 2u);
+  ASSERT_EQ(stmt->rows[0].size(), 2u);
+  EXPECT_EQ(stmt->rows[1][1]->ToString(), "-(2)");
+}
+
+TEST(ParserTest, ExplainVariants) {
+  auto r = Parser::Parse("EXPLAIN SELECT a FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(static_cast<ExplainStatement*>(r->get())->async);
+
+  auto r2 = Parser::Parse("EXPLAIN ASYNC SELECT a FROM t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(static_cast<ExplainStatement*>(r2->get())->async);
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(Parser::Parse("SELECT a FROM t;").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parser::Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t ORDER a").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t LIMIT 'x'").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT a FROM t extra garbage ,").ok());
+  EXPECT_FALSE(Parser::Parse("CREATE TABLE t ()").ok());
+  EXPECT_FALSE(Parser::Parse("").ok());
+}
+
+TEST(ParserTest, ErrorsCarryLocation) {
+  auto r = Parser::Parse("SELECT a FROM\nWHERE");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, BareAliasWithoutAs) {
+  auto s = MustSelect("SELECT Count C FROM WebCount W");
+  EXPECT_EQ(s->select_list[0].alias, "C");
+  EXPECT_EQ(s->from[0].alias, "W");
+}
+
+TEST(ParserTest, QualifiedStarRejected) {
+  EXPECT_FALSE(Parser::Parse("SELECT t.* FROM t").ok());
+}
+
+TEST(ParserTest, LikeOperatorParses) {
+  auto s = MustSelect("SELECT Name FROM States WHERE Name LIKE 'New%'");
+  EXPECT_EQ(s->where->ToString(), "(Name LIKE 'New%')");
+}
+
+TEST(ParserTest, CreateIndexStatement) {
+  auto r = Parser::Parse("CREATE INDEX ix_name ON States (Name)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* stmt = static_cast<CreateIndexStatement*>(r->get());
+  ASSERT_EQ(stmt->kind(), Statement::Kind::kCreateIndex);
+  EXPECT_EQ(stmt->index, "ix_name");
+  EXPECT_EQ(stmt->table, "States");
+  EXPECT_EQ(stmt->column, "Name");
+  EXPECT_FALSE(Parser::Parse("CREATE INDEX ON States (Name)").ok());
+  EXPECT_FALSE(Parser::Parse("CREATE INDEX ix States (Name)").ok());
+  EXPECT_FALSE(Parser::Parse("CREATE INDEX ix ON States Name").ok());
+}
+
+TEST(ParserTest, UpdateStatement) {
+  auto r = Parser::Parse(
+      "UPDATE T SET A = A + 1, B = 'x' WHERE A < 10");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* stmt = static_cast<UpdateStatement*>(r->get());
+  ASSERT_EQ(stmt->kind(), Statement::Kind::kUpdate);
+  EXPECT_EQ(stmt->table, "T");
+  ASSERT_EQ(stmt->assignments.size(), 2u);
+  EXPECT_EQ(stmt->assignments[0].column, "A");
+  EXPECT_EQ(stmt->assignments[0].value->ToString(), "(A + 1)");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_FALSE(Parser::Parse("UPDATE T A = 1").ok());
+  EXPECT_FALSE(Parser::Parse("UPDATE T SET").ok());
+}
+
+TEST(ParserTest, DeleteStatement) {
+  auto r = Parser::Parse("DELETE FROM T WHERE A = 1");
+  ASSERT_TRUE(r.ok());
+  auto* stmt = static_cast<DeleteStatement*>(r->get());
+  ASSERT_EQ(stmt->kind(), Statement::Kind::kDelete);
+  EXPECT_EQ(stmt->table, "T");
+  ASSERT_NE(stmt->where, nullptr);
+  auto all = Parser::Parse("DELETE FROM T");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(static_cast<DeleteStatement*>(all->get())->where, nullptr);
+}
+
+TEST(ParserTest, DropTableStatement) {
+  auto r = Parser::Parse("DROP TABLE T");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<DropTableStatement*>(r->get())->table, "T");
+  EXPECT_FALSE(Parser::Parse("DROP T").ok());
+}
+
+TEST(ParserTest, CloneProducesEqualText) {
+  auto e = Parser::ParseExpression("a.b + 3 * -c").value();
+  auto c = e->Clone();
+  EXPECT_EQ(e->ToString(), c->ToString());
+}
+
+}  // namespace
+}  // namespace wsq

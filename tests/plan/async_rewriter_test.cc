@@ -1,0 +1,306 @@
+#include "plan/async_rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "plan/binder.h"
+#include "storage/disk_manager.h"
+#include "wsq/web_tables.h"
+
+namespace wsq {
+namespace {
+
+class NullService : public SearchService {
+ public:
+  const std::string& name() const override { return name_; }
+  void Submit(SearchRequest, SearchCallback done) override {
+    done(SearchResponse{});
+  }
+
+ private:
+  std::string name_ = "null";
+};
+
+/// Fixture reproducing the paper's schema: Sigs(Name), CSFields(Name),
+/// States(...), R(X), plus AltaVista/Google virtual tables.
+class AsyncRewriterTest : public ::testing::Test {
+ protected:
+  AsyncRewriterTest() : pool_(64, &disk_), catalog_(&pool_) {
+    (void)*catalog_.CreateTable(
+        "Sigs", Schema({Column("Name", TypeId::kString)}));
+    (void)*catalog_.CreateTable(
+        "CSFields", Schema({Column("Name", TypeId::kString)}));
+    (void)*catalog_.CreateTable(
+        "States", Schema({Column("Name", TypeId::kString),
+                          Column("Population", TypeId::kInt64),
+                          Column("Capital", TypeId::kString)}));
+    (void)*catalog_.CreateTable("R",
+                                Schema({Column("X", TypeId::kInt64)}));
+    auto reg = [&](auto table) {
+      ASSERT_TRUE(vtables_.Register(std::move(table)).ok());
+    };
+    reg(std::make_unique<WebCountTable>("WebCount", &service_, true));
+    reg(std::make_unique<WebPagesTable>("WebPages", &service_, true));
+    reg(std::make_unique<WebCountTable>("WC_AV", &service_, true));
+    reg(std::make_unique<WebCountTable>("WC_Google", &service_, false));
+    reg(std::make_unique<WebPagesTable>("WP_AV", &service_, true));
+    reg(std::make_unique<WebPagesTable>("WP_Google", &service_, false));
+  }
+
+  PlanNodePtr Bind(const std::string& sql) {
+    auto stmt = Parser::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_, &vtables_);
+    auto plan = binder.Bind(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\n" << sql;
+    return plan.ok() ? std::move(plan).value() : nullptr;
+  }
+
+  std::string Rewritten(const std::string& sql,
+                        RewriteOptions options = RewriteOptions()) {
+    PlanNodePtr plan = Bind(sql);
+    auto rewritten = ApplyAsyncIteration(std::move(plan), options);
+    EXPECT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+    return rewritten.ok() ? (*rewritten)->ToString() : "";
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  NullService service_;
+  VirtualTableRegistry vtables_;
+};
+
+TEST_F(AsyncRewriterTest, Figure3SigsWebCount) {
+  // Paper Figure 3: ReqSync sits BELOW the Sort (which depends on the
+  // patched Count) and ABOVE the dependent join, so all 37 calls are
+  // outstanding together. (Our plans add the projection the figures
+  // leave implicit; the Sort clashes through it.)
+  std::string plan = Rewritten(
+      "Select * From Sigs, WebCount "
+      "Where Name = T1 and T2 = 'Knuth' Order By Count Desc");
+  EXPECT_EQ(plan,
+            "Sort: WebCount.Count desc\n"
+            "  ReqSync\n"
+            "    Project: Sigs.Name, WebCount.SearchExp, WebCount.T1, "
+            "WebCount.T2, WebCount.Count\n"
+            "      Dependent Join: Sigs.Name -> WebCount.T1\n"
+            "        Scan: Sigs\n"
+            "        AEVScan: WebCount (T2 = 'Knuth')\n");
+}
+
+TEST_F(AsyncRewriterTest, Figure4SigsWebPages) {
+  // Paper Figure 4: single ReqSync at the root above the dependent
+  // join (here: below the final projection, which passes all columns
+  // through as bare references).
+  std::string plan = Rewritten(
+      "Select * From Sigs, WebPages Where Name = T1 and Rank <= 3");
+  EXPECT_EQ(plan,
+            "ReqSync\n"
+            "  Project: Sigs.Name, WebPages.SearchExp, WebPages.T1, "
+            "WebPages.URL, WebPages.Rank, WebPages.Date\n"
+            "    Dependent Join: Sigs.Name -> WebPages.T1\n"
+            "      Scan: Sigs\n"
+            "      AEVScan: WebPages (Rank <= 3)\n");
+}
+
+TEST_F(AsyncRewriterTest, Figures5and6TwoEngineJoin) {
+  // Paper Figures 5/6(d): both ReqSyncs percolate above both dependent
+  // joins and consolidate into ONE ReqSync, enabling all 74 concurrent
+  // calls.
+  std::string plan = Rewritten(
+      "Select * From Sigs, WP_AV AV, WP_Google G "
+      "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+      "G.Rank <= 3");
+  EXPECT_EQ(plan,
+            "ReqSync\n"
+            "  Project: Sigs.Name, AV.SearchExp, AV.T1, AV.URL, AV.Rank, "
+            "AV.Date, G.SearchExp, G.T1, G.URL, G.Rank, G.Date\n"
+            "    Dependent Join: Sigs.Name -> G.T1\n"
+            "      Dependent Join: Sigs.Name -> AV.T1\n"
+            "        Scan: Sigs\n"
+            "        AEVScan: WP_AV AV (Rank <= 3)\n"
+            "      AEVScan: WP_Google G (Rank <= 3)\n");
+  // Exactly one ReqSync after consolidation, two AEVScans.
+}
+
+TEST_F(AsyncRewriterTest, Figure6bInsertOnlyAblation) {
+  // With percolation disabled (Figure 6(b)-style), each AEVScan keeps
+  // its own ReqSync right above its dependent join: concurrency is
+  // limited to one join's calls at a time.
+  std::string plan = Rewritten(
+      "Select * From Sigs, WP_AV AV, WP_Google G "
+      "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 3 and "
+      "G.Rank <= 3",
+      RewriteOptions{/*insert_only=*/true, /*consolidate=*/false,
+                     /*rewrite_clashing_joins=*/true});
+  EXPECT_EQ(plan,
+            "Project: Sigs.Name, AV.SearchExp, AV.T1, AV.URL, AV.Rank, "
+            "AV.Date, G.SearchExp, G.T1, G.URL, G.Rank, G.Date\n"
+            "  ReqSync\n"
+            "    Dependent Join: Sigs.Name -> G.T1\n"
+            "      ReqSync\n"
+            "        Dependent Join: Sigs.Name -> AV.T1\n"
+            "          Scan: Sigs\n"
+            "          AEVScan: WP_AV AV (Rank <= 3)\n"
+            "      AEVScan: WP_Google G (Rank <= 3)\n");
+}
+
+TEST_F(AsyncRewriterTest, Figure7CrossProductBetweenJoins) {
+  // Paper Figure 7(a): default percolation pulls a single consolidated
+  // ReqSync above the cross product with R.
+  std::string plan = Rewritten(
+      "Select * From Sigs, WC_AV AV, R, WC_Google G "
+      "Where Name = AV.T1 and Name = G.T1");
+  EXPECT_EQ(CountReqSyncs(*Bind(
+                "Select * From Sigs, WC_AV AV, R, WC_Google G "
+                "Where Name = AV.T1 and Name = G.T1")),
+            0u);
+  // One consolidated ReqSync; the cross product sits below it.
+  EXPECT_NE(plan.find("ReqSync\n"), std::string::npos) << plan;
+  size_t first = plan.find("ReqSync");
+  EXPECT_EQ(plan.find("ReqSync", first + 1), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Cross-Product"), std::string::npos) << plan;
+  size_t cross = plan.find("Cross-Product");
+  EXPECT_LT(first, cross) << plan;  // ReqSync above the ×
+}
+
+TEST_F(AsyncRewriterTest, Figure8JoinRewrittenAsSelectOverCross) {
+  // Paper Figure 8(b): the URL=URL join clashes with the pending
+  // WebPages outputs, so it becomes a selection over a cross-product
+  // with the (consolidated) ReqSync below the selection.
+  std::string plan = Rewritten(
+      "Select S.URL From Sigs, WebPages S, CSFields, WP_AV C "
+      "Where Sigs.Name = S.T1 and CSFields.Name = C.T1 and "
+      "S.Rank <= 5 and C.Rank <= 5 and S.URL = C.URL");
+  EXPECT_EQ(plan,
+            "Project: S.URL\n"
+            "  Select: (S.URL = C.URL)\n"
+            "    ReqSync\n"
+            "      Dependent Join: CSFields.Name -> C.T1\n"
+            "        Cross-Product\n"
+            "          Dependent Join: Sigs.Name -> S.T1\n"
+            "            Scan: Sigs\n"
+            "            AEVScan: WebPages S (Rank <= 5)\n"
+            "          Scan: CSFields\n"
+            "        AEVScan: WP_AV C (Rank <= 5)\n");
+}
+
+TEST_F(AsyncRewriterTest, ClashingStoredJoinRewrittenAsSelectOverCross) {
+  // Joining a stored table on a pending (patched) value: the nested-loop
+  // join clashes through its predicate and is rewritten join(p) -> sigma_p(x)
+  // so the ReqSync can pass the cross-product (section 4.5.2).
+  std::string sql =
+      "Select Sigs.Name From Sigs, WebCount, States "
+      "Where Sigs.Name = T1 and Count = States.Population";
+  std::string plan = Rewritten(sql);
+  size_t sel = plan.find("Select: (WebCount.Count = States.Population)");
+  size_t rs = plan.find("ReqSync");
+  size_t cross = plan.find("Cross-Product");
+  ASSERT_NE(sel, std::string::npos) << plan;
+  ASSERT_NE(cross, std::string::npos) << plan;
+  ASSERT_NE(rs, std::string::npos) << plan;
+  EXPECT_LT(sel, rs) << plan;     // selection above ReqSync
+  EXPECT_LT(rs, cross) << plan;   // ReqSync above the cross-product
+
+  // With the rewrite disabled the join stays and blocks percolation:
+  // the ReqSync remains below the join.
+  std::string blocked = Rewritten(
+      sql, RewriteOptions{false, true, /*rewrite_clashing_joins=*/false});
+  size_t join = blocked.find("Join: (WebCount.Count = States.Population)");
+  size_t rs2 = blocked.find("ReqSync");
+  ASSERT_NE(join, std::string::npos) << blocked;
+  ASSERT_NE(rs2, std::string::npos) << blocked;
+  EXPECT_LT(join, rs2) << blocked;
+}
+
+TEST_F(AsyncRewriterTest, AggregateBlocksPercolation) {
+  std::string plan = Rewritten(
+      "Select COUNT(*) From Sigs, WebCount Where Name = T1");
+  // ReqSync must stay below the Aggregate (clash case 3).
+  size_t agg = plan.find("Aggregate");
+  size_t rs = plan.find("ReqSync");
+  ASSERT_NE(agg, std::string::npos) << plan;
+  ASSERT_NE(rs, std::string::npos) << plan;
+  EXPECT_LT(agg, rs) << plan;
+}
+
+TEST_F(AsyncRewriterTest, DistinctBlocksPercolation) {
+  std::string plan = Rewritten(
+      "Select DISTINCT Count From Sigs, WebCount Where Name = T1");
+  size_t distinct = plan.find("Distinct");
+  size_t rs = plan.find("ReqSync");
+  ASSERT_NE(distinct, std::string::npos) << plan;
+  EXPECT_LT(distinct, rs) << plan;
+}
+
+TEST_F(AsyncRewriterTest, ProjectionComputingOnPatchedColumnClashes) {
+  // Count/Population computes on the pending Count: ReqSync must stay
+  // below the projection.
+  std::string plan = Rewritten(
+      "Select Name, Count/Population As C From States, WebCount "
+      "Where Name = T1 Order By C Desc");
+  size_t proj = plan.find("Project");
+  size_t rs = plan.find("ReqSync");
+  ASSERT_NE(proj, std::string::npos);
+  ASSERT_NE(rs, std::string::npos);
+  EXPECT_LT(proj, rs) << plan;
+}
+
+TEST_F(AsyncRewriterTest, ProjectionDroppingPatchedColumnClashes) {
+  // URL is projected away: cancellation/proliferation would break, so
+  // ReqSync stays below (clash case 2).
+  std::string plan = Rewritten(
+      "Select Name From States, WebPages Where Name = T1 and Rank <= 2");
+  size_t proj = plan.find("Project");
+  size_t rs = plan.find("ReqSync");
+  EXPECT_LT(proj, rs) << plan;
+}
+
+TEST_F(AsyncRewriterTest, AllScansBecomeAsync) {
+  PlanNodePtr plan = Bind(
+      "Select * From Sigs, WP_AV AV, WP_Google G "
+      "Where Name = AV.T1 and Name = G.T1");
+  ASSERT_EQ(CountAsyncScans(*plan), 0u);
+  auto rewritten = ApplyAsyncIteration(std::move(plan));
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(CountAsyncScans(**rewritten), 2u);
+  EXPECT_EQ(CountReqSyncs(**rewritten), 1u);
+}
+
+TEST_F(AsyncRewriterTest, PlanWithoutVirtualTablesUnchanged) {
+  PlanNodePtr plan = Bind("SELECT Name FROM States ORDER BY Name");
+  std::string before = plan->ToString();
+  auto rewritten = ApplyAsyncIteration(std::move(plan));
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ((*rewritten)->ToString(), before);
+  EXPECT_EQ(CountReqSyncs(**rewritten), 0u);
+}
+
+TEST_F(AsyncRewriterTest, ReqSyncSchemaMatchesChildAfterPercolation) {
+  auto rewritten = ApplyAsyncIteration(Bind(
+      "Select * From Sigs, WP_AV AV, WP_Google G "
+      "Where Name = AV.T1 and Name = G.T1"));
+  ASSERT_TRUE(rewritten.ok());
+  // Walk the tree: every ReqSync's schema equals its child's schema and
+  // its patched columns are valid indices.
+  std::vector<const PlanNode*> stack = {rewritten->get()};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    if (n->kind() == PlanNode::Kind::kReqSync) {
+      const auto* rs = static_cast<const ReqSyncNode*>(n);
+      EXPECT_EQ(rs->schema().NumColumns(),
+                rs->child(0)->schema().NumColumns());
+      for (size_t c : rs->patched_columns()) {
+        EXPECT_LT(c, rs->schema().NumColumns());
+      }
+    }
+    for (const auto& child : n->children()) {
+      stack.push_back(child.get());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,285 @@
+#include "plan/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "storage/disk_manager.h"
+#include "wsq/web_tables.h"
+
+namespace wsq {
+namespace {
+
+// A stub service: virtual tables need one to exist, but binder tests
+// never execute calls.
+class NullService : public SearchService {
+ public:
+  const std::string& name() const override { return name_; }
+  void Submit(SearchRequest, SearchCallback done) override {
+    done(SearchResponse{});
+  }
+
+ private:
+  std::string name_ = "null";
+};
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : pool_(64, &disk_), catalog_(&pool_) {
+    auto states = *catalog_.CreateTable(
+        "States", Schema({Column("Name", TypeId::kString),
+                          Column("Population", TypeId::kInt64),
+                          Column("Capital", TypeId::kString)}));
+    (void)states;
+    (void)*catalog_.CreateTable(
+        "Sigs", Schema({Column("Name", TypeId::kString)}));
+    (void)*catalog_.CreateTable(
+        "R", Schema({Column("X", TypeId::kInt64)}));
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebCountTable>(
+                        "WebCount", &service_, true))
+                    .ok());
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebPagesTable>(
+                        "WebPages", &service_, true))
+                    .ok());
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebPagesTable>(
+                        "WebPages_Google", &service_, false))
+                    .ok());
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebCountTable>(
+                        "WebCount_Google", &service_, false))
+                    .ok());
+  }
+
+  Result<PlanNodePtr> Bind(const std::string& sql) {
+    auto stmt = Parser::ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(&catalog_, &vtables_);
+    return binder.Bind(**stmt);
+  }
+
+  std::string MustPlan(const std::string& sql) {
+    auto plan = Bind(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString() << "\n" << sql;
+    return plan.ok() ? (*plan)->ToString() : "";
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  NullService service_;
+  VirtualTableRegistry vtables_;
+};
+
+TEST_F(BinderTest, SimpleScanProject) {
+  EXPECT_EQ(MustPlan("SELECT Name FROM States"),
+            "Project: States.Name\n"
+            "  Scan: States\n");
+}
+
+TEST_F(BinderTest, PaperQuery1Shape) {
+  // Figure 2's shape, plus the projection.
+  EXPECT_EQ(MustPlan("Select Name, Count From States, WebCount "
+                     "Where Name = T1 Order By Count Desc"),
+            "Sort: WebCount.Count desc\n"
+            "  Project: States.Name, WebCount.Count\n"
+            "    Dependent Join: States.Name -> WebCount.T1\n"
+            "      Scan: States\n"
+            "      EVScan: WebCount\n");
+}
+
+TEST_F(BinderTest, ConstantTermBecomesScanParameter) {
+  std::string plan =
+      MustPlan("Select * From Sigs, WebCount "
+               "Where Name = T1 and T2 = 'Knuth'");
+  EXPECT_NE(plan.find("EVScan: WebCount (T2 = 'Knuth')"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(BinderTest, RankRestrictionPushedIntoScan) {
+  std::string plan =
+      MustPlan("Select Name, URL, Rank From States, WebPages "
+               "Where Name = T1 and Rank <= 2 Order By Name, Rank");
+  EXPECT_NE(plan.find("EVScan: WebPages (Rank <= 2)"), std::string::npos)
+      << plan;
+  // Consumed: no residual filter on Rank.
+  EXPECT_EQ(plan.find("Select:"), std::string::npos) << plan;
+}
+
+TEST_F(BinderTest, DefaultRankLimitApplied) {
+  std::string plan = MustPlan(
+      "Select URL From States, WebPages Where Name = T1");
+  EXPECT_NE(plan.find("Rank <= 19"), std::string::npos) << plan;
+}
+
+TEST_F(BinderTest, StrictRankLessThanAdjusted) {
+  std::string plan = MustPlan(
+      "Select URL From States, WebPages Where Name = T1 and Rank < 5");
+  EXPECT_NE(plan.find("Rank <= 4"), std::string::npos) << plan;
+}
+
+TEST_F(BinderTest, PaperQuery4TwoWebCounts) {
+  std::string plan = MustPlan(
+      "Select Capital, C.Count, Name, S.Count "
+      "From States, WebCount C, WebCount S "
+      "Where Capital = C.T1 and Name = S.T1 and C.Count > S.Count");
+  // Two dependent joins and a residual filter over the counts.
+  EXPECT_EQ(plan,
+            "Project: States.Capital, C.Count, States.Name, S.Count\n"
+            "  Select: (C.Count > S.Count)\n"
+            "    Dependent Join: States.Name -> S.T1\n"
+            "      Dependent Join: States.Capital -> C.T1\n"
+            "        Scan: States\n"
+            "        EVScan: WebCount C\n"
+            "      EVScan: WebCount S\n");
+}
+
+TEST_F(BinderTest, PaperQuery6TwoEngines) {
+  std::string plan = MustPlan(
+      "Select Name, AV.URL From States, WebPages AV, "
+      "WebPages_Google G "
+      "Where Name = AV.T1 and Name = G.T1 and AV.Rank <= 5 and "
+      "G.Rank <= 5 and AV.URL = G.URL");
+  EXPECT_NE(plan.find("Select: (AV.URL = G.URL)"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("WebPages_Google G (Rank <= 5)"),
+            std::string::npos)
+      << plan;
+}
+
+TEST_F(BinderTest, StoredJoinUsesPredicate) {
+  std::string plan = MustPlan(
+      "SELECT s.Name FROM States s, Sigs g WHERE s.Name = g.Name");
+  EXPECT_NE(plan.find("Join: (s.Name = g.Name)"), std::string::npos)
+      << plan;
+}
+
+TEST_F(BinderTest, NoPredicateMakesCrossProduct) {
+  std::string plan = MustPlan("SELECT * FROM Sigs, R");
+  EXPECT_NE(plan.find("Cross-Product"), std::string::npos) << plan;
+}
+
+TEST_F(BinderTest, VirtualTableFirstWithConstants) {
+  std::string plan = MustPlan(
+      "SELECT Count FROM WebCount WHERE T1 = 'Colorado'");
+  EXPECT_EQ(plan,
+            "Project: WebCount.Count\n"
+            "  EVScan: WebCount (T1 = 'Colorado')\n");
+}
+
+TEST_F(BinderTest, ConstantSearchExpRaisesTermCount) {
+  // "%1 near %2" in SearchExp forces T1 and T2 to exist and be bound.
+  auto plan = Bind(
+      "SELECT Count FROM WebCount "
+      "WHERE SearchExp = '%1 near %2' AND T1 = 'a'");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("T2"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST_F(BinderTest, UnboundTermRejected) {
+  auto plan = Bind("SELECT Count FROM States, WebCount WHERE Name = T2");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("T1"), std::string::npos);
+}
+
+TEST_F(BinderTest, BindingFromLaterTableRejected) {
+  auto plan = Bind(
+      "SELECT Count FROM WebCount, States WHERE Name = T1");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("FROM"), std::string::npos)
+      << plan.status().ToString();
+}
+
+TEST_F(BinderTest, DoubleBindingRejected) {
+  EXPECT_FALSE(Bind("SELECT Count FROM States, WebCount "
+                    "WHERE Name = T1 AND T1 = 'x'")
+                   .ok());
+  EXPECT_FALSE(Bind("SELECT Count FROM States, WebCount "
+                    "WHERE Name = T1 AND Capital = T1")
+                   .ok());
+}
+
+TEST_F(BinderTest, InputInequalityRejected) {
+  auto plan = Bind("SELECT Count FROM States, WebCount WHERE T1 > Name");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("'='"), std::string::npos);
+}
+
+TEST_F(BinderTest, TwoVirtualInputsBoundTogetherRejected) {
+  EXPECT_FALSE(Bind("SELECT * FROM WebCount C, WebCount_Google G "
+                    "WHERE C.T1 = G.T1")
+                   .ok());
+}
+
+TEST_F(BinderTest, UnknownTableRejected) {
+  EXPECT_FALSE(Bind("SELECT * FROM Nope").ok());
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(Bind("SELECT * FROM States s, Sigs s").ok());
+}
+
+TEST_F(BinderTest, AmbiguousUnqualifiedTermRejected) {
+  auto plan = Bind(
+      "SELECT * FROM States, WebCount C, WebCount_Google G "
+      "WHERE Name = T1");
+  ASSERT_FALSE(plan.ok());
+}
+
+TEST_F(BinderTest, AggregateQueryShape) {
+  std::string plan = MustPlan(
+      "SELECT Capital, COUNT(*), SUM(Population) FROM States "
+      "GROUP BY Capital HAVING COUNT(*) > 0 ORDER BY Capital");
+  EXPECT_NE(plan.find("Aggregate: States.Capital, COUNT(*), "
+                      "SUM(States.Population)"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("Select: (COUNT(*) > 0)"), std::string::npos)
+      << plan;
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  EXPECT_FALSE(
+      Bind("SELECT Name, COUNT(*) FROM States GROUP BY Capital").ok());
+}
+
+TEST_F(BinderTest, HavingWithoutAggregatesRejected) {
+  EXPECT_FALSE(Bind("SELECT Name FROM States HAVING Name = 'x'").ok());
+}
+
+TEST_F(BinderTest, OrderByAliasBinds) {
+  std::string plan = MustPlan(
+      "Select Name, Count/Population As C From States, WebCount "
+      "Where Name = T1 Order By C Desc");
+  EXPECT_NE(plan.find("Sort: C desc"), std::string::npos) << plan;
+}
+
+TEST_F(BinderTest, OrderByMustUseOutputColumns) {
+  // Sort runs above the projection, so ordering on a column that was
+  // projected away is rejected (documented subset restriction).
+  EXPECT_FALSE(Bind("SELECT Name FROM States ORDER BY Population").ok());
+  EXPECT_FALSE(Bind("SELECT Name FROM States ORDER BY Nothing").ok());
+  EXPECT_TRUE(
+      Bind("SELECT Name, Population FROM States ORDER BY Population")
+          .ok());
+}
+
+TEST_F(BinderTest, DistinctAndLimit) {
+  std::string plan =
+      MustPlan("SELECT DISTINCT Capital FROM States LIMIT 5");
+  EXPECT_NE(plan.find("Limit: 5"), std::string::npos);
+  EXPECT_NE(plan.find("Distinct"), std::string::npos);
+}
+
+TEST_F(BinderTest, SelectStarExpandsVirtualColumns) {
+  auto plan = Bind("SELECT * FROM Sigs, WebCount WHERE Name = T1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Sigs.Name + WebCount(SearchExp, T1, Count) = 4 columns.
+  EXPECT_EQ((*plan)->schema().NumColumns(), 4u);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,176 @@
+#include "plan/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "plan/async_rewriter.h"
+#include "plan/binder.h"
+#include "storage/disk_manager.h"
+#include "wsq/web_tables.h"
+
+namespace wsq {
+namespace {
+
+class NullService : public SearchService {
+ public:
+  const std::string& name() const override { return name_; }
+  void Submit(SearchRequest, SearchCallback done) override {
+    done(SearchResponse{});
+  }
+
+ private:
+  std::string name_ = "null";
+};
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : pool_(64, &disk_), catalog_(&pool_) {
+    TableInfo* sigs = *catalog_.CreateTable(
+        "Sigs", Schema({Column("Name", TypeId::kString)}));
+    for (int i = 0; i < 37; ++i) {
+      EXPECT_TRUE(
+          sigs->Insert(Row({Value::Str("SIG" + std::to_string(i))}))
+              .ok());
+    }
+    TableInfo* r = *catalog_.CreateTable(
+        "R", Schema({Column("X", TypeId::kInt64)}));
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(r->Insert(Row({Value::Int(i)})).ok());
+    }
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebCountTable>(
+                        "WebCount", &service_, true))
+                    .ok());
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebPagesTable>(
+                        "WebPages", &service_, true))
+                    .ok());
+    EXPECT_TRUE(vtables_
+                    .Register(std::make_unique<WebPagesTable>(
+                        "WP_G", &service_, false))
+                    .ok());
+  }
+
+  PlanNodePtr Plan(const std::string& sql, bool async) {
+    auto stmt = Parser::ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Binder binder(&catalog_, &vtables_);
+    auto plan = binder.Bind(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    if (!async) return std::move(plan).value();
+    auto rewritten = ApplyAsyncIteration(std::move(plan).value());
+    EXPECT_TRUE(rewritten.ok());
+    return std::move(rewritten).value();
+  }
+
+  PlanCostEstimate Cost(const std::string& sql, bool async) {
+    PlanNodePtr plan = Plan(sql, async);
+    auto cost = EstimatePlanCost(*plan);
+    EXPECT_TRUE(cost.ok()) << cost.status().ToString();
+    return cost.ok() ? *cost : PlanCostEstimate{};
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+  NullService service_;
+  VirtualTableRegistry vtables_;
+};
+
+TEST_F(CostModelTest, StoredScanUsesHeapCount) {
+  PlanCostEstimate c = Cost("SELECT Name FROM Sigs", false);
+  EXPECT_DOUBLE_EQ(c.output_rows, 37);
+  EXPECT_DOUBLE_EQ(c.external_calls, 0);
+  EXPECT_DOUBLE_EQ(c.max_concurrent_calls, 0);
+}
+
+TEST_F(CostModelTest, DependentJoinChargesOneCallPerLeftRow) {
+  const char* sql =
+      "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1";
+  PlanCostEstimate sync = Cost(sql, false);
+  EXPECT_DOUBLE_EQ(sync.external_calls, 37);
+  EXPECT_DOUBLE_EQ(sync.max_concurrent_calls, 1);  // blocking calls
+
+  PlanCostEstimate async = Cost(sql, true);
+  EXPECT_DOUBLE_EQ(async.external_calls, 37);
+  EXPECT_DOUBLE_EQ(async.max_concurrent_calls, 37);
+  EXPECT_DOUBLE_EQ(async.reqsync_buffered_tuples, 37);
+}
+
+TEST_F(CostModelTest, ConsolidatedPlanDoublesConcurrency) {
+  const char* sql =
+      "SELECT Name FROM Sigs, WebPages AV, WP_G G "
+      "WHERE Name = AV.T1 AND Name = G.T1 AND AV.Rank <= 3 AND "
+      "G.Rank <= 3";
+  // Consolidated plan: the second dependent join binds on PROVISIONAL
+  // tuples (one per Sig), so both joins issue 37 calls each.
+  PlanCostEstimate full = Cost(sql, true);
+  EXPECT_DOUBLE_EQ(full.external_calls, 74);
+  EXPECT_DOUBLE_EQ(full.max_concurrent_calls, 74);
+
+  // Insertion-only: each wave is one join's worth of calls.
+  auto stmt = Parser::ParseSelect(sql);
+  Binder binder(&catalog_, &vtables_);
+  RewriteOptions insert_only;
+  insert_only.insert_only = true;
+  insert_only.consolidate = false;
+  auto staged = ApplyAsyncIteration(
+      std::move(binder.Bind(**stmt)).value(), insert_only);
+  ASSERT_TRUE(staged.ok());
+  auto cost = EstimatePlanCost(**staged);
+  ASSERT_TRUE(cost.ok());
+  // The lower ReqSync patches the first join's results (37 x 1.8
+  // expected rows), so the second join issues one call per PATCHED
+  // tuple — the staged plan does more external work AND caps each
+  // wave's concurrency below the consolidated plan's 74.
+  EXPECT_NEAR(cost->external_calls, 37 + 37 * 1.8, 1e-9);
+  EXPECT_NEAR(cost->max_concurrent_calls, 37 * 1.8, 1e-9);
+}
+
+TEST_F(CostModelTest, WebPagesFanoutScalesRowsAndBuffer) {
+  PlanCostEstimate c = Cost(
+      "SELECT Name, URL FROM Sigs, WebPages "
+      "WHERE Name = T1 AND Rank <= 10",
+      true);
+  // 10 * 0.6 expected hits per Sig.
+  EXPECT_DOUBLE_EQ(c.output_rows, 37 * 6.0);
+  EXPECT_DOUBLE_EQ(c.external_calls, 37);
+}
+
+TEST_F(CostModelTest, CrossProductMultipliesBufferedTuples) {
+  // Figure 7 shape: R between the joins multiplies what the top
+  // ReqSync must buffer (the paper's Example 2 patch-volume concern).
+  PlanCostEstimate c = Cost(
+      "SELECT Sigs.Name FROM Sigs, WebCount, R WHERE Sigs.Name = T1",
+      true);
+  EXPECT_DOUBLE_EQ(c.reqsync_buffered_tuples, 37 * 4.0);
+}
+
+TEST_F(CostModelTest, FilterSelectivityApplied) {
+  PlanCostEstimate c = Cost(
+      "SELECT Name, Count FROM Sigs, WebCount "
+      "WHERE Name = T1 AND Count > 100",
+      false);
+  EXPECT_NEAR(c.output_rows, 37 * 0.33, 1e-9);
+}
+
+TEST_F(CostModelTest, LimitCapsRows) {
+  PlanCostEstimate c = Cost("SELECT Name FROM Sigs LIMIT 5", false);
+  EXPECT_DOUBLE_EQ(c.output_rows, 5);
+}
+
+TEST_F(CostModelTest, AggregateCollapsesToOneRow) {
+  PlanCostEstimate c = Cost("SELECT COUNT(*) FROM Sigs", false);
+  EXPECT_DOUBLE_EQ(c.output_rows, 1);
+}
+
+TEST_F(CostModelTest, ToStringMentionsAllQuantities) {
+  PlanCostEstimate c = Cost(
+      "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1", true);
+  std::string text = c.ToString();
+  EXPECT_NE(text.find("external calls=37"), std::string::npos) << text;
+  EXPECT_NE(text.find("max concurrent=37"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,127 @@
+#include "search/search_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(ExpandTemplateTest, PaperExample) {
+  auto r = ExpandSearchTemplate("%1 near %2", {"Colorado", "Denver"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "Colorado near Denver");
+}
+
+TEST(ExpandTemplateTest, MultiWordTerm) {
+  auto r = ExpandSearchTemplate("%1 near %2",
+                                {"Colorado", "four corners"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "Colorado near four corners");
+}
+
+TEST(ExpandTemplateTest, RepeatedAndOutOfOrderRefs) {
+  auto r = ExpandSearchTemplate("%2 %1 %2", {"a", "b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "b a b");
+}
+
+TEST(ExpandTemplateTest, UnboundReferenceFails) {
+  auto r = ExpandSearchTemplate("%1 near %3", {"a", "b"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpandTemplateTest, LiteralPercentPreserved) {
+  auto r = ExpandSearchTemplate("100% %a %1", {"x"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "100% %a x");
+}
+
+TEST(DefaultTemplateTest, NearVariant) {
+  EXPECT_EQ(DefaultSearchTemplate(1, true), "%1");
+  EXPECT_EQ(DefaultSearchTemplate(3, true), "%1 near %2 near %3");
+}
+
+TEST(DefaultTemplateTest, PlainVariantForGoogleStyleEngines) {
+  EXPECT_EQ(DefaultSearchTemplate(3, false), "%1 %2 %3");
+}
+
+TEST(ParseQueryTest, SingleTerm) {
+  auto q = *ParseSearchQuery("Colorado");
+  EXPECT_FALSE(q.use_near);
+  ASSERT_EQ(q.phrases.size(), 1u);
+  EXPECT_EQ(q.phrases[0].terms, std::vector<std::string>{"colorado"});
+}
+
+TEST(ParseQueryTest, ConjunctionWithoutNear) {
+  auto q = *ParseSearchQuery("colorado denver");
+  EXPECT_FALSE(q.use_near);
+  ASSERT_EQ(q.phrases.size(), 2u);
+}
+
+TEST(ParseQueryTest, NearSplitsPhrases) {
+  auto q = *ParseSearchQuery("Colorado near four corners");
+  EXPECT_TRUE(q.use_near);
+  ASSERT_EQ(q.phrases.size(), 2u);
+  EXPECT_EQ(q.phrases[0].terms, std::vector<std::string>{"colorado"});
+  EXPECT_EQ(q.phrases[1].terms,
+            (std::vector<std::string>{"four", "corners"}));
+}
+
+TEST(ParseQueryTest, ChainedNear) {
+  auto q = *ParseSearchQuery("a near b near c");
+  EXPECT_TRUE(q.use_near);
+  EXPECT_EQ(q.phrases.size(), 3u);
+}
+
+TEST(ParseQueryTest, CaseInsensitiveNearOperator) {
+  auto q = *ParseSearchQuery("a NEAR b");
+  EXPECT_TRUE(q.use_near);
+  EXPECT_EQ(q.phrases.size(), 2u);
+}
+
+TEST(ParseQueryTest, EmptyQueryFails) {
+  EXPECT_FALSE(ParseSearchQuery("").ok());
+  EXPECT_FALSE(ParseSearchQuery("  !! ").ok());
+}
+
+TEST(ParseQueryTest, DanglingNearFails) {
+  EXPECT_FALSE(ParseSearchQuery("near b").ok());
+  EXPECT_FALSE(ParseSearchQuery("a near").ok());
+  EXPECT_FALSE(ParseSearchQuery("a near near b").ok());
+}
+
+TEST(ParseQueryTest, QuotedPhraseInAndMode) {
+  auto q = *ParseSearchQuery("\"four corners\" colorado");
+  EXPECT_FALSE(q.use_near);
+  ASSERT_EQ(q.phrases.size(), 2u);
+  EXPECT_EQ(q.phrases[0].terms,
+            (std::vector<std::string>{"four", "corners"}));
+  EXPECT_EQ(q.phrases[1].terms, std::vector<std::string>{"colorado"});
+}
+
+TEST(ParseQueryTest, MultipleQuotedPhrases) {
+  auto q = *ParseSearchQuery("\"new mexico\" and \"four corners\"");
+  ASSERT_EQ(q.phrases.size(), 3u);  // phrase, "and", phrase
+  EXPECT_EQ(q.phrases[0].terms.size(), 2u);
+  EXPECT_EQ(q.phrases[2].terms.size(), 2u);
+}
+
+TEST(ParseQueryTest, QuotesIgnoredInNearMode) {
+  auto q = *ParseSearchQuery("\"new mexico\" near \"four corners\"");
+  EXPECT_TRUE(q.use_near);
+  ASSERT_EQ(q.phrases.size(), 2u);
+  EXPECT_EQ(q.phrases[0].terms.size(), 2u);
+}
+
+TEST(ParseQueryTest, BadQuotingRejected) {
+  EXPECT_FALSE(ParseSearchQuery("\"unterminated").ok());
+  EXPECT_FALSE(ParseSearchQuery("\"\"").ok());
+}
+
+TEST(ParseQueryTest, ToStringRendering) {
+  auto q = *ParseSearchQuery("a near b c");
+  EXPECT_EQ(q.ToString(), "\"a\" NEAR \"b c\"");
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,286 @@
+#include "storage/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+
+namespace wsq {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : pool_(256, &disk_), tree_(&pool_) {}
+
+  static Rid MakeRid(int i) {
+    return Rid{static_cast<PageId>(i / 100),
+               static_cast<uint16_t>(i % 100)};
+  }
+
+  InMemoryDiskManager disk_;
+  BufferPool pool_;
+  BPlusTree tree_;
+};
+
+TEST_F(BPlusTreeTest, KeyEncodingRoundTrip) {
+  for (const Value& v :
+       {Value::Int(0), Value::Int(-1), Value::Int(INT64_MIN),
+        Value::Int(INT64_MAX), Value::Real(-2.5), Value::Real(0.0),
+        Value::Real(1e18), Value::Str(""), Value::Str("colorado")}) {
+    auto encoded = EncodeBTreeKey(v);
+    ASSERT_TRUE(encoded.ok()) << v.ToString();
+    auto back = DecodeBTreeKey(*encoded);
+    ASSERT_TRUE(back.ok()) << v.ToString();
+    EXPECT_EQ(back->Compare(v), 0) << v.ToString();
+  }
+}
+
+TEST_F(BPlusTreeTest, KeyEncodingPreservesOrder) {
+  // Byte order of encodings must equal value order.
+  std::vector<Value> ints = {Value::Int(INT64_MIN), Value::Int(-100),
+                             Value::Int(-1), Value::Int(0),
+                             Value::Int(1), Value::Int(99999),
+                             Value::Int(INT64_MAX)};
+  for (size_t i = 1; i < ints.size(); ++i) {
+    EXPECT_LT(*EncodeBTreeKey(ints[i - 1]), *EncodeBTreeKey(ints[i]));
+  }
+  std::vector<Value> doubles = {Value::Real(-1e30), Value::Real(-1.5),
+                                Value::Real(-0.0), Value::Real(0.25),
+                                Value::Real(7.0), Value::Real(1e30)};
+  for (size_t i = 1; i < doubles.size(); ++i) {
+    EXPECT_LE(*EncodeBTreeKey(doubles[i - 1]),
+              *EncodeBTreeKey(doubles[i]));
+  }
+  EXPECT_LT(*EncodeBTreeKey(Value::Str("alpha")),
+            *EncodeBTreeKey(Value::Str("beta")));
+}
+
+TEST_F(BPlusTreeTest, InvalidKeysRejected) {
+  EXPECT_FALSE(EncodeBTreeKey(Value::Null()).ok());
+  EXPECT_FALSE(EncodeBTreeKey(Value::Str(std::string(100, 'x'))).ok());
+  EXPECT_FALSE(tree_.Insert(Value::Null(), MakeRid(1)).ok());
+}
+
+TEST_F(BPlusTreeTest, EmptyTreeBehaviour) {
+  EXPECT_EQ(tree_.root(), kInvalidPageId);
+  EXPECT_TRUE(tree_.SearchEqual(Value::Int(1))->empty());
+  EXPECT_TRUE(tree_.ScanAll()->empty());
+  EXPECT_FALSE(tree_.Remove(Value::Int(1), MakeRid(0)).ok());
+  EXPECT_TRUE(tree_.CheckInvariants().ok());
+}
+
+TEST_F(BPlusTreeTest, InsertAndSearchSingle) {
+  ASSERT_TRUE(tree_.Insert(Value::Str("colorado"), MakeRid(7)).ok());
+  auto rids = *tree_.SearchEqual(Value::Str("colorado"));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(7));
+  EXPECT_TRUE(tree_.SearchEqual(Value::Str("utah"))->empty());
+}
+
+TEST_F(BPlusTreeTest, DuplicateEntryRejectedButDuplicateKeysAllowed) {
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), MakeRid(1)).ok());
+  EXPECT_FALSE(tree_.Insert(Value::Int(5), MakeRid(1)).ok());
+  ASSERT_TRUE(tree_.Insert(Value::Int(5), MakeRid(2)).ok());
+  auto rids = *tree_.SearchEqual(Value::Int(5));
+  ASSERT_EQ(rids.size(), 2u);
+  EXPECT_EQ(rids[0], MakeRid(1));
+  EXPECT_EQ(rids[1], MakeRid(2));
+}
+
+TEST_F(BPlusTreeTest, ManyInsertsForceSplits) {
+  // Leaf capacity is ~58, so 2000 entries build a multi-level tree.
+  const int kEntries = 2000;
+  for (int i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(i), MakeRid(i)).ok()) << i;
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(*tree_.Count(), kEntries);
+  for (int i : {0, 1, 57, 58, 999, 1999}) {
+    auto rids = *tree_.SearchEqual(Value::Int(i));
+    ASSERT_EQ(rids.size(), 1u) << i;
+    EXPECT_EQ(rids[0], MakeRid(i)) << i;
+  }
+  EXPECT_TRUE(tree_.SearchEqual(Value::Int(kEntries))->empty());
+}
+
+TEST_F(BPlusTreeTest, RandomOrderInsertsStaySorted) {
+  Rng rng(42);
+  std::vector<int> keys;
+  for (int i = 0; i < 1500; ++i) keys.push_back(i);
+  // Fisher-Yates with our deterministic Rng.
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Uniform(i)]);
+  }
+  for (int k : keys) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(k), MakeRid(k)).ok()) << k;
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  auto all = *tree_.ScanAll();
+  ASSERT_EQ(all.size(), 1500u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].first.AsInt(), static_cast<int64_t>(i));
+    EXPECT_EQ(all[i].second, MakeRid(static_cast<int>(i)));
+  }
+}
+
+TEST_F(BPlusTreeTest, StringKeysAcrossSplits) {
+  for (int i = 0; i < 500; ++i) {
+    std::string key = "key" + std::to_string(1000 + i);
+    ASSERT_TRUE(tree_.Insert(Value::Str(key), MakeRid(i)).ok());
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  auto rids = *tree_.SearchEqual(Value::Str("key1234"));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(234));
+}
+
+TEST_F(BPlusTreeTest, HeavyDuplicatesSpanLeaves) {
+  // 300 copies of one key must all come back, in rid order, even when
+  // the run spans multiple leaves.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Str("dup"), MakeRid(i)).ok()) << i;
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Str("aaa"), MakeRid(1000 + i)).ok());
+    ASSERT_TRUE(tree_.Insert(Value::Str("zzz"), MakeRid(2000 + i)).ok());
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  auto rids = *tree_.SearchEqual(Value::Str("dup"));
+  ASSERT_EQ(rids.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(rids[i], MakeRid(i)) << i;
+  }
+}
+
+TEST_F(BPlusTreeTest, RemoveEntries) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(i), MakeRid(i)).ok());
+  }
+  // Remove the evens.
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(tree_.Remove(Value::Int(i), MakeRid(i)).ok()) << i;
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(*tree_.Count(), 100);
+  EXPECT_TRUE(tree_.SearchEqual(Value::Int(4))->empty());
+  EXPECT_EQ(tree_.SearchEqual(Value::Int(5))->size(), 1u);
+  // Removing again fails.
+  EXPECT_FALSE(tree_.Remove(Value::Int(4), MakeRid(4)).ok());
+  // Wrong rid fails even when the key exists.
+  EXPECT_FALSE(tree_.Remove(Value::Int(5), MakeRid(999)).ok());
+}
+
+TEST_F(BPlusTreeTest, MixedInsertRemoveAgainstReferenceModel) {
+  Rng rng(7);
+  std::map<std::pair<int64_t, int>, bool> model;  // (key, rid idx)
+  for (int step = 0; step < 3000; ++step) {
+    int key = static_cast<int>(rng.Uniform(80));
+    int rid_idx = static_cast<int>(rng.Uniform(20));
+    auto model_key = std::make_pair(static_cast<int64_t>(key), rid_idx);
+    bool exists = model.count(model_key) > 0;
+    if (rng.Bernoulli(0.6)) {
+      Status s = tree_.Insert(Value::Int(key), MakeRid(rid_idx));
+      EXPECT_EQ(s.ok(), !exists) << "step " << step;
+      if (s.ok()) model[model_key] = true;
+    } else {
+      Status s = tree_.Remove(Value::Int(key), MakeRid(rid_idx));
+      EXPECT_EQ(s.ok(), exists) << "step " << step;
+      if (s.ok()) model.erase(model_key);
+    }
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  EXPECT_EQ(*tree_.Count(), static_cast<int64_t>(model.size()));
+  // Spot-check per-key result sets.
+  for (int key = 0; key < 80; ++key) {
+    std::vector<Rid> expected;
+    for (int rid_idx = 0; rid_idx < 20; ++rid_idx) {
+      if (model.count({key, rid_idx}) > 0) {
+        expected.push_back(MakeRid(rid_idx));
+      }
+    }
+    auto got = *tree_.SearchEqual(Value::Int(key));
+    ASSERT_EQ(got.size(), expected.size()) << key;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << key;
+    }
+  }
+}
+
+TEST_F(BPlusTreeTest, ReopenFromRootPage) {
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(i), MakeRid(i)).ok());
+  }
+  PageId root = tree_.root();
+  ASSERT_NE(root, kInvalidPageId);
+
+  BPlusTree reopened(&pool_, root);
+  EXPECT_EQ(*reopened.Count(), 400);
+  EXPECT_EQ(reopened.SearchEqual(Value::Int(123))->size(), 1u);
+  ASSERT_TRUE(reopened.CheckInvariants().ok());
+  // And it accepts further inserts.
+  ASSERT_TRUE(reopened.Insert(Value::Int(400), MakeRid(400)).ok());
+  EXPECT_EQ(*reopened.Count(), 401);
+}
+
+TEST_F(BPlusTreeTest, SearchRangeBasics) {
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(i * 2), MakeRid(i)).ok());
+  }
+  Value lo = Value::Int(100), hi = Value::Int(110);
+  auto both = *tree_.SearchRange(&lo, true, &hi, true);
+  ASSERT_EQ(both.size(), 6u);  // 100,102,...,110
+  auto exclusive = *tree_.SearchRange(&lo, false, &hi, false);
+  EXPECT_EQ(exclusive.size(), 4u);
+  // Missing endpoints behave like open bounds.
+  Value odd_lo = Value::Int(101), odd_hi = Value::Int(109);
+  EXPECT_EQ(tree_.SearchRange(&odd_lo, true, &odd_hi, true)->size(), 4u);
+}
+
+TEST_F(BPlusTreeTest, SearchRangeUnbounded) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(i), MakeRid(i)).ok());
+  }
+  Value mid = Value::Int(150);
+  EXPECT_EQ(tree_.SearchRange(nullptr, true, &mid, false)->size(), 150u);
+  EXPECT_EQ(tree_.SearchRange(&mid, true, nullptr, true)->size(), 150u);
+  EXPECT_EQ(tree_.SearchRange(nullptr, true, nullptr, true)->size(),
+            300u);
+}
+
+TEST_F(BPlusTreeTest, SearchRangeWithDuplicatesAcrossLeaves) {
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(tree_.Insert(Value::Int(7), MakeRid(i)).ok());
+    ASSERT_TRUE(tree_.Insert(Value::Int(9), MakeRid(1000 + i)).ok());
+  }
+  Value lo = Value::Int(7), hi = Value::Int(7);
+  EXPECT_EQ(tree_.SearchRange(&lo, true, &hi, true)->size(), 120u);
+  Value eight = Value::Int(8);
+  EXPECT_EQ(tree_.SearchRange(&lo, false, &eight, true)->size(), 0u);
+  Value nine = Value::Int(9);
+  EXPECT_EQ(tree_.SearchRange(&eight, true, &nine, true)->size(), 120u);
+}
+
+TEST_F(BPlusTreeTest, SearchRangeStringKeys) {
+  for (const char* k : {"apple", "banana", "cherry", "date", "elder"}) {
+    ASSERT_TRUE(tree_.Insert(Value::Str(k), MakeRid(0)).ok());
+  }
+  Value lo = Value::Str("b"), hi = Value::Str("d");
+  EXPECT_EQ(tree_.SearchRange(&lo, true, &hi, true)->size(), 2u);
+}
+
+TEST_F(BPlusTreeTest, DoubleKeys) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        tree_.Insert(Value::Real(i * 0.5 - 50), MakeRid(i)).ok());
+  }
+  ASSERT_TRUE(tree_.CheckInvariants().ok());
+  auto rids = *tree_.SearchEqual(Value::Real(-50.0));
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], MakeRid(0));
+  EXPECT_EQ(tree_.SearchEqual(Value::Real(0.25))->size(), 0u);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,160 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace wsq {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  InMemoryDiskManager disk_;
+};
+
+TEST_F(BufferPoolTest, NewPageIsPinnedAndZeroed) {
+  BufferPool pool(4, &disk_);
+  auto r = pool.NewPage();
+  ASSERT_TRUE(r.ok());
+  Page* page = *r;
+  EXPECT_EQ(page->page_id(), 0);
+  EXPECT_EQ(page->pin_count(), 1);
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(page->data()[i], 0);
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+}
+
+TEST_F(BufferPoolTest, FetchHitAfterNew) {
+  BufferPool pool(4, &disk_);
+  Page* page = *pool.NewPage();
+  std::strcpy(page->data(), "hello");
+  ASSERT_TRUE(pool.UnpinPage(page->page_id(), true).ok());
+
+  Page* again = *pool.FetchPage(0);
+  EXPECT_STREQ(again->data(), "hello");
+  EXPECT_EQ(pool.stats().hits, 1u);
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+}
+
+TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  BufferPool pool(2, &disk_);
+  for (int i = 0; i < 2; ++i) {
+    Page* p = *pool.NewPage();
+    std::snprintf(p->data(), 16, "page-%d", i);
+    ASSERT_TRUE(pool.UnpinPage(i, true).ok());
+  }
+  // Filling two more frames evicts pages 0 and 1.
+  for (int i = 2; i < 4; ++i) {
+    Page* p = *pool.NewPage();
+    ASSERT_TRUE(pool.UnpinPage(p->page_id(), false).ok());
+  }
+  EXPECT_GE(pool.stats().evictions, 2u);
+  // Page 0 must round-trip through disk.
+  Page* p0 = *pool.FetchPage(0);
+  EXPECT_STREQ(p0->data(), "page-0");
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+}
+
+TEST_F(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  BufferPool pool(2, &disk_);
+  Page* a = *pool.NewPage();  // page 0
+  ASSERT_TRUE(pool.UnpinPage(a->page_id(), true).ok());
+  Page* b = *pool.NewPage();  // page 1
+  ASSERT_TRUE(pool.UnpinPage(b->page_id(), true).ok());
+
+  // Touch page 0 so page 1 becomes LRU.
+  ASSERT_TRUE(pool.FetchPage(0).ok());
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+
+  ASSERT_TRUE(pool.NewPage().ok());  // evicts page 1
+  ASSERT_TRUE(pool.UnpinPage(2, false).ok());
+
+  uint64_t misses_before = pool.stats().misses;
+  ASSERT_TRUE(pool.FetchPage(0).ok());  // still resident → hit
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+  EXPECT_EQ(pool.stats().misses, misses_before);
+
+  ASSERT_TRUE(pool.FetchPage(1).ok());  // evicted → miss
+  ASSERT_TRUE(pool.UnpinPage(1, false).ok());
+  EXPECT_EQ(pool.stats().misses, misses_before + 1);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  BufferPool pool(2, &disk_);
+  Page* a = *pool.NewPage();
+  Page* b = *pool.NewPage();
+  (void)a;
+  (void)b;
+  // Both frames pinned: next allocation must fail.
+  auto r = pool.NewPage();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+  ASSERT_TRUE(pool.UnpinPage(1, false).ok());
+  EXPECT_TRUE(pool.NewPage().ok());
+}
+
+TEST_F(BufferPoolTest, DoubleUnpinFails) {
+  BufferPool pool(2, &disk_);
+  Page* p = *pool.NewPage();
+  ASSERT_TRUE(pool.UnpinPage(p->page_id(), false).ok());
+  EXPECT_FALSE(pool.UnpinPage(p->page_id(), false).ok());
+}
+
+TEST_F(BufferPoolTest, UnpinNonResidentFails) {
+  BufferPool pool(2, &disk_);
+  EXPECT_FALSE(pool.UnpinPage(42, false).ok());
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  BufferPool pool(4, &disk_);
+  Page* p = *pool.NewPage();
+  std::strcpy(p->data(), "durable");
+  ASSERT_TRUE(pool.UnpinPage(0, true).ok());
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  char raw[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(0, raw).ok());
+  EXPECT_STREQ(raw, "durable");
+}
+
+TEST_F(BufferPoolTest, MultiplePinsRequireMultipleUnpins) {
+  BufferPool pool(2, &disk_);
+  Page* p = *pool.NewPage();
+  Page* same = *pool.FetchPage(p->page_id());
+  EXPECT_EQ(same, p);
+  EXPECT_EQ(p->pin_count(), 2);
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+  EXPECT_EQ(p->pin_count(), 1);
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+  EXPECT_EQ(p->pin_count(), 0);
+}
+
+TEST_F(BufferPoolTest, PageGuardUnpinsOnScopeExit) {
+  BufferPool pool(2, &disk_);
+  Page* p = *pool.NewPage();
+  {
+    PageGuard guard(&pool, p);
+    EXPECT_EQ(p->pin_count(), 1);
+  }
+  EXPECT_EQ(p->pin_count(), 0);
+}
+
+TEST_F(BufferPoolTest, StressManyPagesSmallPool) {
+  BufferPool pool(3, &disk_);
+  const int kPages = 50;
+  for (int i = 0; i < kPages; ++i) {
+    Page* p = *pool.NewPage();
+    std::snprintf(p->data(), 16, "v-%d", i);
+    ASSERT_TRUE(pool.UnpinPage(p->page_id(), true).ok());
+  }
+  for (int i = 0; i < kPages; ++i) {
+    Page* p = *pool.FetchPage(i);
+    char expect[16];
+    std::snprintf(expect, 16, "v-%d", i);
+    ASSERT_STREQ(p->data(), expect);
+    ASSERT_TRUE(pool.UnpinPage(i, false).ok());
+  }
+}
+
+}  // namespace
+}  // namespace wsq

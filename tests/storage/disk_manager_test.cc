@@ -1,0 +1,127 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace wsq {
+namespace {
+
+void FillPattern(char* buf, char seed) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    buf[i] = static_cast<char>(seed + static_cast<char>(i % 97));
+  }
+}
+
+class DiskManagerParamTest
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      disk_ = std::make_unique<InMemoryDiskManager>();
+    } else {
+      path_ = ::testing::TempDir() + "/wsq_disk_test.db";
+      std::remove(path_.c_str());
+      auto r = FileDiskManager::Open(path_);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      disk_ = std::move(r).value();
+    }
+  }
+
+  void TearDown() override {
+    disk_.reset();
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::string path_;
+};
+
+TEST_P(DiskManagerParamTest, StartsEmpty) {
+  EXPECT_EQ(disk_->NumPages(), 0);
+}
+
+TEST_P(DiskManagerParamTest, AllocateGrowsDensely) {
+  for (PageId expected = 0; expected < 5; ++expected) {
+    auto r = disk_->AllocatePage();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, expected);
+  }
+  EXPECT_EQ(disk_->NumPages(), 5);
+}
+
+TEST_P(DiskManagerParamTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(disk_->AllocatePage().ok());
+  char out[kPageSize];
+  char in[kPageSize];
+  FillPattern(out, 3);
+  ASSERT_TRUE(disk_->WritePage(0, out).ok());
+  ASSERT_TRUE(disk_->ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+}
+
+TEST_P(DiskManagerParamTest, FreshPageIsZeroed) {
+  ASSERT_TRUE(disk_->AllocatePage().ok());
+  char in[kPageSize];
+  std::memset(in, 1, kPageSize);
+  ASSERT_TRUE(disk_->ReadPage(0, in).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(in[i], 0) << "byte " << i;
+  }
+}
+
+TEST_P(DiskManagerParamTest, ReadOutOfRangeFails) {
+  char buf[kPageSize];
+  EXPECT_FALSE(disk_->ReadPage(0, buf).ok());
+  EXPECT_FALSE(disk_->ReadPage(-1, buf).ok());
+}
+
+TEST_P(DiskManagerParamTest, WriteOutOfRangeFails) {
+  char buf[kPageSize] = {};
+  EXPECT_FALSE(disk_->WritePage(7, buf).ok());
+}
+
+TEST_P(DiskManagerParamTest, PagesAreIndependent) {
+  ASSERT_TRUE(disk_->AllocatePage().ok());
+  ASSERT_TRUE(disk_->AllocatePage().ok());
+  char a[kPageSize], b[kPageSize], in[kPageSize];
+  FillPattern(a, 1);
+  FillPattern(b, 9);
+  ASSERT_TRUE(disk_->WritePage(0, a).ok());
+  ASSERT_TRUE(disk_->WritePage(1, b).ok());
+  ASSERT_TRUE(disk_->ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(a, in, kPageSize), 0);
+  ASSERT_TRUE(disk_->ReadPage(1, in).ok());
+  EXPECT_EQ(std::memcmp(b, in, kPageSize), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, DiskManagerParamTest,
+                         ::testing::Values("memory", "file"));
+
+TEST(FileDiskManagerTest, ReopenSeesExistingPages) {
+  std::string path = ::testing::TempDir() + "/wsq_reopen_test.db";
+  std::remove(path.c_str());
+  char out[kPageSize];
+  FillPattern(out, 5);
+  {
+    auto r = FileDiskManager::Open(path);
+    ASSERT_TRUE(r.ok());
+    auto disk = std::move(r).value();
+    ASSERT_TRUE(disk->AllocatePage().ok());
+    ASSERT_TRUE(disk->WritePage(0, out).ok());
+  }
+  {
+    auto r = FileDiskManager::Open(path);
+    ASSERT_TRUE(r.ok());
+    auto disk = std::move(r).value();
+    EXPECT_EQ(disk->NumPages(), 1);
+    char in[kPageSize];
+    ASSERT_TRUE(disk->ReadPage(0, in).ok());
+    EXPECT_EQ(std::memcmp(out, in, kPageSize), 0);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,80 @@
+#include "storage/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(SerdeTest, RoundTripAllTypes) {
+  Row row({Value::Null(), Value::Int(-7), Value::Real(3.25),
+           Value::Str("hello")});
+  auto bytes = SerializeRow(row);
+  ASSERT_TRUE(bytes.ok());
+  auto back = DeserializeRow(*bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, row);
+}
+
+TEST(SerdeTest, EmptyRow) {
+  Row row;
+  auto back = DeserializeRow(*SerializeRow(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST(SerdeTest, EmptyString) {
+  Row row({Value::Str("")});
+  auto back = DeserializeRow(*SerializeRow(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(0).AsString(), "");
+}
+
+TEST(SerdeTest, StringWithEmbeddedNulAndBinary) {
+  std::string s("a\0b\xff", 4);
+  Row row({Value::Str(s)});
+  auto back = DeserializeRow(*SerializeRow(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(0).AsString(), s);
+}
+
+TEST(SerdeTest, ExtremeNumericValues) {
+  Row row({Value::Int(INT64_MIN), Value::Int(INT64_MAX),
+           Value::Real(-0.0), Value::Real(1e300)});
+  auto back = DeserializeRow(*SerializeRow(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->value(0).AsInt(), INT64_MIN);
+  EXPECT_EQ(back->value(1).AsInt(), INT64_MAX);
+  EXPECT_DOUBLE_EQ(back->value(3).AsDouble(), 1e300);
+}
+
+TEST(SerdeTest, PlaceholderRejected) {
+  Row row({Value::Pending(3, 0)});
+  auto bytes = SerializeRow(row);
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kInternal);
+}
+
+TEST(SerdeTest, CorruptInputsRejected) {
+  EXPECT_FALSE(DeserializeRow("").ok());
+  EXPECT_FALSE(DeserializeRow("ab").ok());
+  // Claimed arity 1 but no data.
+  std::string claim("\x01\x00\x00\x00", 4);
+  EXPECT_FALSE(DeserializeRow(claim).ok());
+  // Valid row plus trailing garbage.
+  std::string good = *SerializeRow(Row({Value::Int(1)}));
+  EXPECT_FALSE(DeserializeRow(good + "x").ok());
+  // Bad type tag.
+  std::string bad_tag("\x01\x00\x00\x00\x63", 5);
+  EXPECT_FALSE(DeserializeRow(bad_tag).ok());
+}
+
+TEST(SerdeTest, ManyColumns) {
+  Row row;
+  for (int i = 0; i < 200; ++i) row.Append(Value::Int(i));
+  auto back = DeserializeRow(*SerializeRow(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, row);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,74 @@
+#include "types/row.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(RowTest, AppendAndAccess) {
+  Row r;
+  r.Append(Value::Int(1));
+  r.Append(Value::Str("x"));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.value(0).AsInt(), 1);
+  EXPECT_EQ(r.value(1).AsString(), "x");
+}
+
+TEST(RowTest, Concat) {
+  Row a({Value::Int(1)});
+  Row b({Value::Str("x"), Value::Int(2)});
+  Row c = Row::Concat(a, b);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.value(2).AsInt(), 2);
+}
+
+TEST(RowTest, HasPlaceholders) {
+  Row complete({Value::Int(1), Value::Str("x")});
+  EXPECT_FALSE(complete.HasPlaceholders());
+  Row pending({Value::Int(1), Value::Pending(9, 0)});
+  EXPECT_TRUE(pending.HasPlaceholders());
+}
+
+TEST(RowTest, PendingCallsDedupedAndSorted) {
+  Row r({Value::Pending(5, 0), Value::Pending(3, 1), Value::Pending(5, 2),
+         Value::Int(7)});
+  auto calls = r.PendingCalls();
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], 3u);
+  EXPECT_EQ(calls[1], 5u);
+}
+
+TEST(RowTest, PendingCallsEmptyWhenComplete) {
+  Row r({Value::Int(1)});
+  EXPECT_TRUE(r.PendingCalls().empty());
+}
+
+TEST(RowTest, LexicographicCompare) {
+  Row a({Value::Int(1), Value::Str("a")});
+  Row b({Value::Int(1), Value::Str("b")});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+}
+
+TEST(RowTest, PrefixComparesShorterFirst) {
+  Row a({Value::Int(1)});
+  Row b({Value::Int(1), Value::Int(2)});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+}
+
+TEST(RowTest, EqualRowsHashEqual) {
+  Row a({Value::Int(1), Value::Str("x")});
+  Row b({Value::Int(1), Value::Str("x")});
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RowTest, ToStringFormat) {
+  Row r({Value::Int(1), Value::Str("s")});
+  EXPECT_EQ(r.ToString(), "[1, 's']");
+}
+
+}  // namespace
+}  // namespace wsq

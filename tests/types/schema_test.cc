@@ -1,0 +1,91 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+Schema StatesSchema() {
+  return Schema({Column("Name", TypeId::kString, "States"),
+                 Column("Population", TypeId::kInt64, "States"),
+                 Column("Capital", TypeId::kString, "States")});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = StatesSchema();
+  EXPECT_EQ(s.NumColumns(), 3u);
+  EXPECT_EQ(s.column(0).name, "Name");
+  EXPECT_EQ(s.column(1).type, TypeId::kInt64);
+  EXPECT_EQ(s.column(2).QualifiedName(), "States.Capital");
+}
+
+TEST(SchemaTest, FindUnqualified) {
+  Schema s = StatesSchema();
+  auto r = s.Find("", "Population");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(SchemaTest, FindQualified) {
+  Schema s = StatesSchema();
+  auto r = s.Find("States", "Name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(SchemaTest, FindIsCaseInsensitive) {
+  Schema s = StatesSchema();
+  EXPECT_TRUE(s.Find("states", "NAME").ok());
+  EXPECT_TRUE(s.Find("", "capital").ok());
+}
+
+TEST(SchemaTest, FindMissingColumn) {
+  Schema s = StatesSchema();
+  auto r = s.Find("", "Nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST(SchemaTest, FindWrongQualifier) {
+  Schema s = StatesSchema();
+  EXPECT_FALSE(s.Find("Sigs", "Name").ok());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookup) {
+  Schema joined = Schema::Concat(
+      StatesSchema(), Schema({Column("Name", TypeId::kString, "Sigs")}));
+  auto r = joined.Find("", "Name");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+  // Qualified lookups disambiguate.
+  EXPECT_EQ(*joined.Find("Sigs", "Name"), 3u);
+  EXPECT_EQ(*joined.Find("States", "Name"), 0u);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema joined = Schema::Concat(
+      StatesSchema(), Schema({Column("Count", TypeId::kInt64, "WebCount")}));
+  EXPECT_EQ(joined.NumColumns(), 4u);
+  EXPECT_EQ(joined.column(3).QualifiedName(), "WebCount.Count");
+}
+
+TEST(SchemaTest, WithQualifierRewritesAll) {
+  Schema s = StatesSchema().WithQualifier("S");
+  for (const Column& c : s.columns()) {
+    EXPECT_EQ(c.qualifier, "S");
+  }
+}
+
+TEST(SchemaTest, ContainsMirrorsFind) {
+  Schema s = StatesSchema();
+  EXPECT_TRUE(s.Contains("", "Name"));
+  EXPECT_FALSE(s.Contains("", "Nope"));
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema s({Column("A", TypeId::kInt64, "T")});
+  EXPECT_EQ(s.ToString(), "(T.A:INT)");
+}
+
+}  // namespace
+}  // namespace wsq

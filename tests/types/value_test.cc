@@ -1,0 +1,99 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v = Value::Real(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v = Value::Str("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "hello");
+  EXPECT_EQ(v.ToString(), "'hello'");
+}
+
+TEST(ValueTest, PlaceholderRoundTrip) {
+  Value v = Value::Pending(17, 2);
+  EXPECT_TRUE(v.is_placeholder());
+  EXPECT_EQ(v.AsPlaceholder().call, 17u);
+  EXPECT_EQ(v.AsPlaceholder().field, 2);
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Real(1.0)), 0);
+  EXPECT_LT(Value::Int(1).Compare(Value::Real(1.5)), 0);
+  EXPECT_GT(Value::Real(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < numeric < string < placeholder.
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::Str("")), 0);
+  EXPECT_LT(Value::Str("zzz").Compare(Value::Pending(1, 0)), 0);
+}
+
+TEST(ValueTest, IntComparisonExactForLargeValues) {
+  int64_t big = (1ll << 62) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Int(big - 1)), 0);
+  EXPECT_EQ(Value::Int(big).Compare(Value::Int(big)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(ValueTest, NullsCompareEqual) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualValuesHashEqual) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("ab").Hash(), Value::Str("ab").Hash());
+  // 1 == 1.0 must imply equal hashes for hash-based dedup.
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Real(1.0).Hash());
+}
+
+TEST(ValueTest, ToIntCoercions) {
+  EXPECT_EQ(*Value::Int(3).ToInt(), 3);
+  EXPECT_EQ(*Value::Real(3.9).ToInt(), 3);
+  EXPECT_FALSE(Value::Str("3").ToInt().ok());
+  EXPECT_FALSE(Value::Null().ToInt().ok());
+}
+
+TEST(ValueTest, ToDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(*Value::Int(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Real(3.5).ToDouble(), 3.5);
+  EXPECT_FALSE(Value::Str("x").ToDouble().ok());
+}
+
+TEST(ValueTest, PlaceholderEquality) {
+  EXPECT_EQ(Value::Pending(1, 0), Value::Pending(1, 0));
+  EXPECT_NE(Value::Pending(1, 0).Compare(Value::Pending(1, 1)), 0);
+  EXPECT_NE(Value::Pending(1, 0).Compare(Value::Pending(2, 0)), 0);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,127 @@
+#include "vtab/virtual_table.h"
+
+#include <gtest/gtest.h>
+
+namespace wsq {
+namespace {
+
+// Minimal virtual table used to test the registry and interface
+// contracts without pulling in the WSQ web tables.
+class FakeTable : public VirtualTable {
+ public:
+  explicit FakeTable(std::string name)
+      : name_(std::move(name)), destination_("fake") {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& destination() const override { return destination_; }
+
+  Schema SchemaForTerms(size_t n) const override {
+    Schema s;
+    s.AddColumn(Column("SearchExp", TypeId::kString, name_));
+    for (size_t i = 1; i <= n; ++i) {
+      s.AddColumn(Column("T" + std::to_string(i), TypeId::kString, name_));
+    }
+    s.AddColumn(Column("Out", TypeId::kInt64, name_));
+    return s;
+  }
+
+  size_t NumOutputColumns() const override { return 1; }
+  bool SingleRowOutput() const override { return true; }
+
+  Result<std::vector<Row>> Fetch(const VTableRequest& request) override {
+    Row row;
+    row.Append(Value::Str(request.search_exp));
+    for (const std::string& t : request.terms) {
+      row.Append(Value::Str(t));
+    }
+    row.Append(Value::Int(static_cast<int64_t>(request.terms.size())));
+    return std::vector<Row>{row};
+  }
+
+  CallId SubmitAsync(const VTableRequest& request,
+                     ReqPump* pump) override {
+    int64_t n = static_cast<int64_t>(request.terms.size());
+    return pump->Register(destination_, [n](CallCompletion done) {
+      done(CallResult{Status::OK(), {Row({Value::Int(n)})}});
+    });
+  }
+
+ private:
+  std::string name_;
+  std::string destination_;
+};
+
+TEST(VirtualTableRegistryTest, RegisterAndGet) {
+  VirtualTableRegistry registry;
+  ASSERT_TRUE(
+      registry.Register(std::make_unique<FakeTable>("WebCount")).ok());
+  auto t = registry.Get("WebCount");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "WebCount");
+}
+
+TEST(VirtualTableRegistryTest, LookupCaseInsensitive) {
+  VirtualTableRegistry registry;
+  ASSERT_TRUE(
+      registry.Register(std::make_unique<FakeTable>("WebCount")).ok());
+  EXPECT_TRUE(registry.Get("webcount").ok());
+  EXPECT_TRUE(registry.Has("WEBCOUNT"));
+}
+
+TEST(VirtualTableRegistryTest, DuplicateRejected) {
+  VirtualTableRegistry registry;
+  ASSERT_TRUE(
+      registry.Register(std::make_unique<FakeTable>("WebCount")).ok());
+  auto s = registry.Register(std::make_unique<FakeTable>("webcount"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(VirtualTableRegistryTest, MissingNotFound) {
+  VirtualTableRegistry registry;
+  EXPECT_FALSE(registry.Get("WebPages").ok());
+  EXPECT_FALSE(registry.Has("WebPages"));
+}
+
+TEST(VirtualTableRegistryTest, ListInRegistrationOrder) {
+  VirtualTableRegistry registry;
+  ASSERT_TRUE(registry.Register(std::make_unique<FakeTable>("B")).ok());
+  ASSERT_TRUE(registry.Register(std::make_unique<FakeTable>("A")).ok());
+  auto names = registry.List();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+}
+
+TEST(VirtualTableTest, SchemaFamilyGrowsWithTerms) {
+  FakeTable t("WebCount");
+  EXPECT_EQ(t.SchemaForTerms(1).NumColumns(), 3u);  // SearchExp, T1, Out
+  EXPECT_EQ(t.SchemaForTerms(3).NumColumns(), 5u);
+  EXPECT_EQ(t.SchemaForTerms(2).column(2).name, "T2");
+}
+
+TEST(VirtualTableTest, SyncFetchReturnsFullRows) {
+  FakeTable t("WebCount");
+  VTableRequest req;
+  req.search_exp = "%1 near %2";
+  req.terms = {"colorado", "knuth"};
+  auto rows = *t.Fetch(req);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0].value(3).AsInt(), 2);
+}
+
+TEST(VirtualTableTest, AsyncSubmitRoutesThroughPump) {
+  FakeTable t("WebCount");
+  ReqPump pump;
+  VTableRequest req;
+  req.terms = {"a", "b", "c"};
+  CallId id = t.SubmitAsync(req, &pump);
+  CallResult r = pump.TakeBlocking(id);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "wsq/database.h"
+
+namespace wsq {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() {
+    EXPECT_TRUE(
+        db_.Execute("CREATE TABLE T (K STRING, V INT)").ok());
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(db_.Execute("INSERT INTO T VALUES ('k" +
+                              std::to_string(i % 40) + "', " +
+                              std::to_string(i) + ")")
+                      .ok());
+    }
+  }
+
+  ResultSet Must(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+    return r.ok() ? std::move(r->result) : ResultSet{};
+  }
+
+  WsqDatabase db_;
+};
+
+TEST_F(IndexTest, CreateIndexStatement) {
+  EXPECT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  TableInfo* t = *db_.catalog()->GetTable("T");
+  ASSERT_EQ(t->indexes().size(), 1u);
+  EXPECT_EQ(t->indexes()[0]->name(), "ix_k");
+  EXPECT_EQ(*t->indexes()[0]->tree()->Count(), 200);
+  ASSERT_TRUE(t->indexes()[0]->tree()->CheckInvariants().ok());
+}
+
+TEST_F(IndexTest, CreateIndexErrors) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ix_k ON T (V)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ix_k2 ON T (K)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ix ON Missing (K)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ix ON T (Nope)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE INDEX ON T (K)").ok());
+}
+
+TEST_F(IndexTest, PlannerSelectsIndexScan) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  auto plan = db_.ExplainSelect("SELECT V FROM T WHERE K = 'k7'",
+                                /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan: T (K = 'k7', index ix_k)"),
+            std::string::npos)
+      << *plan;
+  // No residual filter remains.
+  EXPECT_EQ(plan->find("Select:"), std::string::npos) << *plan;
+}
+
+TEST_F(IndexTest, IndexScanMatchesSeqScanResults) {
+  // Answer before and after indexing must be identical.
+  ResultSet before = Must("SELECT V FROM T WHERE K = 'k7' ORDER BY V");
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  ResultSet after = Must("SELECT V FROM T WHERE K = 'k7' ORDER BY V");
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  ASSERT_EQ(before.rows.size(), 5u);  // 200 rows over 40 keys
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST_F(IndexTest, RangePredicateUsesIndexScan) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_v ON T (V)").ok());
+  auto plan = db_.ExplainSelect("SELECT K FROM T WHERE V > 100",
+                                /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan: T (V > 100, index ix_v)"),
+            std::string::npos)
+      << *plan;
+  ResultSet r = Must("SELECT V FROM T WHERE V > 100 ORDER BY V");
+  ASSERT_EQ(r.rows.size(), 99u);  // 101..199
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 101);
+  EXPECT_EQ(r.rows.back().value(0).AsInt(), 199);
+}
+
+TEST_F(IndexTest, TwoSidedRangeFoldedIntoOneScan) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_v ON T (V)").ok());
+  auto plan = db_.ExplainSelect(
+      "SELECT V FROM T WHERE V >= 10 AND V < 20", /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan: T (V >= 10 and V < 20, index ix_v)"),
+            std::string::npos)
+      << *plan;
+  EXPECT_EQ(plan->find("Select:"), std::string::npos) << *plan;
+  ResultSet r = Must(
+      "SELECT V FROM T WHERE V >= 10 AND V < 20 ORDER BY V");
+  ASSERT_EQ(r.rows.size(), 10u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 10);
+  EXPECT_EQ(r.rows.back().value(0).AsInt(), 19);
+}
+
+TEST_F(IndexTest, RedundantBoundsKeepTightest) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_v ON T (V)").ok());
+  ResultSet r = Must(
+      "SELECT V FROM T WHERE V > 5 AND V >= 10 AND V <= 50 AND V < 12 "
+      "ORDER BY V");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 10);
+  EXPECT_EQ(r.rows[1].value(0).AsInt(), 11);
+}
+
+TEST_F(IndexTest, RangeScanMatchesSeqScanResults) {
+  ResultSet before = Must(
+      "SELECT K, V FROM T WHERE V >= 42 AND V <= 87 ORDER BY V");
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_v ON T (V)").ok());
+  ResultSet after = Must(
+      "SELECT K, V FROM T WHERE V >= 42 AND V <= 87 ORDER BY V");
+  ASSERT_EQ(before.rows.size(), after.rows.size());
+  for (size_t i = 0; i < before.rows.size(); ++i) {
+    EXPECT_EQ(before.rows[i], after.rows[i]);
+  }
+}
+
+TEST_F(IndexTest, OtherConjunctsBecomeFiltersAboveIndexScan) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  auto plan = db_.ExplainSelect(
+      "SELECT V FROM T WHERE K = 'k7' AND V > 100", /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Select: (T.V > 100)"), std::string::npos)
+      << *plan;
+  ResultSet r = Must("SELECT V FROM T WHERE K = 'k7' AND V > 100 "
+                     "ORDER BY V");
+  for (const Row& row : r.rows) {
+    EXPECT_GT(row.value(0).AsInt(), 100);
+  }
+}
+
+TEST_F(IndexTest, InsertDeleteUpdateMaintainIndex) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO T VALUES ('fresh', 999)").ok());
+  ResultSet r = Must("SELECT V FROM T WHERE K = 'fresh'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 999);
+
+  ASSERT_TRUE(db_.Execute("DELETE FROM T WHERE K = 'k7'").ok());
+  EXPECT_TRUE(Must("SELECT V FROM T WHERE K = 'k7'").rows.empty());
+
+  ASSERT_TRUE(
+      db_.Execute("UPDATE T SET K = 'renamed' WHERE K = 'k8'").ok());
+  EXPECT_TRUE(Must("SELECT V FROM T WHERE K = 'k8'").rows.empty());
+  EXPECT_EQ(Must("SELECT V FROM T WHERE K = 'renamed'").rows.size(),
+            5u);
+
+  TableInfo* t = *db_.catalog()->GetTable("T");
+  ASSERT_TRUE(t->indexes()[0]->tree()->CheckInvariants().ok());
+  EXPECT_EQ(*t->indexes()[0]->tree()->Count(), *t->NumRows());
+}
+
+TEST_F(IndexTest, IndexOnIntColumn) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_v ON T (V)").ok());
+  auto plan = db_.ExplainSelect("SELECT K FROM T WHERE V = 123",
+                                /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  ResultSet r = Must("SELECT K FROM T WHERE V = 123");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].value(0).AsString(), "k3");
+}
+
+TEST_F(IndexTest, IndexUsedInsideJoins) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE U (K STRING)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO U VALUES ('k7'), ('k9')").ok());
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  // The single-table equality on T is consumed by an IndexScan even
+  // with a join present.
+  auto plan = db_.ExplainSelect(
+      "SELECT U.K, V FROM U, T WHERE T.K = 'k7' AND U.K = T.K",
+      /*async=*/false);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  ResultSet r = Must(
+      "SELECT U.K, V FROM U, T WHERE T.K = 'k7' AND U.K = T.K "
+      "ORDER BY V");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(IndexTest, IndexPersistsAcrossReopen) {
+  std::string path = ::testing::TempDir() + "/wsq_index_persist.db";
+  std::remove(path.c_str());
+  {
+    auto db = WsqDatabase::Open(path).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE P (K STRING, V INT)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Execute("INSERT INTO P VALUES ('p" +
+                              std::to_string(i % 10) + "', " +
+                              std::to_string(i) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(db->Execute("CREATE INDEX ix_p ON P (K)").ok());
+  }
+  {
+    auto db = WsqDatabase::Open(path).value();
+    TableInfo* t = *db->catalog()->GetTable("P");
+    ASSERT_EQ(t->indexes().size(), 1u);
+    EXPECT_EQ(*t->indexes()[0]->tree()->Count(), 100);
+    auto plan = db->ExplainSelect("SELECT V FROM P WHERE K = 'p3'",
+                                  /*async=*/false);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+    auto r = db->Execute("SELECT V FROM P WHERE K = 'p3' ORDER BY V");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.rows.size(), 10u);
+    // And stays maintainable.
+    ASSERT_TRUE(db->Execute("INSERT INTO P VALUES ('p3', 555)").ok());
+    EXPECT_EQ(db->Execute("SELECT V FROM P WHERE K = 'p3'")
+                  ->result.rows.size(),
+              11u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexTest, WsqQueryWithIndexedStoredFilter) {
+  // Index interacts correctly with the async rewrite: the IndexScan
+  // narrows the driving table, reducing external calls.
+  ASSERT_TRUE(db_.Execute("CREATE INDEX ix_k ON T (K)").ok());
+  auto plan = db_.ExplainSelect(
+      "SELECT K, V FROM T WHERE K = 'k5' ORDER BY V", /*async=*/true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+}
+
+}  // namespace
+}  // namespace wsq

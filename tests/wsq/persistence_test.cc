@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "catalog/catalog_serde.h"
+#include "wsq/database.h"
+
+namespace wsq {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/wsq_persist_test.db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(PersistenceTest, FreshDatabaseOpensEmpty) {
+  auto db = WsqDatabase::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE((*db)->persistent());
+  EXPECT_TRUE((*db)->catalog()->ListTables().empty());
+}
+
+TEST_F(PersistenceTest, InMemoryDatabaseRejectsCheckpoint) {
+  WsqDatabase db;
+  EXPECT_FALSE(db.persistent());
+  EXPECT_FALSE(db.Checkpoint().ok());
+}
+
+TEST_F(PersistenceTest, SchemaAndDataSurviveReopen) {
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE States (Name STRING, "
+                            "Population INT, Capital STRING)")
+                    .ok());
+    ASSERT_TRUE(
+        db->Execute("INSERT INTO States VALUES "
+                    "('Colorado', 3971000, 'Denver'), "
+                    "('Utah', 2100000, 'Salt Lake City')")
+            .ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }  // destructor checkpoints again
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    auto tables = db->catalog()->ListTables();
+    ASSERT_EQ(tables.size(), 1u);
+    EXPECT_EQ(tables[0], "States");
+
+    auto r = db->Execute(
+        "SELECT Name, Population FROM States ORDER BY Name");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->result.rows.size(), 2u);
+    EXPECT_EQ(r->result.rows[0].value(0).AsString(), "Colorado");
+    EXPECT_EQ(r->result.rows[1].value(1).AsInt(), 2100000);
+  }
+}
+
+TEST_F(PersistenceTest, InsertsAfterReopenAppendCorrectly) {
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE T (A INT)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (" +
+                              std::to_string(i) + ")")
+                      .ok());
+    }
+  }
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    for (int i = 100; i < 200; ++i) {
+      ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (" +
+                              std::to_string(i) + ")")
+                      .ok());
+    }
+  }
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    auto r = db->Execute("SELECT COUNT(*), SUM(A) FROM T");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.rows[0].value(0).AsInt(), 200);
+    EXPECT_EQ(r->result.rows[0].value(1).AsInt(), 19900);
+  }
+}
+
+TEST_F(PersistenceTest, MultiPageHeapSurvivesReopen) {
+  const std::string big(600, 'x');  // ~6 rows per 4 KiB page
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE T (S STRING, N INT)").ok());
+    TableInfo* t = *db->catalog()->GetTable("T");
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          t->Insert(Row({Value::Str(big + std::to_string(i)),
+                         Value::Int(i)}))
+              .ok());
+    }
+  }
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    auto r = db->Execute("SELECT COUNT(*), MIN(N), MAX(N) FROM T");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.rows[0].value(0).AsInt(), 50);
+    EXPECT_EQ(r->result.rows[0].value(1).AsInt(), 0);
+    EXPECT_EQ(r->result.rows[0].value(2).AsInt(), 49);
+    // Appending must find the true tail of the page chain, not clobber
+    // the first page's next pointer.
+    TableInfo* t = *db->catalog()->GetTable("T");
+    ASSERT_TRUE(
+        t->Insert(Row({Value::Str(big + "reopened"), Value::Int(50)}))
+            .ok());
+  }
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    auto r = db->Execute("SELECT COUNT(*), MAX(N) FROM T");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.rows[0].value(0).AsInt(), 51);
+    EXPECT_EQ(r->result.rows[0].value(1).AsInt(), 50);
+  }
+}
+
+TEST_F(PersistenceTest, MultipleTablesKeepSeparateHeaps) {
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE A (X INT)").ok());
+    ASSERT_TRUE(db->Execute("CREATE TABLE B (Y STRING)").ok());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(db->Execute("INSERT INTO A VALUES (" +
+                              std::to_string(i) + ")")
+                      .ok());
+      ASSERT_TRUE(
+          db->Execute("INSERT INTO B VALUES ('b" +
+                      std::to_string(i) + "')")
+              .ok());
+    }
+  }
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    EXPECT_EQ((*db->Execute("SELECT COUNT(*) FROM A"))
+                  .result.rows[0]
+                  .value(0)
+                  .AsInt(),
+              20);
+    EXPECT_EQ((*db->Execute("SELECT COUNT(*) FROM B"))
+                  .result.rows[0]
+                  .value(0)
+                  .AsInt(),
+              20);
+  }
+}
+
+TEST_F(PersistenceTest, CorruptMagicRejected) {
+  {
+    auto db = WsqDatabase::Open(path_);
+    ASSERT_TRUE(db.ok());
+  }
+  // Scribble over the catalog root.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "JUNK";
+  std::fwrite(junk, 1, 4, f);
+  std::fclose(f);
+
+  auto reopened = WsqDatabase::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(PersistenceTest, CatalogSerdeRoundTripDirect) {
+  InMemoryDiskManager disk;
+  BufferPool pool(16, &disk);
+  Page* root = *pool.NewPage();
+  (void)pool.UnpinPage(root->page_id(), true);
+
+  Catalog catalog(&pool);
+  Schema schema({Column("Name", TypeId::kString),
+                 Column("Population", TypeId::kInt64),
+                 Column("Score", TypeId::kDouble)});
+  TableInfo* t = *catalog.CreateTable("States", schema);
+  ASSERT_TRUE(t->Insert(Row({Value::Str("x"), Value::Int(1),
+                             Value::Real(0.5)}))
+                  .ok());
+  ASSERT_TRUE(SaveCatalog(catalog, &pool).ok());
+
+  Catalog loaded(&pool);
+  ASSERT_TRUE(LoadCatalog(&loaded, &pool).ok());
+  TableInfo* lt = *loaded.GetTable("States");
+  EXPECT_EQ(lt->schema().NumColumns(), 3u);
+  EXPECT_EQ(lt->schema().column(2).type, TypeId::kDouble);
+  EXPECT_EQ(lt->heap()->first_page(), t->heap()->first_page());
+  auto rows = *lt->ScanAll();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].value(0).AsString(), "x");
+}
+
+}  // namespace
+}  // namespace wsq
