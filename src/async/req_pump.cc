@@ -3,30 +3,44 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/clock.h"
+
 namespace wsq {
 
-ReqPump::ReqPump(Limits limits) : limits_(limits) {}
+ReqPump::ReqPump(Limits limits)
+    : core_(std::make_shared<Core>(limits)),
+      timer_([core = core_] { TimerLoop(std::move(core)); }) {}
 
 ReqPump::~ReqPump() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Drop never-dispatched queued calls, then wait for in-flight ones.
-  for (const QueuedCall& q : queue_) {
-    results_[q.id] =
-        CallResult{Status::Cancelled("ReqPump shut down"), {}};
-    --outstanding_;
+  {
+    std::unique_lock<std::mutex> lock(core_->mu);
+    // Drop never-dispatched queued calls, then wait for in-flight ones.
+    // Abandoned (timed-out) calls already released their slots and do
+    // not delay shutdown; their stragglers hit the shared core later.
+    for (const QueuedCall& q : core_->queue) {
+      core_->results[q.id] =
+          CallResult{Status::Cancelled("ReqPump shut down"), {}};
+      core_->unresolved.erase(q.id);
+      --core_->outstanding;
+    }
+    core_->queue.clear();
+    core_->cv.wait(lock, [this] { return core_->in_flight_global == 0; });
+    core_->shutdown = true;
   }
-  queue_.clear();
-  cv_.wait(lock, [this] { return in_flight_global_ == 0; });
+  core_->cv.notify_all();
+  timer_.join();
 }
 
-bool ReqPump::CanDispatchLocked(const std::string& destination) const {
-  if (limits_.max_global > 0 && in_flight_global_ >= limits_.max_global) {
+bool ReqPump::CanDispatchLocked(const Core& core,
+                                const std::string& destination) {
+  if (core.limits.max_global > 0 &&
+      core.in_flight_global >= core.limits.max_global) {
     return false;
   }
-  if (limits_.max_per_destination > 0) {
-    auto it = in_flight_by_dest_.find(destination);
-    if (it != in_flight_by_dest_.end() &&
-        it->second >= limits_.max_per_destination) {
+  if (core.limits.max_per_destination > 0) {
+    auto it = core.in_flight_by_dest.find(destination);
+    if (it != core.in_flight_by_dest.end() &&
+        it->second >= core.limits.max_per_destination) {
       return false;
     }
   }
@@ -34,79 +48,101 @@ bool ReqPump::CanDispatchLocked(const std::string& destination) const {
 }
 
 CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn) {
+  return Register(destination, std::move(fn),
+                  core_->limits.default_timeout_micros);
+}
+
+CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
+                         int64_t timeout_micros) {
   CallId id;
   bool dispatch_now;
+  bool has_deadline = timeout_micros > 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    id = next_id_++;
-    ++stats_.registered;
-    ++outstanding_;
-    dispatch_now = CanDispatchLocked(destination);
+    std::lock_guard<std::mutex> lock(core_->mu);
+    id = core_->next_id++;
+    ++core_->stats.registered;
+    ++core_->outstanding;
+    core_->unresolved.insert(id);
+    int64_t deadline =
+        has_deadline ? NowMicros() + timeout_micros : 0;
+    if (has_deadline) {
+      core_->deadlines.push(Deadline{deadline, id, destination});
+    }
+    dispatch_now = CanDispatchLocked(*core_, destination);
     if (dispatch_now) {
-      ++in_flight_global_;
-      ++in_flight_by_dest_[destination];
-      stats_.max_in_flight =
-          std::max(stats_.max_in_flight,
-                   static_cast<uint64_t>(in_flight_global_));
+      ++core_->in_flight_global;
+      ++core_->in_flight_by_dest[destination];
+      core_->stats.max_in_flight =
+          std::max(core_->stats.max_in_flight,
+                   static_cast<uint64_t>(core_->in_flight_global));
     } else {
-      queue_.push_back(QueuedCall{id, destination, std::move(fn)});
-      stats_.queued_peak =
-          std::max(stats_.queued_peak,
-                   static_cast<uint64_t>(queue_.size()));
+      core_->queue.push_back(
+          QueuedCall{id, destination, std::move(fn), deadline});
+      core_->stats.queued_peak =
+          std::max(core_->stats.queued_peak,
+                   static_cast<uint64_t>(core_->queue.size()));
     }
   }
+  // Wake the timer so it re-arms for a possibly-earlier deadline.
+  if (has_deadline) core_->cv.notify_all();
   if (dispatch_now) {
-    Dispatch(id, destination, std::move(fn));
+    Dispatch(core_, id, destination, std::move(fn));
   }
   return id;
 }
 
-void ReqPump::Dispatch(CallId id, const std::string& destination,
-                       AsyncCallFn fn) {
+void ReqPump::Dispatch(const std::shared_ptr<Core>& core, CallId id,
+                       const std::string& destination, AsyncCallFn fn) {
   // The completion may fire synchronously (e.g. a cache hit) or from a
-  // service thread later; both paths go through OnComplete.
-  fn([this, id, destination](CallResult result) {
-    OnComplete(id, destination, std::move(result));
+  // service thread later; both paths go through OnComplete. The lambda
+  // keeps the core alive so even a completion arriving after ~ReqPump
+  // is safe.
+  fn([core, id, destination](CallResult result) {
+    OnComplete(core, id, destination, std::move(result));
   });
 }
 
-void ReqPump::OnComplete(CallId id, const std::string& destination,
+void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
+                         const std::string& destination,
                          CallResult result) {
   std::vector<QueuedCall> to_dispatch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(core->mu);
+    if (core->abandoned.erase(id) > 0) {
+      // The deadline timer already completed this call and released its
+      // slots; the real result arrives too late and is discarded.
+      ++core->stats.late_discarded;
+      return;
+    }
     if (!result.status.ok()) {
-      ++stats_.failed;
+      ++core->stats.failed;
     }
-    ++stats_.completed;
-    results_[id] = std::move(result);
-    --in_flight_global_;
-    --in_flight_by_dest_[destination];
-    ++completion_seq_;
-    --outstanding_;
-    to_dispatch = CollectDispatchable();
-    for (const QueuedCall& q : to_dispatch) {
-      ++in_flight_global_;
-      ++in_flight_by_dest_[q.destination];
-    }
-    stats_.max_in_flight =
-        std::max(stats_.max_in_flight,
-                 static_cast<uint64_t>(in_flight_global_));
+    ++core->stats.completed;
+    core->results[id] = std::move(result);
+    core->unresolved.erase(id);
+    --core->in_flight_global;
+    --core->in_flight_by_dest[destination];
+    ++core->completion_seq;
+    --core->outstanding;
+    to_dispatch = TakeDispatchableLocked(core.get());
   }
-  cv_.notify_all();
+  core->cv.notify_all();
   for (QueuedCall& q : to_dispatch) {
-    Dispatch(q.id, q.destination, std::move(q.fn));
+    Dispatch(core, q.id, q.destination, std::move(q.fn));
   }
 }
 
-std::vector<ReqPump::QueuedCall> ReqPump::CollectDispatchable() {
+std::vector<ReqPump::QueuedCall> ReqPump::TakeDispatchableLocked(
+    Core* core) {
   std::vector<QueuedCall> out;
+  if (core->shutdown) return out;
   // FIFO per scan; a blocked head does not starve other destinations.
-  for (auto it = queue_.begin(); it != queue_.end();) {
+  for (auto it = core->queue.begin(); it != core->queue.end();) {
     // Account for calls already chosen in this scan.
     int pending_global = static_cast<int>(out.size());
-    if (limits_.max_global > 0 &&
-        in_flight_global_ + pending_global >= limits_.max_global) {
+    if (core->limits.max_global > 0 &&
+        core->in_flight_global + pending_global >=
+            core->limits.max_global) {
       break;
     }
     int pending_dest = 0;
@@ -114,66 +150,145 @@ std::vector<ReqPump::QueuedCall> ReqPump::CollectDispatchable() {
       if (q.destination == it->destination) ++pending_dest;
     }
     bool dest_ok = true;
-    if (limits_.max_per_destination > 0) {
-      auto found = in_flight_by_dest_.find(it->destination);
-      int current = found == in_flight_by_dest_.end() ? 0 : found->second;
-      dest_ok = current + pending_dest < limits_.max_per_destination;
+    if (core->limits.max_per_destination > 0) {
+      auto found = core->in_flight_by_dest.find(it->destination);
+      int current =
+          found == core->in_flight_by_dest.end() ? 0 : found->second;
+      dest_ok = current + pending_dest < core->limits.max_per_destination;
     }
     if (dest_ok) {
       out.push_back(std::move(*it));
-      it = queue_.erase(it);
+      it = core->queue.erase(it);
     } else {
       ++it;
     }
   }
+  for (const QueuedCall& q : out) {
+    ++core->in_flight_global;
+    ++core->in_flight_by_dest[q.destination];
+  }
+  core->stats.max_in_flight =
+      std::max(core->stats.max_in_flight,
+               static_cast<uint64_t>(core->in_flight_global));
   return out;
 }
 
+void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
+  std::unique_lock<std::mutex> lock(core->mu);
+  while (!core->shutdown) {
+    // Drop stale heap entries (calls that resolved before their
+    // deadline) so they don't force pointless wakeups.
+    while (!core->deadlines.empty() &&
+           core->unresolved.count(core->deadlines.top().id) == 0) {
+      core->deadlines.pop();
+    }
+    if (core->deadlines.empty()) {
+      core->cv.wait(lock, [&core] {
+        return core->shutdown || !core->deadlines.empty();
+      });
+      continue;
+    }
+    int64_t now = NowMicros();
+    int64_t when = core->deadlines.top().when_micros;
+    if (now < when) {
+      core->cv.wait_for(lock, std::chrono::microseconds(when - now));
+      continue;
+    }
+    Deadline d = core->deadlines.top();
+    core->deadlines.pop();
+    if (core->unresolved.count(d.id) == 0) continue;
+
+    // Time the call out: complete it with kDeadlineExceeded so blocked
+    // consumers wake immediately.
+    ++core->stats.timed_out;
+    ++core->stats.failed;
+    ++core->stats.completed;
+    core->results[d.id] = CallResult{
+        Status::DeadlineExceeded("external call to '" + d.destination +
+                                 "' exceeded its deadline"),
+        {}};
+    core->unresolved.erase(d.id);
+    ++core->completion_seq;
+    --core->outstanding;
+
+    bool was_queued = false;
+    for (auto it = core->queue.begin(); it != core->queue.end(); ++it) {
+      if (it->id == d.id) {
+        core->queue.erase(it);  // never dispatched: no straggler coming
+        was_queued = true;
+        break;
+      }
+    }
+    std::vector<QueuedCall> to_dispatch;
+    if (!was_queued) {
+      // Dispatched: abandon it and free its limit slots so the queue
+      // behind a hung destination keeps moving.
+      core->abandoned.insert(d.id);
+      --core->in_flight_global;
+      --core->in_flight_by_dest[d.destination];
+      to_dispatch = TakeDispatchableLocked(core.get());
+    }
+    lock.unlock();
+    core->cv.notify_all();
+    for (QueuedCall& q : to_dispatch) {
+      Dispatch(core, q.id, q.destination, std::move(q.fn));
+    }
+    lock.lock();
+  }
+}
+
 bool ReqPump::IsComplete(CallId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return results_.count(id) > 0;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->results.count(id) > 0;
 }
 
 bool ReqPump::TryTake(CallId id, CallResult* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = results_.find(id);
-  if (it == results_.end()) return false;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  auto it = core_->results.find(id);
+  if (it == core_->results.end()) return false;
   *out = std::move(it->second);
-  results_.erase(it);
+  core_->results.erase(it);
   return true;
 }
 
 CallResult ReqPump::TakeBlocking(CallId id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, id] { return results_.count(id) > 0; });
-  CallResult out = std::move(results_[id]);
-  results_.erase(id);
+  std::unique_lock<std::mutex> lock(core_->mu);
+  core_->cv.wait(lock,
+                 [this, id] { return core_->results.count(id) > 0; });
+  CallResult out = std::move(core_->results[id]);
+  core_->results.erase(id);
   return out;
 }
 
 uint64_t ReqPump::completion_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return completion_seq_;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->completion_seq;
 }
 
 void ReqPump::WaitForCompletionBeyond(uint64_t seq) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this, seq] { return completion_seq_ > seq; });
+  std::unique_lock<std::mutex> lock(core_->mu);
+  core_->cv.wait(lock,
+                 [this, seq] { return core_->completion_seq > seq; });
 }
 
 void ReqPump::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  std::unique_lock<std::mutex> lock(core_->mu);
+  core_->cv.wait(lock, [this] { return core_->outstanding == 0; });
 }
 
 ReqPumpStats ReqPump::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->stats;
 }
 
 int ReqPump::in_flight() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return in_flight_global_;
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->in_flight_global;
+}
+
+size_t ReqPump::pending_results() const {
+  std::lock_guard<std::mutex> lock(core_->mu);
+  return core_->results.size();
 }
 
 }  // namespace wsq

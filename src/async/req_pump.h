@@ -6,9 +6,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -38,6 +42,11 @@ struct ReqPumpStats {
   uint64_t registered = 0;
   uint64_t completed = 0;
   uint64_t failed = 0;
+  /// Calls completed with kDeadlineExceeded by the deadline timer.
+  uint64_t timed_out = 0;
+  /// Real completions that arrived after their call had already timed
+  /// out and were discarded (never double-complete a call).
+  uint64_t late_discarded = 0;
   /// Peak concurrently-dispatched calls (all destinations).
   uint64_t max_in_flight = 0;
   /// Peak length of the resource-limit wait queue.
@@ -50,6 +59,16 @@ struct ReqPumpStats {
 /// as calls complete, and enforces concurrency limits — one global
 /// counter and one per destination, with a FIFO queue for calls that
 /// exceed a limit.
+///
+/// Failure semantics: each call may carry a deadline (per call or from
+/// Limits::default_timeout_micros). A dedicated timer thread completes
+/// overdue calls with kDeadlineExceeded — whether they are still queued
+/// or already dispatched — so consumers blocked in TakeBlocking never
+/// wait past the deadline and a hung destination cannot wedge a query.
+/// A dispatched call that times out is *abandoned*: its limit slots are
+/// released immediately and its real completion, if one ever arrives,
+/// is discarded. Shared internal state keeps such late completions safe
+/// even after the ReqPump itself has been destroyed.
 class ReqPump {
  public:
   struct Limits {
@@ -57,22 +76,32 @@ class ReqPump {
     int max_global = 0;
     /// Max concurrently-dispatched calls per destination; 0 = unbounded.
     int max_per_destination = 0;
+    /// Deadline applied to calls registered without an explicit timeout,
+    /// measured from Register(); 0 = no deadline.
+    int64_t default_timeout_micros = 0;
   };
 
-  ReqPump() : ReqPump(Limits{0, 0}) {}
+  ReqPump() : ReqPump(Limits{}) {}
   explicit ReqPump(Limits limits);
 
   ReqPump(const ReqPump&) = delete;
   ReqPump& operator=(const ReqPump&) = delete;
 
-  /// Blocks until all dispatched calls complete; queued calls that were
-  /// never dispatched are dropped.
+  /// Blocks until all dispatched, non-abandoned calls complete; queued
+  /// calls that were never dispatched are dropped (kCancelled). Calls
+  /// that timed out do not delay destruction — their late completions
+  /// land harmlessly in the shared core.
   ~ReqPump();
 
   /// Registers call `fn` against `destination` and returns immediately
-  /// with its id. The call is dispatched now if limits allow, else
-  /// queued FIFO.
+  /// with its id, applying Limits::default_timeout_micros. The call is
+  /// dispatched now if limits allow, else queued FIFO.
   CallId Register(const std::string& destination, AsyncCallFn fn);
+
+  /// As above with an explicit per-call deadline; `timeout_micros` <= 0
+  /// means no deadline (overriding any default).
+  CallId Register(const std::string& destination, AsyncCallFn fn,
+                  int64_t timeout_micros);
 
   /// True once the call's result is available in ReqPumpHash.
   bool IsComplete(CallId id) const;
@@ -81,6 +110,7 @@ class ReqPump {
   bool TryTake(CallId id, CallResult* out);
 
   /// Blocks until call `id` completes, then removes and returns it.
+  /// With a deadline set, returns at most ~timeout after registration.
   CallResult TakeBlocking(CallId id);
 
   /// Monotonic count of completions; use with WaitForCompletionBeyond
@@ -95,43 +125,88 @@ class ReqPump {
   void Drain();
 
   ReqPumpStats stats() const;
-  const Limits& limits() const { return limits_; }
+  const Limits& limits() const { return core_->limits; }
 
-  /// Currently dispatched (in-flight) calls.
+  /// Currently dispatched (in-flight) calls, excluding abandoned ones.
   int in_flight() const;
+
+  /// Completed results sitting in ReqPumpHash, not yet taken. Should
+  /// return to its pre-query value after a query closes — a growing
+  /// number across queries means leaked entries.
+  size_t pending_results() const;
 
  private:
   struct QueuedCall {
     CallId id;
     std::string destination;
     AsyncCallFn fn;
+    /// Absolute deadline (micros, steady clock); 0 = none. Carried so
+    /// the deadline keeps ticking while the call waits for a slot.
+    int64_t deadline_micros = 0;
   };
 
-  /// Dispatches `fn` for call `id`; caller must NOT hold mu_.
-  void Dispatch(CallId id, const std::string& destination, AsyncCallFn fn);
+  struct Deadline {
+    int64_t when_micros;
+    CallId id;
+    std::string destination;
 
-  /// Invoked by call completions.
-  void OnComplete(CallId id, const std::string& destination,
-                  CallResult result);
+    bool operator>(const Deadline& o) const {
+      if (when_micros != o.when_micros) return when_micros > o.when_micros;
+      return id > o.id;
+    }
+  };
 
-  /// Pops dispatchable queued calls under mu_; returns them for
-  /// dispatch outside the lock.
-  std::vector<QueuedCall> CollectDispatchable();
+  /// All mutable state lives here, shared (via shared_ptr) with every
+  /// in-flight completion callback, so a straggler completing after the
+  /// ReqPump is gone touches valid memory and is simply discarded.
+  struct Core {
+    explicit Core(Limits l) : limits(l) {}
 
-  bool CanDispatchLocked(const std::string& destination) const;
+    const Limits limits;
 
-  Limits limits_;
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    CallId next_id = 1;
+    uint64_t completion_seq = 0;
+    int in_flight_global = 0;
+    std::map<std::string, int> in_flight_by_dest;
+    std::deque<QueuedCall> queue;
+    std::unordered_map<CallId, CallResult> results;  // "ReqPumpHash"
+    /// Registered calls with no result yet (not completed, timed out,
+    /// or cancelled). Timer entries for ids outside this set are stale.
+    std::unordered_set<CallId> unresolved;
+    /// Dispatched calls that timed out: their eventual real completion
+    /// must be discarded without touching counters or results.
+    std::unordered_set<CallId> abandoned;
+    std::priority_queue<Deadline, std::vector<Deadline>,
+                        std::greater<Deadline>>
+        deadlines;
+    uint64_t outstanding = 0;  // registered but not yet resolved/dropped
+    bool shutdown = false;
+    ReqPumpStats stats;
+  };
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  CallId next_id_ = 1;
-  uint64_t completion_seq_ = 0;
-  int in_flight_global_ = 0;
-  std::map<std::string, int> in_flight_by_dest_;
-  std::deque<QueuedCall> queue_;
-  std::unordered_map<CallId, CallResult> results_;  // "ReqPumpHash"
-  uint64_t outstanding_ = 0;  // registered but not yet completed/dropped
-  ReqPumpStats stats_;
+  /// Dispatches `fn` for call `id`; caller must NOT hold core->mu.
+  static void Dispatch(const std::shared_ptr<Core>& core, CallId id,
+                       const std::string& destination, AsyncCallFn fn);
+
+  /// Invoked by call completions (possibly after ~ReqPump).
+  static void OnComplete(const std::shared_ptr<Core>& core, CallId id,
+                         const std::string& destination,
+                         CallResult result);
+
+  /// Pops dispatchable queued calls under core->mu and reserves their
+  /// limit slots; returns them for dispatch outside the lock.
+  static std::vector<QueuedCall> TakeDispatchableLocked(Core* core);
+
+  static bool CanDispatchLocked(const Core& core,
+                                const std::string& destination);
+
+  /// Deadline-timer thread body.
+  static void TimerLoop(std::shared_ptr<Core> core);
+
+  std::shared_ptr<Core> core_;
+  std::thread timer_;
 };
 
 }  // namespace wsq

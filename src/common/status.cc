@@ -39,8 +39,24 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool IsTransient(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIOError:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Status::Status(StatusCode code, std::string message) {
@@ -67,6 +83,8 @@ WSQ_STATUS_FACTORY(BindError, kBindError)
 WSQ_STATUS_FACTORY(TypeError, kTypeError)
 WSQ_STATUS_FACTORY(ExecutionError, kExecutionError)
 WSQ_STATUS_FACTORY(Internal, kInternal)
+WSQ_STATUS_FACTORY(Unavailable, kUnavailable)
+WSQ_STATUS_FACTORY(DeadlineExceeded, kDeadlineExceeded)
 
 #undef WSQ_STATUS_FACTORY
 

@@ -24,10 +24,22 @@ enum class StatusCode {
   kTypeError,
   kExecutionError,
   kInternal,
+  /// An external destination (search engine) is temporarily unreachable
+  /// or refusing work — retrying later may succeed.
+  kUnavailable,
+  /// The call's per-request deadline elapsed before a response arrived.
+  kDeadlineExceeded,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
 std::string_view StatusCodeToString(StatusCode code);
+
+/// True for error categories that describe a *transient* condition worth
+/// retrying against the same destination: the engine may recover
+/// (kUnavailable, kDeadlineExceeded, kResourceExhausted) or the network
+/// may heal (kIOError). Permanent errors — bad input, parse failures,
+/// internal bugs — return false: retrying them only wastes calls.
+bool IsTransient(StatusCode code);
 
 /// Result of a fallible operation: either OK or a code plus message.
 ///
@@ -61,6 +73,8 @@ class Status {
   static Status TypeError(std::string msg);
   static Status ExecutionError(std::string msg);
   static Status Internal(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }

@@ -137,7 +137,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                            BuildOperatorTree(*plan.child(0), ctx));
       return OperatorPtr(std::make_unique<ReqSyncOperator>(
           static_cast<const ReqSyncNode*>(&plan), std::move(child),
-          ctx->pump));
+          ctx->pump, ctx));
     }
   }
   return Status::Internal("unknown plan node kind");
@@ -148,7 +148,14 @@ Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
   ResultSet result;
   result.schema = plan.schema();
 
-  WSQ_RETURN_IF_ERROR(root->Open());
+  Status opened = root->Open();
+  if (!opened.ok()) {
+    // A blocking operator (e.g. Sort) drains its child inside Open, so
+    // a degraded-call error can surface here too: Close anyway so
+    // ReqSync reaps its outstanding calls instead of leaking them.
+    root->Close();
+    return opened;
+  }
   Row row;
   while (true) {
     auto more = root->Next(&row);

@@ -13,10 +13,19 @@ namespace wsq {
 
 /// Shared execution state: the ReqPump for asynchronous calls plus a
 /// counter of synchronous (blocking) external calls, so QueryStats can
-/// report call counts for both execution strategies.
+/// report call counts for both execution strategies. The degradation
+/// counters are bumped by ReqSync operators applying an OnCallError
+/// policy (kDropTuple / kNullPad) so QueryStats can report how much of
+/// the answer was affected by failed external calls.
 struct ExecContext {
   ReqPump* pump = nullptr;
   std::atomic<uint64_t> sync_external_calls{0};
+  /// External calls that completed with a non-OK status.
+  std::atomic<uint64_t> failed_calls{0};
+  /// Tuples cancelled under OnCallError::kDropTuple.
+  std::atomic<uint64_t> dropped_tuples{0};
+  /// Tuples completed with NULLs under OnCallError::kNullPad.
+  std::atomic<uint64_t> null_padded_tuples{0};
 };
 
 /// A fully-materialized query result.

@@ -32,6 +32,8 @@ Status ReqSyncOperator::Open() {
   ready_.clear();
   next_entry_id_ = 1;
   peak_buffered_ = 0;
+  dropped_tuples_ = 0;
+  null_padded_tuples_ = 0;
   child_drained_ = false;
 
   WSQ_RETURN_IF_ERROR(child_->Open());
@@ -74,9 +76,65 @@ Result<Row> ReqSyncOperator::PatchRow(const Row& row, CallId call,
   return out;
 }
 
+Status ReqSyncOperator::DegradeFailedCall(CallId call,
+                                          const Status& error) {
+  if (ctx_ != nullptr) ++ctx_->failed_calls;
+
+  // Un-register the call first in every policy: its result has already
+  // been consumed, so leaving it in waiters_ would make Close() block
+  // forever trying to reap it again.
+  std::vector<uint64_t> ids;
+  auto waiting = waiters_.find(call);
+  if (waiting != waiters_.end()) {
+    ids = std::move(waiting->second);
+    waiters_.erase(waiting);
+  }
+  if (node_->on_call_error == OnCallError::kFailQuery) return error;
+
+  for (uint64_t id : ids) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // stale (see ProcessCompletion)
+
+    if (node_->on_call_error == OnCallError::kDropTuple) {
+      // Cancel the tuple exactly as a zero-row result would (§4.3
+      // n = 0); its references under OTHER calls go stale and are
+      // skipped there.
+      entries_.erase(it);
+      ++dropped_tuples_;
+      if (ctx_ != nullptr) ++ctx_->dropped_tuples;
+      continue;
+    }
+
+    // kNullPad: fill the columns this call would have produced with
+    // NULL and keep the tuple moving.
+    Entry entry = std::move(it->second);
+    entries_.erase(it);
+    entry.pending.erase(call);
+    Row padded;
+    for (size_t i = 0; i < entry.row.size(); ++i) {
+      const Value& v = entry.row.value(i);
+      if (v.is_placeholder() && v.AsPlaceholder().call == call) {
+        padded.Append(Value::Null());
+      } else {
+        padded.Append(v);
+      }
+    }
+    ++null_padded_tuples_;
+    if (ctx_ != nullptr) ++ctx_->null_padded_tuples;
+    if (entry.pending.empty()) {
+      ready_.push_back(std::move(padded));
+    } else {
+      AddEntry(std::move(padded), entry.pending);
+    }
+  }
+  return Status::OK();
+}
+
 Status ReqSyncOperator::ProcessCompletion(CallId call,
                                           const CallResult& result) {
-  WSQ_RETURN_IF_ERROR(result.status);
+  if (!result.status.ok()) {
+    return DegradeFailedCall(call, result.status);
+  }
 
   auto waiting = waiters_.find(call);
   if (waiting == waiters_.end()) return Status::OK();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "async/req_pump.h"
+#include "exec/executor.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -21,14 +22,19 @@ namespace wsq {
 /// each waiting tuple is cancelled (n=0), completed (n=1), or
 /// proliferated into n patched copies (n>1) — copies inherit
 /// placeholders for other still-pending calls (§4.4).
+///
+/// A call that completes with an ERROR (engine failure, deadline
+/// exceeded) is handled per the node's OnCallError policy: fail the
+/// query, cancel the waiting tuples, or complete them with NULLs.
 class ReqSyncOperator : public Operator {
  public:
   ReqSyncOperator(const ReqSyncNode* node, OperatorPtr child,
-                  ReqPump* pump)
+                  ReqPump* pump, ExecContext* ctx = nullptr)
       : Operator(&node->schema()),
         node_(node),
         child_(std::move(child)),
-        pump_(pump) {}
+        pump_(pump),
+        ctx_(ctx) {}
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -41,6 +47,11 @@ class ReqSyncOperator : public Operator {
   /// Peak number of tuples buffered while waiting (observability).
   size_t peak_buffered() const { return peak_buffered_; }
 
+  /// Tuples cancelled by this operator under OnCallError::kDropTuple.
+  uint64_t dropped_tuples() const { return dropped_tuples_; }
+  /// Tuples NULL-completed by this operator under OnCallError::kNullPad.
+  uint64_t null_padded_tuples() const { return null_padded_tuples_; }
+
  private:
   struct Entry {
     Row row;
@@ -49,6 +60,11 @@ class ReqSyncOperator : public Operator {
 
   /// Applies one completed call to every tuple waiting on it.
   Status ProcessCompletion(CallId call, const CallResult& result);
+
+  /// Applies the node's OnCallError policy to a failed call. Returns
+  /// the call's error under kFailQuery; otherwise degrades the waiting
+  /// tuples and returns OK.
+  Status DegradeFailedCall(CallId call, const Status& error);
 
   /// Classifies one child row into the ready queue or the wait index.
   void Absorb(Row row);
@@ -66,6 +82,7 @@ class ReqSyncOperator : public Operator {
   const ReqSyncNode* node_;
   OperatorPtr child_;
   ReqPump* pump_;
+  ExecContext* ctx_ = nullptr;
   bool child_drained_ = false;
 
   uint64_t next_entry_id_ = 1;
@@ -73,6 +90,8 @@ class ReqSyncOperator : public Operator {
   std::unordered_map<CallId, std::vector<uint64_t>> waiters_;
   std::deque<Row> ready_;
   size_t peak_buffered_ = 0;
+  uint64_t dropped_tuples_ = 0;
+  uint64_t null_padded_tuples_ = 0;
 };
 
 }  // namespace wsq

@@ -10,6 +10,7 @@ Status SortOperator::Open() {
   rows_.clear();
   next_ = 0;
   WSQ_RETURN_IF_ERROR(child_->Open());
+  child_open_ = true;
 
   // Materialize rows with their precomputed sort keys.
   std::vector<std::pair<std::vector<Value>, Row>> keyed;
@@ -29,6 +30,7 @@ Status SortOperator::Open() {
     }
     keyed.emplace_back(std::move(keys), std::move(row));
   }
+  child_open_ = false;
   WSQ_RETURN_IF_ERROR(child_->Close());
 
   const auto& key_specs = node_->keys();
@@ -55,6 +57,10 @@ Result<bool> SortOperator::Next(Row* row) {
 
 Status SortOperator::Close() {
   rows_.clear();
+  if (child_open_) {
+    child_open_ = false;
+    return child_->Close();
+  }
   return Status::OK();
 }
 
@@ -135,6 +141,7 @@ Status AggregateOperator::Open() {
   results_.clear();
   next_ = 0;
   WSQ_RETURN_IF_ERROR(child_->Open());
+  child_open_ = true;
 
   // Group rows by key; std::map keeps deterministic group order.
   std::map<Row, std::vector<Accumulator>,
@@ -156,6 +163,7 @@ Status AggregateOperator::Open() {
         std::move(key), node_->aggs().size(), Accumulator{});
     WSQ_RETURN_IF_ERROR(Accumulate(input, &it->second));
   }
+  child_open_ = false;
   WSQ_RETURN_IF_ERROR(child_->Close());
 
   // Global aggregate over empty input still yields one row.
@@ -182,6 +190,10 @@ Result<bool> AggregateOperator::Next(Row* row) {
 
 Status AggregateOperator::Close() {
   results_.clear();
+  if (child_open_) {
+    child_open_ = false;
+    return child_->Close();
+  }
   return Status::OK();
 }
 

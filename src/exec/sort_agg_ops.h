@@ -27,6 +27,10 @@ class SortOperator : public Operator {
   OperatorPtr child_;
   std::vector<Row> rows_;
   size_t next_ = 0;
+  // True while the child is open. Open() closes the child after a full
+  // drain; if the drain errors out, Close() must cascade instead so a
+  // ReqSync below reaps its outstanding calls.
+  bool child_open_ = false;
 };
 
 /// GROUP BY + aggregate evaluation; groups ordered deterministically
@@ -62,6 +66,7 @@ class AggregateOperator : public Operator {
   OperatorPtr child_;
   std::vector<Row> results_;
   size_t next_ = 0;
+  bool child_open_ = false;  // see SortOperator::child_open_
 };
 
 }  // namespace wsq

@@ -1,0 +1,132 @@
+#include "net/circuit_breaker.h"
+
+#include "common/clock.h"
+
+namespace wsq {
+
+std::string_view CircuitStateToString(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "Closed";
+    case CircuitState::kOpen:
+      return "Open";
+    case CircuitState::kHalfOpen:
+      return "HalfOpen";
+  }
+  return "Unknown";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(std::move(options)) {
+  if (options_.failure_threshold < 1) options_.failure_threshold = 1;
+  if (options_.half_open_probes < 1) options_.half_open_probes = 1;
+}
+
+int64_t CircuitBreaker::Now() const {
+  return options_.now ? options_.now() : NowMicros();
+}
+
+void CircuitBreaker::TripLocked(int64_t now) {
+  state_ = CircuitState::kOpen;
+  open_until_micros_ = now + options_.cooldown_micros;
+  inflight_probes_ = 0;
+  consecutive_failures_ = 0;
+  ++stats_.trips;
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = Now();
+  if (state_ == CircuitState::kOpen) {
+    if (now < open_until_micros_) {
+      ++stats_.fast_failures;
+      return false;
+    }
+    state_ = CircuitState::kHalfOpen;
+    inflight_probes_ = 0;
+  }
+  if (state_ == CircuitState::kHalfOpen) {
+    if (inflight_probes_ >= options_.half_open_probes) {
+      // A probe whose outcome never arrives (hung engine, dropped
+      // callback) must not wedge the circuit half-open forever: admit a
+      // fresh probe once a full cool-down has passed since the last.
+      if (now < open_until_micros_ + options_.cooldown_micros) {
+        ++stats_.fast_failures;
+        return false;
+      }
+      open_until_micros_ = now;
+      inflight_probes_ = 0;
+    }
+    ++inflight_probes_;
+    ++stats_.probes;
+    return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == CircuitState::kHalfOpen) {
+    // Probe succeeded: the engine is back.
+    state_ = CircuitState::kClosed;
+    inflight_probes_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure(const Status& status) {
+  if (!IsTransient(status.code())) return;  // engine answered; neutral
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = Now();
+  if (state_ == CircuitState::kHalfOpen) {
+    TripLocked(now);  // probe failed: back to open, fresh cool-down
+    return;
+  }
+  if (state_ == CircuitState::kClosed) {
+    if (++consecutive_failures_ >= options_.failure_threshold) {
+      TripLocked(now);
+    }
+  }
+}
+
+CircuitState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+CircuitBreakerStats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+CircuitBreakerSearchService::CircuitBreakerSearchService(
+    SearchService* wrapped, CircuitBreakerOptions options)
+    : wrapped_(wrapped), breaker_(std::move(options)) {}
+
+void CircuitBreakerSearchService::Submit(SearchRequest request,
+                                         SearchCallback done) {
+  if (!breaker_.Allow()) {
+    done(SearchResponse{
+        Status::Unavailable("circuit open for engine: " + name()), 0,
+        {}});
+    return;
+  }
+  CircuitBreaker* breaker = &breaker_;
+  wrapped_->Submit(
+      std::move(request),
+      [breaker, done = std::move(done)](SearchResponse resp) {
+        if (resp.status.ok()) {
+          breaker->RecordSuccess();
+        } else {
+          breaker->RecordFailure(resp.status);
+        }
+        done(std::move(resp));
+      });
+}
+
+}  // namespace wsq

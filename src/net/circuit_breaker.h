@@ -1,0 +1,105 @@
+#ifndef WSQ_NET_CIRCUIT_BREAKER_H_
+#define WSQ_NET_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/search_service.h"
+
+namespace wsq {
+
+/// Circuit breaker state (classic closed → open → half-open machine).
+enum class CircuitState {
+  kClosed,    ///< healthy: requests flow, consecutive failures counted
+  kOpen,      ///< tripped: requests fail fast with kUnavailable
+  kHalfOpen,  ///< cooling down: limited probe requests test recovery
+};
+
+std::string_view CircuitStateToString(CircuitState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive transient failures that trip the circuit.
+  int failure_threshold = 5;
+  /// Time the circuit stays open before allowing a probe.
+  int64_t cooldown_micros = 1000000;
+  /// Probes allowed concurrently while half-open.
+  int half_open_probes = 1;
+  /// Clock override for deterministic tests; null = steady clock.
+  std::function<int64_t()> now;
+};
+
+struct CircuitBreakerStats {
+  /// closed/half-open → open transitions.
+  uint64_t trips = 0;
+  /// Requests rejected without reaching the engine (circuit open).
+  uint64_t fast_failures = 0;
+  /// Probe requests admitted while half-open.
+  uint64_t probes = 0;
+};
+
+/// Per-destination circuit breaker: after `failure_threshold`
+/// consecutive TRANSIENT failures (IsTransient) the circuit opens and
+/// calls fail fast with kUnavailable instead of burning retries against
+/// a dead engine; after `cooldown_micros` one probe request half-opens
+/// it — success closes the circuit, another transient failure re-opens
+/// it for a fresh cool-down. Non-transient errors (the engine answered,
+/// just unhelpfully) neither count toward nor reset the failure streak.
+/// Thread-safe.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// True if a request may be sent now; admitting a request while
+  /// half-open counts it as a probe. False = fail fast.
+  bool Allow();
+
+  /// Record the outcome of an admitted request.
+  void RecordSuccess();
+  void RecordFailure(const Status& status);
+
+  CircuitState state() const;
+  CircuitBreakerStats stats() const;
+  int consecutive_failures() const;
+
+ private:
+  int64_t Now() const;
+  void TripLocked(int64_t now);
+
+  CircuitBreakerOptions options_;
+
+  mutable std::mutex mu_;
+  CircuitState state_ = CircuitState::kClosed;
+  int consecutive_failures_ = 0;
+  int inflight_probes_ = 0;
+  int64_t open_until_micros_ = 0;
+  CircuitBreakerStats stats_;
+};
+
+/// SearchService decorator guarding one engine with a CircuitBreaker.
+/// Rejected requests complete immediately with kUnavailable (itself a
+/// transient code, so an outer retry layer backs off rather than
+/// aborting the query). Keyed per engine by construction: wrap each
+/// engine's service with its own instance.
+class CircuitBreakerSearchService : public SearchService {
+ public:
+  CircuitBreakerSearchService(SearchService* wrapped,
+                              CircuitBreakerOptions options = {});
+
+  const std::string& name() const override { return wrapped_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override;
+
+  CircuitBreaker* breaker() { return &breaker_; }
+  const CircuitBreaker* breaker() const { return &breaker_; }
+
+ private:
+  SearchService* wrapped_;
+  CircuitBreaker breaker_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_CIRCUIT_BREAKER_H_

@@ -1,0 +1,115 @@
+#ifndef WSQ_NET_FAULT_SERVICE_H_
+#define WSQ_NET_FAULT_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/search_service.h"
+
+namespace wsq {
+
+/// Declarative fault plan for FaultInjectingSearchService.
+///
+/// Probabilistic faults are keyed on the REQUEST CONTENT (a stable hash
+/// of seed + cache key), not on arrival order, so a run is reproducible
+/// per seed regardless of how concurrent submitters interleave: the same
+/// query draws the same fault on every run. The rate fields partition
+/// the unit interval — permanent, then hang, then transient — so their
+/// sum must be <= 1.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Fraction of the query space that hard-fails (kExecutionError) on
+  /// every attempt: a request the engine can never serve.
+  double permanent_rate = 0.0;
+
+  /// Fraction of the query space that HANGS: the request is accepted
+  /// but its callback is held until ReleaseHung() (run implicitly by
+  /// the destructor, completing them with kUnavailable). Pair with
+  /// ReqPump deadlines to exercise the timeout path.
+  double hang_rate = 0.0;
+
+  /// Fraction of the query space that fails transiently
+  /// (kUnavailable): the first `transient_tries` attempts of such a
+  /// query fail, later attempts pass through — so retries succeed.
+  double transient_rate = 0.0;
+  int transient_tries = 1;
+
+  /// Independently of the above, this fraction of the query space gets
+  /// `delay_micros` of extra latency before being forwarded (latency
+  /// spike, not an error).
+  double delay_rate = 0.0;
+  int64_t delay_micros = 20000;
+
+  /// Deterministic outage window per engine: arrivals numbered
+  /// [outage_start, outage_start + outage_length) (1-based arrival
+  /// counter) fail with kUnavailable — N consecutive failures, the
+  /// pattern that trips a circuit breaker. 0 = disabled.
+  uint64_t outage_start = 0;
+  uint64_t outage_length = 0;
+};
+
+struct FaultStats {
+  uint64_t requests = 0;
+  uint64_t injected_permanent = 0;
+  uint64_t injected_hangs = 0;
+  uint64_t injected_transient = 0;
+  uint64_t injected_delays = 0;
+  uint64_t outage_failures = 0;
+  uint64_t passed_through = 0;
+};
+
+/// SearchService decorator that injects failures per a deterministic,
+/// seedable plan: the chaos harness the fault-tolerant call layer
+/// (deadlines, retries, circuit breaking, degradation policies) is
+/// tested against. Wraps one engine; destruction releases hung
+/// requests (kUnavailable) and waits for delayed forwards, honouring
+/// the SearchService contract that every accepted request eventually
+/// completes.
+class FaultInjectingSearchService : public SearchService {
+ public:
+  FaultInjectingSearchService(SearchService* wrapped, FaultPlan plan);
+  ~FaultInjectingSearchService() override;
+
+  const std::string& name() const override { return wrapped_->name(); }
+
+  void Submit(SearchRequest request, SearchCallback done) override;
+
+  FaultStats stats() const;
+
+  /// Requests currently held hanging.
+  size_t hung_requests() const;
+
+  /// Completes every currently-hung request with kUnavailable (the
+  /// engine "comes back" and sheds its stuck connections).
+  void ReleaseHung();
+
+ private:
+  enum class FaultKind { kNone, kPermanent, kHang, kTransient };
+
+  /// Content-keyed fault decision for one request.
+  FaultKind Classify(const std::string& key) const;
+  bool ShouldDelay(const std::string& key) const;
+
+  void TrackStart();
+  void TrackFinish();
+
+  SearchService* wrapped_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t outstanding_ = 0;  // delayed forwards not yet handed off
+  std::vector<SearchCallback> hung_;
+  /// Times each transient-fault key has been attempted.
+  std::map<std::string, int> transient_seen_;
+  FaultStats stats_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_FAULT_SERVICE_H_

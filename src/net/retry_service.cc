@@ -1,12 +1,13 @@
 #include "net/retry_service.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace wsq {
 
 RetryingSearchService::RetryingSearchService(SearchService* wrapped,
                                              RetryPolicy policy)
-    : wrapped_(wrapped), policy_(policy) {
+    : wrapped_(wrapped), policy_(policy), rng_(policy.seed) {
   if (policy_.max_attempts < 1) policy_.max_attempts = 1;
 }
 
@@ -26,6 +27,20 @@ void RetryingSearchService::TrackFinish() {
     --outstanding_;
   }
   cv_.notify_all();
+}
+
+int64_t RetryingSearchService::SleepForBackoff(int64_t base) {
+  int64_t sleep = base;
+  if (policy_.decorrelated_jitter && base > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Decorrelated: uniform in [base, 3 * base]. The deterministic
+    // schedule stays the lower bound, so backoff never shrinks.
+    sleep = rng_.UniformRange(base, 3 * base);
+  }
+  if (policy_.max_backoff_micros > 0) {
+    sleep = std::min(sleep, policy_.max_backoff_micros);
+  }
+  return sleep;
 }
 
 void RetryingSearchService::Submit(SearchRequest request,
@@ -48,10 +63,17 @@ void RetryingSearchService::Attempt(SearchRequest request,
       [this, retry_copy = std::move(retry_copy),
        done = std::move(done), attempt,
        backoff_micros](SearchResponse resp) mutable {
-        if (resp.status.ok() || attempt >= policy_.max_attempts) {
+        bool retryable =
+            !resp.status.ok() && IsTransient(resp.status.code());
+        if (resp.status.ok() || !retryable ||
+            attempt >= policy_.max_attempts) {
           if (!resp.status.ok()) {
             std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.gave_up;
+            if (!retryable) {
+              ++stats_.non_transient;
+            } else {
+              ++stats_.gave_up;
+            }
           }
           done(std::move(resp));
           TrackFinish();
@@ -63,19 +85,23 @@ void RetryingSearchService::Attempt(SearchRequest request,
         }
         // Back off on a scheduler thread, then resubmit. Detached is
         // safe: TrackFinish gates our destructor on its completion.
+        // The extra TrackStart MUST happen before the spawn — after
+        // .detach() the thread may have already run TrackFinish, let
+        // the destructor observe outstanding_ == 0, and freed us.
         int64_t next_backoff = static_cast<int64_t>(
             static_cast<double>(backoff_micros) *
             policy_.backoff_multiplier);
+        int64_t sleep_micros = SleepForBackoff(backoff_micros);
+        TrackStart();
         std::thread([this, retry_copy = std::move(retry_copy),
-                     done = std::move(done), attempt, backoff_micros,
+                     done = std::move(done), attempt, sleep_micros,
                      next_backoff]() mutable {
           std::this_thread::sleep_for(
-              std::chrono::microseconds(backoff_micros));
+              std::chrono::microseconds(sleep_micros));
           Attempt(std::move(retry_copy), std::move(done), attempt + 1,
                   next_backoff);
-          TrackFinish();  // balances the extra TrackStart below
+          TrackFinish();  // balances the TrackStart before the spawn
         }).detach();
-        TrackStart();  // keep outstanding_ > 0 across the handoff
       });
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/random.h"
 #include "net/search_service.h"
 
 namespace wsq {
@@ -18,18 +19,37 @@ struct RetryPolicy {
   int64_t initial_backoff_micros = 10000;
   /// Backoff grows geometrically per retry.
   double backoff_multiplier = 2.0;
+  /// Upper bound on any single backoff sleep. 0 = uncapped.
+  int64_t max_backoff_micros = 0;
+  /// Decorrelated jitter: each sleep is drawn uniformly from
+  /// [base, 3 * base] where `base` follows the deterministic
+  /// exponential schedule — concurrent retries against the same engine
+  /// spread out instead of stampeding in lockstep. The deterministic
+  /// schedule is always the lower bound, so timing assumptions based on
+  /// it still hold. Off = exact exponential backoff.
+  bool decorrelated_jitter = true;
+  /// Seed for the jitter draws (reproducible runs).
+  uint64_t seed = 1;
 };
 
 struct RetryStats {
   uint64_t attempts = 0;
   uint64_t retries = 0;
   uint64_t gave_up = 0;
+  /// Failures passed through without retry because the error was not
+  /// transient (the engine answered, just unhelpfully).
+  uint64_t non_transient = 0;
 };
 
 /// SearchService decorator that retries failed requests with
 /// exponential backoff. The paper's related-work discussion ([BT98])
 /// treats temporarily-unavailable sources as a first-class concern;
 /// this keeps a flaky engine from aborting a whole WSQ query.
+///
+/// Only TRANSIENT failures (IsTransient: unavailable, deadline,
+/// resource exhaustion, I/O) are retried; permanent errors such as
+/// kInvalidArgument or kParseError pass through immediately — retrying
+/// a malformed query can never succeed.
 ///
 /// Retries run on short-lived scheduler threads (the error path is
 /// rare); the destructor blocks until all in-flight retries resolve.
@@ -47,6 +67,9 @@ class RetryingSearchService : public SearchService {
  private:
   void Attempt(SearchRequest request, SearchCallback done, int attempt,
                int64_t backoff_micros);
+  /// Actual sleep for a retry whose deterministic backoff is `base`:
+  /// jittered and capped per the policy.
+  int64_t SleepForBackoff(int64_t base);
   void TrackStart();
   void TrackFinish();
 
@@ -56,6 +79,7 @@ class RetryingSearchService : public SearchService {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   uint64_t outstanding_ = 0;
+  Rng rng_;  // guarded by mu_
   RetryStats stats_;
 };
 

@@ -341,6 +341,15 @@ void SetStreaming(PlanNode* node) {
   }
   for (auto& child : node->children()) SetStreaming(child.get());
 }
+
+void SetOnCallError(PlanNode* node, OnCallError policy) {
+  if (node->kind() == PlanNode::Kind::kReqSync) {
+    static_cast<ReqSyncNode*>(node)->on_call_error = policy;
+  }
+  for (auto& child : node->children()) {
+    SetOnCallError(child.get(), policy);
+  }
+}
 }  // namespace
 
 Result<PlanNodePtr> ApplyAsyncIteration(PlanNodePtr plan,
@@ -360,6 +369,9 @@ Result<PlanNodePtr> ApplyAsyncIteration(PlanNodePtr plan,
   }
   if (options.streaming_reqsync) {
     SetStreaming(plan.get());
+  }
+  if (options.on_call_error != OnCallError::kFailQuery) {
+    SetOnCallError(plan.get(), options.on_call_error);
   }
   return plan;
 }

@@ -20,6 +20,9 @@ struct RewriteOptions {
   /// Use streaming ReqSyncs (emit completed tuples before the child is
   /// exhausted) instead of the paper's full-buffering default.
   bool streaming_reqsync = false;
+  /// Degradation policy applied to every ReqSync in the plan: what to
+  /// do with tuples whose external call fails or times out.
+  OnCallError on_call_error = OnCallError::kFailQuery;
 };
 
 /// Applies the paper's §4.5 algorithm to a bound plan:

@@ -164,8 +164,25 @@ std::string LimitNode::Label() const {
   return StrFormat("Limit: %lld", static_cast<long long>(limit_));
 }
 
+std::string_view OnCallErrorToString(OnCallError policy) {
+  switch (policy) {
+    case OnCallError::kFailQuery: return "fail-query";
+    case OnCallError::kDropTuple: return "drop-tuple";
+    case OnCallError::kNullPad: return "null-pad";
+  }
+  return "?";
+}
+
 std::string ReqSyncNode::Label() const {
-  return streaming ? "ReqSync (streaming)" : "ReqSync";
+  // The default policy is not rendered: golden plan tests (and EXPLAIN
+  // users) only see the annotation when degradation is enabled.
+  std::string label = streaming ? "ReqSync (streaming)" : "ReqSync";
+  if (on_call_error != OnCallError::kFailQuery) {
+    label += " [on error: ";
+    label += OnCallErrorToString(on_call_error);
+    label += "]";
+  }
+  return label;
 }
 
 }  // namespace wsq

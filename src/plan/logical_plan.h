@@ -349,6 +349,23 @@ class LimitNode : public PlanNode {
   int64_t limit_;
 };
 
+/// What ReqSync does with a tuple whose external call fails (or times
+/// out). The paper assumes a perfect Web; real engines hang, drop
+/// requests, and return errors, so degradation must be a per-query
+/// choice.
+enum class OnCallError {
+  /// Abort the whole query with the call's error (strict; default).
+  kFailQuery,
+  /// Cancel every tuple waiting on the failed call, as if the call had
+  /// returned zero rows; the query answers from whatever succeeded.
+  kDropTuple,
+  /// Complete waiting tuples with NULL in the columns the call would
+  /// have filled; the row count is preserved, gaps are visible.
+  kNullPad,
+};
+
+std::string_view OnCallErrorToString(OnCallError policy);
+
 /// Request synchronizer (paper §4.1): buffers incomplete tuples and
 /// patches placeholders as their ReqPump calls complete, performing
 /// tuple cancellation / completion / proliferation (§4.3–4.4).
@@ -367,6 +384,10 @@ class ReqSyncNode : public PlanNode {
   /// Improves time-to-first-row; calls still launch as the child is
   /// drained, which now happens under the parent's demand.
   bool streaming = false;
+
+  /// Degradation policy for failed external calls (deadline exceeded,
+  /// engine unavailable, hard error after retries).
+  OnCallError on_call_error = OnCallError::kFailQuery;
 
   /// "ReqSync.A" (paper §4.5.2): indices of columns whose values this
   /// operator fills in; maintained through percolation for clash

@@ -154,8 +154,12 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   Binder binder(&catalog_, &vtables_, options_.binder);
   WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan, binder.Bind(stmt));
   if (options.async_iteration) {
-    WSQ_ASSIGN_OR_RETURN(
-        plan, ApplyAsyncIteration(std::move(plan), options.rewrite));
+    RewriteOptions rewrite = options.rewrite;
+    if (options.on_call_error != OnCallError::kFailQuery) {
+      rewrite.on_call_error = options.on_call_error;
+    }
+    WSQ_ASSIGN_OR_RETURN(plan,
+                         ApplyAsyncIteration(std::move(plan), rewrite));
   }
 
   uint64_t calls_before = pump_.stats().registered;
@@ -170,6 +174,9 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   out.stats.external_calls = pump_.stats().registered - calls_before +
                              ctx.sync_external_calls.load();
   out.stats.async_iteration = options.async_iteration;
+  out.stats.failed_calls = ctx.failed_calls.load();
+  out.stats.dropped_tuples = ctx.dropped_tuples.load();
+  out.stats.null_padded_tuples = ctx.null_padded_tuples.load();
   return out;
 }
 

@@ -23,6 +23,13 @@ struct QueryStats {
   uint64_t external_calls = 0;
   /// Whether asynchronous iteration was used.
   bool async_iteration = false;
+  /// External calls that completed with an error (including deadline
+  /// timeouts) and were handled by a ReqSync.
+  uint64_t failed_calls = 0;
+  /// Tuples cancelled under OnCallError::kDropTuple.
+  uint64_t dropped_tuples = 0;
+  /// Tuples completed with NULLs under OnCallError::kNullPad.
+  uint64_t null_padded_tuples = 0;
 };
 
 struct QueryExecution {
@@ -82,6 +89,9 @@ class WsqDatabase {
     /// conventional sequential execution the paper benchmarks against.
     bool async_iteration = true;
     RewriteOptions rewrite;
+    /// Degradation policy for failed external calls; shorthand for
+    /// setting `rewrite.on_call_error` (this wins when non-default).
+    OnCallError on_call_error = OnCallError::kFailQuery;
   };
 
   /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the

@@ -227,5 +227,141 @@ TEST(ReqPumpTest, StatsTrackRegistrations) {
   EXPECT_EQ(s.failed, 0u);
 }
 
+// A call whose completion callback is captured and never invoked by the
+// service — the hung-engine case deadlines exist for. If `stash` is
+// set, the completion is saved so the test can fire it late.
+AsyncCallFn HangingCall(CallCompletion* stash = nullptr) {
+  return [stash](CallCompletion done) {
+    if (stash != nullptr) *stash = std::move(done);
+  };
+}
+
+TEST(ReqPumpDeadlineTest, TimeoutCompletesCallWithDeadlineExceeded) {
+  ReqPump pump;
+  Stopwatch timer;
+  CallId id = pump.Register("AltaVista", HangingCall(), 20000);
+  CallResult r = pump.TakeBlocking(id);
+  // TakeBlocking returned close to the deadline, not hanging forever.
+  EXPECT_GE(timer.ElapsedMicros(), 20000);
+  EXPECT_LT(timer.ElapsedMicros(), 500000);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsTransient(r.status.code()));
+  ReqPumpStats s = pump.stats();
+  EXPECT_EQ(s.timed_out, 1u);
+  EXPECT_EQ(s.failed, 1u);
+}
+
+TEST(ReqPumpDeadlineTest, LateCompletionIsDiscarded) {
+  CallCompletion stashed;
+  ReqPump pump;
+  CallId id = pump.Register("AltaVista", HangingCall(&stashed), 5000);
+  CallResult r = pump.TakeBlocking(id);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+
+  // The engine finally answers, long after the timeout. The result
+  // must be dropped: no double-complete, no resurrected hash entry.
+  stashed(OkRows({Row({Value::Int(99)})}));
+  EXPECT_FALSE(pump.IsComplete(id));
+  ReqPumpStats s = pump.stats();
+  EXPECT_EQ(s.late_discarded, 1u);
+  EXPECT_EQ(s.completed, 1u);  // counted once, by the timer
+}
+
+TEST(ReqPumpDeadlineTest, DefaultTimeoutFromLimits) {
+  ReqPump::Limits limits;
+  limits.default_timeout_micros = 15000;
+  ReqPump pump(limits);
+  CallId id = pump.Register("AltaVista", HangingCall());
+  CallResult r = pump.TakeBlocking(id);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ReqPumpDeadlineTest, ExplicitZeroDisablesDefaultTimeout) {
+  ReqPump::Limits limits;
+  limits.default_timeout_micros = 5000;
+  ReqPump pump(limits);
+  // timeout_micros <= 0 opts this call out of the default deadline.
+  CallId id = pump.Register("AltaVista", DelayedCall(7, 30000), 0);
+  CallResult r = pump.TakeBlocking(id);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 7);
+  EXPECT_EQ(pump.stats().timed_out, 0u);
+}
+
+TEST(ReqPumpDeadlineTest, FastCallBeatsItsDeadline) {
+  ReqPump pump;
+  CallId id = pump.Register("AltaVista", DelayedCall(3, 2000), 200000);
+  CallResult r = pump.TakeBlocking(id);
+  ASSERT_TRUE(r.status.ok());
+  // Give the timer a beat: the stale deadline entry must not fire.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pump.stats().timed_out, 0u);
+  EXPECT_EQ(pump.stats().late_discarded, 0u);
+}
+
+TEST(ReqPumpDeadlineTest, QueuedCallCanTimeOutBeforeDispatch) {
+  ReqPump::Limits limits;
+  limits.max_global = 1;
+  ReqPump pump(limits);
+  CallCompletion stashed;
+  CallId slow = pump.Register("AltaVista", HangingCall(&stashed), 0);
+  // Queued behind the hung call; its deadline passes while waiting.
+  CallId queued = pump.Register("AltaVista", ImmediateCall(1), 10000);
+  CallResult r = pump.TakeBlocking(queued);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  // Unblock the first call so the pump can shut down.
+  stashed(OkRows({}));
+  CallResult first = pump.TakeBlocking(slow);
+  EXPECT_TRUE(first.status.ok());
+}
+
+TEST(ReqPumpDeadlineTest, TimeoutFreesLimitSlotForQueuedCalls) {
+  ReqPump::Limits limits;
+  limits.max_global = 1;
+  ReqPump pump(limits);
+  // A hung call holds the only slot; its timeout must release it so
+  // the queued call behind it still runs.
+  CallId hung = pump.Register("AltaVista", HangingCall(), 10000);
+  CallId queued = pump.Register("AltaVista", ImmediateCall(5), 0);
+  CallResult r = pump.TakeBlocking(queued);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 5);
+  EXPECT_EQ(pump.TakeBlocking(hung).status.code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(ReqPumpDeadlineTest, LateCompletionAfterPumpDestructionIsSafe) {
+  CallCompletion stashed;
+  {
+    ReqPump pump;
+    CallId id = pump.Register("AltaVista", HangingCall(&stashed), 3000);
+    CallResult r = pump.TakeBlocking(id);
+    EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  // The pump is gone; the engine's answer arrives anyway. The shared
+  // core absorbs it — no use-after-free, no crash.
+  stashed(OkRows({Row({Value::Int(1)})}));
+}
+
+TEST(ReqPumpDeadlineTest, ManyMixedDeadlinesResolveIndependently) {
+  ReqPump pump;
+  std::vector<CallId> timed_out_ids;
+  std::vector<CallId> ok_ids;
+  for (int i = 0; i < 8; ++i) {
+    timed_out_ids.push_back(
+        pump.Register("hungry", HangingCall(), 8000 + i * 1000));
+    ok_ids.push_back(
+        pump.Register("healthy", DelayedCall(i, 1000), 300000));
+  }
+  for (CallId id : ok_ids) {
+    EXPECT_TRUE(pump.TakeBlocking(id).status.ok());
+  }
+  for (CallId id : timed_out_ids) {
+    EXPECT_EQ(pump.TakeBlocking(id).status.code(),
+              StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(pump.stats().timed_out, 8u);
+}
+
 }  // namespace
 }  // namespace wsq

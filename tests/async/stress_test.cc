@@ -9,6 +9,7 @@
 
 #include "async/req_pump.h"
 #include "common/clock.h"
+#include "net/fault_service.h"
 #include "net/retry_service.h"
 #include "net/simulated_service.h"
 #include "wsq/database.h"
@@ -241,6 +242,196 @@ TEST(AsyncStressTest, ConcurrentQueriesShareOnePump) {
       ASSERT_EQ(results[t].rows[i], want.rows[i]) << t << " row " << i;
     }
   }
+}
+
+// Fixture for the degradation tests: a WSQ database whose only engine
+// hangs 10% and hard-fails 10% of distinct requests, behind a 100 ms
+// per-call deadline. The WebCount query over the 37 ACM SIGs then sees
+// a deterministic (per seed) mix of successes, permanent errors, and
+// deadline timeouts.
+struct DegradedRun {
+  Status status;
+  ResultSet result;
+  QueryStats stats;
+  FaultStats faults;
+  size_t pending_results_after = 0;
+  int64_t elapsed_micros = 0;
+};
+
+DegradedRun RunDegradedSigsQuery(OnCallError policy, uint64_t seed) {
+  CorpusConfig cfg;
+  cfg.num_documents = 1500;
+  cfg.seed = 77;
+  Corpus corpus = MakePaperCorpus(cfg);
+  SearchEngineConfig ecfg;
+  ecfg.name = "AltaVista";
+  SearchEngine engine(&corpus, ecfg);
+  SimulatedSearchService::Options sopt;
+  sopt.latency = LatencyModel::Fixed(1000);
+  SimulatedSearchService backend(&engine, sopt);
+
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.hang_rate = 0.10;       // never answers; only the deadline saves us
+  plan.permanent_rate = 0.10;  // hard error on every attempt
+  FaultInjectingSearchService faulty(&backend, plan);
+
+  DegradedRun out;
+  {
+    WsqDatabase::Options dbopt;
+    dbopt.pump_limits.default_timeout_micros = 100000;
+    WsqDatabase db(dbopt);
+    EXPECT_TRUE(db.RegisterSearchEngine("AV", &faulty, true).ok());
+    EXPECT_TRUE(db.Execute("CREATE TABLE Sigs (Name STRING)").ok());
+    for (const std::string& sig : AcmSigs()) {
+      EXPECT_TRUE(
+          db.Execute("INSERT INTO Sigs VALUES ('" + sig + "')").ok());
+    }
+
+    WsqDatabase::ExecOptions opts;
+    opts.on_call_error = policy;
+    Stopwatch timer;
+    auto r = db.Execute(
+        "Select Name, Count From Sigs, WebCount Where Name = T1 "
+        "Order By Name",
+        opts);
+    out.elapsed_micros = timer.ElapsedMicros();
+    if (r.ok()) {
+      out.result = std::move(r->result);
+      out.stats = r->stats;
+    } else {
+      out.status = r.status();
+    }
+    out.pending_results_after = db.pump()->pending_results();
+  }  // db (and its pump) destroyed BEFORE the fault service releases
+  out.faults = faulty.stats();  // its hung callbacks — must be safe
+  return out;
+}
+
+constexpr uint64_t kDegradedSeed = 7;
+
+TEST(AsyncStressTest, DegradedQueryNullPadsFailedCalls) {
+  DegradedRun run =
+      RunDegradedSigsQuery(OnCallError::kNullPad, kDegradedSeed);
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  // The fault plan actually bit: some calls hung, some hard-failed.
+  ASSERT_GT(run.faults.injected_hangs, 0u);
+  ASSERT_GT(run.faults.injected_permanent, 0u);
+  // Every SIG is present; the failed ones carry NULL counts.
+  ASSERT_EQ(run.result.rows.size(), 37u);
+  size_t null_counts = 0;
+  for (const Row& row : run.result.rows) {
+    EXPECT_FALSE(row.value(0).is_null());  // Name came from the table
+    if (row.value(1).is_null()) ++null_counts;
+  }
+  EXPECT_EQ(null_counts, run.stats.null_padded_tuples);
+  EXPECT_GT(run.stats.null_padded_tuples, 0u);
+  EXPECT_EQ(run.stats.dropped_tuples, 0u);
+  EXPECT_GE(run.stats.failed_calls,
+            run.faults.injected_permanent + run.faults.injected_hangs);
+  // Bounded by the deadline, not by the hung engine: well under the
+  // 100 ms timeout plus scheduling slack, nowhere near a hang.
+  EXPECT_LT(run.elapsed_micros, 5000000);
+  // Nothing left rotting in ReqPumpHash.
+  EXPECT_EQ(run.pending_results_after, 0u);
+}
+
+TEST(AsyncStressTest, DegradedQueryDropsTuplesOfFailedCalls) {
+  DegradedRun run =
+      RunDegradedSigsQuery(OnCallError::kDropTuple, kDegradedSeed);
+  ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+  ASSERT_GT(run.stats.dropped_tuples, 0u);
+  // The answer is the surviving subset: dropped + returned = 37.
+  EXPECT_EQ(run.result.rows.size() + run.stats.dropped_tuples, 37u);
+  for (const Row& row : run.result.rows) {
+    EXPECT_FALSE(row.value(1).is_null());  // survivors are complete
+  }
+  EXPECT_EQ(run.stats.null_padded_tuples, 0u);
+  EXPECT_LT(run.elapsed_micros, 5000000);
+  EXPECT_EQ(run.pending_results_after, 0u);
+}
+
+TEST(AsyncStressTest, DegradedQueryFailsUnderStrictPolicy) {
+  DegradedRun run =
+      RunDegradedSigsQuery(OnCallError::kFailQuery, kDegradedSeed);
+  // Default semantics: the first failed call aborts the query with its
+  // error; no hang, no crash, pump left clean.
+  EXPECT_FALSE(run.status.ok());
+  EXPECT_TRUE(IsTransient(run.status.code()) ||
+              run.status.code() == StatusCode::kExecutionError)
+      << run.status.ToString();
+  EXPECT_LT(run.elapsed_micros, 5000000);
+  EXPECT_EQ(run.pending_results_after, 0u);
+}
+
+TEST(AsyncStressTest, DegradedQueryIsDeterministicPerSeed) {
+  DegradedRun first =
+      RunDegradedSigsQuery(OnCallError::kNullPad, kDegradedSeed);
+  DegradedRun second =
+      RunDegradedSigsQuery(OnCallError::kNullPad, kDegradedSeed);
+  ASSERT_TRUE(first.status.ok());
+  ASSERT_TRUE(second.status.ok());
+  // Faults are keyed on request content, so two fresh runs with the
+  // same seed degrade the same tuples the same way.
+  ASSERT_EQ(first.result.rows.size(), second.result.rows.size());
+  for (size_t i = 0; i < first.result.rows.size(); ++i) {
+    EXPECT_EQ(first.result.rows[i], second.result.rows[i]) << i;
+  }
+  EXPECT_EQ(first.stats.null_padded_tuples,
+            second.stats.null_padded_tuples);
+
+  // And a different seed degrades a different subset (same cardinality
+  // guarantees, different victims).
+  DegradedRun other = RunDegradedSigsQuery(OnCallError::kNullPad, 99);
+  ASSERT_TRUE(other.status.ok());
+  EXPECT_EQ(other.result.rows.size(), 37u);
+}
+
+TEST(AsyncStressTest, TransientFaultsHealedByRetriesUnderDeadlines) {
+  // Transient faults + retry layer + deadlines together: every call
+  // eventually succeeds, so even the strict policy answers in full.
+  CorpusConfig cfg;
+  cfg.num_documents = 1500;
+  cfg.seed = 77;
+  Corpus corpus = MakePaperCorpus(cfg);
+  SearchEngineConfig ecfg;
+  ecfg.name = "AltaVista";
+  SearchEngine engine(&corpus, ecfg);
+  SimulatedSearchService::Options sopt;
+  sopt.latency = LatencyModel::Fixed(500);
+  SimulatedSearchService backend(&engine, sopt);
+
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.transient_rate = 0.4;
+  plan.transient_tries = 1;
+  FaultInjectingSearchService faulty(&backend, plan);
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 500;
+  policy.seed = 21;
+  RetryingSearchService retry(&faulty, policy);
+
+  WsqDatabase::Options dbopt;
+  dbopt.pump_limits.default_timeout_micros = 2000000;
+  WsqDatabase db(dbopt);
+  ASSERT_TRUE(db.RegisterSearchEngine("AV", &retry, true).ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE Sigs (Name STRING)").ok());
+  for (const std::string& sig : AcmSigs()) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO Sigs VALUES ('" + sig + "')").ok());
+  }
+
+  auto r = db.Execute(
+      "Select Name, Count From Sigs, WebCount Where Name = T1 "
+      "Order By Name");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result.rows.size(), 37u);
+  EXPECT_GT(faulty.stats().injected_transient, 0u);
+  EXPECT_GT(retry.stats().retries, 0u);
+  EXPECT_EQ(retry.stats().gave_up, 0u);
+  EXPECT_EQ(db.pump()->pending_results(), 0u);
 }
 
 TEST(AsyncStressTest, ProliferationStorm) {

@@ -40,9 +40,35 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
+       ++c) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, TransientCodesAreRetryable) {
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsTransient(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsTransient(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsTransient(StatusCode::kIOError));
+}
+
+TEST(StatusTest, PermanentCodesAreNotRetryable) {
+  EXPECT_FALSE(IsTransient(StatusCode::kOk));
+  EXPECT_FALSE(IsTransient(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsTransient(StatusCode::kParseError));
+  EXPECT_FALSE(IsTransient(StatusCode::kExecutionError));
+  EXPECT_FALSE(IsTransient(StatusCode::kNotFound));
+  EXPECT_FALSE(IsTransient(StatusCode::kInternal));
+}
+
+TEST(StatusTest, NewFactoriesCarryTheirCodes) {
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
+  EXPECT_EQ(Status::DeadlineExceeded("slow").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DeadlineExceeded("slow").ToString(),
+            "DeadlineExceeded: slow");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -198,6 +198,160 @@ TEST_F(ReqSyncOpTest, FailedCallPropagatesError) {
   EXPECT_EQ(out.status().code(), StatusCode::kIOError);
 }
 
+CallId Failing(ReqPump* pump, Status error) {
+  return pump->Register(
+      "engine", [error = std::move(error)](CallCompletion done) {
+        done(CallResult{error, {}});
+      });
+}
+
+// Like RunReqSync but with a policy and a visible operator for stats.
+Result<std::vector<Row>> RunWithPolicy(std::vector<Row> input,
+                                       ReqPump* pump,
+                                       OnCallError policy,
+                                       ExecContext* ctx = nullptr,
+                                       uint64_t* dropped = nullptr,
+                                       uint64_t* padded = nullptr) {
+  StubNode stub(TwoColumnSchema());
+  auto node = std::make_unique<ReqSyncNode>(
+      std::make_unique<StubNode>(TwoColumnSchema()),
+      std::vector<size_t>{1});
+  node->on_call_error = policy;
+  auto child = std::make_unique<VectorOperator>(&stub.schema(),
+                                                std::move(input));
+  ReqSyncOperator op(node.get(), std::move(child), pump, ctx);
+  WSQ_RETURN_IF_ERROR(op.Open());
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    WSQ_ASSIGN_OR_RETURN(bool more, op.Next(&row));
+    if (!more) break;
+    out.push_back(row);
+  }
+  WSQ_RETURN_IF_ERROR(op.Close());
+  if (dropped != nullptr) *dropped = op.dropped_tuples();
+  if (padded != nullptr) *padded = op.null_padded_tuples();
+  return out;
+}
+
+TEST_F(ReqSyncOpTest, DropTuplePolicyCancelsWaitingTuples) {
+  ReqPump pump;
+  CallId bad = Failing(&pump, Status::Unavailable("engine down"));
+  CallId good = Delayed(&pump, {Row({Value::Int(5)})});
+  uint64_t dropped = 0, padded = 0;
+  ExecContext ctx;
+  auto out = RunWithPolicy(
+      {Row({Value::Str("lost"), Value::Pending(bad, 0)}),
+       Row({Value::Str("kept"), Value::Pending(good, 0)}),
+       Row({Value::Str("plain"), Value::Int(1)})},
+      &pump, OnCallError::kDropTuple, &ctx, &dropped, &padded);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  for (const Row& r : *out) {
+    EXPECT_NE(r.value(0).AsString(), "lost");
+    EXPECT_FALSE(r.value(1).is_null());
+  }
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(padded, 0u);
+  EXPECT_EQ(ctx.dropped_tuples.load(), 1u);
+  EXPECT_EQ(ctx.failed_calls.load(), 1u);
+}
+
+TEST_F(ReqSyncOpTest, NullPadPolicyCompletesTuplesWithNulls) {
+  ReqPump pump;
+  CallId bad = Failing(&pump, Status::DeadlineExceeded("too slow"));
+  CallId good = Delayed(&pump, {Row({Value::Int(5)})});
+  uint64_t dropped = 0, padded = 0;
+  ExecContext ctx;
+  auto out = RunWithPolicy(
+      {Row({Value::Str("padded"), Value::Pending(bad, 0)}),
+       Row({Value::Str("kept"), Value::Pending(good, 0)})},
+      &pump, OnCallError::kNullPad, &ctx, &dropped, &padded);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  for (const Row& r : *out) {
+    EXPECT_FALSE(r.HasPlaceholders());
+    if (r.value(0).AsString() == "padded") {
+      EXPECT_TRUE(r.value(1).is_null());
+    } else {
+      EXPECT_EQ(r.value(1).AsInt(), 5);
+    }
+  }
+  EXPECT_EQ(padded, 1u);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(ctx.null_padded_tuples.load(), 1u);
+}
+
+TEST_F(ReqSyncOpTest, NullPadKeepsOtherPendingCallsAlive) {
+  // A tuple waiting on TWO calls: one fails (padded with NULL), the
+  // other still completes and patches its own column.
+  ReqPump pump;
+  CallId bad = Failing(&pump, Status::Unavailable("down"));
+  CallId good = Delayed(&pump, {Row({Value::Int(10)})}, 5000);
+
+  StubNode stub(TwoColumnSchema());
+  Schema three({Column("A", TypeId::kInt64, "t"),
+                Column("B", TypeId::kInt64, "t"),
+                Column("C", TypeId::kString, "t")});
+  auto node = std::make_unique<ReqSyncNode>(
+      std::make_unique<StubNode>(three), std::vector<size_t>{0, 1});
+  node->on_call_error = OnCallError::kNullPad;
+  auto child = std::make_unique<VectorOperator>(
+      &node->schema(),
+      std::vector<Row>{Row({Value::Pending(bad, 0), Value::Pending(good, 0),
+                            Value::Str("x")})});
+  ReqSyncOperator op(node.get(), std::move(child), &pump);
+  ASSERT_TRUE(op.Open().ok());
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    auto more = op.Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    out.push_back(row);
+  }
+  ASSERT_TRUE(op.Close().ok());
+
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].value(0).is_null());
+  EXPECT_EQ(out[0].value(1).AsInt(), 10);
+  EXPECT_EQ(out[0].value(2).AsString(), "x");
+  EXPECT_EQ(op.null_padded_tuples(), 1u);
+}
+
+TEST_F(ReqSyncOpTest, FailQueryPolicyDoesNotWedgeClose) {
+  // Strict policy: the error aborts the drain, and Close() — which the
+  // executor runs on the error path to reap outstanding calls — must
+  // not block trying to re-reap the already-consumed failed call.
+  ReqPump pump;
+  CallId bad = Failing(&pump, Status::Unavailable("down"));
+  CallId slow = Delayed(&pump, {Row({Value::Int(1)})}, 2000);
+
+  StubNode stub(TwoColumnSchema());
+  auto node = std::make_unique<ReqSyncNode>(
+      std::make_unique<StubNode>(TwoColumnSchema()),
+      std::vector<size_t>{1});
+  auto child = std::make_unique<VectorOperator>(
+      &stub.schema(),
+      std::vector<Row>{Row({Value::Str("a"), Value::Pending(bad, 0)}),
+                       Row({Value::Str("b"), Value::Pending(slow, 0)})});
+  ReqSyncOperator op(node.get(), std::move(child), &pump);
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  Status error;
+  while (true) {
+    auto more = op.Next(&row);
+    if (!more.ok()) {
+      error = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_EQ(error.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(op.Close().ok());  // reaps `slow`, skips consumed `bad`
+  EXPECT_EQ(pump.pending_results(), 0u);
+}
+
 TEST_F(ReqSyncOpTest, BadFieldIndexIsInternalError) {
   ReqPump pump;
   CallId c = Delayed(&pump, {Row({Value::Int(1)})});

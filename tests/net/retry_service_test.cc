@@ -148,6 +148,71 @@ TEST_F(RetryServiceTest, ConcurrentRequestsEachRetryIndependently) {
   EXPECT_EQ(ok.load(), kRequests);
 }
 
+/// Always fails with a PERMANENT error: retrying cannot help.
+class BadQueryService : public SearchService {
+ public:
+  explicit BadQueryService(SearchService* wrapped) : wrapped_(wrapped) {}
+  const std::string& name() const override { return wrapped_->name(); }
+  void Submit(SearchRequest request, SearchCallback done) override {
+    (void)request;
+    ++total_requests_;
+    done(SearchResponse{
+        Status::InvalidArgument("malformed search expression"), 0, {}});
+  }
+  int total_requests() const { return total_requests_.load(); }
+
+ private:
+  SearchService* wrapped_;
+  std::atomic<int> total_requests_{0};
+};
+
+TEST_F(RetryServiceTest, NonTransientErrorsPassThroughImmediately) {
+  BadQueryService bad(backend_.get());
+  RetryPolicy policy = FastPolicy(5);
+  policy.initial_backoff_micros = 50000;  // would be slow if retried
+  RetryingSearchService retry(&bad, policy);
+  Stopwatch timer;
+  SearchResponse resp = retry.Execute(CountRequest());
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+  // No backoff sleeps happened: the error was not retried.
+  EXPECT_LT(timer.ElapsedMicros(), 50000);
+  EXPECT_EQ(bad.total_requests(), 1);
+  RetryStats stats = retry.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.gave_up, 0u);
+  EXPECT_EQ(stats.non_transient, 1u);
+}
+
+TEST_F(RetryServiceTest, JitteredBackoffRespectsDeterministicFloor) {
+  // With decorrelated jitter on (the default), each sleep is drawn from
+  // [base, 3*base] — never below the deterministic schedule, so the
+  // minimum-elapsed guarantee of plain exponential backoff still holds.
+  FlakyService flaky(backend_.get(), /*failures=*/2);
+  RetryPolicy policy = FastPolicy(3);
+  policy.initial_backoff_micros = 15000;
+  ASSERT_TRUE(policy.decorrelated_jitter);
+  RetryingSearchService retry(&flaky, policy);
+  Stopwatch timer;
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_TRUE(resp.status.ok());
+  EXPECT_GE(timer.ElapsedMicros(), 45000);  // 15 ms + 30 ms floors
+}
+
+TEST_F(RetryServiceTest, MaxBackoffCapsTheSleep) {
+  FlakyService flaky(backend_.get(), /*failures=*/3);
+  RetryPolicy policy = FastPolicy(4);
+  policy.initial_backoff_micros = 20000;
+  policy.max_backoff_micros = 1000;  // cap far below the schedule
+  RetryingSearchService retry(&flaky, policy);
+  Stopwatch timer;
+  SearchResponse resp = retry.Execute(CountRequest());
+  ASSERT_TRUE(resp.status.ok());
+  // Three retries, each sleeping at most the 1 ms cap.
+  EXPECT_LT(timer.ElapsedMicros(), 60000);
+  EXPECT_EQ(retry.stats().retries, 3u);
+}
+
 TEST_F(RetryServiceTest, DestructorWaitsForInFlightRetries) {
   FlakyService flaky(backend_.get(), /*failures=*/1);
   std::atomic<bool> completed{false};
