@@ -106,7 +106,7 @@ Status SaveCatalog(const Catalog& catalog, BufferPool* pool,
     }
   }
 
-  if (w.bytes().size() > kPageSize) {
+  if (w.bytes().size() > kPageDataSize) {
     return Status::InvalidArgument(
         StrFormat("catalog (%zu bytes) exceeds the root page",
                   w.bytes().size()));
@@ -114,18 +114,17 @@ Status SaveCatalog(const Catalog& catalog, BufferPool* pool,
 
   WSQ_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(root_page));
   PageGuard guard(pool, page);
-  std::memset(page->data(), 0, kPageSize);
+  std::memset(page->data(), 0, kPageDataSize);
   std::memcpy(page->data(), w.bytes().data(), w.bytes().size());
   guard.MarkDirty();
-  guard.Release();
-  return pool->FlushPage(root_page);
+  return Status::OK();
 }
 
 Status LoadCatalog(Catalog* catalog, BufferPool* pool,
                    PageId root_page) {
   WSQ_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(root_page));
   PageGuard guard(pool, page);
-  Reader r(std::string_view(page->data(), kPageSize));
+  Reader r(std::string_view(page->data(), kPageDataSize));
 
   WSQ_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   if (magic != kMagic) {

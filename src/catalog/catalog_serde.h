@@ -20,7 +20,9 @@ namespace wsq {
 /// paper's workloads.
 inline constexpr PageId kCatalogRootPage = 0;
 
-/// Writes the catalog to `root_page` (which must already be allocated).
+/// Writes the catalog to `root_page` (which must already be allocated)
+/// and marks it dirty. Durability is the caller's concern: the page
+/// reaches disk on the next checkpoint / flush.
 Status SaveCatalog(const Catalog& catalog, BufferPool* pool,
                    PageId root_page = kCatalogRootPage);
 

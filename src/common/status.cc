@@ -43,6 +43,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -85,6 +87,7 @@ WSQ_STATUS_FACTORY(ExecutionError, kExecutionError)
 WSQ_STATUS_FACTORY(Internal, kInternal)
 WSQ_STATUS_FACTORY(Unavailable, kUnavailable)
 WSQ_STATUS_FACTORY(DeadlineExceeded, kDeadlineExceeded)
+WSQ_STATUS_FACTORY(DataLoss, kDataLoss)
 
 #undef WSQ_STATUS_FACTORY
 

@@ -29,6 +29,10 @@ enum class StatusCode {
   kUnavailable,
   /// The call's per-request deadline elapsed before a response arrived.
   kDeadlineExceeded,
+  /// Stored bytes are unrecoverably lost or corrupt: checksum mismatch,
+  /// torn page, bad magic. Unlike kIOError (the *operation* failed and
+  /// may succeed on retry), the *data itself* is damaged.
+  kDataLoss,
 };
 
 /// Returns a short stable name for `code`, e.g. "InvalidArgument".
@@ -75,6 +79,7 @@ class Status {
   static Status Internal(std::string msg);
   static Status Unavailable(std::string msg);
   static Status DeadlineExceeded(std::string msg);
+  static Status DataLoss(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }

@@ -138,9 +138,9 @@ constexpr size_t kEntryBytes = kKeySlot + kRidBytes;  // leaf entry
 constexpr size_t kInternalEntryBytes = kEntryBytes + 4;
 
 constexpr size_t kLeafCapacity =
-    (kPageSize - kHeaderBytes) / kEntryBytes;
+    (kPageDataSize - kHeaderBytes) / kEntryBytes;
 constexpr size_t kInternalCapacity =
-    (kPageSize - kHeaderBytes - 4) / kInternalEntryBytes;
+    (kPageDataSize - kHeaderBytes - 4) / kInternalEntryBytes;
 
 bool IsLeaf(const char* d) { return d[0] != 0; }
 void SetLeaf(char* d, bool leaf) { d[0] = leaf ? 1 : 0; }
@@ -276,7 +276,7 @@ Status BPlusTree::Insert(const Value& key, Rid rid) {
     WSQ_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
     PageGuard guard(pool_, page);
     char* d = page->data();
-    std::memset(d, 0, kPageSize);
+    std::memset(d, 0, kPageDataSize);
     SetLeaf(d, true);
     SetNumKeys(d, 1);
     SetNextLeaf(d, kInvalidPageId);
@@ -294,7 +294,7 @@ Status BPlusTree::Insert(const Value& key, Rid rid) {
   WSQ_ASSIGN_OR_RETURN(Page * page, pool_->NewPage());
   PageGuard guard(pool_, page);
   char* d = page->data();
-  std::memset(d, 0, kPageSize);
+  std::memset(d, 0, kPageDataSize);
   SetLeaf(d, false);
   SetNumKeys(d, 1);
   SetNextLeaf(d, kInvalidPageId);
@@ -380,7 +380,7 @@ Status BPlusTree::InsertInto(PageId page_id, const std::string& key,
     WSQ_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
     PageGuard right_guard(pool_, right);
     char* rd = right->data();
-    std::memset(rd, 0, kPageSize);
+    std::memset(rd, 0, kPageDataSize);
     SetLeaf(rd, false);
     SetNextLeaf(rd, kInvalidPageId);
     WriteChildAt(rd, 0, entries[mid].child);
@@ -394,7 +394,7 @@ Status BPlusTree::InsertInto(PageId page_id, const std::string& key,
     right_guard.MarkDirty();
 
     PageId child0 = ReadChildAt(d, 0);
-    std::memset(d + kHeaderBytes, 0, kPageSize - kHeaderBytes);
+    std::memset(d + kHeaderBytes, 0, kPageDataSize - kHeaderBytes);
     WriteChildAt(d, 0, child0);
     for (size_t i = 0; i < mid; ++i) {
       std::memcpy(InternalEntryPtr(d, i), entries[i].composite.data(),
@@ -447,7 +447,7 @@ Status BPlusTree::InsertInto(PageId page_id, const std::string& key,
   WSQ_ASSIGN_OR_RETURN(Page * right, pool_->NewPage());
   PageGuard right_guard(pool_, right);
   char* rd = right->data();
-  std::memset(rd, 0, kPageSize);
+  std::memset(rd, 0, kPageDataSize);
   SetLeaf(rd, true);
   SetNextLeaf(rd, NextLeaf(d));
   for (size_t i = mid; i < entries.size(); ++i) {

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/strings.h"
 
@@ -74,7 +76,11 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
   if (page->is_dirty_) {
-    WSQ_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
+    Status s = disk_->WritePage(page_id, page->data_);
+    if (!s.ok()) {
+      ++stats_.flush_failures;
+      return s;
+    }
     page->is_dirty_ = false;
     ++stats_.flushes;
   }
@@ -83,15 +89,37 @@ Status BufferPool::FlushPage(PageId page_id) {
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  Status first_error;
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
+    if (!page->is_dirty_) continue;
+    Status s = disk_->WritePage(page_id, page->data_);
+    if (!s.ok()) {
+      // Keep going: one bad page must not strand every other dirty
+      // page in memory. The failed page stays dirty for a retry.
+      ++stats_.flush_failures;
+      if (first_error.ok()) first_error = s;
+      continue;
+    }
+    page->is_dirty_ = false;
+    ++stats_.flushes;
+  }
+  return first_error;
+}
+
+std::vector<std::pair<PageId, std::string>> BufferPool::DirtyPageImages()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<PageId, std::string>> images;
+  for (const auto& [page_id, frame] : page_table_) {
+    const Page* page = frames_[frame].get();
     if (page->is_dirty_) {
-      WSQ_RETURN_IF_ERROR(disk_->WritePage(page_id, page->data_));
-      page->is_dirty_ = false;
-      ++stats_.flushes;
+      images.emplace_back(page_id, std::string(page->data_, kPageSize));
     }
   }
-  return Status::OK();
+  std::sort(images.begin(), images.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return images;
 }
 
 BufferPoolStats BufferPool::stats() const {
@@ -110,7 +138,11 @@ Result<size_t> BufferPool::GetVictimFrame() {
     Page* page = frames_[frame].get();
     if (page->pin_count_ == 0) {
       if (page->is_dirty_) {
-        WSQ_RETURN_IF_ERROR(disk_->WritePage(page->page_id_, page->data_));
+        Status s = disk_->WritePage(page->page_id_, page->data_);
+        if (!s.ok()) {
+          ++stats_.flush_failures;
+          return s;
+        }
         ++stats_.flushes;
       }
       ++stats_.evictions;

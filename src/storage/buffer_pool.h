@@ -21,6 +21,8 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t flushes = 0;
+  /// Dirty-page write-backs that failed (flush, eviction, FlushAll).
+  uint64_t flush_failures = 0;
 };
 
 /// Page cache with LRU replacement over a DiskManager.
@@ -50,8 +52,15 @@ class BufferPool {
   /// Writes a page back if resident and dirty.
   Status FlushPage(PageId page_id);
 
-  /// Writes back all dirty resident pages.
+  /// Writes back all dirty resident pages. A failing page does not
+  /// stop the sweep: every other dirty page is still written, the page
+  /// that failed stays dirty, and the first error is returned.
   Status FlushAll();
+
+  /// Copies of every dirty resident page (id + full kPageSize frame),
+  /// sorted by page id. Dirty bits are left untouched: this is the
+  /// read-only first phase of a WAL-backed checkpoint.
+  std::vector<std::pair<PageId, std::string>> DirtyPageImages() const;
 
   size_t pool_size() const { return frames_.size(); }
   BufferPoolStats stats() const;

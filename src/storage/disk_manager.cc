@@ -1,9 +1,12 @@
 #include "storage/disk_manager.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
 #include "common/strings.h"
+#include "storage/checksum.h"
 
 namespace wsq {
 
@@ -41,7 +44,7 @@ PageId InMemoryDiskManager::NumPages() const {
 }
 
 Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
-    const std::string& path) {
+    const std::string& path, SyncPolicy sync) {
   std::FILE* file = std::fopen(path.c_str(), "rb+");
   if (file == nullptr) {
     file = std::fopen(path.c_str(), "wb+");
@@ -59,13 +62,26 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
     std::fclose(file);
     return Status::IOError("ftell failed on " + path);
   }
+  if (size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(file);
+    return Status::DataLoss(StrFormat(
+        "%s: size %ld is not a multiple of the %zu-byte page size "
+        "(torn final page)",
+        path.c_str(), size, kPageSize));
+  }
   PageId num_pages = static_cast<PageId>(size / kPageSize);
   return std::unique_ptr<FileDiskManager>(
-      new FileDiskManager(path, file, num_pages));
+      new FileDiskManager(path, file, num_pages, sync));
 }
 
 FileDiskManager::~FileDiskManager() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ == nullptr) return;
+  // The destructor cannot surface errors; callers needing durability
+  // must Sync() first. Still check so failures are at least visible.
+  if (std::fflush(file_) != 0 || std::fclose(file_) != 0) {
+    std::fprintf(stderr, "FileDiskManager: close of %s failed: %s\n",
+                 path_.c_str(), std::strerror(errno));
+  }
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
@@ -81,7 +97,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
   if (std::fread(out, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError(StrFormat("short read of page %d", page_id));
   }
-  return Status::OK();
+  return VerifyPageHeader(page_id, out);
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
@@ -90,35 +106,51 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
     return Status::OutOfRange(
         StrFormat("write of unallocated page %d", page_id));
   }
+  char frame[kPageSize];
+  std::memcpy(frame, data, kPageSize);
+  StampPageHeader(page_id, next_lsn_++, frame);
   if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
       0) {
     return Status::IOError("seek failed");
   }
-  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+  if (std::fwrite(frame, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError(StrFormat("short write of page %d", page_id));
   }
-  std::fflush(file_);
   return Status::OK();
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
-  char zeros[kPageSize];
-  std::memset(zeros, 0, kPageSize);
+  char frame[kPageSize];
+  std::memset(frame, 0, kPageSize);
+  StampPageHeader(num_pages_, next_lsn_++, frame);
   if (std::fseek(file_, static_cast<long>(num_pages_) * kPageSize,
                  SEEK_SET) != 0) {
     return Status::IOError("seek failed");
   }
-  if (std::fwrite(zeros, 1, kPageSize, file_) != kPageSize) {
+  if (std::fwrite(frame, 1, kPageSize, file_) != kPageSize) {
     return Status::IOError("extend failed");
   }
-  std::fflush(file_);
   return num_pages_++;
 }
 
 PageId FileDiskManager::NumPages() const {
   std::lock_guard<std::mutex> lock(mu_);
   return num_pages_;
+}
+
+Status FileDiskManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sync_ == SyncPolicy::kNone) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush of " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  if (sync_ == SyncPolicy::kFull && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync of " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 }  // namespace wsq

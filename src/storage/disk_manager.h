@@ -13,15 +13,33 @@
 
 namespace wsq {
 
+/// How aggressively file-backed storage makes writes durable.
+enum class SyncPolicy {
+  /// No explicit flushing: fastest, durable only on clean close.
+  kNone,
+  /// fflush to the OS on Sync(): survives process crashes, not power
+  /// loss.
+  kFlush,
+  /// fflush + fsync on Sync(): survives power loss. The default.
+  kFull,
+};
+
 /// Abstraction over the backing store of fixed-size pages.
+///
+/// Persistent implementations maintain the checksummed page header
+/// (see page.h): WritePage stamps it over the first kPageHeaderSize
+/// bytes of the frame, ReadPage verifies it and reports corruption as
+/// Status::DataLoss. The header region of a caller's frame is owned by
+/// the DiskManager; callers must keep their payload within
+/// Page::data() / kPageDataSize.
 class DiskManager {
  public:
   virtual ~DiskManager() = default;
 
-  /// Reads page `page_id` into `out` (kPageSize bytes).
+  /// Reads page `page_id` into `out` (a full kPageSize frame).
   virtual Status ReadPage(PageId page_id, char* out) = 0;
 
-  /// Writes kPageSize bytes from `data` to page `page_id`.
+  /// Writes the kPageSize frame at `data` to page `page_id`.
   virtual Status WritePage(PageId page_id, const char* data) = 0;
 
   /// Extends the store by one zeroed page and returns its id.
@@ -29,9 +47,14 @@ class DiskManager {
 
   /// Number of allocated pages.
   virtual PageId NumPages() const = 0;
+
+  /// Makes previously written pages durable per the backend's
+  /// SyncPolicy. Writes are NOT durable until Sync() returns OK.
+  virtual Status Sync() { return Status::OK(); }
 };
 
 /// Heap-allocated page store; the default for tests and benchmarks.
+/// Stores raw frames verbatim (no header stamping or verification).
 class InMemoryDiskManager : public DiskManager {
  public:
   InMemoryDiskManager() = default;
@@ -46,12 +69,17 @@ class InMemoryDiskManager : public DiskManager {
   std::vector<std::unique_ptr<char[]>> pages_;
 };
 
-/// File-backed page store for persistent databases.
+/// File-backed page store for persistent databases. Stamps and
+/// verifies the checksummed page header; buffers writes in stdio and
+/// makes them durable on Sync() per the SyncPolicy.
 class FileDiskManager : public DiskManager {
  public:
   /// Opens (creating if necessary) the database file at `path`.
+  /// Rejects files whose size is not a multiple of kPageSize
+  /// (Status::DataLoss: a torn final page must not be silently
+  /// rounded away).
   static Result<std::unique_ptr<FileDiskManager>> Open(
-      const std::string& path);
+      const std::string& path, SyncPolicy sync = SyncPolicy::kFull);
 
   ~FileDiskManager() override;
 
@@ -59,17 +87,25 @@ class FileDiskManager : public DiskManager {
   Status WritePage(PageId page_id, const char* data) override;
   Result<PageId> AllocatePage() override;
   PageId NumPages() const override;
+  Status Sync() override;
 
   const std::string& path() const { return path_; }
 
  private:
-  FileDiskManager(std::string path, std::FILE* file, PageId num_pages)
-      : path_(std::move(path)), file_(file), num_pages_(num_pages) {}
+  FileDiskManager(std::string path, std::FILE* file, PageId num_pages,
+                  SyncPolicy sync)
+      : path_(std::move(path)),
+        file_(file),
+        num_pages_(num_pages),
+        sync_(sync) {}
 
   mutable std::mutex mu_;
   std::string path_;
   std::FILE* file_;
   PageId num_pages_;
+  SyncPolicy sync_;
+  /// Write-ordering stamp for page headers; monotonic per open.
+  uint64_t next_lsn_ = 1;
 };
 
 }  // namespace wsq

@@ -50,7 +50,7 @@ void SetSlot(char* data, uint16_t slot, uint16_t offset, uint16_t length) {
 void InitPage(char* data) {
   SetNextPage(data, kInvalidPageId);
   SetNumSlots(data, 0);
-  SetFreeEnd(data, static_cast<uint16_t>(kPageSize));
+  SetFreeEnd(data, static_cast<uint16_t>(kPageDataSize));
 }
 
 size_t FreeSpace(const char* data) {
@@ -77,7 +77,7 @@ Status HeapFile::ResolveTail() {
 
 Result<Rid> HeapFile::Insert(std::string_view record) {
   const size_t need = record.size() + kSlotSize;
-  if (record.size() + kSlotSize + kHeaderSize > kPageSize) {
+  if (record.size() + kSlotSize + kHeaderSize > kPageDataSize) {
     return Status::InvalidArgument(
         StrFormat("record of %zu bytes exceeds page capacity",
                   record.size()));

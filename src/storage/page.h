@@ -6,8 +6,22 @@
 
 namespace wsq {
 
-/// Fixed page size for the whole storage layer.
+/// Fixed physical page size for the whole storage layer.
 inline constexpr size_t kPageSize = 4096;
+
+/// Every on-disk page starts with a storage-layer header:
+///   [ magic:u32 | version:u16 | reserved:u16 | page_id:i32 |
+///     crc32c:u32 | lsn:u64 ]
+/// The CRC covers the whole frame with the crc field zeroed, so both
+/// payload corruption and misdirected writes (wrong page_id) are
+/// detected. Persistent DiskManagers stamp the header on write and
+/// verify it on read (Status::DataLoss on mismatch); upper layers never
+/// see it — Page::data() starts past it.
+inline constexpr size_t kPageHeaderSize = 24;
+
+/// Bytes of a page available to upper layers (heap files, B+-tree
+/// nodes, catalog): the frame minus the storage-layer header.
+inline constexpr size_t kPageDataSize = kPageSize - kPageHeaderSize;
 
 /// Page number within a database file; dense from 0.
 using PageId = int32_t;
@@ -24,8 +38,15 @@ class Page {
   Page(const Page&) = delete;
   Page& operator=(const Page&) = delete;
 
-  char* data() { return data_; }
-  const char* data() const { return data_; }
+  /// Payload visible to upper layers: kPageDataSize bytes.
+  char* data() { return data_ + kPageHeaderSize; }
+  const char* data() const { return data_ + kPageHeaderSize; }
+
+  /// The whole physical frame (kPageSize bytes) including the
+  /// storage-layer header region; the header bytes are owned by the
+  /// DiskManager and are unspecified between reads and writes.
+  char* frame() { return data_; }
+  const char* frame() const { return data_; }
 
   PageId page_id() const { return page_id_; }
   int pin_count() const { return pin_count_; }

@@ -1,0 +1,347 @@
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "storage/checksum.h"
+
+namespace wsq {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415751;  // "QWAL"
+constexpr uint16_t kWalVersion = 1;
+constexpr size_t kWalHeaderSize = 8;
+
+constexpr uint8_t kRecordPageImage = 1;
+constexpr uint8_t kRecordCommit = 2;
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+std::string WalFileHeader() {
+  std::string header;
+  AppendU32(&header, kWalMagic);
+  AppendU16(&header, kWalVersion);
+  AppendU16(&header, 0);
+  return header;
+}
+
+/// Appends the record's CRC (over all of `record` so far).
+void SealRecord(std::string* record) {
+  AppendU32(record, Crc32c(record->data(), record->size()));
+}
+
+}  // namespace
+
+// --- FileWalStorage ------------------------------------------------------
+
+FileWalStorage::FileWalStorage(std::string path, SyncPolicy sync)
+    : path_(std::move(path)), sync_(sync) {}
+
+FileWalStorage::~FileWalStorage() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWalStorage::EnsureOpen() {
+  if (file_ != nullptr) return Status::OK();
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open WAL " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<bool> FileWalStorage::Exists() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return true;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+Result<std::string> FileWalStorage::ReadAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IOError("flush of WAL " + path_ + " failed");
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return std::string();
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IOError("read of WAL " + path_ + " failed");
+  }
+  return bytes;
+}
+
+Status FileWalStorage::Append(std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WSQ_RETURN_IF_ERROR(EnsureOpen());
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return Status::IOError("short append to WAL " + path_);
+  }
+  return Status::OK();
+}
+
+Status FileWalStorage::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || sync_ == SyncPolicy::kNone) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush of WAL " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  if (sync_ == SyncPolicy::kFull && ::fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync of WAL " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FileWalStorage::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) {
+      file_ = nullptr;
+      return Status::IOError("close of WAL " + path_ + " failed");
+    }
+    file_ = nullptr;
+  }
+  if (std::remove(path_.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError("remove of WAL " + path_ + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+// --- InMemoryWalStorage --------------------------------------------------
+
+Result<bool> InMemoryWalStorage::Exists() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !bytes_.empty();
+}
+
+Result<std::string> InMemoryWalStorage::ReadAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+Status InMemoryWalStorage::Append(std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_.append(bytes);
+  return Status::OK();
+}
+
+Status InMemoryWalStorage::Sync() { return Status::OK(); }
+
+Status InMemoryWalStorage::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_.clear();
+  return Status::OK();
+}
+
+// --- LogWriter -----------------------------------------------------------
+
+Status LogWriter::AppendPageImage(PageId page_id, const char* frame) {
+  if (!wrote_header_) {
+    WSQ_RETURN_IF_ERROR(wal_->Append(WalFileHeader()));
+    wrote_header_ = true;
+  }
+  std::string record;
+  record.reserve(1 + 4 + 4 + kPageSize + 4);
+  record.push_back(static_cast<char>(kRecordPageImage));
+  AppendU32(&record, static_cast<uint32_t>(page_id));
+  AppendU32(&record, static_cast<uint32_t>(kPageSize));
+  record.append(frame, kPageSize);
+  SealRecord(&record);
+  return wal_->Append(record);
+}
+
+Status LogWriter::Commit(uint32_t page_count) {
+  if (!wrote_header_) {
+    WSQ_RETURN_IF_ERROR(wal_->Append(WalFileHeader()));
+    wrote_header_ = true;
+  }
+  std::string record;
+  record.push_back(static_cast<char>(kRecordCommit));
+  AppendU32(&record, page_count);
+  SealRecord(&record);
+  WSQ_RETURN_IF_ERROR(wal_->Append(record));
+  return wal_->Sync();
+}
+
+// --- LogReader -----------------------------------------------------------
+
+namespace {
+
+/// Bounds-checked little-endian cursor over the log bytes.
+class WalCursor {
+ public:
+  explicit WalCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, 1); }
+  bool ReadU16(uint16_t* v) { return ReadRaw(v, 2); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadBytes(std::string* out, size_t n) {
+    if (remaining() < n) return false;
+    out->assign(bytes_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+  std::string_view Span(size_t from) const {
+    return bytes_.substr(from, pos_ - from);
+  }
+
+ private:
+  bool ReadRaw(void* v, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(v, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedWal LogReader::Parse(std::string_view bytes) {
+  ParsedWal out;
+  WalCursor cur(bytes);
+
+  uint32_t magic;
+  uint16_t version, reserved;
+  if (!cur.ReadU32(&magic) || !cur.ReadU16(&version) ||
+      !cur.ReadU16(&reserved)) {
+    out.torn_reason = "log shorter than its header";
+    return out;
+  }
+  if (magic != kWalMagic) {
+    out.torn_reason = "bad log magic";
+    return out;
+  }
+  if (version != kWalVersion) {
+    out.torn_reason = StrFormat("unsupported log version %u", version);
+    return out;
+  }
+
+  while (cur.remaining() > 0) {
+    size_t record_start = cur.pos();
+    uint8_t type;
+    if (!cur.ReadU8(&type)) {
+      out.torn_reason = "truncated record type";
+      return out;
+    }
+    if (type == kRecordPageImage) {
+      uint32_t page_id, len;
+      std::string frame;
+      uint32_t stored_crc;
+      if (!cur.ReadU32(&page_id) || !cur.ReadU32(&len) ||
+          len != kPageSize || !cur.ReadBytes(&frame, len)) {
+        out.torn_reason =
+            StrFormat("truncated page record at offset %zu", record_start);
+        return out;
+      }
+      std::string_view body = cur.Span(record_start);
+      if (!cur.ReadU32(&stored_crc) ||
+          stored_crc != Crc32c(body.data(), body.size())) {
+        out.torn_reason = StrFormat(
+            "bad CRC on page record at offset %zu", record_start);
+        return out;
+      }
+      WalPageImage image;
+      image.page_id = static_cast<PageId>(page_id);
+      image.frame = std::move(frame);
+      out.pages.push_back(std::move(image));
+    } else if (type == kRecordCommit) {
+      uint32_t page_count, stored_crc;
+      if (!cur.ReadU32(&page_count)) {
+        out.torn_reason = "truncated commit record";
+        return out;
+      }
+      std::string_view body = cur.Span(record_start);
+      if (!cur.ReadU32(&stored_crc) ||
+          stored_crc != Crc32c(body.data(), body.size())) {
+        out.torn_reason = "bad CRC on commit record";
+        return out;
+      }
+      if (page_count != out.pages.size()) {
+        out.torn_reason = StrFormat(
+            "commit names %u pages but log holds %zu", page_count,
+            out.pages.size());
+        return out;
+      }
+      // Commit wins; bytes past it (from a crashed later append) are
+      // irrelevant.
+      out.committed = true;
+      return out;
+    } else {
+      out.torn_reason =
+          StrFormat("unknown record type %u at offset %zu", type,
+                    record_start);
+      return out;
+    }
+  }
+  out.torn_reason = "log ends without a commit record";
+  return out;
+}
+
+// --- RecoverCheckpoint ---------------------------------------------------
+
+Result<WalRecoveryResult> RecoverCheckpoint(WalStorage* wal,
+                                            DiskManager* disk) {
+  WalRecoveryResult result;
+  WSQ_ASSIGN_OR_RETURN(bool exists, wal->Exists());
+  if (!exists) return result;
+  WSQ_ASSIGN_OR_RETURN(std::string bytes, wal->ReadAll());
+  if (bytes.empty()) {
+    WSQ_RETURN_IF_ERROR(wal->Reset());
+    return result;
+  }
+
+  ParsedWal parsed = LogReader::Parse(bytes);
+  if (!parsed.committed) {
+    // The crash happened before the commit point, so the database file
+    // was never touched: discard and run with the pre-checkpoint state.
+    WSQ_RETURN_IF_ERROR(wal->Reset());
+    result.action = WalRecoveryAction::kDiscarded;
+    result.detail = parsed.torn_reason;
+    return result;
+  }
+
+  // Committed: redo every page image (idempotent — a crash mid-replay
+  // just replays again on the next open).
+  for (const WalPageImage& image : parsed.pages) {
+    while (disk->NumPages() <= image.page_id) {
+      WSQ_RETURN_IF_ERROR(disk->AllocatePage().status());
+    }
+    WSQ_RETURN_IF_ERROR(disk->WritePage(image.page_id, image.frame.data()));
+  }
+  WSQ_RETURN_IF_ERROR(disk->Sync());
+  WSQ_RETURN_IF_ERROR(wal->Reset());
+  result.action = WalRecoveryAction::kReplayed;
+  result.pages_replayed = parsed.pages.size();
+  return result;
+}
+
+}  // namespace wsq

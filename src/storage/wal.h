@@ -1,0 +1,154 @@
+#ifndef WSQ_STORAGE_WAL_H_
+#define WSQ_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace wsq {
+
+/// Byte-stream storage for the write-ahead log: an append-only blob
+/// with explicit durability (Sync) and wholesale truncation (Reset).
+/// Implementations: FileWalStorage (a real <db>.wal file),
+/// InMemoryWalStorage (tests), FaultInjectingWalStorage (crash
+/// harness).
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  /// True when a log from a previous run is present.
+  virtual Result<bool> Exists() = 0;
+
+  /// The entire log contents, including appended-but-unsynced bytes.
+  virtual Result<std::string> ReadAll() = 0;
+
+  /// Appends `bytes` to the log. Not durable until Sync().
+  virtual Status Append(std::string_view bytes) = 0;
+
+  /// Makes all appended bytes durable per the backend's SyncPolicy.
+  virtual Status Sync() = 0;
+
+  /// Removes the log entirely (the end of a successful checkpoint, or
+  /// the discard of a torn one).
+  virtual Status Reset() = 0;
+};
+
+/// WAL file next to the database file (conventionally `<db>.wal`).
+class FileWalStorage : public WalStorage {
+ public:
+  FileWalStorage(std::string path, SyncPolicy sync);
+  ~FileWalStorage() override;
+
+  Result<bool> Exists() override;
+  Result<std::string> ReadAll() override;
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+  Status Reset() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  /// Opens the append handle lazily (first Append after open/Reset).
+  Status EnsureOpen();
+
+  std::mutex mu_;
+  std::string path_;
+  SyncPolicy sync_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Heap-backed WalStorage for tests and the crash harness.
+class InMemoryWalStorage : public WalStorage {
+ public:
+  Result<bool> Exists() override;
+  Result<std::string> ReadAll() override;
+  Status Append(std::string_view bytes) override;
+  Status Sync() override;
+  Status Reset() override;
+
+ private:
+  std::mutex mu_;
+  std::string bytes_;
+};
+
+/// Serializes checkpoint records into a WalStorage. Layout:
+///   file header: magic:u32 version:u16 reserved:u16
+///   page record: type=1:u8 page_id:i32 len:u32 frame[len] crc32c:u32
+///   commit:      type=2:u8 page_count:u32 crc32c:u32
+/// Each record's CRC covers every byte of the record before it, so a
+/// torn or bit-rotted tail is detected; the commit record is the
+/// checkpoint's commit point. One WalStorage::Append per record keeps
+/// crash granularity at record boundaries.
+class LogWriter {
+ public:
+  explicit LogWriter(WalStorage* wal) : wal_(wal) {}
+
+  /// Appends a full-page image (the file header precedes the first
+  /// record automatically).
+  Status AppendPageImage(PageId page_id, const char* frame);
+
+  /// Appends the commit record and syncs the log: after this returns
+  /// OK the checkpoint is the durable winner.
+  Status Commit(uint32_t page_count);
+
+ private:
+  WalStorage* wal_;
+  bool wrote_header_ = false;
+};
+
+struct WalPageImage {
+  PageId page_id = kInvalidPageId;
+  std::string frame;  // kPageSize bytes
+};
+
+/// What LogReader recovered from a log's bytes.
+struct ParsedWal {
+  std::vector<WalPageImage> pages;
+  bool committed = false;
+  /// Why parsing stopped before a commit record (empty if committed).
+  std::string torn_reason;
+};
+
+/// Validating parser for LogWriter output. Parsing never fails: a
+/// torn, truncated, or corrupt log simply yields committed=false with
+/// the reason recorded — recovery then discards it deterministically.
+class LogReader {
+ public:
+  static ParsedWal Parse(std::string_view bytes);
+};
+
+enum class WalRecoveryAction {
+  /// No log existed: the previous shutdown was clean.
+  kNone,
+  /// A committed checkpoint log was replayed into the database file.
+  kReplayed,
+  /// A torn (uncommitted) log was discarded; the database file was
+  /// not touched.
+  kDiscarded,
+};
+
+struct WalRecoveryResult {
+  WalRecoveryAction action = WalRecoveryAction::kNone;
+  size_t pages_replayed = 0;
+  std::string detail;
+};
+
+/// Recovery half of the two-phase checkpoint, run before the catalog
+/// is loaded: replays a committed log (redo is idempotent, extending
+/// the file as needed, then syncs and truncates the log) or discards a
+/// torn one. Either way the database is afterwards in exactly the
+/// pre- or post-checkpoint state, never a mix.
+Result<WalRecoveryResult> RecoverCheckpoint(WalStorage* wal,
+                                            DiskManager* disk);
+
+}  // namespace wsq
+
+#endif  // WSQ_STORAGE_WAL_H_

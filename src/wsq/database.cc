@@ -12,21 +12,29 @@
 namespace wsq {
 
 WsqDatabase::WsqDatabase(const Options& options,
-                         std::unique_ptr<DiskManager> disk,
-                         bool persistent)
+                         std::unique_ptr<DiskManager> owned_disk,
+                         DiskManager* disk,
+                         std::unique_ptr<WalStorage> owned_wal,
+                         WalStorage* wal, bool persistent)
     : options_(options),
-      disk_(std::move(disk)),
+      owned_disk_(std::move(owned_disk)),
+      // A null `disk` means "use the owned one" (the in-memory ctor
+      // cannot name the unique_ptr it is passing before it exists).
+      disk_(disk != nullptr ? disk : owned_disk_.get()),
+      owned_wal_(std::move(owned_wal)),
+      wal_(wal != nullptr ? wal : owned_wal_.get()),
       persistent_(persistent),
-      buffer_pool_(options.buffer_pool_pages, disk_.get()),
+      buffer_pool_(options.buffer_pool_pages, disk_),
       catalog_(&buffer_pool_),
       pump_(options.pump_limits) {}
 
 WsqDatabase::WsqDatabase(const Options& options)
     : WsqDatabase(options, std::make_unique<InMemoryDiskManager>(),
-                  /*persistent=*/false) {}
+                  /*disk=*/nullptr, /*owned_wal=*/nullptr,
+                  /*wal=*/nullptr, /*persistent=*/false) {}
 
 WsqDatabase::~WsqDatabase() {
-  if (persistent_) {
+  if (persistent_ && options_.checkpoint_on_close) {
     Status s = Checkpoint();
     if (!s.ok()) {
       std::fprintf(stderr, "WsqDatabase checkpoint failed: %s\n",
@@ -38,20 +46,44 @@ WsqDatabase::~WsqDatabase() {
 Result<std::unique_ptr<WsqDatabase>> WsqDatabase::Open(
     const std::string& path, const Options& options) {
   WSQ_ASSIGN_OR_RETURN(std::unique_ptr<FileDiskManager> disk,
-                       FileDiskManager::Open(path));
-  bool fresh = disk->NumPages() == 0;
+                       FileDiskManager::Open(path, options.sync_policy));
+  auto wal =
+      std::make_unique<FileWalStorage>(path + ".wal", options.sync_policy);
+  DiskManager* disk_ptr = disk.get();
+  WalStorage* wal_ptr = wal.get();
+  std::unique_ptr<WsqDatabase> db(
+      new WsqDatabase(options, std::move(disk), disk_ptr, std::move(wal),
+                      wal_ptr, /*persistent=*/true));
+  return OpenImpl(std::move(db));
+}
+
+Result<std::unique_ptr<WsqDatabase>> WsqDatabase::OpenWithStorage(
+    DiskManager* disk, WalStorage* wal, const Options& options) {
   std::unique_ptr<WsqDatabase> db(new WsqDatabase(
-      options, std::move(disk), /*persistent=*/true));
+      options, nullptr, disk, nullptr, wal, /*persistent=*/true));
+  return OpenImpl(std::move(db));
+}
+
+Result<std::unique_ptr<WsqDatabase>> WsqDatabase::OpenImpl(
+    std::unique_ptr<WsqDatabase> db) {
+  // Finish or roll back an interrupted checkpoint before reading any
+  // page through the buffer pool.
+  if (db->wal_ != nullptr) {
+    WSQ_ASSIGN_OR_RETURN(db->last_recovery_,
+                         RecoverCheckpoint(db->wal_, db->disk_));
+  }
+  bool fresh = db->disk_->NumPages() == 0;
   if (fresh) {
-    // Reserve the catalog root page (page 0) and write an empty
-    // catalog so reopen always finds valid metadata.
+    // Reserve the catalog root page (page 0), write an empty catalog,
+    // and checkpoint immediately so reopen always finds valid metadata
+    // even if the process dies before the first explicit checkpoint.
     WSQ_ASSIGN_OR_RETURN(Page * root, db->buffer_pool_.NewPage());
     if (root->page_id() != kCatalogRootPage) {
       return Status::Internal("catalog root is not page 0");
     }
     WSQ_RETURN_IF_ERROR(
         db->buffer_pool_.UnpinPage(root->page_id(), /*dirty=*/true));
-    WSQ_RETURN_IF_ERROR(SaveCatalog(db->catalog_, &db->buffer_pool_));
+    WSQ_RETURN_IF_ERROR(db->Checkpoint());
   } else {
     WSQ_RETURN_IF_ERROR(LoadCatalog(&db->catalog_, &db->buffer_pool_));
   }
@@ -63,8 +95,35 @@ Status WsqDatabase::Checkpoint() {
     return Status::InvalidArgument(
         "Checkpoint() requires a file-backed database (use Open)");
   }
+  // A failed earlier attempt may have left a log behind: a committed
+  // one must be finished (its pages may be half-installed), a torn one
+  // discarded — otherwise its bytes would corrupt the log written
+  // below. Replay is idempotent and every still-dirty page gets
+  // re-logged, so this is safe in all interleavings.
+  if (wal_ != nullptr) {
+    WSQ_RETURN_IF_ERROR(RecoverCheckpoint(wal_, disk_).status());
+  }
   WSQ_RETURN_IF_ERROR(SaveCatalog(catalog_, &buffer_pool_));
-  return buffer_pool_.FlushAll();
+  std::vector<std::pair<PageId, std::string>> dirty =
+      buffer_pool_.DirtyPageImages();
+  if (dirty.empty()) return Status::OK();
+  if (wal_ != nullptr) {
+    // Phase 1: harden every dirty page image in the log. The commit
+    // record's sync is the checkpoint's commit point.
+    LogWriter writer(wal_);
+    for (const auto& [page_id, frame] : dirty) {
+      WSQ_RETURN_IF_ERROR(writer.AppendPageImage(page_id, frame.data()));
+    }
+    WSQ_RETURN_IF_ERROR(writer.Commit(static_cast<uint32_t>(dirty.size())));
+  }
+  // Phase 2: install the images into the database file. A crash here
+  // is repaired on the next Open by replaying the committed log.
+  WSQ_RETURN_IF_ERROR(buffer_pool_.FlushAll());
+  WSQ_RETURN_IF_ERROR(disk_->Sync());
+  if (wal_ != nullptr) {
+    WSQ_RETURN_IF_ERROR(wal_->Reset());
+  }
+  return Status::OK();
 }
 
 Status WsqDatabase::RegisterSearchEngine(const std::string& engine_name,

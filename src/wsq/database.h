@@ -12,6 +12,7 @@
 #include "plan/binder.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/wal.h"
 #include "vtab/virtual_table.h"
 
 namespace wsq {
@@ -46,16 +47,28 @@ class WsqDatabase {
     size_t buffer_pool_pages = 256;
     ReqPump::Limits pump_limits;
     BinderOptions binder;
+    /// Durability discipline for the database file and its WAL
+    /// (file-backed databases only). kFull fsyncs at the checkpoint
+    /// commit point; kFlush stops at the OS page cache; kNone is for
+    /// benchmarks and throwaway data.
+    SyncPolicy sync_policy = SyncPolicy::kFull;
+    /// Run a final Checkpoint() from the destructor. Turned off by the
+    /// crash harness, which wants the last checkpoint — not a clean
+    /// shutdown — to be the durable truth.
+    bool checkpoint_on_close = true;
   };
 
   /// In-memory database (tests, examples, benches).
   WsqDatabase() : WsqDatabase(Options()) {}
   explicit WsqDatabase(const Options& options);
 
-  /// Opens (creating if absent) a file-backed database at `path`.
-  /// Stored tables persist across opens; virtual tables and search
-  /// engines are re-registered per process. Call Checkpoint() (also
-  /// run by the destructor) to persist catalog changes and dirty pages.
+  /// Opens (creating if absent) a file-backed database at `path`, with
+  /// its write-ahead log at `path + ".wal"`. A checkpoint interrupted
+  /// by a crash is finished (replayed) or rolled back (discarded) here,
+  /// before the catalog is read. Stored tables persist across opens;
+  /// virtual tables and search engines are re-registered per process.
+  /// Call Checkpoint() (also run by the destructor) to persist catalog
+  /// changes and dirty pages atomically.
   static Result<std::unique_ptr<WsqDatabase>> Open(
       const std::string& path, const Options& options);
   static Result<std::unique_ptr<WsqDatabase>> Open(
@@ -63,13 +76,26 @@ class WsqDatabase {
     return Open(path, Options());
   }
 
+  /// Same open protocol over caller-supplied devices (which must
+  /// outlive the database) — the seam the crash-injection harness uses
+  /// to run a real database on simulated storage.
+  static Result<std::unique_ptr<WsqDatabase>> OpenWithStorage(
+      DiskManager* disk, WalStorage* wal, const Options& options);
+
   ~WsqDatabase();
 
-  /// Persists the catalog to the root page and flushes the buffer
-  /// pool. Only valid for file-backed databases.
+  /// Atomically persists the catalog and every dirty page: the images
+  /// are first hardened in the WAL (the commit record is the commit
+  /// point), then installed into the database file, then the log is
+  /// truncated. A crash anywhere in between leaves the database in
+  /// exactly the pre- or post-checkpoint state after the next Open.
+  /// Only valid for file-backed databases.
   Status Checkpoint();
 
   bool persistent() const { return persistent_; }
+
+  /// What recovery did during Open (kNone after a clean shutdown).
+  const WalRecoveryResult& last_recovery() const { return last_recovery_; }
 
   WsqDatabase(const WsqDatabase&) = delete;
   WsqDatabase& operator=(const WsqDatabase&) = delete;
@@ -113,8 +139,16 @@ class WsqDatabase {
   BufferPool* buffer_pool() { return &buffer_pool_; }
 
  private:
-  WsqDatabase(const Options& options, std::unique_ptr<DiskManager> disk,
-              bool persistent);
+  WsqDatabase(const Options& options, std::unique_ptr<DiskManager> owned_disk,
+              DiskManager* disk, std::unique_ptr<WalStorage> owned_wal,
+              WalStorage* wal, bool persistent);
+
+  /// Shared tail of Open/OpenWithStorage: crash recovery, then either
+  /// bootstrap of a fresh catalog (checkpointed immediately, so even a
+  /// process killed right after Open leaves a valid file) or load of
+  /// the existing one.
+  static Result<std::unique_ptr<WsqDatabase>> OpenImpl(
+      std::unique_ptr<WsqDatabase> db);
 
   Result<QueryExecution> ExecuteSelect(const SelectStatement& stmt,
                                        const ExecOptions& options);
@@ -127,8 +161,12 @@ class WsqDatabase {
   Result<QueryExecution> ExecuteUpdate(const UpdateStatement& stmt);
 
   Options options_;
-  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<DiskManager> owned_disk_;  // null for OpenWithStorage
+  DiskManager* disk_;
+  std::unique_ptr<WalStorage> owned_wal_;  // null for OpenWithStorage
+  WalStorage* wal_;                        // null for in-memory databases
   bool persistent_ = false;
+  WalRecoveryResult last_recovery_;
   BufferPool buffer_pool_;
   Catalog catalog_;
   VirtualTableRegistry vtables_;

@@ -40,8 +40,7 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kDeadlineExceeded);
-       ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
   }
 }
@@ -60,6 +59,14 @@ TEST(StatusTest, PermanentCodesAreNotRetryable) {
   EXPECT_FALSE(IsTransient(StatusCode::kExecutionError));
   EXPECT_FALSE(IsTransient(StatusCode::kNotFound));
   EXPECT_FALSE(IsTransient(StatusCode::kInternal));
+  // Damaged bytes do not heal on retry.
+  EXPECT_FALSE(IsTransient(StatusCode::kDataLoss));
+}
+
+TEST(StatusTest, DataLossFactory) {
+  Status s = Status::DataLoss("checksum mismatch on page 3");
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: checksum mismatch on page 3");
 }
 
 TEST(StatusTest, NewFactoriesCarryTheirCodes) {

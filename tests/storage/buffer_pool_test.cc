@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "storage/fault_disk.h"
+
 namespace wsq {
 namespace {
 
@@ -19,7 +21,7 @@ TEST_F(BufferPoolTest, NewPageIsPinnedAndZeroed) {
   Page* page = *r;
   EXPECT_EQ(page->page_id(), 0);
   EXPECT_EQ(page->pin_count(), 1);
-  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(page->data()[i], 0);
+  for (size_t i = 0; i < kPageDataSize; ++i) ASSERT_EQ(page->data()[i], 0);
   ASSERT_TRUE(pool.UnpinPage(0, false).ok());
 }
 
@@ -114,7 +116,44 @@ TEST_F(BufferPoolTest, FlushAllPersistsDirtyPages) {
 
   char raw[kPageSize];
   ASSERT_TRUE(disk_.ReadPage(0, raw).ok());
-  EXPECT_STREQ(raw, "durable");
+  // The pool writes whole frames; the payload sits past the header.
+  EXPECT_STREQ(raw + kPageHeaderSize, "durable");
+}
+
+TEST_F(BufferPoolTest, FlushAllContinuesPastFailingPage) {
+  FaultController ctl;
+  FaultInjectingDiskManager faulty(&disk_, &ctl);
+  BufferPool pool(4, &faulty);
+  for (int i = 0; i < 3; ++i) {  // ops 1-3: allocations
+    Page* p = *pool.NewPage();
+    std::snprintf(p->data(), 16, "page-%d", i);
+    ASSERT_TRUE(pool.UnpinPage(i, true).ok());
+  }
+
+  // Fail the first write FlushAll issues; the other two must still
+  // reach the disk and the first error must be reported.
+  DiskFaultPlan plan;
+  plan.fail_at_op = 4;
+  ctl.set_plan(plan);
+  Status s = pool.FlushAll();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(pool.stats().flush_failures, 1u);
+
+  // The failed page stayed dirty, so a retry completes the flush; all
+  // three pages then read back from the disk.
+  ctl.set_plan(DiskFaultPlan{});
+  ASSERT_TRUE(pool.FlushAll().ok());
+  EXPECT_TRUE(pool.FlushAll().ok());  // nothing left dirty
+  EXPECT_EQ(pool.stats().flush_failures, 1u);
+  ASSERT_TRUE(faulty.Sync().ok());
+  for (int i = 0; i < 3; ++i) {
+    char frame[kPageSize];
+    ASSERT_TRUE(faulty.ReadPage(i, frame).ok());
+    char expect[16];
+    std::snprintf(expect, 16, "page-%d", i);
+    EXPECT_STREQ(frame + kPageHeaderSize, expect);
+  }
 }
 
 TEST_F(BufferPoolTest, MultiplePinsRequireMultipleUnpins) {

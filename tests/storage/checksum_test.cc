@@ -1,0 +1,83 @@
+#include "storage/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace wsq {
+namespace {
+
+TEST(Crc32cTest, KnownVector) {
+  // The CRC-32C check value from RFC 3720 §B.4.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInput) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const char data[] = "hello, crc32c world";
+  const size_t n = sizeof(data) - 1;
+  uint32_t one_shot = Crc32c(data, n);
+  // Stream the same bytes in three uneven chunks.
+  uint32_t state = kCrc32cInit;
+  state = ExtendCrc32c(state, data, 5);
+  state = ExtendCrc32c(state, data + 5, 1);
+  state = ExtendCrc32c(state, data + 6, n - 6);
+  EXPECT_EQ(FinishCrc32c(state), one_shot);
+}
+
+TEST(Crc32cTest, SensitiveToSingleBit) {
+  char a[64], b[64];
+  std::memset(a, 0x41, sizeof(a));
+  std::memcpy(b, a, sizeof(a));
+  b[17] ^= 0x04;
+  EXPECT_NE(Crc32c(a, sizeof(a)), Crc32c(b, sizeof(b)));
+}
+
+class PageHeaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::memset(frame_, 0, kPageSize);
+    std::memset(frame_ + kPageHeaderSize, 0x5c, 100);
+    StampPageHeader(/*page_id=*/3, /*lsn=*/42, frame_);
+  }
+  char frame_[kPageSize];
+};
+
+TEST_F(PageHeaderTest, StampVerifyRoundTrip) {
+  EXPECT_TRUE(VerifyPageHeader(3, frame_).ok());
+  EXPECT_EQ(PageHeaderLsn(frame_), 42u);
+}
+
+TEST_F(PageHeaderTest, DetectsPayloadCorruption) {
+  frame_[kPageHeaderSize + 50] ^= 0x01;
+  Status s = VerifyPageHeader(3, frame_);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PageHeaderTest, DetectsHeaderCorruption) {
+  frame_[16] ^= 0x01;  // LSN field, covered by the CRC
+  EXPECT_EQ(VerifyPageHeader(3, frame_).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PageHeaderTest, DetectsMisdirectedWrite) {
+  // A frame stamped for page 3 landing at page 5's offset.
+  EXPECT_EQ(VerifyPageHeader(5, frame_).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PageHeaderTest, DetectsBadMagic) {
+  frame_[0] = 'J';
+  EXPECT_EQ(VerifyPageHeader(3, frame_).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PageHeaderTest, RestampAfterEditVerifies) {
+  frame_[kPageHeaderSize + 10] = 'z';
+  EXPECT_FALSE(VerifyPageHeader(3, frame_).ok());
+  StampPageHeader(3, /*lsn=*/43, frame_);
+  EXPECT_TRUE(VerifyPageHeader(3, frame_).ok());
+  EXPECT_EQ(PageHeaderLsn(frame_), 43u);
+}
+
+}  // namespace
+}  // namespace wsq

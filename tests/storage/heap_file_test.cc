@@ -85,8 +85,8 @@ TEST_F(HeapFileTest, OversizedRecordRejected) {
 }
 
 TEST_F(HeapFileTest, MaximumSizedRecordAccepted) {
-  // Page capacity minus header (8) and one slot (4).
-  std::string max_rec(kPageSize - 12, 'y');
+  // Page payload capacity minus heap header (8) and one slot (4).
+  std::string max_rec(kPageDataSize - 12, 'y');
   auto rid = file_.Insert(max_rec);
   ASSERT_TRUE(rid.ok()) << rid.status().ToString();
   EXPECT_EQ(file_.Get(*rid)->size(), max_rec.size());

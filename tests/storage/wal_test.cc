@@ -1,0 +1,242 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/checksum.h"
+
+namespace wsq {
+namespace {
+
+/// A stamped frame whose payload is filled with `fill`.
+std::string MakeFrame(PageId page_id, char fill) {
+  std::string frame(kPageSize, '\0');
+  std::memset(frame.data() + kPageHeaderSize, fill, kPageDataSize);
+  StampPageHeader(page_id, /*lsn=*/1, frame.data());
+  return frame;
+}
+
+TEST(LogWriterReaderTest, RoundTripCommitted) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  std::string f2 = MakeFrame(2, 'b');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.AppendPageImage(2, f2.data()).ok());
+  ASSERT_TRUE(writer.Commit(2).ok());
+
+  ParsedWal parsed = LogReader::Parse(*wal.ReadAll());
+  EXPECT_TRUE(parsed.committed);
+  ASSERT_EQ(parsed.pages.size(), 2u);
+  EXPECT_EQ(parsed.pages[0].page_id, 0);
+  EXPECT_EQ(parsed.pages[1].page_id, 2);
+  EXPECT_EQ(parsed.pages[0].frame, f0);
+  EXPECT_EQ(parsed.pages[1].frame, f2);
+}
+
+TEST(LogWriterReaderTest, MissingCommitIsTorn) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+
+  ParsedWal parsed = LogReader::Parse(*wal.ReadAll());
+  EXPECT_FALSE(parsed.committed);
+  EXPECT_FALSE(parsed.torn_reason.empty());
+}
+
+TEST(LogWriterReaderTest, TruncatedTailIsTorn) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.Commit(1).ok());
+
+  std::string bytes = *wal.ReadAll();
+  // Chop bytes off the end one at a time: every prefix that loses any
+  // part of the commit record must parse as torn.
+  for (size_t cut = 1; cut <= 9; ++cut) {
+    ParsedWal parsed =
+        LogReader::Parse(std::string_view(bytes).substr(0, bytes.size() - cut));
+    EXPECT_FALSE(parsed.committed) << "cut=" << cut;
+  }
+}
+
+TEST(LogWriterReaderTest, CorruptPageRecordIsTorn) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.Commit(1).ok());
+
+  std::string bytes = *wal.ReadAll();
+  bytes[100] ^= 0x10;  // inside the page image
+  ParsedWal parsed = LogReader::Parse(bytes);
+  EXPECT_FALSE(parsed.committed);
+  EXPECT_NE(parsed.torn_reason.find("CRC"), std::string::npos);
+}
+
+TEST(LogWriterReaderTest, GarbageAfterCommitIgnored) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.Commit(1).ok());
+  // E.g. stale bytes from a previous, longer log generation.
+  ASSERT_TRUE(wal.Append("trailing garbage").ok());
+
+  ParsedWal parsed = LogReader::Parse(*wal.ReadAll());
+  EXPECT_TRUE(parsed.committed);
+  EXPECT_EQ(parsed.pages.size(), 1u);
+}
+
+TEST(LogWriterReaderTest, CommitCountMismatchIsTorn) {
+  InMemoryWalStorage wal;
+  LogWriter writer(&wal);
+  std::string f0 = MakeFrame(0, 'a');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.Commit(5).ok());  // claims 5 pages, log holds 1
+
+  ParsedWal parsed = LogReader::Parse(*wal.ReadAll());
+  EXPECT_FALSE(parsed.committed);
+}
+
+TEST(LogWriterReaderTest, EmptyAndHeaderOnlyAreTorn) {
+  EXPECT_FALSE(LogReader::Parse("").committed);
+  EXPECT_FALSE(LogReader::Parse("WSQ").committed);
+}
+
+class RecoverCheckpointTest : public ::testing::Test {
+ protected:
+  InMemoryWalStorage wal_;
+  InMemoryDiskManager disk_;
+};
+
+TEST_F(RecoverCheckpointTest, NoLogMeansCleanShutdown) {
+  auto r = RecoverCheckpoint(&wal_, &disk_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->action, WalRecoveryAction::kNone);
+}
+
+TEST_F(RecoverCheckpointTest, CommittedLogIsReplayed) {
+  ASSERT_TRUE(disk_.AllocatePage().ok());
+  std::string stale = MakeFrame(0, 's');
+  ASSERT_TRUE(disk_.WritePage(0, stale.data()).ok());
+
+  LogWriter writer(&wal_);
+  std::string f0 = MakeFrame(0, 'n');  // new image for page 0
+  std::string f3 = MakeFrame(3, 'x');  // beyond current EOF
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.AppendPageImage(3, f3.data()).ok());
+  ASSERT_TRUE(writer.Commit(2).ok());
+
+  auto r = RecoverCheckpoint(&wal_, &disk_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->action, WalRecoveryAction::kReplayed);
+  EXPECT_EQ(r->pages_replayed, 2u);
+  // Page 0 overwritten, file extended through page 3, log gone.
+  EXPECT_EQ(disk_.NumPages(), 4);
+  char in[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(in, f0.data(), kPageSize), 0);
+  ASSERT_TRUE(disk_.ReadPage(3, in).ok());
+  EXPECT_EQ(std::memcmp(in, f3.data(), kPageSize), 0);
+  EXPECT_FALSE(*wal_.Exists());
+}
+
+TEST_F(RecoverCheckpointTest, ReplayIsIdempotent) {
+  LogWriter writer(&wal_);
+  std::string f0 = MakeFrame(0, 'n');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  ASSERT_TRUE(writer.Commit(1).ok());
+  std::string log_bytes = *wal_.ReadAll();
+
+  ASSERT_TRUE(RecoverCheckpoint(&wal_, &disk_).ok());
+  // Crash before the truncate: the same log is replayed again.
+  ASSERT_TRUE(wal_.Append(log_bytes).ok());
+  auto r = RecoverCheckpoint(&wal_, &disk_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->action, WalRecoveryAction::kReplayed);
+  char in[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(in, f0.data(), kPageSize), 0);
+}
+
+TEST_F(RecoverCheckpointTest, TornLogIsDiscarded) {
+  ASSERT_TRUE(disk_.AllocatePage().ok());
+  std::string stale = MakeFrame(0, 's');
+  ASSERT_TRUE(disk_.WritePage(0, stale.data()).ok());
+
+  LogWriter writer(&wal_);
+  std::string f0 = MakeFrame(0, 'n');
+  ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+  // No commit: the crash hit before the commit point.
+
+  auto r = RecoverCheckpoint(&wal_, &disk_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->action, WalRecoveryAction::kDiscarded);
+  EXPECT_FALSE(r->detail.empty());
+  // The database file was not touched and the log is gone.
+  char in[kPageSize];
+  ASSERT_TRUE(disk_.ReadPage(0, in).ok());
+  EXPECT_EQ(std::memcmp(in, stale.data(), kPageSize), 0);
+  EXPECT_FALSE(*wal_.Exists());
+}
+
+TEST(FileWalStorageTest, AppendReadResetOnRealFile) {
+  std::string path = ::testing::TempDir() + "/wsq_wal_test.wal";
+  std::remove(path.c_str());
+  {
+    FileWalStorage wal(path, SyncPolicy::kFull);
+    EXPECT_FALSE(*wal.Exists());
+    ASSERT_TRUE(wal.Append("hello ").ok());
+    ASSERT_TRUE(wal.Append("wal").ok());
+    ASSERT_TRUE(wal.Sync().ok());
+    EXPECT_TRUE(*wal.Exists());
+    EXPECT_EQ(*wal.ReadAll(), "hello wal");
+    ASSERT_TRUE(wal.Reset().ok());
+    EXPECT_FALSE(*wal.Exists());
+    // A reset log accepts new appends.
+    ASSERT_TRUE(wal.Append("again").ok());
+    EXPECT_EQ(*wal.ReadAll(), "again");
+  }
+  {
+    // Contents survive close/reopen.
+    FileWalStorage wal(path, SyncPolicy::kFull);
+    EXPECT_TRUE(*wal.Exists());
+    EXPECT_EQ(*wal.ReadAll(), "again");
+    ASSERT_TRUE(wal.Reset().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileWalStorageTest, CheckpointProtocolOnRealFiles) {
+  std::string db_path = ::testing::TempDir() + "/wsq_wal_proto.db";
+  std::string wal_path = db_path + ".wal";
+  std::remove(db_path.c_str());
+  std::remove(wal_path.c_str());
+  {
+    auto disk = std::move(FileDiskManager::Open(db_path)).value();
+    FileWalStorage wal(wal_path, SyncPolicy::kFull);
+    LogWriter writer(&wal);
+    std::string f0 = MakeFrame(0, 'q');
+    ASSERT_TRUE(writer.AppendPageImage(0, f0.data()).ok());
+    ASSERT_TRUE(writer.Commit(1).ok());
+
+    auto r = RecoverCheckpoint(&wal, disk.get());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->action, WalRecoveryAction::kReplayed);
+    char in[kPageSize];
+    ASSERT_TRUE(disk->ReadPage(0, in).ok());
+    EXPECT_EQ(std::memcmp(in + kPageHeaderSize, f0.data() + kPageHeaderSize,
+                          kPageDataSize),
+              0);
+  }
+  std::remove(db_path.c_str());
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace wsq

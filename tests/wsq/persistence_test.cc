@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "catalog/catalog_serde.h"
+#include "storage/checksum.h"
 #include "wsq/database.h"
 
 namespace wsq {
@@ -13,8 +16,12 @@ class PersistenceTest : public ::testing::Test {
   void SetUp() override {
     path_ = ::testing::TempDir() + "/wsq_persist_test.db";
     std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
+  }
 
   std::string path_;
 };
@@ -158,7 +165,7 @@ TEST_F(PersistenceTest, CorruptMagicRejected) {
     auto db = WsqDatabase::Open(path_);
     ASSERT_TRUE(db.ok());
   }
-  // Scribble over the catalog root.
+  // Scribble over the catalog root's page header.
   std::FILE* f = std::fopen(path_.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
   const char junk[] = "JUNK";
@@ -167,7 +174,90 @@ TEST_F(PersistenceTest, CorruptMagicRejected) {
 
   auto reopened = WsqDatabase::Open(path_);
   ASSERT_FALSE(reopened.ok());
-  EXPECT_EQ(reopened.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, CorruptCatalogPayloadRejected) {
+  {
+    auto db = WsqDatabase::Open(path_);
+    ASSERT_TRUE(db.ok());
+  }
+  // Flip one payload byte; the header stays plausible, so only the
+  // checksum can catch it.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, kPageHeaderSize + 2, SEEK_SET), 0);
+  const char junk = '\x7f';
+  std::fwrite(&junk, 1, 1, f);
+  std::fclose(f);
+
+  auto reopened = WsqDatabase::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, TruncatedFileRejected) {
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE T (A INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (1)").ok());
+  }
+  // Tear the final page in half, as an interrupted ftruncate/write
+  // extension would.
+  ASSERT_EQ(::truncate(path_.c_str(), 2 * kPageSize + kPageSize / 2), 0);
+
+  auto reopened = WsqDatabase::Open(path_);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(PersistenceTest, TornWalDiscardedOnReopen) {
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE T (A INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (7)").ok());
+  }
+  // Fake a crash mid-checkpoint: a log that ends without its commit
+  // record. Recovery must discard it and keep the checkpointed state.
+  {
+    std::FILE* f = std::fopen((path_ + ".wal").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const uint32_t magic = 0x4C415751;
+    const uint16_t version = 1, reserved = 0;
+    std::fwrite(&magic, 4, 1, f);
+    std::fwrite(&version, 2, 1, f);
+    std::fwrite(&reserved, 2, 1, f);
+    const char partial[] = "\x01 partial page record...";
+    std::fwrite(partial, 1, sizeof(partial), f);
+    std::fclose(f);
+  }
+  {
+    auto db = WsqDatabase::Open(path_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ((*db)->last_recovery().action, WalRecoveryAction::kDiscarded);
+    auto r = (*db)->Execute("SELECT COUNT(*) FROM T");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->result.rows[0].value(0).AsInt(), 1);
+  }
+  // The torn log is gone; the next open is clean.
+  {
+    auto db = WsqDatabase::Open(path_).value();
+    EXPECT_EQ(db->last_recovery().action, WalRecoveryAction::kNone);
+  }
+}
+
+TEST_F(PersistenceTest, SyncPolicyKnobIsHonored) {
+  WsqDatabase::Options options;
+  options.sync_policy = SyncPolicy::kNone;
+  {
+    auto db = WsqDatabase::Open(path_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Execute("CREATE TABLE T (A INT)").ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = WsqDatabase::Open(path_, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->catalog()->ListTables().size(), 1u);
 }
 
 TEST_F(PersistenceTest, CatalogSerdeRoundTripDirect) {
