@@ -62,10 +62,10 @@ int main() {
       options.client_cache_entries = cache_entries;
       wsq::DemoEnv env(options);
 
-      (void)env.db().Execute("CREATE TABLE R (X INT)");
+      WSQ_IGNORE_STATUS(env.db().Execute("CREATE TABLE R (X INT)"));
       for (int i = 0; i < r_size; ++i) {
-        (void)env.db().Execute("INSERT INTO R VALUES (" +
-                               std::to_string(i) + ")");
+        WSQ_IGNORE_STATUS(env.db().Execute("INSERT INTO R VALUES (" +
+                               std::to_string(i) + ")"));
       }
       const char* fig7 =
           "Select Sigs.Name, AV.Count, G.Count "

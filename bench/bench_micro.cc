@@ -45,7 +45,7 @@ void BM_HeapFileInsertScan(benchmark::State& state) {
     BufferPool pool(64, &disk);
     HeapFile file(&pool);
     for (int i = 0; i < 256; ++i) {
-      (void)file.Insert("record-" + std::to_string(i));
+      WSQ_IGNORE_STATUS(file.Insert("record-" + std::to_string(i)));
     }
     HeapFileScanner scanner(&file);
     std::string rec;
@@ -60,11 +60,11 @@ void BM_BufferPoolFetchHit(benchmark::State& state) {
   InMemoryDiskManager disk;
   BufferPool pool(8, &disk);
   Page* p = *pool.NewPage();
-  (void)pool.UnpinPage(p->page_id(), false);
+  WSQ_IGNORE_STATUS(pool.UnpinPage(p->page_id(), false));
   for (auto _ : state) {
     Page* page = *pool.FetchPage(0);
     benchmark::DoNotOptimize(page);
-    (void)pool.UnpinPage(0, false);
+    WSQ_IGNORE_STATUS(pool.UnpinPage(0, false));
   }
 }
 BENCHMARK(BM_BufferPoolFetchHit);
@@ -158,13 +158,13 @@ BENCHMARK(BM_BindAndRewrite);
 WsqDatabase& IndexedDb() {
   static WsqDatabase* const kDb = [] {
     auto* db = new WsqDatabase();
-    (void)db->Execute("CREATE TABLE Big (K STRING, V INT)");
+    WSQ_IGNORE_STATUS(db->Execute("CREATE TABLE Big (K STRING, V INT)"));
     TableInfo* t = *db->catalog()->GetTable("Big");
     for (int i = 0; i < 20000; ++i) {
-      (void)t->Insert(Row({Value::Str("key" + std::to_string(i % 2000)),
-                           Value::Int(i)}));
+      WSQ_IGNORE_STATUS(t->Insert(Row({Value::Str("key" + std::to_string(i % 2000)),
+                           Value::Int(i)})));
     }
-    (void)db->Execute("CREATE INDEX ix_big ON Big (K)");
+    WSQ_IGNORE_STATUS(db->Execute("CREATE INDEX ix_big ON Big (K)"));
     return db;
   }();
   return *kDb;
@@ -194,8 +194,8 @@ void BM_BTreeInsertLookup(benchmark::State& state) {
   BPlusTree tree(&pool);
   int64_t next = 0;
   for (auto _ : state) {
-    (void)tree.Insert(Value::Int(next), Rid{0, static_cast<uint16_t>(
-                                               next % 1000)});
+    WSQ_IGNORE_STATUS(tree.Insert(Value::Int(next), Rid{0, static_cast<uint16_t>(
+                                               next % 1000)}));
     benchmark::DoNotOptimize(tree.SearchEqual(Value::Int(next / 2)));
     ++next;
   }

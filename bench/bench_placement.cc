@@ -126,7 +126,7 @@ int main() {
       ++rows;
     }
     double total = timer.ElapsedMicros() * 1e-6;
-    (void)root->Close();
+    WSQ_IGNORE_STATUS(root->Close());
     std::printf("  %-10s first row %.3fs, all %zu rows %.3fs\n",
                 streaming ? "streaming:" : "buffered:", ttfr, rows,
                 total);

@@ -36,8 +36,8 @@ int main() {
   wsq::DemoEnv env(options);
 
   // Table R for the Figure 7 query.
-  (void)env.db().Execute("CREATE TABLE R (X INT)");
-  (void)env.db().Execute("INSERT INTO R VALUES (1), (2), (3)");
+  WSQ_IGNORE_STATUS(env.db().Execute("CREATE TABLE R (X INT)"));
+  WSQ_IGNORE_STATUS(env.db().Execute("INSERT INTO R VALUES (1), (2), (3)"));
 
   Show(env, "Figures 2 & 3: Sigs x WebCount near 'Knuth'",
        "Select * From Sigs, WebCount "

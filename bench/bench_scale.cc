@@ -32,8 +32,8 @@ int main() {
     wsq::TableInfo* t = *env.db().catalog()->GetTable(table);
     for (int i = 0; i < n; ++i) {
       // Draw terms from the background vocabulary so most lookups hit.
-      (void)t->Insert(wsq::Row(
-          {wsq::Value::Str(vocab[(i * 37) % vocab.size()])}));
+      WSQ_IGNORE_STATUS(t->Insert(wsq::Row(
+          {wsq::Value::Str(vocab[(i * 37) % vocab.size()])})));
     }
 
     std::string sql = wsq::StrFormat(

@@ -13,7 +13,7 @@ ReqPump::ReqPump(Limits limits)
 
 ReqPump::~ReqPump() {
   {
-    std::unique_lock<std::mutex> lock(core_->mu);
+    MutexLock lock(&core_->mu);
     // Drop never-dispatched queued calls, then wait for in-flight ones.
     // Abandoned (timed-out) calls already released their slots and do
     // not delay shutdown; their stragglers hit the shared core later.
@@ -24,10 +24,10 @@ ReqPump::~ReqPump() {
       --core_->outstanding;
     }
     core_->queue.clear();
-    core_->cv.wait(lock, [this] { return core_->in_flight_global == 0; });
+    while (core_->in_flight_global != 0) core_->cv.Wait(core_->mu);
     core_->shutdown = true;
   }
-  core_->cv.notify_all();
+  core_->cv.NotifyAll();
   timer_.join();
 }
 
@@ -58,7 +58,7 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
   bool dispatch_now;
   bool has_deadline = timeout_micros > 0;
   {
-    std::lock_guard<std::mutex> lock(core_->mu);
+    MutexLock lock(&core_->mu);
     id = core_->next_id++;
     ++core_->stats.registered;
     ++core_->outstanding;
@@ -84,7 +84,7 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
     }
   }
   // Wake the timer so it re-arms for a possibly-earlier deadline.
-  if (has_deadline) core_->cv.notify_all();
+  if (has_deadline) core_->cv.NotifyAll();
   if (dispatch_now) {
     Dispatch(core_, id, destination, std::move(fn));
   }
@@ -107,7 +107,7 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
                          CallResult result) {
   std::vector<QueuedCall> to_dispatch;
   {
-    std::lock_guard<std::mutex> lock(core->mu);
+    MutexLock lock(&core->mu);
     if (core->abandoned.erase(id) > 0) {
       // The deadline timer already completed this call and released its
       // slots; the real result arrives too late and is discarded.
@@ -126,7 +126,7 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
     --core->outstanding;
     to_dispatch = TakeDispatchableLocked(core.get());
   }
-  core->cv.notify_all();
+  core->cv.NotifyAll();
   for (QueuedCall& q : to_dispatch) {
     Dispatch(core, q.id, q.destination, std::move(q.fn));
   }
@@ -174,7 +174,7 @@ std::vector<ReqPump::QueuedCall> ReqPump::TakeDispatchableLocked(
 }
 
 void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
-  std::unique_lock<std::mutex> lock(core->mu);
+  MutexLock lock(&core->mu);
   while (!core->shutdown) {
     // Drop stale heap entries (calls that resolved before their
     // deadline) so they don't force pointless wakeups.
@@ -183,15 +183,15 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
       core->deadlines.pop();
     }
     if (core->deadlines.empty()) {
-      core->cv.wait(lock, [&core] {
-        return core->shutdown || !core->deadlines.empty();
-      });
+      while (!core->shutdown && core->deadlines.empty()) {
+        core->cv.Wait(core->mu);
+      }
       continue;
     }
     int64_t now = NowMicros();
     int64_t when = core->deadlines.top().when_micros;
     if (now < when) {
-      core->cv.wait_for(lock, std::chrono::microseconds(when - now));
+      core->cv.WaitForMicros(core->mu, when - now);
       continue;
     }
     Deadline d = core->deadlines.top();
@@ -228,22 +228,22 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
       --core->in_flight_by_dest[d.destination];
       to_dispatch = TakeDispatchableLocked(core.get());
     }
-    lock.unlock();
-    core->cv.notify_all();
+    lock.Unlock();
+    core->cv.NotifyAll();
     for (QueuedCall& q : to_dispatch) {
       Dispatch(core, q.id, q.destination, std::move(q.fn));
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
 bool ReqPump::IsComplete(CallId id) const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->results.count(id) > 0;
 }
 
 bool ReqPump::TryTake(CallId id, CallResult* out) {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   auto it = core_->results.find(id);
   if (it == core_->results.end()) return false;
   *out = std::move(it->second);
@@ -252,42 +252,40 @@ bool ReqPump::TryTake(CallId id, CallResult* out) {
 }
 
 CallResult ReqPump::TakeBlocking(CallId id) {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  core_->cv.wait(lock,
-                 [this, id] { return core_->results.count(id) > 0; });
+  MutexLock lock(&core_->mu);
+  while (core_->results.count(id) == 0) core_->cv.Wait(core_->mu);
   CallResult out = std::move(core_->results[id]);
   core_->results.erase(id);
   return out;
 }
 
 uint64_t ReqPump::completion_seq() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->completion_seq;
 }
 
 void ReqPump::WaitForCompletionBeyond(uint64_t seq) {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  core_->cv.wait(lock,
-                 [this, seq] { return core_->completion_seq > seq; });
+  MutexLock lock(&core_->mu);
+  while (core_->completion_seq <= seq) core_->cv.Wait(core_->mu);
 }
 
 void ReqPump::Drain() {
-  std::unique_lock<std::mutex> lock(core_->mu);
-  core_->cv.wait(lock, [this] { return core_->outstanding == 0; });
+  MutexLock lock(&core_->mu);
+  while (core_->outstanding != 0) core_->cv.Wait(core_->mu);
 }
 
 ReqPumpStats ReqPump::stats() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->stats;
 }
 
 int ReqPump::in_flight() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->in_flight_global;
 }
 
 size_t ReqPump::pending_results() const {
-  std::lock_guard<std::mutex> lock(core_->mu);
+  MutexLock lock(&core_->mu);
   return core_->results.size();
 }
 

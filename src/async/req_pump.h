@@ -1,13 +1,11 @@
 #ifndef WSQ_ASYNC_REQ_PUMP_H_
 #define WSQ_ASYNC_REQ_PUMP_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -17,6 +15,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/row.h"
 #include "types/value.h"
 
@@ -101,39 +100,39 @@ class ReqPump {
   /// As above with an explicit per-call deadline; `timeout_micros` <= 0
   /// means no deadline (overriding any default).
   CallId Register(const std::string& destination, AsyncCallFn fn,
-                  int64_t timeout_micros);
+                  int64_t timeout_micros) WSQ_EXCLUDES(core_->mu);
 
   /// True once the call's result is available in ReqPumpHash.
-  bool IsComplete(CallId id) const;
+  bool IsComplete(CallId id) const WSQ_EXCLUDES(core_->mu);
 
   /// Removes and returns the result if complete; nullopt otherwise.
-  bool TryTake(CallId id, CallResult* out);
+  bool TryTake(CallId id, CallResult* out) WSQ_EXCLUDES(core_->mu);
 
   /// Blocks until call `id` completes, then removes and returns it.
   /// With a deadline set, returns at most ~timeout after registration.
-  CallResult TakeBlocking(CallId id);
+  CallResult TakeBlocking(CallId id) WSQ_EXCLUDES(core_->mu);
 
   /// Monotonic count of completions; use with WaitForCompletionBeyond
   /// to sleep until any call finishes.
-  uint64_t completion_seq() const;
+  uint64_t completion_seq() const WSQ_EXCLUDES(core_->mu);
 
   /// Blocks until completion_seq() > `seq` (returns immediately if it
   /// already is).
-  void WaitForCompletionBeyond(uint64_t seq);
+  void WaitForCompletionBeyond(uint64_t seq) WSQ_EXCLUDES(core_->mu);
 
   /// Blocks until every registered call has completed (benches).
-  void Drain();
+  void Drain() WSQ_EXCLUDES(core_->mu);
 
-  ReqPumpStats stats() const;
+  ReqPumpStats stats() const WSQ_EXCLUDES(core_->mu);
   const Limits& limits() const { return core_->limits; }
 
   /// Currently dispatched (in-flight) calls, excluding abandoned ones.
-  int in_flight() const;
+  int in_flight() const WSQ_EXCLUDES(core_->mu);
 
   /// Completed results sitting in ReqPumpHash, not yet taken. Should
   /// return to its pre-query value after a query closes — a growing
   /// number across queries means leaked entries.
-  size_t pending_results() const;
+  size_t pending_results() const WSQ_EXCLUDES(core_->mu);
 
  private:
   struct QueuedCall {
@@ -159,48 +158,56 @@ class ReqPump {
   /// All mutable state lives here, shared (via shared_ptr) with every
   /// in-flight completion callback, so a straggler completing after the
   /// ReqPump is gone touches valid memory and is simply discarded.
+  /// Every mutable field is guarded by `mu` — ReqPump has exactly one
+  /// lock, so there is no internal ordering to get wrong.
   struct Core {
     explicit Core(Limits l) : limits(l) {}
 
     const Limits limits;
 
-    mutable std::mutex mu;
-    mutable std::condition_variable cv;
-    CallId next_id = 1;
-    uint64_t completion_seq = 0;
-    int in_flight_global = 0;
-    std::map<std::string, int> in_flight_by_dest;
-    std::deque<QueuedCall> queue;
-    std::unordered_map<CallId, CallResult> results;  // "ReqPumpHash"
+    mutable Mutex mu;
+    CondVar cv;
+    CallId next_id WSQ_GUARDED_BY(mu) = 1;
+    uint64_t completion_seq WSQ_GUARDED_BY(mu) = 0;
+    int in_flight_global WSQ_GUARDED_BY(mu) = 0;
+    std::map<std::string, int> in_flight_by_dest WSQ_GUARDED_BY(mu);
+    std::deque<QueuedCall> queue WSQ_GUARDED_BY(mu);
+    /// "ReqPumpHash"
+    std::unordered_map<CallId, CallResult> results WSQ_GUARDED_BY(mu);
     /// Registered calls with no result yet (not completed, timed out,
     /// or cancelled). Timer entries for ids outside this set are stale.
-    std::unordered_set<CallId> unresolved;
+    std::unordered_set<CallId> unresolved WSQ_GUARDED_BY(mu);
     /// Dispatched calls that timed out: their eventual real completion
     /// must be discarded without touching counters or results.
-    std::unordered_set<CallId> abandoned;
+    std::unordered_set<CallId> abandoned WSQ_GUARDED_BY(mu);
     std::priority_queue<Deadline, std::vector<Deadline>,
                         std::greater<Deadline>>
-        deadlines;
-    uint64_t outstanding = 0;  // registered but not yet resolved/dropped
-    bool shutdown = false;
-    ReqPumpStats stats;
+        deadlines WSQ_GUARDED_BY(mu);
+    /// Registered but not yet resolved/dropped.
+    uint64_t outstanding WSQ_GUARDED_BY(mu) = 0;
+    bool shutdown WSQ_GUARDED_BY(mu) = false;
+    ReqPumpStats stats WSQ_GUARDED_BY(mu);
   };
 
-  /// Dispatches `fn` for call `id`; caller must NOT hold core->mu.
+  /// Dispatches `fn` for call `id`; caller must NOT hold core->mu (the
+  /// call may complete synchronously and re-enter OnComplete).
   static void Dispatch(const std::shared_ptr<Core>& core, CallId id,
-                       const std::string& destination, AsyncCallFn fn);
+                       const std::string& destination, AsyncCallFn fn)
+      WSQ_EXCLUDES(core->mu);
 
   /// Invoked by call completions (possibly after ~ReqPump).
   static void OnComplete(const std::shared_ptr<Core>& core, CallId id,
                          const std::string& destination,
-                         CallResult result);
+                         CallResult result) WSQ_EXCLUDES(core->mu);
 
   /// Pops dispatchable queued calls under core->mu and reserves their
   /// limit slots; returns them for dispatch outside the lock.
-  static std::vector<QueuedCall> TakeDispatchableLocked(Core* core);
+  static std::vector<QueuedCall> TakeDispatchableLocked(Core* core)
+      WSQ_REQUIRES(core->mu);
 
   static bool CanDispatchLocked(const Core& core,
-                                const std::string& destination);
+                                const std::string& destination)
+      WSQ_REQUIRES(core.mu);
 
   /// Deadline-timer thread body.
   static void TimerLoop(std::shared_ptr<Core> core);

@@ -13,8 +13,11 @@ namespace wsq {
 ///
 /// Mirrors arrow::Result / absl::StatusOr. Accessing the value of an
 /// errored Result is a programming error (asserted in debug builds).
+///
+/// [[nodiscard]] like Status: a returned Result must be consumed or
+/// explicitly discarded via WSQ_IGNORE_STATUS(expr).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value — lets functions `return value;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

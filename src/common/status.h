@@ -50,7 +50,12 @@ bool IsTransient(StatusCode code);
 /// This is the library-wide error model (no exceptions cross public API
 /// boundaries). OK status carries no allocation; error states allocate a
 /// small shared state so Status stays cheap to copy.
-class Status {
+///
+/// [[nodiscard]]: a returned Status must be propagated, handled, or
+/// explicitly discarded via WSQ_IGNORE_STATUS(expr) with a comment
+/// saying why the error cannot matter — silently dropping one is a
+/// compile warning (an error in CI).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -101,6 +106,20 @@ class Status {
   std::shared_ptr<const State> state_;  // null == OK
 };
 
+namespace status_internal {
+/// Sink for WSQ_IGNORE_STATUS: consumes any [[nodiscard]] value.
+template <typename T>
+inline void IgnoreNoDiscard(T&&) {}
+}  // namespace status_internal
+
 }  // namespace wsq
+
+/// Documents an intentionally discarded Status (or Result<T>): the
+/// error genuinely cannot be acted on at this call site — destructors,
+/// best-effort cleanup, crash-simulation paths. Every use should carry
+/// a comment saying why. Bare discards are compile warnings because
+/// Status and Result are [[nodiscard]].
+#define WSQ_IGNORE_STATUS(expr) \
+  ::wsq::status_internal::IgnoreNoDiscard((expr))
 
 #endif  // WSQ_COMMON_STATUS_H_

@@ -153,14 +153,16 @@ Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     // A blocking operator (e.g. Sort) drains its child inside Open, so
     // a degraded-call error can surface here too: Close anyway so
     // ReqSync reaps its outstanding calls instead of leaking them.
-    root->Close();
+    // The Open error is the one the caller needs to see.
+    WSQ_IGNORE_STATUS(root->Close());
     return opened;
   }
   Row row;
   while (true) {
     auto more = root->Next(&row);
     if (!more.ok()) {
-      root->Close();  // reap outstanding calls even on error
+      // Reap outstanding calls even on error; the Next error wins.
+      WSQ_IGNORE_STATUS(root->Close());
       return more.status();
     }
     if (!*more) break;

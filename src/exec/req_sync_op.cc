@@ -167,8 +167,9 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
 
 Status ReqSyncOperator::Close() {
   for (const auto& [call, ids] : waiters_) {
-    CallResult discarded = pump_->TakeBlocking(call);
-    (void)discarded;
+    // Reap only: the query is over, the result (and its error, if any)
+    // no longer has a consumer.
+    WSQ_IGNORE_STATUS(pump_->TakeBlocking(call));
   }
   waiters_.clear();
   entries_.clear();

@@ -26,6 +26,10 @@ namespace wsq {
 /// A call that completes with an ERROR (engine failure, deadline
 /// exceeded) is handled per the node's OnCallError policy: fail the
 /// query, cancel the waiting tuples, or complete them with NULLs.
+///
+/// Thread model: operators are driven by a single executor thread, so
+/// this class has no lock and no WSQ_GUARDED_BY state of its own; all
+/// cross-thread coordination happens inside the ReqPump it polls.
 class ReqSyncOperator : public Operator {
  public:
   ReqSyncOperator(const ReqSyncNode* node, OperatorPtr child,

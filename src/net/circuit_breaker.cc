@@ -35,7 +35,7 @@ void CircuitBreaker::TripLocked(int64_t now) {
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t now = Now();
   if (state_ == CircuitState::kOpen) {
     if (now < open_until_micros_) {
@@ -65,7 +65,7 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   consecutive_failures_ = 0;
   if (state_ == CircuitState::kHalfOpen) {
     // Probe succeeded: the engine is back.
@@ -76,7 +76,7 @@ void CircuitBreaker::RecordSuccess() {
 
 void CircuitBreaker::RecordFailure(const Status& status) {
   if (!IsTransient(status.code())) return;  // engine answered; neutral
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   int64_t now = Now();
   if (state_ == CircuitState::kHalfOpen) {
     TripLocked(now);  // probe failed: back to open, fresh cool-down
@@ -90,17 +90,17 @@ void CircuitBreaker::RecordFailure(const Status& status) {
 }
 
 CircuitState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_;
 }
 
 CircuitBreakerStats CircuitBreaker::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 int CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return consecutive_failures_;
 }
 

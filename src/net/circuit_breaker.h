@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/search_service.h"
 
 namespace wsq {
@@ -66,16 +66,17 @@ class CircuitBreaker {
 
  private:
   int64_t Now() const;
-  void TripLocked(int64_t now);
+  void TripLocked(int64_t now) WSQ_REQUIRES(mu_);
 
+  /// Immutable after construction (read without mu_).
   CircuitBreakerOptions options_;
 
-  mutable std::mutex mu_;
-  CircuitState state_ = CircuitState::kClosed;
-  int consecutive_failures_ = 0;
-  int inflight_probes_ = 0;
-  int64_t open_until_micros_ = 0;
-  CircuitBreakerStats stats_;
+  mutable Mutex mu_;
+  CircuitState state_ WSQ_GUARDED_BY(mu_) = CircuitState::kClosed;
+  int consecutive_failures_ WSQ_GUARDED_BY(mu_) = 0;
+  int inflight_probes_ WSQ_GUARDED_BY(mu_) = 0;
+  int64_t open_until_micros_ WSQ_GUARDED_BY(mu_) = 0;
+  CircuitBreakerStats stats_ WSQ_GUARDED_BY(mu_);
 };
 
 /// SearchService decorator guarding one engine with a CircuitBreaker.

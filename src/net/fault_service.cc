@@ -33,8 +33,8 @@ FaultInjectingSearchService::FaultInjectingSearchService(
 
 FaultInjectingSearchService::~FaultInjectingSearchService() {
   ReleaseHung();
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  while (outstanding_ != 0) cv_.Wait(mu_);
 }
 
 FaultInjectingSearchService::FaultKind
@@ -58,16 +58,17 @@ bool FaultInjectingSearchService::ShouldDelay(
 }
 
 void FaultInjectingSearchService::TrackStart() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++outstanding_;
 }
 
 void FaultInjectingSearchService::TrackFinish() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --outstanding_;
-  }
-  cv_.notify_all();
+  // Notify while still holding mu_: the destructor destroys cv_ the
+  // moment it observes outstanding_ == 0, so a notify after unlocking
+  // would race with that destruction (caught by TSan).
+  MutexLock lock(&mu_);
+  --outstanding_;
+  cv_.NotifyAll();
 }
 
 void FaultInjectingSearchService::Submit(SearchRequest request,
@@ -76,7 +77,7 @@ void FaultInjectingSearchService::Submit(SearchRequest request,
   FaultKind kind = Classify(key);
   bool outage = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     uint64_t arrival = ++stats_.requests;
     if (plan_.outage_length > 0 && arrival >= plan_.outage_start &&
         arrival < plan_.outage_start + plan_.outage_length) {
@@ -125,7 +126,7 @@ void FaultInjectingSearchService::Submit(SearchRequest request,
 
   if (ShouldDelay(key)) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.injected_delays;
     }
     TrackStart();
@@ -143,19 +144,19 @@ void FaultInjectingSearchService::Submit(SearchRequest request,
 }
 
 FaultStats FaultInjectingSearchService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 size_t FaultInjectingSearchService::hung_requests() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return hung_.size();
 }
 
 void FaultInjectingSearchService::ReleaseHung() {
   std::vector<SearchCallback> held;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     held.swap(hung_);
   }
   for (SearchCallback& done : held) {

@@ -1,13 +1,12 @@
 #ifndef WSQ_NET_FAULT_SERVICE_H_
 #define WSQ_NET_FAULT_SERVICE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/search_service.h"
 
 namespace wsq {
@@ -95,19 +94,21 @@ class FaultInjectingSearchService : public SearchService {
   FaultKind Classify(const std::string& key) const;
   bool ShouldDelay(const std::string& key) const;
 
-  void TrackStart();
-  void TrackFinish();
+  void TrackStart() WSQ_EXCLUDES(mu_);
+  void TrackFinish() WSQ_EXCLUDES(mu_);
 
   SearchService* wrapped_;
+  /// Immutable after construction (read without mu_).
   FaultPlan plan_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t outstanding_ = 0;  // delayed forwards not yet handed off
-  std::vector<SearchCallback> hung_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  /// Delayed forwards not yet handed off.
+  uint64_t outstanding_ WSQ_GUARDED_BY(mu_) = 0;
+  std::vector<SearchCallback> hung_ WSQ_GUARDED_BY(mu_);
   /// Times each transient-fault key has been attempted.
-  std::map<std::string, int> transient_seen_;
-  FaultStats stats_;
+  std::map<std::string, int> transient_seen_ WSQ_GUARDED_BY(mu_);
+  FaultStats stats_ WSQ_GUARDED_BY(mu_);
 };
 
 }  // namespace wsq

@@ -8,7 +8,7 @@ ResultCache::ResultCache(size_t capacity, int64_t ttl_micros)
     : capacity_(capacity == 0 ? 1 : capacity), ttl_micros_(ttl_micros) {}
 
 std::optional<SearchResponse> ResultCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -28,7 +28,7 @@ std::optional<SearchResponse> ResultCache::Get(const std::string& key) {
 }
 
 void ResultCache::Put(const std::string& key, SearchResponse response) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->response = std::move(response);
@@ -46,17 +46,17 @@ void ResultCache::Put(const std::string& key, SearchResponse response) {
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   map_.clear();
 }

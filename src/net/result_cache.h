@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "net/search_service.h"
 
 namespace wsq {
@@ -41,12 +41,14 @@ class ResultCache {
     int64_t inserted_micros;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// Immutable after construction (read without mu_).
   size_t capacity_;
   int64_t ttl_micros_;
-  std::list<Entry> lru_;  // front = MRU
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
-  ResultCacheStats stats_;
+  std::list<Entry> lru_ WSQ_GUARDED_BY(mu_);  // front = MRU
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_
+      WSQ_GUARDED_BY(mu_);
+  ResultCacheStats stats_ WSQ_GUARDED_BY(mu_);
 };
 
 /// SearchService decorator that answers repeated requests from a

@@ -12,27 +12,28 @@ RetryingSearchService::RetryingSearchService(SearchService* wrapped,
 }
 
 RetryingSearchService::~RetryingSearchService() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  while (outstanding_ != 0) cv_.Wait(mu_);
 }
 
 void RetryingSearchService::TrackStart() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++outstanding_;
 }
 
 void RetryingSearchService::TrackFinish() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --outstanding_;
-  }
-  cv_.notify_all();
+  // Notify while still holding mu_: the destructor destroys cv_ the
+  // moment it observes outstanding_ == 0, so a notify after unlocking
+  // would race with that destruction (caught by TSan).
+  MutexLock lock(&mu_);
+  --outstanding_;
+  cv_.NotifyAll();
 }
 
 int64_t RetryingSearchService::SleepForBackoff(int64_t base) {
   int64_t sleep = base;
   if (policy_.decorrelated_jitter && base > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Decorrelated: uniform in [base, 3 * base]. The deterministic
     // schedule stays the lower bound, so backoff never shrinks.
     sleep = rng_.UniformRange(base, 3 * base);
@@ -54,7 +55,7 @@ void RetryingSearchService::Attempt(SearchRequest request,
                                     SearchCallback done, int attempt,
                                     int64_t backoff_micros) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.attempts;
   }
   SearchRequest retry_copy = request;
@@ -68,7 +69,7 @@ void RetryingSearchService::Attempt(SearchRequest request,
         if (resp.status.ok() || !retryable ||
             attempt >= policy_.max_attempts) {
           if (!resp.status.ok()) {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             if (!retryable) {
               ++stats_.non_transient;
             } else {
@@ -80,7 +81,7 @@ void RetryingSearchService::Attempt(SearchRequest request,
           return;
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           ++stats_.retries;
         }
         // Back off on a scheduler thread, then resubmit. Detached is
@@ -106,7 +107,7 @@ void RetryingSearchService::Attempt(SearchRequest request,
 }
 
 RetryStats RetryingSearchService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -1,12 +1,10 @@
 #ifndef WSQ_NET_RETRY_SERVICE_H_
 #define WSQ_NET_RETRY_SERVICE_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "net/search_service.h"
 
 namespace wsq {
@@ -66,21 +64,22 @@ class RetryingSearchService : public SearchService {
 
  private:
   void Attempt(SearchRequest request, SearchCallback done, int attempt,
-               int64_t backoff_micros);
+               int64_t backoff_micros) WSQ_EXCLUDES(mu_);
   /// Actual sleep for a retry whose deterministic backoff is `base`:
   /// jittered and capped per the policy.
-  int64_t SleepForBackoff(int64_t base);
-  void TrackStart();
-  void TrackFinish();
+  int64_t SleepForBackoff(int64_t base) WSQ_EXCLUDES(mu_);
+  void TrackStart() WSQ_EXCLUDES(mu_);
+  void TrackFinish() WSQ_EXCLUDES(mu_);
 
   SearchService* wrapped_;
+  /// Immutable after construction (read without mu_).
   RetryPolicy policy_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t outstanding_ = 0;
-  Rng rng_;  // guarded by mu_
-  RetryStats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t outstanding_ WSQ_GUARDED_BY(mu_) = 0;
+  Rng rng_ WSQ_GUARDED_BY(mu_);
+  RetryStats stats_ WSQ_GUARDED_BY(mu_);
 };
 
 }  // namespace wsq

@@ -1,6 +1,7 @@
 #include "net/search_service.h"
 
 #include "common/strings.h"
+#include "common/thread_annotations.h"
 
 namespace wsq {
 
@@ -9,19 +10,25 @@ std::string SearchRequest::CacheKey() const {
 }
 
 SearchResponse SearchService::Execute(SearchRequest request) {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  SearchResponse out;
-  Submit(std::move(request), [&](SearchResponse resp) {
-    std::lock_guard<std::mutex> lock(mu);
-    out = std::move(resp);
-    done = true;
-    cv.notify_one();
+  // Stack-local rendezvous with the completion callback. The capability
+  // analysis cannot track locals captured by reference, so the guarded
+  // state lives in one heap-free struct and the callback is the only
+  // other accessor.
+  struct Rendezvous {
+    Mutex mu;
+    CondVar cv;
+    bool done WSQ_GUARDED_BY(mu) = false;
+    SearchResponse out WSQ_GUARDED_BY(mu);
+  } r;
+  Submit(std::move(request), [&r](SearchResponse resp) {
+    MutexLock lock(&r.mu);
+    r.out = std::move(resp);
+    r.done = true;
+    r.cv.NotifyOne();
   });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return done; });
-  return out;
+  MutexLock lock(&r.mu);
+  while (!r.done) r.cv.Wait(r.mu);
+  return std::move(r.out);
 }
 
 }  // namespace wsq

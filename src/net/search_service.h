@@ -1,9 +1,7 @@
 #ifndef WSQ_NET_SEARCH_SERVICE_H_
 #define WSQ_NET_SEARCH_SERVICE_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 

@@ -15,10 +15,10 @@ SimulatedSearchService::SimulatedSearchService(const SearchEngine* engine,
 
 SimulatedSearchService::~SimulatedSearchService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   timer_.join();
 }
 
@@ -26,7 +26,7 @@ void SimulatedSearchService::Submit(SearchRequest request,
                                     SearchCallback done) {
   int64_t now = NowMicros();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     int64_t latency = options_.latency.SampleMicros(rng_);
     int64_t start = now;
     if (options_.server_capacity > 0) {
@@ -50,17 +50,17 @@ void SimulatedSearchService::Submit(SearchRequest request,
     ++in_flight_;
     stats_.max_concurrent = std::max(stats_.max_concurrent, in_flight_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 SimulatedServiceStats SimulatedSearchService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void SimulatedSearchService::Quiesce() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) cv_.Wait(mu_);
 }
 
 SearchResponse SimulatedSearchService::Evaluate(
@@ -85,12 +85,11 @@ SearchResponse SimulatedSearchService::Evaluate(
 }
 
 void SimulatedSearchService::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
     if (heap_.empty()) {
       if (stopping_) return;
-      cv_.wait(lock,
-               [this] { return stopping_ || !heap_.empty(); });
+      while (!stopping_ && heap_.empty()) cv_.Wait(mu_);
       continue;
     }
     int64_t now = NowMicros();
@@ -98,20 +97,20 @@ void SimulatedSearchService::TimerLoop() {
     // During shutdown pending requests still complete — just without
     // waiting out their remaining simulated latency.
     if (now < deadline && !stopping_) {
-      cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+      cv_.WaitForMicros(mu_, deadline - now);
       continue;
     }
     Pending p = std::move(const_cast<Pending&>(heap_.top()));
     heap_.pop();
-    lock.unlock();
+    lock.Unlock();
     // Evaluate and deliver outside the lock: callbacks may re-enter
     // Submit (e.g. a ReqPump dispatching queued calls).
     SearchResponse resp = Evaluate(p.request);
     p.done(std::move(resp));
-    lock.lock();
+    lock.Lock();
     --in_flight_;
     ++stats_.completed_requests;
-    if (in_flight_ == 0) cv_.notify_all();
+    if (in_flight_ == 0) cv_.NotifyAll();
   }
 }
 

@@ -1,17 +1,15 @@
 #ifndef WSQ_NET_SIMULATED_SERVICE_H_
 #define WSQ_NET_SIMULATED_SERVICE_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "net/latency_model.h"
 #include "net/search_service.h"
 #include "search/search_engine.h"
@@ -70,25 +68,26 @@ class SimulatedSearchService : public SearchService {
     }
   };
 
-  void TimerLoop();
+  void TimerLoop() WSQ_EXCLUDES(mu_);
   SearchResponse Evaluate(const SearchRequest& request) const;
 
   const SearchEngine* engine_;
+  /// Immutable after construction (read without mu_).
   Options options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
-      heap_;
+      heap_ WSQ_GUARDED_BY(mu_);
   /// Completion deadlines of requests currently holding a server slot;
   /// min-heap so the earliest-freeing slot is reused first.
   std::priority_queue<int64_t, std::vector<int64_t>, std::greater<>>
-      slot_free_times_;
-  Rng rng_;
-  uint64_t next_seq_ = 0;
-  uint64_t in_flight_ = 0;
-  SimulatedServiceStats stats_;
-  bool stopping_ = false;
+      slot_free_times_ WSQ_GUARDED_BY(mu_);
+  Rng rng_ WSQ_GUARDED_BY(mu_);
+  uint64_t next_seq_ WSQ_GUARDED_BY(mu_) = 0;
+  uint64_t in_flight_ WSQ_GUARDED_BY(mu_) = 0;
+  SimulatedServiceStats stats_ WSQ_GUARDED_BY(mu_);
+  bool stopping_ WSQ_GUARDED_BY(mu_) = false;
   std::thread timer_;
 };
 

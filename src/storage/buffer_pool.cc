@@ -16,10 +16,14 @@ BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
   }
 }
 
-BufferPool::~BufferPool() { FlushAll(); }
+BufferPool::~BufferPool() {
+  // Destructors can't propagate errors; failures were already counted
+  // in stats_.flush_failures and the pages stay dirty in a dead pool.
+  WSQ_IGNORE_STATUS(FlushAll());
+}
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -41,7 +45,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   WSQ_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
   WSQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
@@ -55,7 +59,7 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) {
     return Status::NotFound(StrFormat("unpin of non-resident page %d",
@@ -71,7 +75,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
@@ -88,7 +92,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status first_error;
   for (const auto& [page_id, frame] : page_table_) {
     Page* page = frames_[frame].get();
@@ -109,7 +113,7 @@ Status BufferPool::FlushAll() {
 
 std::vector<std::pair<PageId, std::string>> BufferPool::DirtyPageImages()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::pair<PageId, std::string>> images;
   for (const auto& [page_id, frame] : page_table_) {
     const Page* page = frames_[frame].get();
@@ -123,7 +127,7 @@ std::vector<std::pair<PageId, std::string>> BufferPool::DirtyPageImages()
 }
 
 BufferPoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

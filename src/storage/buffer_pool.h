@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -67,20 +69,24 @@ class BufferPool {
 
  private:
   /// Finds a frame for a new resident page, evicting the LRU unpinned
-  /// page if needed. Caller holds mu_.
-  Result<size_t> GetVictimFrame();
+  /// page if needed.
+  Result<size_t> GetVictimFrame() WSQ_REQUIRES(mu_);
 
-  /// Moves `frame` to the MRU position. Caller holds mu_.
-  void Touch(size_t frame);
+  /// Moves `frame` to the MRU position.
+  void Touch(size_t frame) WSQ_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   DiskManager* disk_;
+  /// The frame array itself is sized once in the constructor; the Page
+  /// objects it points at are handed out to callers, so only the
+  /// pool-side bookkeeping below is guarded.
   std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = LRU, back = MRU
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  std::vector<size_t> free_frames_;
-  BufferPoolStats stats_;
+  std::unordered_map<PageId, size_t> page_table_ WSQ_GUARDED_BY(mu_);
+  std::list<size_t> lru_ WSQ_GUARDED_BY(mu_);  // front = LRU, back = MRU
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_
+      WSQ_GUARDED_BY(mu_);
+  std::vector<size_t> free_frames_ WSQ_GUARDED_BY(mu_);
+  BufferPoolStats stats_ WSQ_GUARDED_BY(mu_);
 };
 
 /// RAII pin guard: unpins on destruction.
@@ -114,7 +120,9 @@ class PageGuard {
 
   void Release() {
     if (page_ != nullptr) {
-      pool_->UnpinPage(page_->page_id(), dirty_);
+      // Unpin can only fail on misuse (page not resident / not
+      // pinned), which a live guard rules out by construction.
+      WSQ_IGNORE_STATUS(pool_->UnpinPage(page_->page_id(), dirty_));
       page_ = nullptr;
     }
   }

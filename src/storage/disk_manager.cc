@@ -11,7 +11,7 @@
 namespace wsq {
 
 Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
     return Status::OutOfRange(
         StrFormat("read of unallocated page %d", page_id));
@@ -21,7 +21,7 @@ Status InMemoryDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (page_id < 0 || static_cast<size_t>(page_id) >= pages_.size()) {
     return Status::OutOfRange(
         StrFormat("write of unallocated page %d", page_id));
@@ -31,7 +31,7 @@ Status InMemoryDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Result<PageId> InMemoryDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
   pages_.push_back(std::move(page));
@@ -39,7 +39,7 @@ Result<PageId> InMemoryDiskManager::AllocatePage() {
 }
 
 PageId InMemoryDiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<PageId>(pages_.size());
 }
 
@@ -85,7 +85,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Status FileDiskManager::ReadPage(PageId page_id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (page_id < 0 || page_id >= num_pages_) {
     return Status::OutOfRange(
         StrFormat("read of unallocated page %d", page_id));
@@ -101,7 +101,7 @@ Status FileDiskManager::ReadPage(PageId page_id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId page_id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (page_id < 0 || page_id >= num_pages_) {
     return Status::OutOfRange(
         StrFormat("write of unallocated page %d", page_id));
@@ -120,7 +120,7 @@ Status FileDiskManager::WritePage(PageId page_id, const char* data) {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   char frame[kPageSize];
   std::memset(frame, 0, kPageSize);
   StampPageHeader(num_pages_, next_lsn_++, frame);
@@ -135,12 +135,12 @@ Result<PageId> FileDiskManager::AllocatePage() {
 }
 
 PageId FileDiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return num_pages_;
 }
 
 Status FileDiskManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (sync_ == SyncPolicy::kNone) return Status::OK();
   if (std::fflush(file_) != 0) {
     return Status::IOError("flush of " + path_ + " failed: " +

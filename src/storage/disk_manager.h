@@ -3,12 +3,12 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace wsq {
@@ -65,8 +65,8 @@ class InMemoryDiskManager : public DiskManager {
   PageId NumPages() const override;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_ WSQ_GUARDED_BY(mu_);
 };
 
 /// File-backed page store for persistent databases. Stamps and
@@ -99,13 +99,15 @@ class FileDiskManager : public DiskManager {
         num_pages_(num_pages),
         sync_(sync) {}
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// path_ and sync_ are immutable after construction (read without
+  /// mu_).
   std::string path_;
-  std::FILE* file_;
-  PageId num_pages_;
+  std::FILE* file_ WSQ_GUARDED_BY(mu_);
+  PageId num_pages_ WSQ_GUARDED_BY(mu_);
   SyncPolicy sync_;
   /// Write-ordering stamp for page headers; monotonic per open.
-  uint64_t next_lsn_ = 1;
+  uint64_t next_lsn_ WSQ_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace wsq

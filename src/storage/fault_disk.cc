@@ -36,7 +36,7 @@ Status PowerLossError() {
 FaultController::FaultController(DiskFaultPlan plan) : plan_(plan) {}
 
 FaultController::Action FaultController::BeginMutation() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (crashed_) {
     ++stats_.failed_ops;
     return Action::kFail;
@@ -57,37 +57,37 @@ FaultController::Action FaultController::BeginMutation() {
 }
 
 bool FaultController::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crashed_;
 }
 
 void FaultController::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   crashed_ = false;
 }
 
 uint64_t FaultController::crash_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return crash_epoch_;
 }
 
 void FaultController::set_plan(DiskFaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   plan_ = plan;
 }
 
 DiskFaultPlan FaultController::plan() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return plan_;
 }
 
 DiskFaultStats FaultController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 bool FaultController::ShouldFlipBit(PageId page_id, size_t* bit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.reads;
   if (plan_.read_bit_flip_rate <= 0.0) return false;
   uint64_t h = StableMix(plan_.seed ^ 0xb17f11b5ull,
@@ -99,7 +99,7 @@ bool FaultController::ShouldFlipBit(PageId page_id, size_t* bit) {
 }
 
 int64_t FaultController::torn_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return plan_.torn_bytes;
 }
 
@@ -109,25 +109,19 @@ FaultInjectingDiskManager::FaultInjectingDiskManager(DiskManager* durable,
                                                      FaultController* ctl)
     : durable_(durable), ctl_(ctl), num_pages_(durable->NumPages()) {}
 
-namespace {
-/// Shared epoch-watch helper: drops volatile state once per crash.
-template <typename DropFn>
-void DropOnNewEpoch(uint64_t* seen, const FaultController* ctl,
-                    DropFn drop) {
-  uint64_t epoch = ctl->crash_epoch();
-  if (epoch != *seen) {
-    drop();
-    *seen = epoch;
-  }
-}
-}  // namespace
-
-Status FaultInjectingDiskManager::ReadPage(PageId page_id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] {
+/// Epoch watch: drops volatile state once per crash.
+void FaultInjectingDiskManager::DropOnNewEpochLocked() {
+  uint64_t epoch = ctl_->crash_epoch();
+  if (epoch != seen_crash_epoch_) {
     overlay_.clear();
     num_pages_ = durable_->NumPages();
-  });
+    seen_crash_epoch_ = epoch;
+  }
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId page_id, char* out) {
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   if (page_id < 0 || page_id >= num_pages_) {
     return Status::OutOfRange(
@@ -148,11 +142,8 @@ Status FaultInjectingDiskManager::ReadPage(PageId page_id, char* out) {
 
 Status FaultInjectingDiskManager::WritePage(PageId page_id,
                                             const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] {
-    overlay_.clear();
-    num_pages_ = durable_->NumPages();
-  });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   if (page_id < 0 || page_id >= num_pages_) {
     return Status::OutOfRange(
@@ -175,11 +166,8 @@ Status FaultInjectingDiskManager::WritePage(PageId page_id,
 }
 
 Result<PageId> FaultInjectingDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] {
-    overlay_.clear();
-    num_pages_ = durable_->NumPages();
-  });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   char frame[kPageSize];
   std::memset(frame, 0, kPageSize);
@@ -197,7 +185,7 @@ Result<PageId> FaultInjectingDiskManager::AllocatePage() {
 }
 
 PageId FaultInjectingDiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // A crash may not have been observed by a mutating call yet; report
   // the durable truth in that case.
   if (ctl_->crash_epoch() != seen_crash_epoch_) {
@@ -207,11 +195,8 @@ PageId FaultInjectingDiskManager::NumPages() const {
 }
 
 Status FaultInjectingDiskManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] {
-    overlay_.clear();
-    num_pages_ = durable_->NumPages();
-  });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   switch (ctl_->BeginMutation()) {
     case FaultController::Action::kFail:
@@ -233,7 +218,7 @@ Status FaultInjectingDiskManager::Sync() {
 }
 
 size_t FaultInjectingDiskManager::unsynced_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return overlay_.size();
 }
 
@@ -249,7 +234,7 @@ Status FaultInjectingDiskManager::CrashNow(PageId torn_page,
     if (durable_->ReadPage(torn_page, merged).ok()) {
       size_t n = std::min<size_t>(static_cast<size_t>(keep), kPageSize);
       std::memcpy(merged, torn_frame, n);
-      (void)durable_->WritePage(torn_page, merged);
+      WSQ_IGNORE_STATUS(durable_->WritePage(torn_page, merged));
     }
   }
   overlay_.clear();
@@ -264,24 +249,33 @@ FaultInjectingWalStorage::FaultInjectingWalStorage(WalStorage* durable,
                                                    FaultController* ctl)
     : durable_(durable), ctl_(ctl) {}
 
+/// Epoch watch: drops the volatile tail once per crash.
+void FaultInjectingWalStorage::DropOnNewEpochLocked() {
+  uint64_t epoch = ctl_->crash_epoch();
+  if (epoch != seen_crash_epoch_) {
+    volatile_.clear();
+    seen_crash_epoch_ = epoch;
+  }
+}
+
 Result<bool> FaultInjectingWalStorage::Exists() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] { volatile_.clear(); });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   WSQ_ASSIGN_OR_RETURN(bool durable_exists, durable_->Exists());
   return durable_exists || !volatile_.empty();
 }
 
 Result<std::string> FaultInjectingWalStorage::ReadAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] { volatile_.clear(); });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   WSQ_ASSIGN_OR_RETURN(std::string bytes, durable_->ReadAll());
   bytes += volatile_;
   return bytes;
 }
 
 Status FaultInjectingWalStorage::Append(std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] { volatile_.clear(); });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   switch (ctl_->BeginMutation()) {
     case FaultController::Action::kFail:
@@ -293,8 +287,8 @@ Status FaultInjectingWalStorage::Append(std::string_view bytes) {
       if (keep > 0) {
         size_t n = std::min<size_t>(static_cast<size_t>(keep),
                                     bytes.size());
-        (void)durable_->Append(bytes.substr(0, n));
-        (void)durable_->Sync();
+        WSQ_IGNORE_STATUS(durable_->Append(bytes.substr(0, n)));
+        WSQ_IGNORE_STATUS(durable_->Sync());
       }
       volatile_.clear();
       seen_crash_epoch_ = ctl_->crash_epoch();
@@ -308,8 +302,8 @@ Status FaultInjectingWalStorage::Append(std::string_view bytes) {
 }
 
 Status FaultInjectingWalStorage::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] { volatile_.clear(); });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   switch (ctl_->BeginMutation()) {
     case FaultController::Action::kFail:
@@ -329,8 +323,8 @@ Status FaultInjectingWalStorage::Sync() {
 }
 
 Status FaultInjectingWalStorage::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  DropOnNewEpoch(&seen_crash_epoch_, ctl_, [this] { volatile_.clear(); });
+  MutexLock lock(&mu_);
+  DropOnNewEpochLocked();
   if (ctl_->crashed()) return PowerLossError();
   switch (ctl_->BeginMutation()) {
     case FaultController::Action::kFail:
@@ -347,7 +341,7 @@ Status FaultInjectingWalStorage::Reset() {
 }
 
 size_t FaultInjectingWalStorage::unsynced_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return volatile_.size();
 }
 

@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/wal.h"
 
@@ -83,11 +83,14 @@ class FaultController {
   int64_t torn_bytes() const;
 
  private:
-  mutable std::mutex mu_;
-  DiskFaultPlan plan_;
-  DiskFaultStats stats_;
-  bool crashed_ = false;
-  uint64_t crash_epoch_ = 0;
+  /// Lock order: a device's mu_ is always acquired BEFORE the
+  /// controller's mu_ (devices call controller methods while holding
+  /// their own lock; the controller never calls back into a device).
+  mutable Mutex mu_;
+  DiskFaultPlan plan_ WSQ_GUARDED_BY(mu_);
+  DiskFaultStats stats_ WSQ_GUARDED_BY(mu_);
+  bool crashed_ WSQ_GUARDED_BY(mu_) = false;
+  uint64_t crash_epoch_ WSQ_GUARDED_BY(mu_) = 0;
 };
 
 /// DiskManager decorator simulating storage faults and power loss.
@@ -116,16 +119,21 @@ class FaultInjectingDiskManager : public DiskManager {
   size_t unsynced_pages() const;
 
  private:
-  Status CrashNow(PageId torn_page, const char* torn_frame);
+  /// Drops volatile state once per observed crash epoch.
+  void DropOnNewEpochLocked() WSQ_REQUIRES(mu_);
+  Status CrashNow(PageId torn_page, const char* torn_frame)
+      WSQ_REQUIRES(mu_);
 
   DiskManager* durable_;
   FaultController* ctl_;
 
-  mutable std::mutex mu_;
-  std::map<PageId, std::string> overlay_;  // unsynced stamped frames
-  PageId num_pages_;                       // includes unsynced allocations
-  uint64_t next_lsn_ = 1;
-  uint64_t seen_crash_epoch_ = 0;
+  mutable Mutex mu_;
+  /// Unsynced stamped frames.
+  std::map<PageId, std::string> overlay_ WSQ_GUARDED_BY(mu_);
+  /// Includes unsynced allocations.
+  PageId num_pages_ WSQ_GUARDED_BY(mu_);
+  uint64_t next_lsn_ WSQ_GUARDED_BY(mu_) = 1;
+  uint64_t seen_crash_epoch_ WSQ_GUARDED_BY(mu_) = 0;
 };
 
 /// WalStorage decorator with the same crash semantics: appends buffer
@@ -145,12 +153,15 @@ class FaultInjectingWalStorage : public WalStorage {
   size_t unsynced_bytes() const;
 
  private:
+  /// Drops the volatile tail once per observed crash epoch.
+  void DropOnNewEpochLocked() WSQ_REQUIRES(mu_);
+
   WalStorage* durable_;
   FaultController* ctl_;
 
-  mutable std::mutex mu_;
-  std::string volatile_;  // appended, unsynced
-  uint64_t seen_crash_epoch_ = 0;
+  mutable Mutex mu_;
+  std::string volatile_ WSQ_GUARDED_BY(mu_);  // appended, unsynced
+  uint64_t seen_crash_epoch_ WSQ_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace wsq

@@ -62,7 +62,7 @@ Status FileWalStorage::EnsureOpen() {
 }
 
 Result<bool> FileWalStorage::Exists() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) return true;
   std::FILE* f = std::fopen(path_.c_str(), "rb");
   if (f == nullptr) return false;
@@ -71,7 +71,7 @@ Result<bool> FileWalStorage::Exists() {
 }
 
 Result<std::string> FileWalStorage::ReadAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr && std::fflush(file_) != 0) {
     return Status::IOError("flush of WAL " + path_ + " failed");
   }
@@ -92,7 +92,7 @@ Result<std::string> FileWalStorage::ReadAll() {
 }
 
 Status FileWalStorage::Append(std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   WSQ_RETURN_IF_ERROR(EnsureOpen());
   if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
     return Status::IOError("short append to WAL " + path_);
@@ -101,7 +101,7 @@ Status FileWalStorage::Append(std::string_view bytes) {
 }
 
 Status FileWalStorage::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ == nullptr || sync_ == SyncPolicy::kNone) return Status::OK();
   if (std::fflush(file_) != 0) {
     return Status::IOError("flush of WAL " + path_ + " failed: " +
@@ -115,7 +115,7 @@ Status FileWalStorage::Sync() {
 }
 
 Status FileWalStorage::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (file_ != nullptr) {
     if (std::fclose(file_) != 0) {
       file_ = nullptr;
@@ -133,17 +133,17 @@ Status FileWalStorage::Reset() {
 // --- InMemoryWalStorage --------------------------------------------------
 
 Result<bool> InMemoryWalStorage::Exists() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return !bytes_.empty();
 }
 
 Result<std::string> InMemoryWalStorage::ReadAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return bytes_;
 }
 
 Status InMemoryWalStorage::Append(std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bytes_.append(bytes);
   return Status::OK();
 }
@@ -151,7 +151,7 @@ Status InMemoryWalStorage::Append(std::string_view bytes) {
 Status InMemoryWalStorage::Sync() { return Status::OK(); }
 
 Status InMemoryWalStorage::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   bytes_.clear();
   return Status::OK();
 }

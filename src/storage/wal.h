@@ -3,13 +3,13 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -57,12 +57,13 @@ class FileWalStorage : public WalStorage {
 
  private:
   /// Opens the append handle lazily (first Append after open/Reset).
-  Status EnsureOpen();
+  Status EnsureOpen() WSQ_REQUIRES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
+  /// Immutable after construction (read without mu_).
   std::string path_;
   SyncPolicy sync_;
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ WSQ_GUARDED_BY(mu_) = nullptr;
 };
 
 /// Heap-backed WalStorage for tests and the crash harness.
@@ -75,8 +76,8 @@ class InMemoryWalStorage : public WalStorage {
   Status Reset() override;
 
  private:
-  std::mutex mu_;
-  std::string bytes_;
+  Mutex mu_;
+  std::string bytes_ WSQ_GUARDED_BY(mu_);
 };
 
 /// Serializes checkpoint records into a WalStorage. Layout:

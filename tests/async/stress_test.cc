@@ -26,6 +26,10 @@ TEST(ReqPumpStressTest, FiveHundredCallsUnderTightLimits) {
 
   std::atomic<int> live_global{0};
   std::atomic<int> peak_global{0};
+  // No completion may land until every call is registered; otherwise
+  // whether the queue ever forms depends on scheduling (under TSan's
+  // slowdown it sometimes never did).
+  std::atomic<bool> release{false};
   const char* destinations[] = {"a", "b", "c", "d"};
 
   std::vector<CallId> ids;
@@ -40,6 +44,10 @@ TEST(ReqPumpStressTest, FiveHundredCallsUnderTightLimits) {
                  !peak_global.compare_exchange_weak(old, now)) {
           }
           std::thread([&, delay, i, done = std::move(done)] {
+            while (!release.load()) {
+              std::this_thread::sleep_for(
+                  std::chrono::microseconds(100));
+            }
             std::this_thread::sleep_for(
                 std::chrono::microseconds(delay));
             --live_global;
@@ -47,6 +55,7 @@ TEST(ReqPumpStressTest, FiveHundredCallsUnderTightLimits) {
           }).detach();
         }));
   }
+  release.store(true);
 
   std::set<int64_t> seen;
   for (CallId id : ids) {
@@ -97,7 +106,7 @@ TEST(AsyncStressTest, PumpLimitMeetsServerCapacity) {
   options.pump_limits.max_global = 8;
   DemoEnv env(options);
 
-  (void)env.db().Execute("CREATE TABLE T40 (Name STRING)");
+  WSQ_IGNORE_STATUS(env.db().Execute("CREATE TABLE T40 (Name STRING)"));
   TableInfo* t = *env.db().catalog()->GetTable("T40");
   const auto& vocab = env.corpus().vocabulary();
   for (int i = 0; i < 40; ++i) {

@@ -264,7 +264,7 @@ TEST_F(PersistenceTest, CatalogSerdeRoundTripDirect) {
   InMemoryDiskManager disk;
   BufferPool pool(16, &disk);
   Page* root = *pool.NewPage();
-  (void)pool.UnpinPage(root->page_id(), true);
+  WSQ_IGNORE_STATUS(pool.UnpinPage(root->page_id(), true));
 
   Catalog catalog(&pool);
   Schema schema({Column("Name", TypeId::kString),

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""wsqlint: repo-local static checks that the compilers don't enforce.
+
+Run from anywhere:  python3 tools/wsqlint.py  [--root <repo>]
+
+Checks, in order of how often they have bitten this codebase:
+
+  mutex-guard      Every wsq::Mutex / std::mutex member in annotated
+                   directories must have at least one WSQ_GUARDED_BY /
+                   WSQ_PT_GUARDED_BY peer naming it (a lock that guards
+                   nothing is either dead or its state is unannotated).
+  raw-std-mutex    Annotated directories must use wsq::Mutex, not raw
+                   std::mutex / std::condition_variable members, so the
+                   capability analysis can see every lock.
+  manual-lock      No .lock()/.unlock() calls outside the RAII guard in
+                   thread_annotations.h: manual pairing is how unlocks
+                   get skipped on early returns.
+  iostream         No #include <iostream> in src/ library code; streams
+                   drag in static initializers and tempt debug prints.
+                   Use the Status/Result plumbing or StrFormat.
+  randomness       No rand()/srand() and no unseeded std::random_device
+                   in src/ outside the fault harnesses: runs must be
+                   reproducible from explicit seeds (common/random.h).
+  include-guard    Headers use #ifndef WSQ_<PATH>_H_ guards matching
+                   their path (or #pragma once, which we also accept).
+
+Exit status: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Directories whose shared state must carry capability annotations.
+ANNOTATED_DIRS = (
+    "src/async",
+    "src/net",
+    "src/storage",
+    "src/exec",
+)
+
+# Files allowed to touch the raw primitives: the annotation layer itself.
+PRIMITIVE_ALLOWLIST = ("src/common/thread_annotations.h",)
+
+# Fault/chaos harnesses may use unseeded entropy on purpose.
+RANDOMNESS_ALLOWLIST = ("src/common/random.h",)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str,
+                 message: str) -> None:
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, keeping
+    line numbers stable so findings still point at the right line."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c in (quote, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def in_dirs(rel: str, dirs) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:wsq::)?Mutex\s+(\w+)\s*;", re.M)
+STD_PRIMITIVE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|condition_variable"
+    r"|condition_variable_any)\b")
+MANUAL_LOCK = re.compile(r"[.>]\s*(?:lock|unlock|try_lock)\s*\(")
+GUARDED_BY = re.compile(r"WSQ_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
+RAND_CALL = re.compile(r"(?<![\w:])s?rand\s*\(")
+RANDOM_DEVICE = re.compile(r"std::random_device\b")
+INCLUDE_IOSTREAM = re.compile(r'#\s*include\s*<iostream>')
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path):
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments(raw)
+    findings = []
+
+    in_src = rel.startswith("src/")
+    annotated = in_dirs(rel, ANNOTATED_DIRS)
+    is_header = rel.endswith(".h")
+
+    # --- mutex-guard: every Mutex member needs a GUARDED_BY peer -----
+    if annotated and is_header and rel not in PRIMITIVE_ALLOWLIST:
+        guarded_names = set(GUARDED_BY.findall(code))
+        for m in MUTEX_MEMBER.finditer(code):
+            name = m.group(1)
+            if name not in guarded_names:
+                findings.append(Finding(
+                    path, line_of(code, m.start()), "mutex-guard",
+                    f"Mutex member '{name}' has no WSQ_GUARDED_BY({name}) "
+                    "peer; annotate the state it protects (or delete it)"))
+
+    # --- raw-std-mutex ----------------------------------------------
+    if annotated and rel not in PRIMITIVE_ALLOWLIST:
+        for m in STD_PRIMITIVE.finditer(code):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "raw-std-mutex",
+                f"std::{m.group(1)} is invisible to the capability "
+                "analysis; use wsq::Mutex / wsq::CondVar "
+                "(common/thread_annotations.h)"))
+
+    # --- manual-lock ------------------------------------------------
+    if annotated and rel not in PRIMITIVE_ALLOWLIST:
+        for m in MANUAL_LOCK.finditer(code):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "manual-lock",
+                "manual lock()/unlock() call; use the MutexLock RAII "
+                "guard (its Lock()/Unlock() members handle re-locking)"))
+
+    # --- iostream ---------------------------------------------------
+    if in_src:
+        for m in INCLUDE_IOSTREAM.finditer(code):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "iostream",
+                "<iostream> in library code; report errors via "
+                "Status/Result, format with common/strings.h"))
+
+    # --- randomness -------------------------------------------------
+    if in_src and rel not in RANDOMNESS_ALLOWLIST:
+        for m in RAND_CALL.finditer(code):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "randomness",
+                "rand()/srand() is not reproducible; use wsq::Rng with "
+                "an explicit seed"))
+        for m in RANDOM_DEVICE.finditer(code):
+            findings.append(Finding(
+                path, line_of(code, m.start()), "randomness",
+                "std::random_device draws unseeded entropy; plumb a "
+                "seed through the options struct instead"))
+
+    # --- include-guard ----------------------------------------------
+    if is_header and in_src:
+        if "#pragma once" not in code:
+            expected = ("WSQ_" +
+                        rel[len("src/"):]
+                        .replace("/", "_")
+                        .replace(".", "_")
+                        .upper() + "_")
+            guard = re.search(r"#\s*ifndef\s+(\S+)\s*\n\s*#\s*define\s+(\S+)",
+                              code)
+            if guard is None:
+                findings.append(Finding(
+                    path, 1, "include-guard",
+                    f"header has neither '#ifndef {expected}' guard nor "
+                    "#pragma once"))
+            elif guard.group(1) != expected or guard.group(2) != expected:
+                findings.append(Finding(
+                    path, line_of(code, guard.start()), "include-guard",
+                    f"guard '{guard.group(1)}' should be '{expected}' "
+                    "(derived from the header's path)"))
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: wsqlint's "
+                             "grandparent directory)")
+    args = parser.parse_args()
+
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"wsqlint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    files = sorted(p for p in src.rglob("*")
+                   if p.suffix in (".h", ".cc") and p.is_file())
+    findings = []
+    for path in files:
+        findings.extend(check_file(root, path))
+
+    for f in findings:
+        print(f)
+    summary = (f"wsqlint: {len(findings)} finding(s) in "
+               f"{len(files)} file(s)")
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
