@@ -67,24 +67,27 @@ class FetchPageTable : public VirtualTable {
     return rows;
   }
 
-  CallId SubmitAsync(const VTableRequest& request,
-                     ReqPump* pump) override {
+  using VirtualTable::SubmitAsync;
+  CallId SubmitAsync(const VTableRequest& request, ReqPump* pump,
+                     int64_t timeout_micros) override {
     Row outputs = FetchOutputs(request);
     int64_t latency = latency_micros_;
-    return pump->Register(
-        dest_, [outputs = std::move(outputs), latency](
-                   CallCompletion done) mutable {
-          std::thread([outputs = std::move(outputs), latency,
-                       done = std::move(done)]() mutable {
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(latency));
-            CallResult result;
-            if (!outputs.empty()) {
-              result.rows.push_back(std::move(outputs));
-            }
-            done(std::move(result));
-          }).detach();
-        });
+    AsyncCallFn fn = [outputs = std::move(outputs), latency](
+                         CallCompletion done) mutable {
+      std::thread([outputs = std::move(outputs), latency,
+                   done = std::move(done)]() mutable {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(latency));
+        CallResult result;
+        if (!outputs.empty()) {
+          result.rows.push_back(std::move(outputs));
+        }
+        done(std::move(result));
+      }).detach();
+    };
+    return timeout_micros > 0
+               ? pump->Register(dest_, std::move(fn), timeout_micros)
+               : pump->Register(dest_, std::move(fn));
   }
 
  private:

@@ -18,10 +18,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/strings.h"
 #include "dsq/dsq_engine.h"
 #include "wsq/demo.h"
@@ -29,6 +33,20 @@
 namespace {
 
 constexpr int kLatencyMs = 25;
+
+// Token of the query currently executing, for the SIGINT handler.
+// CancellationToken::Cancel is a plain atomic store, so calling it
+// from a signal handler is safe.
+std::atomic<wsq::CancellationToken*> g_active_token{nullptr};
+
+void HandleSigint(int) {
+  wsq::CancellationToken* token = g_active_token.load();
+  if (token != nullptr) {
+    token->Cancel();  // the shell prints "query cancelled" and goes on
+  } else {
+    _exit(130);  // idle at the prompt: behave like an uncaught Ctrl-C
+  }
+}
 
 void PrintHelp() {
   std::printf(
@@ -39,6 +57,9 @@ void PrintHelp() {
       "  \\plan <select...>    EXPLAIN the (async) plan\n"
       "  \\dsq <phrase>        DSQ: explain a phrase with DB terms\n"
       "  \\latency             show simulated search latency\n"
+      "  \\deadline <ms>       per-query deadline (0 = none)\n"
+      "  \\cancel              cancel the next statement (Ctrl-C\n"
+      "                       cancels the one currently running)\n"
       "  \\quit                exit\n"
       "Anything else is executed as SQL (';' optional; statements may\n"
       "span lines until a ';').\n");
@@ -67,6 +88,10 @@ int main() {
   wsq::DemoEnv env(options);
 
   bool async = true;
+  int64_t deadline_ms = 0;
+  bool cancel_next = false;
+  wsq::CancellationToken token;
+  std::signal(SIGINT, HandleSigint);
   bool interactive = isatty(fileno(stdin));
   if (interactive) {
     std::printf("WSQ/DSQ shell — simulated Web (%zu pages, %d ms "
@@ -100,6 +125,18 @@ int main() {
         std::printf("execution: asynchronous iteration\n");
       } else if (trimmed == "\\latency") {
         std::printf("simulated search latency: %d ms\n", kLatencyMs);
+      } else if (wsq::StartsWith(trimmed, "\\deadline ")) {
+        deadline_ms = std::atoll(trimmed.substr(10).c_str());
+        if (deadline_ms < 0) deadline_ms = 0;
+        if (deadline_ms > 0) {
+          std::printf("query deadline: %lld ms\n",
+                      (long long)deadline_ms);
+        } else {
+          std::printf("query deadline: none\n");
+        }
+      } else if (trimmed == "\\cancel") {
+        cancel_next = true;
+        std::printf("next statement will be cancelled\n");
       } else if (wsq::StartsWith(trimmed, "\\dsq ")) {
         wsq::DsqEngine dsq(&env.db(), &env.altavista_service());
         auto r = dsq.Explain(trimmed.substr(5),
@@ -139,9 +176,28 @@ int main() {
     std::string sql = buffer;
     buffer.clear();
 
-    auto r = env.Run(sql, async);
+    wsq::WsqDatabase::ExecOptions exec_options;
+    exec_options.async_iteration = async;
+    exec_options.cancel = &token;
+    exec_options.deadline_micros = deadline_ms * 1000;
+    token.Reset();
+    if (cancel_next) {
+      token.Cancel();
+      cancel_next = false;
+    }
+    g_active_token.store(&token);
+    auto r = env.db().Execute(sql, exec_options);
+    g_active_token.store(nullptr);
     if (!r.ok()) {
-      std::printf("error: %s\n", r.status().ToString().c_str());
+      if (r.status().code() == wsq::StatusCode::kCancelled) {
+        std::printf("query cancelled\n");
+      } else if (r.status().code() ==
+                 wsq::StatusCode::kDeadlineExceeded) {
+        std::printf("deadline exceeded (%lld ms budget)\n",
+                    (long long)deadline_ms);
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
       continue;
     }
     std::printf("%s", r->result.ToString(40).c_str());

@@ -21,6 +21,8 @@ ReqPump::~ReqPump() {
       core_->results[q.id] =
           CallResult{Status::Cancelled("ReqPump shut down"), {}};
       core_->unresolved.erase(q.id);
+      core_->dest_by_id.erase(q.id);
+      ++core_->stats.cancelled;
       --core_->outstanding;
     }
     core_->queue.clear();
@@ -61,14 +63,31 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
     MutexLock lock(&core_->mu);
     id = core_->next_id++;
     ++core_->stats.registered;
+    dispatch_now = CanDispatchLocked(*core_, destination);
+    if (!dispatch_now && core_->limits.max_queued > 0 &&
+        static_cast<int>(core_->queue.size()) >=
+            core_->limits.max_queued) {
+      // Overload shedding: the wait queue is full, so this call is
+      // resolved immediately instead of queued. Consumers see a normal
+      // (failed) completion; nothing was dispatched, so no slot or
+      // straggler accounting applies.
+      ++core_->stats.shed;
+      core_->results[id] = CallResult{
+          Status::ResourceExhausted("ReqPump queue for '" + destination +
+                                    "' is full (max_queued)"),
+          {}};
+      ++core_->completion_seq;
+      core_->cv.NotifyAll();
+      return id;
+    }
     ++core_->outstanding;
     core_->unresolved.insert(id);
+    core_->dest_by_id.emplace(id, destination);
     int64_t deadline =
         has_deadline ? NowMicros() + timeout_micros : 0;
     if (has_deadline) {
       core_->deadlines.push(Deadline{deadline, id, destination});
     }
-    dispatch_now = CanDispatchLocked(*core_, destination);
     if (dispatch_now) {
       ++core_->in_flight_global;
       ++core_->in_flight_by_dest[destination];
@@ -120,6 +139,7 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
     ++core->stats.completed;
     core->results[id] = std::move(result);
     core->unresolved.erase(id);
+    core->dest_by_id.erase(id);
     --core->in_flight_global;
     --core->in_flight_by_dest[destination];
     ++core->completion_seq;
@@ -208,6 +228,7 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
                                  "' exceeded its deadline"),
         {}};
     core->unresolved.erase(d.id);
+    core->dest_by_id.erase(d.id);
     ++core->completion_seq;
     --core->outstanding;
 
@@ -237,6 +258,48 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
   }
 }
 
+bool ReqPump::CancelCall(CallId id) {
+  std::vector<QueuedCall> to_dispatch;
+  {
+    MutexLock lock(&core_->mu);
+    if (core_->unresolved.count(id) == 0) return false;
+    core_->unresolved.erase(id);
+    std::string destination;
+    auto dest = core_->dest_by_id.find(id);
+    if (dest != core_->dest_by_id.end()) {
+      destination = dest->second;
+      core_->dest_by_id.erase(dest);
+    }
+    ++core_->stats.cancelled;
+    core_->results[id] =
+        CallResult{Status::Cancelled("external call cancelled"), {}};
+    ++core_->completion_seq;
+    --core_->outstanding;
+
+    bool was_queued = false;
+    for (auto it = core_->queue.begin(); it != core_->queue.end(); ++it) {
+      if (it->id == id) {
+        core_->queue.erase(it);  // never dispatched: no straggler coming
+        was_queued = true;
+        break;
+      }
+    }
+    if (!was_queued) {
+      // Dispatched: abandon it — release its limit slots now, discard
+      // its real completion when (if) it lands.
+      core_->abandoned.insert(id);
+      --core_->in_flight_global;
+      --core_->in_flight_by_dest[destination];
+      to_dispatch = TakeDispatchableLocked(core_.get());
+    }
+  }
+  core_->cv.NotifyAll();
+  for (QueuedCall& q : to_dispatch) {
+    Dispatch(core_, q.id, q.destination, std::move(q.fn));
+  }
+  return true;
+}
+
 bool ReqPump::IsComplete(CallId id) const {
   MutexLock lock(&core_->mu);
   return core_->results.count(id) > 0;
@@ -251,12 +314,49 @@ bool ReqPump::TryTake(CallId id, CallResult* out) {
   return true;
 }
 
-CallResult ReqPump::TakeBlocking(CallId id) {
-  MutexLock lock(&core_->mu);
-  while (core_->results.count(id) == 0) core_->cv.Wait(core_->mu);
-  CallResult out = std::move(core_->results[id]);
-  core_->results.erase(id);
-  return out;
+namespace {
+
+/// How long a token-observing wait sleeps between token checks. The
+/// token has no notification hook (see common/cancellation.h), so a
+/// cross-thread Cancel() is noticed within one quantum — small enough
+/// for prompt aborts, large enough that idle waiting stays cheap.
+constexpr int64_t kCancelPollMicros = 5000;
+
+}  // namespace
+
+CallResult ReqPump::TakeBlocking(CallId id,
+                                 const CancellationToken* token) {
+  // Hold the core alive locally: a consumer woken by shutdown must be
+  // able to finish this function even if ~ReqPump completes (and the
+  // ReqPump object is freed) the moment it releases the lock.
+  std::shared_ptr<Core> core = core_;
+  MutexLock lock(&core->mu);
+  while (true) {
+    auto it = core->results.find(id);
+    if (it != core->results.end()) {
+      CallResult out = std::move(it->second);
+      core->results.erase(it);
+      return out;
+    }
+    // No result and no longer pending: the call is unknown or was
+    // already taken — it will never complete, so waiting would hang.
+    if (core->unresolved.count(id) == 0) {
+      return CallResult{
+          Status::Internal("TakeBlocking on an unknown or already-taken "
+                           "call"),
+          {}};
+    }
+    if (core->shutdown) {
+      return CallResult{Status::Cancelled("ReqPump shut down"), {}};
+    }
+    if (token != nullptr) {
+      Status alive = token->CheckAlive();
+      if (!alive.ok()) return CallResult{alive, {}};
+      core->cv.WaitForMicros(core->mu, kCancelPollMicros);
+    } else {
+      core->cv.Wait(core->mu);
+    }
+  }
 }
 
 uint64_t ReqPump::completion_seq() const {
@@ -264,14 +364,26 @@ uint64_t ReqPump::completion_seq() const {
   return core_->completion_seq;
 }
 
-void ReqPump::WaitForCompletionBeyond(uint64_t seq) {
-  MutexLock lock(&core_->mu);
-  while (core_->completion_seq <= seq) core_->cv.Wait(core_->mu);
+void ReqPump::WaitForCompletionBeyond(uint64_t seq,
+                                      const CancellationToken* token) {
+  std::shared_ptr<Core> core = core_;  // survive shutdown mid-wait
+  MutexLock lock(&core->mu);
+  while (core->completion_seq <= seq && !core->shutdown) {
+    if (token != nullptr) {
+      if (!token->CheckAlive().ok()) return;
+      core->cv.WaitForMicros(core->mu, kCancelPollMicros);
+    } else {
+      core->cv.Wait(core->mu);
+    }
+  }
 }
 
 void ReqPump::Drain() {
-  MutexLock lock(&core_->mu);
-  while (core_->outstanding != 0) core_->cv.Wait(core_->mu);
+  std::shared_ptr<Core> core = core_;  // survive shutdown mid-wait
+  MutexLock lock(&core->mu);
+  while (core->outstanding != 0 && !core->shutdown) {
+    core->cv.Wait(core->mu);
+  }
 }
 
 ReqPumpStats ReqPump::stats() const {

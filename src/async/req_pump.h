@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -50,6 +51,14 @@ struct ReqPumpStats {
   uint64_t max_in_flight = 0;
   /// Peak length of the resource-limit wait queue.
   uint64_t queued_peak = 0;
+  /// Calls resolved with kCancelled: queued calls dropped at
+  /// destruction, or calls cancelled by a query governor (CancelCall).
+  /// Not counted in `completed`/`failed`.
+  uint64_t cancelled = 0;
+  /// Calls rejected at Register because the wait queue was at
+  /// Limits::max_queued (resolved kResourceExhausted immediately). Not
+  /// counted in `completed`/`failed`.
+  uint64_t shed = 0;
 };
 
 /// The paper's "Request Pump" (§4.1): a global module that issues
@@ -78,6 +87,11 @@ class ReqPump {
     /// Deadline applied to calls registered without an explicit timeout,
     /// measured from Register(); 0 = no deadline.
     int64_t default_timeout_micros = 0;
+    /// Overload admission: max calls waiting for a limit slot. A
+    /// Register that would queue past this bound is shed — resolved
+    /// immediately with kResourceExhausted (stats.shed) instead of
+    /// growing the queue without bound. 0 = unbounded.
+    int max_queued = 0;
   };
 
   ReqPump() : ReqPump(Limits{}) {}
@@ -110,15 +124,43 @@ class ReqPump {
 
   /// Blocks until call `id` completes, then removes and returns it.
   /// With a deadline set, returns at most ~timeout after registration.
-  CallResult TakeBlocking(CallId id) WSQ_EXCLUDES(core_->mu);
+  /// Never hangs forever: a call that can no longer complete (unknown
+  /// id, result already taken) returns kInternal, and a pump shutting
+  /// down mid-wait returns kCancelled.
+  CallResult TakeBlocking(CallId id) WSQ_EXCLUDES(core_->mu) {
+    return TakeBlocking(id, nullptr);
+  }
+
+  /// As above, observing `token` (may be null): returns the token's
+  /// error without consuming the call once the query is cancelled or
+  /// past its deadline. The call stays registered — cancel and reap it
+  /// via CancelCall + TryTake (the ReqSync Close cascade does this).
+  CallResult TakeBlocking(CallId id, const CancellationToken* token)
+      WSQ_EXCLUDES(core_->mu);
+
+  /// Resolves a not-yet-completed call with kCancelled: a queued call
+  /// is dropped (its fn never runs), a dispatched call is abandoned —
+  /// its limit slots are released now and its real completion, if one
+  /// ever arrives, is discarded (stats.late_discarded). The kCancelled
+  /// result is left in ReqPumpHash for the consumer to take. Returns
+  /// false (and does nothing) if the call already has a result or is
+  /// unknown. Safe from any thread.
+  bool CancelCall(CallId id) WSQ_EXCLUDES(core_->mu);
 
   /// Monotonic count of completions; use with WaitForCompletionBeyond
   /// to sleep until any call finishes.
   uint64_t completion_seq() const WSQ_EXCLUDES(core_->mu);
 
   /// Blocks until completion_seq() > `seq` (returns immediately if it
-  /// already is).
-  void WaitForCompletionBeyond(uint64_t seq) WSQ_EXCLUDES(core_->mu);
+  /// already is). With a token, also returns — without waiting for a
+  /// completion — once the query is cancelled/expired or the pump shuts
+  /// down; the caller re-checks its own predicate either way.
+  void WaitForCompletionBeyond(uint64_t seq) WSQ_EXCLUDES(core_->mu) {
+    WaitForCompletionBeyond(seq, nullptr);
+  }
+  void WaitForCompletionBeyond(uint64_t seq,
+                               const CancellationToken* token)
+      WSQ_EXCLUDES(core_->mu);
 
   /// Blocks until every registered call has completed (benches).
   void Drain() WSQ_EXCLUDES(core_->mu);
@@ -177,6 +219,9 @@ class ReqPump {
     /// Registered calls with no result yet (not completed, timed out,
     /// or cancelled). Timer entries for ids outside this set are stale.
     std::unordered_set<CallId> unresolved WSQ_GUARDED_BY(mu);
+    /// Destination of every unresolved call, so CancelCall(id) can
+    /// release the right per-destination slot.
+    std::unordered_map<CallId, std::string> dest_by_id WSQ_GUARDED_BY(mu);
     /// Dispatched calls that timed out: their eventual real completion
     /// must be discarded without touching counters or results.
     std::unordered_set<CallId> abandoned WSQ_GUARDED_BY(mu);

@@ -1,0 +1,16 @@
+#include "common/cancellation.h"
+
+namespace wsq {
+
+Status CancellationToken::CheckAlive() const {
+  if (IsCancelled()) {
+    return Status::Cancelled("query cancelled");
+  }
+  int64_t deadline = deadline_micros();
+  if (deadline != 0 && NowMicros() >= deadline) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace wsq

@@ -1,0 +1,96 @@
+#ifndef WSQ_COMMON_CANCELLATION_H_
+#define WSQ_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace wsq {
+
+/// Cooperative per-query cancellation and deadline state (the "query
+/// governor" signal plane).
+///
+/// One token is shared by everything executing a single query: every
+/// operator consults it between tuples (CheckAlive), ReqPump blocking
+/// waits observe it, and the remaining deadline budget clamps the
+/// timeout of every external call registered on the query's behalf.
+///
+/// Thread model: all state is atomic, so Cancel() may be called from
+/// any thread (a user interrupt, a watchdog, an admission reaper) while
+/// the executor thread polls. There are no callbacks and no locks —
+/// waiters that must wake promptly use bounded waits (see
+/// ReqPump::TakeBlocking) rather than registering for notification,
+/// which keeps the token trivially safe to share.
+///
+/// A token is one-shot: once cancelled or past its deadline it stays
+/// dead. Reuse across queries requires Reset().
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation (kCancelled). Idempotent; safe from any
+  /// thread, including signal handlers (a single atomic store).
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Installs an absolute deadline (microseconds on the NowMicros
+  /// steady clock); 0 clears it. Not synchronized against concurrent
+  /// readers beyond atomicity — set it before the query starts.
+  void SetDeadline(int64_t deadline_micros) {
+    deadline_micros_.store(deadline_micros, std::memory_order_release);
+  }
+
+  /// Arms the deadline `budget_micros` from now (<= 0 clears it).
+  void SetDeadlineAfter(int64_t budget_micros) {
+    SetDeadline(budget_micros > 0 ? NowMicros() + budget_micros : 0);
+  }
+
+  bool HasDeadline() const {
+    return deadline_micros_.load(std::memory_order_acquire) != 0;
+  }
+  int64_t deadline_micros() const {
+    return deadline_micros_.load(std::memory_order_acquire);
+  }
+
+  /// True once Cancel() was called (deadline expiry is *not* reflected
+  /// here; use CheckAlive for the combined verdict).
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Microseconds of budget left before the deadline; kNoDeadline when
+  /// none is set. Never returns a negative value: an expired deadline
+  /// reports 0.
+  static constexpr int64_t kNoDeadline = -1;
+  int64_t RemainingMicros() const {
+    int64_t deadline = deadline_micros();
+    if (deadline == 0) return kNoDeadline;
+    int64_t remaining = deadline - NowMicros();
+    return remaining > 0 ? remaining : 0;
+  }
+
+  /// The governor check every cooperative loop performs: OK while the
+  /// query may keep running, kCancelled after Cancel(), or
+  /// kDeadlineExceeded once the deadline passes. Cancel() wins when
+  /// both apply (it is the more specific verdict).
+  Status CheckAlive() const;
+
+  /// Returns the token to the live state (tests, token reuse between
+  /// shell statements). Must not race an executing query.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_release);
+    deadline_micros_.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// Absolute steady-clock deadline in micros; 0 = none.
+  std::atomic<int64_t> deadline_micros_{0};
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_CANCELLATION_H_

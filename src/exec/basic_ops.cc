@@ -6,6 +6,7 @@ namespace wsq {
 
 Result<bool> FilterOperator::Next(Row* row) {
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
     WSQ_ASSIGN_OR_RETURN(bool pass,
@@ -37,6 +38,7 @@ Result<bool> LimitOperator::Next(Row* row) {
 
 Result<bool> DistinctOperator::Next(Row* row) {
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
     if (seen_.insert(*row).second) return true;

@@ -16,50 +16,59 @@ namespace {
 
 Result<std::unique_ptr<VScanOperator>> BuildVScan(const EVScanNode& node,
                                                   ExecContext* ctx) {
+  std::unique_ptr<VScanOperator> scan;
   if (node.async) {
     if (ctx->pump == nullptr) {
       return Status::InvalidArgument(
           "plan contains an AEVScan but no ReqPump was supplied");
     }
-    return std::unique_ptr<VScanOperator>(
-        std::make_unique<AEVScanOperator>(&node, ctx->pump));
+    scan = std::make_unique<AEVScanOperator>(&node, ctx->pump);
+  } else {
+    scan = std::make_unique<EVScanOperator>(&node,
+                                            &ctx->sync_external_calls);
   }
-  return std::unique_ptr<VScanOperator>(
-      std::make_unique<EVScanOperator>(&node, &ctx->sync_external_calls));
+  scan->SetCancelToken(ctx->token);
+  return scan;
 }
 
 }  // namespace
 
 Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                                       ExecContext* ctx) {
+  OperatorPtr op;
   switch (plan.kind()) {
     case PlanNode::Kind::kScan:
-      return OperatorPtr(std::make_unique<SeqScanOperator>(
-          static_cast<const ScanNode*>(&plan)));
+      op = std::make_unique<SeqScanOperator>(
+          static_cast<const ScanNode*>(&plan));
+      break;
 
     case PlanNode::Kind::kIndexScan:
-      return OperatorPtr(std::make_unique<IndexScanOperator>(
-          static_cast<const IndexScanNode*>(&plan)));
+      op = std::make_unique<IndexScanOperator>(
+          static_cast<const IndexScanNode*>(&plan));
+      break;
 
     case PlanNode::Kind::kEVScan: {
       WSQ_ASSIGN_OR_RETURN(
           std::unique_ptr<VScanOperator> scan,
           BuildVScan(static_cast<const EVScanNode&>(plan), ctx));
-      return OperatorPtr(std::move(scan));
+      op = std::move(scan);
+      break;
     }
 
     case PlanNode::Kind::kFilter: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<FilterOperator>(
-          static_cast<const FilterNode*>(&plan), std::move(child)));
+      op = std::make_unique<FilterOperator>(
+          static_cast<const FilterNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kProject: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<ProjectOperator>(
-          static_cast<const ProjectNode*>(&plan), std::move(child)));
+      op = std::make_unique<ProjectOperator>(
+          static_cast<const ProjectNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kNestedLoopJoin: {
@@ -67,9 +76,10 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                            BuildOperatorTree(*plan.child(0), ctx));
       WSQ_ASSIGN_OR_RETURN(OperatorPtr right,
                            BuildOperatorTree(*plan.child(1), ctx));
-      return OperatorPtr(std::make_unique<NestedLoopJoinOperator>(
+      op = std::make_unique<NestedLoopJoinOperator>(
           static_cast<const NestedLoopJoinNode*>(&plan), std::move(left),
-          std::move(right)));
+          std::move(right));
+      break;
     }
 
     case PlanNode::Kind::kCrossProduct: {
@@ -77,9 +87,10 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                            BuildOperatorTree(*plan.child(0), ctx));
       WSQ_ASSIGN_OR_RETURN(OperatorPtr right,
                            BuildOperatorTree(*plan.child(1), ctx));
-      return OperatorPtr(std::make_unique<CrossProductOperator>(
+      op = std::make_unique<CrossProductOperator>(
           static_cast<const CrossProductNode*>(&plan), std::move(left),
-          std::move(right)));
+          std::move(right));
+      break;
     }
 
     case PlanNode::Kind::kDependentJoin: {
@@ -95,37 +106,42 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
           std::unique_ptr<VScanOperator> right,
           BuildVScan(static_cast<const EVScanNode&>(*plan.child(1)),
                      ctx));
-      return OperatorPtr(std::make_unique<DependentJoinOperator>(
+      op = std::make_unique<DependentJoinOperator>(
           static_cast<const DependentJoinNode*>(&plan), std::move(left),
-          std::move(right)));
+          std::move(right));
+      break;
     }
 
     case PlanNode::Kind::kSort: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<SortOperator>(
-          static_cast<const SortNode*>(&plan), std::move(child)));
+      op = std::make_unique<SortOperator>(
+          static_cast<const SortNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kDistinct: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<DistinctOperator>(
-          static_cast<const DistinctNode*>(&plan), std::move(child)));
+      op = std::make_unique<DistinctOperator>(
+          static_cast<const DistinctNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kAggregate: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<AggregateOperator>(
-          static_cast<const AggregateNode*>(&plan), std::move(child)));
+      op = std::make_unique<AggregateOperator>(
+          static_cast<const AggregateNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kLimit: {
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<LimitOperator>(
-          static_cast<const LimitNode*>(&plan), std::move(child)));
+      op = std::make_unique<LimitOperator>(
+          static_cast<const LimitNode*>(&plan), std::move(child));
+      break;
     }
 
     case PlanNode::Kind::kReqSync: {
@@ -135,12 +151,15 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
       }
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
-      return OperatorPtr(std::make_unique<ReqSyncOperator>(
+      op = std::make_unique<ReqSyncOperator>(
           static_cast<const ReqSyncNode*>(&plan), std::move(child),
-          ctx->pump, ctx));
+          ctx->pump, ctx);
+      break;
     }
   }
-  return Status::Internal("unknown plan node kind");
+  if (op == nullptr) return Status::Internal("unknown plan node kind");
+  op->SetCancelToken(ctx->token);
+  return op;
 }
 
 Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {

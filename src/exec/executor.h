@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "async/req_pump.h"
+#include "common/cancellation.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -19,6 +20,10 @@ namespace wsq {
 /// the answer was affected by failed external calls.
 struct ExecContext {
   ReqPump* pump = nullptr;
+  /// Per-query governor state: deadline + cooperative cancellation.
+  /// BuildOperatorTree installs it on every operator; null = ungoverned.
+  /// Must outlive the operator tree.
+  const CancellationToken* token = nullptr;
   std::atomic<uint64_t> sync_external_calls{0};
   /// External calls that completed with a non-OK status.
   std::atomic<uint64_t> failed_calls{0};
@@ -26,6 +31,15 @@ struct ExecContext {
   std::atomic<uint64_t> dropped_tuples{0};
   /// Tuples completed with NULLs under OnCallError::kNullPad.
   std::atomic<uint64_t> null_padded_tuples{0};
+  /// Outstanding external calls cancelled by the Close cascade of an
+  /// aborted (cancelled / deadline-expired) query.
+  std::atomic<uint64_t> cancelled_calls{0};
+  /// Pending tuples shed by a ReqSync buffer budget in shed-oldest mode.
+  std::atomic<uint64_t> shed_tuples{0};
+  /// Peak pending tuples / approximate bytes buffered by any ReqSync
+  /// (max across operators; see ReqSyncNode::max_buffered_rows).
+  std::atomic<uint64_t> reqsync_peak_rows{0};
+  std::atomic<uint64_t> reqsync_peak_bytes{0};
 };
 
 /// A fully-materialized query result.

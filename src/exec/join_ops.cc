@@ -10,6 +10,7 @@ Status NestedLoopJoinOperator::Open() {
   right_rows_.clear();
   Row row;
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
     if (!more) break;
     right_rows_.push_back(row);
@@ -22,6 +23,7 @@ Status NestedLoopJoinOperator::Open() {
 
 Result<bool> NestedLoopJoinOperator::Next(Row* row) {
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!have_left_) {
       WSQ_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
       if (!more) return false;
@@ -57,6 +59,7 @@ Status DependentJoinOperator::Open() {
 
 Result<bool> DependentJoinOperator::Next(Row* row) {
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!have_left_) {
       WSQ_ASSIGN_OR_RETURN(bool more, left_->Next(&left_row_));
       if (!more) return false;

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "types/row.h"
@@ -13,6 +14,14 @@ namespace wsq {
 /// Physical operator in the paper's iterator model [Gra93]: Open /
 /// GetNext (here `Next`) / Close. `schema` points into the logical plan
 /// node, which outlives the operator tree.
+///
+/// Cooperative cancellation: BuildOperatorTree installs the query's
+/// CancellationToken on every operator; loops that can run long — per
+/// tuple in Next, per child row in a blocking Open drain — call
+/// CheckAlive() so a cancelled or deadline-expired query aborts between
+/// tuples (kCancelled / kDeadlineExceeded) instead of running to
+/// completion. The executor's error-path Close cascade then reaps any
+/// outstanding external calls.
 class Operator {
  public:
   explicit Operator(const Schema* schema) : schema_(schema) {}
@@ -31,8 +40,22 @@ class Operator {
 
   const Schema& schema() const { return *schema_; }
 
+  /// Installs the query's cancellation token (may be null: ungoverned
+  /// query). Called once by BuildOperatorTree before Open.
+  void SetCancelToken(const CancellationToken* token) { cancel_ = token; }
+
+ protected:
+  /// OK while the query may keep running; kCancelled/kDeadlineExceeded
+  /// once the governor has pulled the plug.
+  Status CheckAlive() const {
+    return cancel_ == nullptr ? Status::OK() : cancel_->CheckAlive();
+  }
+
+  const CancellationToken* cancel_token() const { return cancel_; }
+
  private:
   const Schema* schema_;
+  const CancellationToken* cancel_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -7,13 +7,75 @@
 
 namespace wsq {
 
+namespace {
+void UpdateMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
 void ReqSyncOperator::AddEntry(Row row, std::set<CallId> pending) {
   uint64_t id = next_entry_id_++;
   for (CallId c : pending) {
     waiters_[c].push_back(id);
   }
-  entries_.emplace(id, Entry{std::move(row), std::move(pending)});
+  size_t bytes = row.ApproxBytes();
+  buffered_bytes_ += bytes;
+  entries_.emplace(id, Entry{std::move(row), std::move(pending), bytes});
+  // Proliferation copies land here too, so shed-oldest keeps its bound
+  // even when one completion fans a tuple out into many.
+  if (node_->shed_oldest) ShedToBudget();
   peak_buffered_ = std::max(peak_buffered_, entries_.size());
+  peak_buffered_bytes_ = std::max(peak_buffered_bytes_, buffered_bytes_);
+  if (ctx_ != nullptr) {
+    UpdateMax(&ctx_->reqsync_peak_rows, entries_.size());
+    UpdateMax(&ctx_->reqsync_peak_bytes, buffered_bytes_);
+  }
+}
+
+bool ReqSyncOperator::HasRoom() const {
+  if (node_->max_buffered_rows > 0 &&
+      entries_.size() >= node_->max_buffered_rows) {
+    return false;
+  }
+  if (node_->max_buffered_bytes > 0 &&
+      buffered_bytes_ >= node_->max_buffered_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void ReqSyncOperator::ShedToBudget() {
+  while (!entries_.empty() &&
+         ((node_->max_buffered_rows > 0 &&
+           entries_.size() > node_->max_buffered_rows) ||
+          (node_->max_buffered_bytes > 0 &&
+           buffered_bytes_ > node_->max_buffered_bytes))) {
+    auto it = entries_.begin();  // smallest id = oldest pending tuple
+    buffered_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++shed_tuples_;
+    if (ctx_ != nullptr) ++ctx_->shed_tuples;
+  }
+}
+
+Status ReqSyncOperator::WaitForRoom() {
+  if (!HasBudget() || node_->shed_oldest) return Status::OK();
+  while (!HasRoom()) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
+    // Snapshot before polling so a completion landing mid-poll makes
+    // the wait below return immediately (same pattern as Next).
+    uint64_t seq = pump_->completion_seq();
+    WSQ_ASSIGN_OR_RETURN(bool progressed, PollCompletions());
+    if (progressed) continue;
+    if (!HasRoom()) {
+      pump_->WaitForCompletionBeyond(seq, cancel_token());
+    }
+  }
+  return Status::OK();
 }
 
 void ReqSyncOperator::Absorb(Row row) {
@@ -31,9 +93,12 @@ Status ReqSyncOperator::Open() {
   waiters_.clear();
   ready_.clear();
   next_entry_id_ = 1;
+  buffered_bytes_ = 0;
   peak_buffered_ = 0;
+  peak_buffered_bytes_ = 0;
   dropped_tuples_ = 0;
   null_padded_tuples_ = 0;
+  shed_tuples_ = 0;
   child_drained_ = false;
 
   WSQ_RETURN_IF_ERROR(child_->Open());
@@ -45,9 +110,13 @@ Status ReqSyncOperator::Open() {
   // Full-buffering implementation, as in the paper: drain the child
   // entirely. Draining is what launches all the asynchronous calls
   // below us — the dependent joins keep producing provisional tuples
-  // without waiting for any search to finish.
+  // without waiting for any search to finish. A buffer budget throttles
+  // the drain: WaitForRoom blocks on in-flight completions instead of
+  // buffering without bound.
   Row row;
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
+    WSQ_RETURN_IF_ERROR(WaitForRoom());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) break;
     Absorb(std::move(row));
@@ -99,6 +168,7 @@ Status ReqSyncOperator::DegradeFailedCall(CallId call,
       // Cancel the tuple exactly as a zero-row result would (§4.3
       // n = 0); its references under OTHER calls go stale and are
       // skipped there.
+      buffered_bytes_ -= it->second.bytes;
       entries_.erase(it);
       ++dropped_tuples_;
       if (ctx_ != nullptr) ++ctx_->dropped_tuples;
@@ -108,6 +178,7 @@ Status ReqSyncOperator::DegradeFailedCall(CallId call,
     // kNullPad: fill the columns this call would have produced with
     // NULL and keep the tuple moving.
     Entry entry = std::move(it->second);
+    buffered_bytes_ -= entry.bytes;
     entries_.erase(it);
     entry.pending.erase(call);
     Row padded;
@@ -147,6 +218,7 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
     // under new ids) or cancelled by another call's completion.
     if (it == entries_.end()) continue;
     Entry entry = std::move(it->second);
+    buffered_bytes_ -= entry.bytes;
     entries_.erase(it);
     entry.pending.erase(call);
 
@@ -166,7 +238,16 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
 }
 
 Status ReqSyncOperator::Close() {
+  // A query killed by its governor must not wait out its calls'
+  // natural latencies: cancel them first — CancelCall resolves a
+  // not-yet-complete call immediately (dropping it from the queue or
+  // abandoning its dispatch) — then reap, which never blocks because a
+  // result is guaranteed to be present either way.
+  const bool aborted = !CheckAlive().ok();
   for (const auto& [call, ids] : waiters_) {
+    if (aborted && pump_->CancelCall(call)) {
+      if (ctx_ != nullptr) ++ctx_->cancelled_calls;
+    }
     // Reap only: the query is over, the result (and its error, if any)
     // no longer has a consumer.
     WSQ_IGNORE_STATUS(pump_->TakeBlocking(call));
@@ -174,6 +255,7 @@ Status ReqSyncOperator::Close() {
   waiters_.clear();
   entries_.clear();
   ready_.clear();
+  buffered_bytes_ = 0;
   return child_->Close();
 }
 
@@ -194,6 +276,7 @@ Result<bool> ReqSyncOperator::PollCompletions() {
 
 Result<bool> ReqSyncOperator::Next(Row* row) {
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!ready_.empty()) {
       *row = std::move(ready_.front());
       ready_.pop_front();
@@ -203,6 +286,8 @@ Result<bool> ReqSyncOperator::Next(Row* row) {
     if (!child_drained_) {
       // Streaming mode: pull the next child tuple (which launches its
       // calls) and absorb any completions that have already landed.
+      // The buffer budget throttles the pull exactly as in Open.
+      WSQ_RETURN_IF_ERROR(WaitForRoom());
       Row input;
       WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
       if (more) {
@@ -222,7 +307,7 @@ Result<bool> ReqSyncOperator::Next(Row* row) {
     uint64_t seq = pump_->completion_seq();
     WSQ_ASSIGN_OR_RETURN(bool progressed, PollCompletions());
     if (!progressed && ready_.empty() && !entries_.empty()) {
-      pump_->WaitForCompletionBeyond(seq);
+      pump_->WaitForCompletionBeyond(seq, cancel_token());
     }
   }
 }

@@ -2,6 +2,7 @@
 #define WSQ_EXEC_REQ_SYNC_OP_H_
 
 #include <deque>
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,14 @@ namespace wsq {
 /// exceeded) is handled per the node's OnCallError policy: fail the
 /// query, cancel the waiting tuples, or complete them with NULLs.
 ///
+/// Buffer budget (ReqSyncNode::max_buffered_rows/_bytes): pending
+/// tuples — including proliferation copies — are bounded. The default
+/// response to a full buffer is backpressure: stop pulling from the
+/// child and process completions until there is room, so the calls
+/// already in flight drain the buffer. With shed_oldest the oldest
+/// pending tuple is dropped instead (ExecContext::shed_tuples); its
+/// calls are still reaped at Close.
+///
 /// Thread model: operators are driven by a single executor thread, so
 /// this class has no lock and no WSQ_GUARDED_BY state of its own; all
 /// cross-thread coordination happens inside the ReqPump it polls.
@@ -50,16 +59,22 @@ class ReqSyncOperator : public Operator {
 
   /// Peak number of tuples buffered while waiting (observability).
   size_t peak_buffered() const { return peak_buffered_; }
+  /// Peak approximate bytes across buffered pending tuples.
+  size_t peak_buffered_bytes() const { return peak_buffered_bytes_; }
 
   /// Tuples cancelled by this operator under OnCallError::kDropTuple.
   uint64_t dropped_tuples() const { return dropped_tuples_; }
   /// Tuples NULL-completed by this operator under OnCallError::kNullPad.
   uint64_t null_padded_tuples() const { return null_padded_tuples_; }
+  /// Pending tuples dropped by the shed-oldest buffer budget.
+  uint64_t shed_tuples() const { return shed_tuples_; }
 
  private:
   struct Entry {
     Row row;
     std::set<CallId> pending;
+    /// ApproxBytes of `row` at insertion, so erasure balances exactly.
+    size_t bytes = 0;
   };
 
   /// Applies one completed call to every tuple waiting on it.
@@ -83,6 +98,18 @@ class ReqSyncOperator : public Operator {
 
   void AddEntry(Row row, std::set<CallId> pending);
 
+  /// True when a row/byte budget is configured on the node.
+  bool HasBudget() const {
+    return node_->max_buffered_rows > 0 || node_->max_buffered_bytes > 0;
+  }
+  /// True while the buffer can absorb one more pending tuple.
+  bool HasRoom() const;
+  /// Backpressure: blocks (processing completions) until HasRoom().
+  /// No-op in shed-oldest mode or without a budget.
+  Status WaitForRoom();
+  /// Shed-oldest: drops oldest pending tuples until back under budget.
+  void ShedToBudget();
+
   const ReqSyncNode* node_;
   OperatorPtr child_;
   ReqPump* pump_;
@@ -90,12 +117,17 @@ class ReqSyncOperator : public Operator {
   bool child_drained_ = false;
 
   uint64_t next_entry_id_ = 1;
-  std::unordered_map<uint64_t, Entry> entries_;
+  /// Ordered by entry id (= insertion order) so shed-oldest is O(1).
+  std::map<uint64_t, Entry> entries_;
   std::unordered_map<CallId, std::vector<uint64_t>> waiters_;
   std::deque<Row> ready_;
+  /// Sum of Entry::bytes across entries_.
+  size_t buffered_bytes_ = 0;
   size_t peak_buffered_ = 0;
+  size_t peak_buffered_bytes_ = 0;
   uint64_t dropped_tuples_ = 0;
   uint64_t null_padded_tuples_ = 0;
+  uint64_t shed_tuples_ = 0;
 };
 
 }  // namespace wsq

@@ -12,6 +12,7 @@ Status SeqScanOperator::Open() {
 }
 
 Result<bool> SeqScanOperator::Next(Row* row) {
+  WSQ_RETURN_IF_ERROR(CheckAlive());
   return scanner_->Next(row);
 }
 
@@ -119,6 +120,9 @@ Result<std::vector<Value>> VScanBase::InputValues(
 Status EVScanOperator::Open() {
   rows_.clear();
   next_ = 0;
+  // The synchronous Fetch below blocks uninterruptibly; refuse to start
+  // it for a query that is already cancelled or past its deadline.
+  WSQ_RETURN_IF_ERROR(CheckAlive());
   WSQ_ASSIGN_OR_RETURN(VTableRequest request, BuildRequest());
   if (call_counter_ != nullptr) {
     call_counter_->fetch_add(1, std::memory_order_relaxed);
@@ -140,9 +144,23 @@ Status EVScanOperator::Close() {
 
 Status AEVScanOperator::Open() {
   emitted_ = false;
+  WSQ_RETURN_IF_ERROR(CheckAlive());
   WSQ_ASSIGN_OR_RETURN(VTableRequest request, BuildRequest());
   WSQ_ASSIGN_OR_RETURN(inputs_, InputValues(request));
-  call_ = node_->table()->SubmitAsync(request, pump_);
+  // Deadline propagation: never issue a call that is allowed to run
+  // longer than the query has left. A dependent join re-Opens this scan
+  // per left row, so each call is clamped to the budget remaining at
+  // its own Register time.
+  int64_t budget = 0;
+  if (cancel_token() != nullptr && cancel_token()->HasDeadline()) {
+    budget = cancel_token()->RemainingMicros();
+    if (budget <= 0) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    int64_t pump_default = pump_->limits().default_timeout_micros;
+    if (pump_default > 0 && pump_default < budget) budget = pump_default;
+  }
+  call_ = node_->table()->SubmitAsync(request, pump_, budget);
   return Status::OK();
 }
 
@@ -159,6 +177,20 @@ Result<bool> AEVScanOperator::Next(Row* row) {
   return true;
 }
 
-Status AEVScanOperator::Close() { return Status::OK(); }
+Status AEVScanOperator::Close() {
+  if (call_ != kInvalidCallId && !emitted_) {
+    // Defensive reap: the call was registered at Open but its
+    // placeholder row was never emitted (query aborted, or the
+    // executor stopped early under LIMIT before pulling this scan), so
+    // no ReqSync upstream will ever consume it — without this it would
+    // sit in the shared pump hash forever. Once emitted, the row's
+    // consumer owns the call; a dependent join re-Closing this scan
+    // per outer row must not steal it.
+    (void)pump_->CancelCall(call_);
+    WSQ_IGNORE_STATUS(pump_->TakeBlocking(call_).status);
+  }
+  call_ = kInvalidCallId;
+  return Status::OK();
+}
 
 }  // namespace wsq

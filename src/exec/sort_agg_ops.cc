@@ -16,6 +16,7 @@ Status SortOperator::Open() {
   std::vector<std::pair<std::vector<Value>, Row>> keyed;
   Row row;
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) break;
     std::vector<Value> keys;
@@ -151,6 +152,7 @@ Status AggregateOperator::Open() {
   Row input;
   bool any_input = false;
   while (true) {
+    WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
     if (!more) break;
     any_input = true;

@@ -38,6 +38,14 @@ int Row::Compare(const Row& other) const {
   return 0;
 }
 
+size_t Row::ApproxBytes() const {
+  size_t n = sizeof(Row) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    if (v.is_string()) n += v.AsString().capacity();
+  }
+  return n;
+}
+
 size_t Row::Hash() const {
   size_t h = 0x345678;
   for (const Value& v : values_) {

@@ -42,6 +42,10 @@ class Row {
 
   size_t Hash() const;
 
+  /// Approximate in-memory footprint (sum of Value::ApproxBytes plus
+  /// the vector itself). Used by ReqSync buffer budgets.
+  size_t ApproxBytes() const;
+
   /// "[v1, v2, ...]"
   std::string ToString() const;
 

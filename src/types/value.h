@@ -95,6 +95,14 @@ class Value {
   /// Stable hash consistent with operator==.
   size_t Hash() const;
 
+  /// Approximate in-memory footprint in bytes (rep + string payload).
+  /// Used by ReqSync buffer budgets; cheap, not exact.
+  size_t ApproxBytes() const {
+    size_t n = sizeof(Value);
+    if (is_string()) n += AsString().capacity();
+    return n;
+  }
+
   /// Human-readable rendering ("NULL", 42, 3.14, 'abc', ?<call:field>).
   std::string ToString() const;
 

@@ -75,9 +75,17 @@ class VirtualTable {
   /// Asynchronous access: registers an external call with `pump` and
   /// returns its id immediately. The call's CallResult rows carry the
   /// OUTPUT columns only; AEVScan pairs them with the already-known
-  /// input values via placeholders.
-  virtual CallId SubmitAsync(const VTableRequest& request,
-                             ReqPump* pump) = 0;
+  /// input values via placeholders. `timeout_micros` > 0 sets an
+  /// explicit per-call deadline (the query governor passes the
+  /// remaining query budget here so no call outlives its query);
+  /// <= 0 keeps the pump's default timeout.
+  virtual CallId SubmitAsync(const VTableRequest& request, ReqPump* pump,
+                             int64_t timeout_micros) = 0;
+
+  /// Convenience: submit with the pump's default timeout.
+  CallId SubmitAsync(const VTableRequest& request, ReqPump* pump) {
+    return SubmitAsync(request, pump, 0);
+  }
 };
 
 /// Name → virtual table registry (kept apart from Catalog because

@@ -1,0 +1,102 @@
+#include "wsq/admission.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace wsq {
+
+namespace {
+/// Queued queries re-check their token at this quantum, mirroring the
+/// ReqPump's cancellation poll, so a cancelled query leaves the queue
+/// promptly even if no slot frees up.
+constexpr int64_t kCancelPollMicros = 5000;
+}  // namespace
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release();
+  controller_ = nullptr;
+}
+
+void AdmissionController::Release() {
+  MutexLock lock(&mu_);
+  --active_;
+  cv_.NotifyAll();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const CancellationToken* token) {
+  MutexLock lock(&mu_);
+  if (limits_.max_concurrent_queries <= 0 ||
+      active_ < limits_.max_concurrent_queries) {
+    ++active_;
+    ++stats_.admitted;
+    stats_.active_peak =
+        std::max(stats_.active_peak, static_cast<uint64_t>(active_));
+    return Ticket(this);
+  }
+
+  // All slots busy. Shed immediately if the wait queue is full (or
+  // queueing is disabled), else join it for a bounded wait.
+  if (queued_ >= limits_.max_queued) {
+    ++stats_.shed_queue_full;
+    return Status::ResourceExhausted(
+        "server overloaded: admission queue is full");
+  }
+  ++queued_;
+  stats_.queued_peak =
+      std::max(stats_.queued_peak, static_cast<uint64_t>(queued_));
+  const int64_t wait_deadline =
+      limits_.max_queue_wait_micros > 0
+          ? NowMicros() + limits_.max_queue_wait_micros
+          : 0;
+  Status shed = Status::OK();
+  while (active_ >= limits_.max_concurrent_queries) {
+    if (token != nullptr) {
+      Status alive = token->CheckAlive();
+      if (!alive.ok()) {
+        ++stats_.shed_cancelled;
+        shed = alive;
+        break;
+      }
+    }
+    int64_t wait = kCancelPollMicros;
+    if (wait_deadline > 0) {
+      int64_t remaining = wait_deadline - NowMicros();
+      if (remaining <= 0) {
+        ++stats_.shed_timeout;
+        shed = Status::ResourceExhausted(
+            "server overloaded: no execution slot freed within the "
+            "admission wait bound");
+        break;
+      }
+      wait = std::min(wait, remaining);
+    }
+    cv_.WaitForMicros(mu_, wait);
+  }
+  --queued_;
+  if (!shed.ok()) return shed;
+  ++active_;
+  ++stats_.admitted;
+  stats_.active_peak =
+      std::max(stats_.active_peak, static_cast<uint64_t>(active_));
+  return Ticket(this);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+int AdmissionController::active() const {
+  MutexLock lock(&mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  MutexLock lock(&mu_);
+  return queued_;
+}
+
+}  // namespace wsq

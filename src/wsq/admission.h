@@ -1,0 +1,113 @@
+#ifndef WSQ_WSQ_ADMISSION_H_
+#define WSQ_WSQ_ADMISSION_H_
+
+#include <cstdint>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+/// Overload admission policy for WsqDatabase::Execute.
+struct AdmissionLimits {
+  /// Max queries executing at once; 0 = unbounded (admission control
+  /// off — Admit always succeeds and only keeps stats).
+  int max_concurrent_queries = 0;
+  /// Max queries allowed to wait for a slot. An arrival that would
+  /// queue past this bound is shed immediately (kResourceExhausted).
+  /// 0 = shed as soon as all slots are busy, without queueing.
+  int max_queued = 0;
+  /// Longest a queued query waits for a slot before it is shed
+  /// (kResourceExhausted). 0 with max_queued > 0 = wait without bound
+  /// (the query's own deadline/cancellation still applies).
+  int64_t max_queue_wait_micros = 0;
+};
+
+/// Per-reason shed accounting (bounded-wait-then-shed semantics).
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  /// Arrivals shed because the wait queue was already full.
+  uint64_t shed_queue_full = 0;
+  /// Queued queries shed because no slot freed within the wait bound.
+  uint64_t shed_timeout = 0;
+  /// Queued queries that gave up because their own token was cancelled
+  /// or their deadline expired while waiting.
+  uint64_t shed_cancelled = 0;
+  uint64_t active_peak = 0;
+  uint64_t queued_peak = 0;
+};
+
+/// Gate in front of query execution: at most max_concurrent_queries
+/// run; up to max_queued more wait (bounded by max_queue_wait_micros
+/// and by the query's own cancellation token); the rest are shed with
+/// kResourceExhausted so an overloaded server degrades by rejecting
+/// work instead of by queueing without bound.
+///
+/// Thread-safe; Admit may be called concurrently from any thread.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits)
+      : limits_(limits) {}
+  AdmissionController() : AdmissionController(AdmissionLimits{}) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot: releasing (destroying) it wakes one queued query. The
+  /// controller must outlive every Ticket.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool valid() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* c) : controller_(c) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Blocks (bounded) until a slot is free, observing `token` (may be
+  /// null). Errors: kResourceExhausted when shed (queue full / wait
+  /// bound exceeded), or the token's kCancelled/kDeadlineExceeded when
+  /// the query died while waiting.
+  Result<Ticket> Admit(const CancellationToken* token)
+      WSQ_EXCLUDES(mu_);
+  Result<Ticket> Admit() { return Admit(nullptr); }
+
+  AdmissionStats stats() const WSQ_EXCLUDES(mu_);
+  int active() const WSQ_EXCLUDES(mu_);
+  int queued() const WSQ_EXCLUDES(mu_);
+  const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  void Release() WSQ_EXCLUDES(mu_);
+
+  const AdmissionLimits limits_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int active_ WSQ_GUARDED_BY(mu_) = 0;
+  int queued_ WSQ_GUARDED_BY(mu_) = 0;
+  AdmissionStats stats_ WSQ_GUARDED_BY(mu_);
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_WSQ_ADMISSION_H_

@@ -26,7 +26,8 @@ WsqDatabase::WsqDatabase(const Options& options,
       persistent_(persistent),
       buffer_pool_(options.buffer_pool_pages, disk_),
       catalog_(&buffer_pool_),
-      pump_(options.pump_limits) {}
+      pump_(options.pump_limits),
+      admission_(options.admission) {}
 
 WsqDatabase::WsqDatabase(const Options& options)
     : WsqDatabase(options, std::make_unique<InMemoryDiskManager>(),
@@ -145,12 +146,31 @@ Status WsqDatabase::RegisterSearchEngine(const std::string& engine_name,
 
 Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
                                             const ExecOptions& options) {
+  // Query governor: one token carries the deadline and the cancel flag
+  // for the whole statement. A caller-supplied token lets another
+  // thread abort mid-flight; otherwise a private one enforces just the
+  // deadline.
+  CancellationToken local_token;
+  CancellationToken* token =
+      options.cancel != nullptr ? options.cancel : &local_token;
+  if (options.deadline_micros > 0) {
+    token->SetDeadlineAfter(options.deadline_micros);
+  }
+
+  // Overload admission: bounded-wait-then-shed before any parsing or
+  // planning work is sunk into the query. The ticket holds the
+  // execution slot until this function returns.
+  WSQ_ASSIGN_OR_RETURN(AdmissionController::Ticket ticket,
+                       admission_.Admit(token));
+  // Waiting for a slot may have consumed the whole budget.
+  WSQ_RETURN_IF_ERROR(token->CheckAlive());
+
   WSQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                        Parser::Parse(sql));
   switch (stmt->kind()) {
     case Statement::Kind::kSelect:
       return ExecuteSelect(static_cast<const SelectStatement&>(*stmt),
-                           options);
+                           options, token);
     case Statement::Kind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const CreateTableStatement&>(*stmt));
@@ -209,7 +229,8 @@ Result<std::string> WsqDatabase::ExplainSelect(const std::string& sql,
 }
 
 Result<QueryExecution> WsqDatabase::ExecuteSelect(
-    const SelectStatement& stmt, const ExecOptions& options) {
+    const SelectStatement& stmt, const ExecOptions& options,
+    const CancellationToken* token) {
   Binder binder(&catalog_, &vtables_, options_.binder);
   WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan, binder.Bind(stmt));
   if (options.async_iteration) {
@@ -224,6 +245,7 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   uint64_t calls_before = pump_.stats().registered;
   ExecContext ctx;
   ctx.pump = &pump_;
+  ctx.token = token;
   Stopwatch timer;
   WSQ_ASSIGN_OR_RETURN(ResultSet result, ExecutePlan(*plan, &ctx));
 
@@ -236,6 +258,10 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   out.stats.failed_calls = ctx.failed_calls.load();
   out.stats.dropped_tuples = ctx.dropped_tuples.load();
   out.stats.null_padded_tuples = ctx.null_padded_tuples.load();
+  out.stats.cancelled_calls = ctx.cancelled_calls.load();
+  out.stats.shed_tuples = ctx.shed_tuples.load();
+  out.stats.peak_buffered_rows = ctx.reqsync_peak_rows.load();
+  out.stats.peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
   return out;
 }
 

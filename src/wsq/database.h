@@ -6,6 +6,7 @@
 
 #include "async/req_pump.h"
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
 #include "exec/executor.h"
 #include "net/search_service.h"
 #include "plan/async_rewriter.h"
@@ -14,6 +15,7 @@
 #include "storage/disk_manager.h"
 #include "storage/wal.h"
 #include "vtab/virtual_table.h"
+#include "wsq/admission.h"
 
 namespace wsq {
 
@@ -31,6 +33,14 @@ struct QueryStats {
   uint64_t dropped_tuples = 0;
   /// Tuples completed with NULLs under OnCallError::kNullPad.
   uint64_t null_padded_tuples = 0;
+  /// Outstanding external calls cancelled when the query was aborted
+  /// (deadline exceeded / explicit cancel).
+  uint64_t cancelled_calls = 0;
+  /// Pending tuples dropped by a ReqSync shed-oldest buffer budget.
+  uint64_t shed_tuples = 0;
+  /// Peak pending tuples / approximate bytes buffered by any ReqSync.
+  uint64_t peak_buffered_rows = 0;
+  uint64_t peak_buffered_bytes = 0;
 };
 
 struct QueryExecution {
@@ -46,6 +56,8 @@ class WsqDatabase {
   struct Options {
     size_t buffer_pool_pages = 256;
     ReqPump::Limits pump_limits;
+    /// Overload admission control for Execute (default: off).
+    AdmissionLimits admission;
     BinderOptions binder;
     /// Durability discipline for the database file and its WAL
     /// (file-backed databases only). kFull fsyncs at the checkpoint
@@ -118,6 +130,15 @@ class WsqDatabase {
     /// Degradation policy for failed external calls; shorthand for
     /// setting `rewrite.on_call_error` (this wins when non-default).
     OnCallError on_call_error = OnCallError::kFailQuery;
+    /// Absolute budget for the whole query, measured from Execute();
+    /// 0 = none. On expiry the query aborts with kDeadlineExceeded and
+    /// the remaining budget clamps every external call's timeout at
+    /// issue time.
+    int64_t deadline_micros = 0;
+    /// Caller-owned cancellation token (must outlive Execute); lets
+    /// another thread abort the query with kCancelled. Null = Execute
+    /// uses a private token (deadline_micros still applies).
+    CancellationToken* cancel = nullptr;
   };
 
   /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the
@@ -137,6 +158,7 @@ class WsqDatabase {
   VirtualTableRegistry* vtables() { return &vtables_; }
   ReqPump* pump() { return &pump_; }
   BufferPool* buffer_pool() { return &buffer_pool_; }
+  AdmissionController* admission() { return &admission_; }
 
  private:
   WsqDatabase(const Options& options, std::unique_ptr<DiskManager> owned_disk,
@@ -151,7 +173,8 @@ class WsqDatabase {
       std::unique_ptr<WsqDatabase> db);
 
   Result<QueryExecution> ExecuteSelect(const SelectStatement& stmt,
-                                       const ExecOptions& options);
+                                       const ExecOptions& options,
+                                       const CancellationToken* token);
   Result<QueryExecution> ExecuteCreateTable(
       const CreateTableStatement& stmt);
   Result<QueryExecution> ExecuteCreateIndex(
@@ -171,6 +194,7 @@ class WsqDatabase {
   Catalog catalog_;
   VirtualTableRegistry vtables_;
   ReqPump pump_;
+  AdmissionController admission_;
 };
 
 }  // namespace wsq

@@ -44,6 +44,7 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
 
   WsqDatabase::Options db_options;
   db_options.pump_limits = options.pump_limits;
+  db_options.admission = options.admission;
   db_ = std::make_unique<WsqDatabase>(db_options);
 
   Status s = db_->RegisterSearchEngine("AV", av, /*supports_near=*/true);

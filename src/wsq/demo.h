@@ -22,6 +22,8 @@ struct DemoOptions {
   size_t client_cache_entries = 0;
   /// ReqPump concurrency limits.
   ReqPump::Limits pump_limits;
+  /// Overload admission control for the database (default: off).
+  AdmissionLimits admission;
   uint64_t seed = 42;
 };
 

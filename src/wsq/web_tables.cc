@@ -68,21 +68,28 @@ Result<std::vector<Row>> WebCountTable::Fetch(
 }
 
 CallId WebCountTable::SubmitAsync(const VTableRequest& request,
-                                  ReqPump* pump) {
+                                  ReqPump* pump,
+                                  int64_t timeout_micros) {
+  // timeout_micros > 0 carries the query's remaining deadline budget;
+  // otherwise the pump's default timeout applies.
+  auto submit = [&](AsyncCallFn fn) {
+    return timeout_micros > 0
+               ? pump->Register(destination(), std::move(fn),
+                                timeout_micros)
+               : pump->Register(destination(), std::move(fn));
+  };
   auto query = ExpandQuery(request);
   if (!query.ok()) {
     Status failure = query.status();
-    return pump->Register(destination(),
-                          [failure](CallCompletion done) {
-                            done(CallResult{failure, {}});
-                          });
+    return submit([failure](CallCompletion done) {
+      done(CallResult{failure, {}});
+    });
   }
   SearchRequest sreq;
   sreq.kind = SearchRequest::Kind::kCount;
   sreq.query = std::move(*query);
   SearchService* service = service_;
-  return pump->Register(
-      destination(),
+  return submit(
       [service, sreq = std::move(sreq)](CallCompletion done) mutable {
         service->Submit(std::move(sreq), [done](SearchResponse resp) {
           CallResult result;
@@ -160,17 +167,23 @@ Result<std::vector<Row>> WebPagesTable::Fetch(
 }
 
 CallId WebPagesTable::SubmitAsync(const VTableRequest& request,
-                                  ReqPump* pump) {
+                                  ReqPump* pump,
+                                  int64_t timeout_micros) {
+  auto submit = [&](AsyncCallFn fn) {
+    return timeout_micros > 0
+               ? pump->Register(destination(), std::move(fn),
+                                timeout_micros)
+               : pump->Register(destination(), std::move(fn));
+  };
   auto query = ExpandQuery(request);
   if (!query.ok()) {
     Status failure = query.status();
-    return pump->Register(destination(),
-                          [failure](CallCompletion done) {
-                            done(CallResult{failure, {}});
-                          });
+    return submit([failure](CallCompletion done) {
+      done(CallResult{failure, {}});
+    });
   }
   if (request.rank_limit <= 0) {
-    return pump->Register(destination(), [](CallCompletion done) {
+    return submit([](CallCompletion done) {
       done(CallResult{Status::OK(), {}});
     });
   }
@@ -179,8 +192,7 @@ CallId WebPagesTable::SubmitAsync(const VTableRequest& request,
   sreq.query = std::move(*query);
   sreq.k = static_cast<size_t>(request.rank_limit);
   SearchService* service = service_;
-  return pump->Register(
-      destination(),
+  return submit(
       [service, sreq = std::move(sreq)](CallCompletion done) mutable {
         service->Submit(std::move(sreq), [done](SearchResponse resp) {
           CallResult result;

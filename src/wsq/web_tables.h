@@ -31,8 +31,9 @@ class WebCountTable : public VirtualTable {
       const VTableRequest& request) const override;
 
   Result<std::vector<Row>> Fetch(const VTableRequest& request) override;
-  CallId SubmitAsync(const VTableRequest& request,
-                     ReqPump* pump) override;
+  using VirtualTable::SubmitAsync;
+  CallId SubmitAsync(const VTableRequest& request, ReqPump* pump,
+                     int64_t timeout_micros) override;
 
  private:
   Result<std::string> ExpandQuery(const VTableRequest& request) const;
@@ -62,8 +63,9 @@ class WebPagesTable : public VirtualTable {
       const VTableRequest& request) const override;
 
   Result<std::vector<Row>> Fetch(const VTableRequest& request) override;
-  CallId SubmitAsync(const VTableRequest& request,
-                     ReqPump* pump) override;
+  using VirtualTable::SubmitAsync;
+  CallId SubmitAsync(const VTableRequest& request, ReqPump* pump,
+                     int64_t timeout_micros) override;
 
  private:
   Result<std::string> ExpandQuery(const VTableRequest& request) const;

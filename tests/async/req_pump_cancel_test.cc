@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "async/req_pump.h"
+#include "common/cancellation.h"
+#include "common/clock.h"
+
+// Regression suite for the governor-facing ReqPump surface: CancelCall,
+// token-observing blocking waits, max_queued shedding, and the
+// guarantee that a blocked consumer always wakes (no unbounded waits on
+// cancelled calls or mid-wait shutdown).
+
+namespace wsq {
+namespace {
+
+AsyncCallFn ImmediateCall(int64_t v) {
+  return [v](CallCompletion done) {
+    done(CallResult{Status::OK(), {Row({Value::Int(v)})}});
+  };
+}
+
+AsyncCallFn DelayedCall(int64_t v, int64_t micros) {
+  return [=](CallCompletion done) {
+    std::thread([=] {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      done(CallResult{Status::OK(), {Row({Value::Int(v)})}});
+    }).detach();
+  };
+}
+
+// A call whose fn never runs unless dispatched; used to prove queued
+// calls are dropped without execution.
+AsyncCallFn CountingCall(std::atomic<int>* dispatched, int64_t micros) {
+  return [=](CallCompletion done) {
+    ++*dispatched;
+    std::thread([=] {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+      done(CallResult{Status::OK(), {}});
+    }).detach();
+  };
+}
+
+TEST(ReqPumpCancelTest, CancelDispatchedCallResolvesImmediately) {
+  ReqPump pump;
+  CallId id = pump.Register("x", DelayedCall(1, 200000));
+  ASSERT_TRUE(pump.CancelCall(id));
+  // The kCancelled result is in ReqPumpHash; taking it cannot block.
+  Stopwatch timer;
+  CallResult r = pump.TakeBlocking(id);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_LT(timer.ElapsedMicros(), 100000);
+  EXPECT_EQ(pump.stats().cancelled, 1u);
+  // The real completion, arriving later, must be discarded silently.
+  pump.Drain();
+}
+
+TEST(ReqPumpCancelTest, CancelQueuedCallNeverDispatchesIt) {
+  ReqPump::Limits limits;
+  limits.max_per_destination = 1;
+  ReqPump pump(limits);
+  std::atomic<int> dispatched{0};
+  CallId first = pump.Register("x", CountingCall(&dispatched, 50000));
+  CallId queued = pump.Register("x", CountingCall(&dispatched, 50000));
+  ASSERT_TRUE(pump.CancelCall(queued));
+  CallResult r = pump.TakeBlocking(queued);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  CallResult f = pump.TakeBlocking(first);
+  EXPECT_TRUE(f.status.ok());
+  pump.Drain();
+  EXPECT_EQ(dispatched.load(), 1);
+  EXPECT_EQ(pump.stats().cancelled, 1u);
+}
+
+TEST(ReqPumpCancelTest, CancelReleasesDestinationSlot) {
+  ReqPump::Limits limits;
+  limits.max_per_destination = 1;
+  ReqPump pump(limits);
+  CallId hog = pump.Register("x", DelayedCall(1, 500000));
+  CallId next = pump.Register("x", ImmediateCall(2));
+  EXPECT_FALSE(pump.IsComplete(next));  // stuck behind the hog
+  ASSERT_TRUE(pump.CancelCall(hog));
+  // Cancelling the hog must free its slot so `next` dispatches now.
+  CallResult r = pump.TakeBlocking(next);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 2);
+  pump.Drain();
+}
+
+TEST(ReqPumpCancelTest, CancelCompletedCallReturnsFalse) {
+  ReqPump pump;
+  CallId id = pump.Register("x", ImmediateCall(7));
+  EXPECT_FALSE(pump.CancelCall(id));
+  CallResult r = pump.TakeBlocking(id);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(pump.stats().cancelled, 0u);
+}
+
+TEST(ReqPumpCancelTest, CancelUnknownCallReturnsFalse) {
+  ReqPump pump;
+  EXPECT_FALSE(pump.CancelCall(12345));
+}
+
+// The satellite regression: a consumer blocked in TakeBlocking wakes
+// with kCancelled when its query's token is cancelled from another
+// thread — it must not hang until the call's natural completion.
+TEST(ReqPumpCancelTest, BlockedConsumerWakesOnTokenCancel) {
+  ReqPump pump;
+  CancellationToken token;
+  CallId id = pump.Register("x", DelayedCall(1, 2000000));
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  Stopwatch timer;
+  CallResult r = pump.TakeBlocking(id, &token);
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  // Far less than the 2 s call latency: ~20 ms cancel + poll quantum.
+  EXPECT_LT(timer.ElapsedMicros(), 1000000);
+  canceller.join();
+  // The call itself is NOT consumed by a token-aborted wait; the Close
+  // cascade cancels and reaps it.
+  EXPECT_TRUE(pump.CancelCall(id));
+  CallResult reaped = pump.TakeBlocking(id);
+  EXPECT_EQ(reaped.status.code(), StatusCode::kCancelled);
+  pump.Drain();
+}
+
+TEST(ReqPumpCancelTest, BlockedConsumerWakesOnExpiredDeadline) {
+  ReqPump pump;
+  CancellationToken token;
+  token.SetDeadlineAfter(20000);  // 20 ms
+  CallId id = pump.Register("x", DelayedCall(1, 2000000));
+  Stopwatch timer;
+  CallResult r = pump.TakeBlocking(id, &token);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMicros(), 1000000);
+  ASSERT_TRUE(pump.CancelCall(id));
+  (void)pump.TakeBlocking(id);
+  pump.Drain();
+}
+
+TEST(ReqPumpCancelTest, TakeBlockingOnUnknownIdDoesNotHang) {
+  ReqPump pump;
+  CallResult r = pump.TakeBlocking(999);
+  EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+}
+
+TEST(ReqPumpCancelTest, TakeBlockingOnAlreadyTakenIdDoesNotHang) {
+  ReqPump pump;
+  CallId id = pump.Register("x", ImmediateCall(1));
+  EXPECT_TRUE(pump.TakeBlocking(id).status.ok());
+  CallResult again = pump.TakeBlocking(id);
+  EXPECT_EQ(again.status.code(), StatusCode::kInternal);
+}
+
+TEST(ReqPumpCancelTest, WaitForCompletionBeyondObservesToken) {
+  ReqPump pump;
+  CancellationToken token;
+  // No calls registered: without the token this wait could only be
+  // satisfied by a completion that will never come.
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  Stopwatch timer;
+  pump.WaitForCompletionBeyond(pump.completion_seq(), &token);
+  EXPECT_LT(timer.ElapsedMicros(), 1000000);
+  canceller.join();
+}
+
+TEST(ReqPumpCancelTest, MaxQueuedShedsWithResourceExhausted) {
+  ReqPump::Limits limits;
+  limits.max_per_destination = 1;
+  limits.max_queued = 1;
+  ReqPump pump(limits);
+  std::atomic<int> dispatched{0};
+  CallId running = pump.Register("x", CountingCall(&dispatched, 50000));
+  CallId queued = pump.Register("x", CountingCall(&dispatched, 50000));
+  CallId shed = pump.Register("x", CountingCall(&dispatched, 50000));
+  // The shed call resolves immediately, without dispatching.
+  CallResult r = pump.TakeBlocking(shed);
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(pump.TakeBlocking(running).status.ok());
+  EXPECT_TRUE(pump.TakeBlocking(queued).status.ok());
+  pump.Drain();
+  EXPECT_EQ(dispatched.load(), 2);
+  ReqPumpStats stats = pump.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.registered, 3u);
+  // Ledger balance: every registered call is accounted for exactly once.
+  EXPECT_EQ(stats.registered, stats.completed + stats.cancelled + stats.shed);
+  EXPECT_EQ(pump.pending_results(), 0u);
+}
+
+TEST(ReqPumpCancelTest, ShedCallsDoNotBlockDrainOrDestruction) {
+  ReqPump::Limits limits;
+  limits.max_global = 1;
+  limits.max_queued = 1;
+  ReqPump pump(limits);
+  CallId a = pump.Register("x", DelayedCall(1, 10000));
+  CallId b = pump.Register("x", ImmediateCall(2));
+  CallId c = pump.Register("x", ImmediateCall(3));  // queue full: shed
+  EXPECT_EQ(pump.TakeBlocking(c).status.code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(pump.TakeBlocking(a).status.ok());
+  EXPECT_TRUE(pump.TakeBlocking(b).status.ok());
+  pump.Drain();  // must not count the shed call as outstanding
+}
+
+// Destruction while a consumer is blocked: the consumer must wake with
+// kCancelled, not deadlock against the destructor.
+TEST(ReqPumpCancelTest, ShutdownMidWaitWakesConsumer) {
+  std::atomic<bool> woke{false};
+  Status wake_status = Status::OK();
+  std::thread consumer;
+  {
+    ReqPump::Limits limits;
+    limits.max_global = 1;
+    ReqPump pump(limits);
+    // Occupy the only slot so the waited-on call stays queued; the hog
+    // completes well after destruction begins, so the destructor drops
+    // the queued call first and then drains the hog.
+    (void)pump.Register("x", DelayedCall(1, 300000));
+    CallId queued = pump.Register("x", ImmediateCall(2));
+    consumer = std::thread([&pump, queued, &woke, &wake_status] {
+      CallResult r = pump.TakeBlocking(queued);
+      wake_status = r.status;
+      woke = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(woke.load());
+    // ~ReqPump drops the queued call (kCancelled) and wakes waiters.
+  }
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_EQ(wake_status.code(), StatusCode::kCancelled);
+}
+
+// Many threads cancelling and taking concurrently: exercises the
+// CancelCall/OnComplete/TimerLoop races under TSan.
+TEST(ReqPumpCancelTest, ConcurrentCancelAndCompleteIsClean) {
+  ReqPump::Limits limits;
+  limits.max_global = 8;
+  ReqPump pump(limits);
+  constexpr int kCalls = 64;
+  std::vector<CallId> ids;
+  ids.reserve(kCalls);
+  for (int i = 0; i < kCalls; ++i) {
+    ids.push_back(pump.Register("x", DelayedCall(i, 1000 + 100 * i)));
+  }
+  std::vector<std::thread> cancellers;
+  cancellers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    cancellers.emplace_back([&pump, &ids, t] {
+      for (size_t i = t; i < ids.size(); i += 4) {
+        pump.CancelCall(ids[i]);
+      }
+    });
+  }
+  for (std::thread& th : cancellers) th.join();
+  for (CallId id : ids) {
+    CallResult r = pump.TakeBlocking(id);
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == StatusCode::kCancelled);
+  }
+  pump.Drain();
+  ReqPumpStats stats = pump.stats();
+  EXPECT_EQ(stats.registered, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(stats.registered,
+            stats.completed + stats.cancelled + stats.shed);
+  EXPECT_EQ(pump.pending_results(), 0u);
+}
+
+}  // namespace
+}  // namespace wsq

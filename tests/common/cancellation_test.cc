@@ -1,0 +1,92 @@
+#include "common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace wsq {
+namespace {
+
+TEST(CancellationTokenTest, FreshTokenIsAlive) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_FALSE(token.HasDeadline());
+  EXPECT_EQ(token.RemainingMicros(), CancellationToken::kNoDeadline);
+  EXPECT_TRUE(token.CheckAlive().ok());
+}
+
+TEST(CancellationTokenTest, CancelFlipsCheckAlive) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  Status s = token.CheckAlive();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  CancellationToken token;
+  token.SetDeadline(NowMicros() - 1);
+  EXPECT_TRUE(token.HasDeadline());
+  EXPECT_EQ(token.RemainingMicros(), 0);
+  Status s = token.CheckAlive();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, FutureDeadlineStaysAlive) {
+  CancellationToken token;
+  token.SetDeadlineAfter(60LL * 1000 * 1000);
+  EXPECT_TRUE(token.CheckAlive().ok());
+  int64_t remaining = token.RemainingMicros();
+  EXPECT_GT(remaining, 0);
+  EXPECT_LE(remaining, 60LL * 1000 * 1000);
+}
+
+TEST(CancellationTokenTest, CancelWinsOverDeadline) {
+  CancellationToken token;
+  token.SetDeadlineAfter(60LL * 1000 * 1000);
+  token.Cancel();
+  EXPECT_EQ(token.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, ResetRevivesToken) {
+  CancellationToken token;
+  token.SetDeadline(NowMicros() - 1);
+  token.Cancel();
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_FALSE(token.HasDeadline());
+  EXPECT_TRUE(token.CheckAlive().ok());
+}
+
+// Cancel is release-ordered and CheckAlive acquire-ordered: hammering
+// the token from many threads must be race-free (run under TSan).
+TEST(CancellationTokenTest, ConcurrentCancelAndCheck) {
+  CancellationToken token;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&token] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)token.CheckAlive();
+        (void)token.RemainingMicros();
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&token, t] {
+      if (t % 2 == 0) {
+        token.Cancel();
+      } else {
+        token.SetDeadlineAfter(1000000);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(token.CheckAlive().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace wsq

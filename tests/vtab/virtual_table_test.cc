@@ -38,13 +38,17 @@ class FakeTable : public VirtualTable {
     return std::vector<Row>{row};
   }
 
-  CallId SubmitAsync(const VTableRequest& request,
-                     ReqPump* pump) override {
+  using VirtualTable::SubmitAsync;
+  CallId SubmitAsync(const VTableRequest& request, ReqPump* pump,
+                     int64_t timeout_micros) override {
+    last_timeout_micros = timeout_micros;
     int64_t n = static_cast<int64_t>(request.terms.size());
     return pump->Register(destination_, [n](CallCompletion done) {
       done(CallResult{Status::OK(), {Row({Value::Int(n)})}});
     });
   }
+
+  int64_t last_timeout_micros = -1;
 
  private:
   std::string name_;

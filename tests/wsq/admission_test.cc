@@ -1,0 +1,245 @@
+#include "wsq/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "wsq/demo.h"
+
+namespace wsq {
+namespace {
+
+TEST(AdmissionControllerTest, UnboundedAdmitsEverythingAndKeepsStats) {
+  AdmissionController ctl;  // max_concurrent_queries = 0: off
+  std::vector<AdmissionController::Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    auto t = ctl.Admit();
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(*t));
+  }
+  EXPECT_EQ(ctl.active(), 16);
+  EXPECT_EQ(ctl.stats().admitted, 16u);
+  EXPECT_EQ(ctl.stats().active_peak, 16u);
+  tickets.clear();
+  EXPECT_EQ(ctl.active(), 0);
+}
+
+TEST(AdmissionControllerTest, ShedsWhenSlotsAndQueueAreFull) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 1;
+  limits.max_queued = 0;  // no queue: shed as soon as the slot is busy
+  AdmissionController ctl(limits);
+  auto first = ctl.Admit();
+  ASSERT_TRUE(first.ok());
+  auto second = ctl.Admit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  AdmissionStats stats = ctl.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+}
+
+TEST(AdmissionControllerTest, TicketReleaseWakesQueuedQuery) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 1;
+  limits.max_queued = 1;
+  AdmissionController ctl(limits);
+  auto first = ctl.Admit();
+  ASSERT_TRUE(first.ok());
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&ctl, &admitted] {
+    auto t = ctl.Admit();
+    EXPECT_TRUE(t.ok());
+    admitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(admitted.load());
+  EXPECT_EQ(ctl.queued(), 1);
+  first->Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(ctl.stats().admitted, 2u);
+  EXPECT_EQ(ctl.stats().queued_peak, 1u);
+}
+
+TEST(AdmissionControllerTest, QueuedQueryShedsAfterWaitBound) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 1;
+  limits.max_queued = 1;
+  limits.max_queue_wait_micros = 20000;  // 20 ms
+  AdmissionController ctl(limits);
+  auto first = ctl.Admit();
+  ASSERT_TRUE(first.ok());
+  Stopwatch timer;
+  auto second = ctl.Admit();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  // Waited at least the bound, but nowhere near unbounded.
+  EXPECT_GE(timer.ElapsedMicros(), 15000);
+  EXPECT_LT(timer.ElapsedMicros(), 2000000);
+  EXPECT_EQ(ctl.stats().shed_timeout, 1u);
+  EXPECT_EQ(ctl.queued(), 0);
+}
+
+TEST(AdmissionControllerTest, QueuedQueryObservesItsOwnToken) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 1;
+  limits.max_queued = 1;
+  AdmissionController ctl(limits);
+  auto first = ctl.Admit();
+  ASSERT_TRUE(first.ok());
+  CancellationToken token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.Cancel();
+  });
+  auto second = ctl.Admit(&token);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kCancelled);
+  canceller.join();
+  EXPECT_EQ(ctl.stats().shed_cancelled, 1u);
+  EXPECT_EQ(ctl.queued(), 0);
+}
+
+TEST(AdmissionControllerTest, QueuedQueryObservesItsDeadline) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 1;
+  limits.max_queued = 1;
+  AdmissionController ctl(limits);
+  auto first = ctl.Admit();
+  ASSERT_TRUE(first.ok());
+  CancellationToken token;
+  token.SetDeadlineAfter(20000);
+  auto second = ctl.Admit(&token);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctl.stats().shed_cancelled, 1u);
+}
+
+TEST(AdmissionControllerTest, MovedTicketReleasesExactlyOnce) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 2;
+  AdmissionController ctl(limits);
+  {
+    auto a = ctl.Admit();
+    ASSERT_TRUE(a.ok());
+    AdmissionController::Ticket moved = std::move(*a);
+    EXPECT_TRUE(moved.valid());
+    EXPECT_FALSE(a->valid());
+    EXPECT_EQ(ctl.active(), 1);
+  }
+  EXPECT_EQ(ctl.active(), 0);
+}
+
+// Hammer Admit/Release from many threads; counters must balance.
+TEST(AdmissionControllerTest, ConcurrentAdmitIsConsistent) {
+  AdmissionLimits limits;
+  limits.max_concurrent_queries = 4;
+  limits.max_queued = 4;
+  limits.max_queue_wait_micros = 50000;
+  AdmissionController ctl(limits);
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto ticket = ctl.Admit();
+        if (ticket.ok()) {
+          ++ok_count;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          EXPECT_EQ(ticket.status().code(),
+                    StatusCode::kResourceExhausted);
+          ++shed_count;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(ctl.active(), 0);
+  EXPECT_EQ(ctl.queued(), 0);
+  AdmissionStats stats = ctl.stats();
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(ok_count.load()));
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_timeout,
+            static_cast<uint64_t>(shed_count.load()));
+  EXPECT_EQ(ok_count.load() + shed_count.load(), 16 * 50);
+  EXPECT_LE(stats.active_peak, 4u);
+  EXPECT_LE(stats.queued_peak, 4u);
+}
+
+// End-to-end: an overloaded database sheds the excess queries with
+// kResourceExhausted, and every admitted query's result is
+// byte-identical to a serial run of the same statement.
+TEST(AdmissionControllerTest, OverloadedDatabaseShedsButStaysCorrect) {
+  DemoOptions opt;
+  opt.corpus.num_documents = 1200;
+  opt.corpus.vocab_size = 800;
+  opt.latency = LatencyModel::Instant();
+  opt.admission.max_concurrent_queries = 2;
+  opt.admission.max_queued = 0;  // shed as soon as both slots are busy
+  DemoEnv env(opt);
+
+  const std::string sql =
+      "SELECT Name, Capital FROM States "
+      "WHERE Population > 5000000 ORDER BY Name";
+  // Serial baseline (one query at a time always admits).
+  auto baseline = env.Run(sql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  // Deterministic overload: occupy both slots directly, so the next
+  // Execute must shed regardless of scheduling.
+  {
+    auto hog1 = env.db().admission()->Admit();
+    auto hog2 = env.db().admission()->Admit();
+    ASSERT_TRUE(hog1.ok() && hog2.ok());
+    auto r = env.Run(sql);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_GE(env.db().admission()->stats().shed_queue_full, 1u);
+
+  // Concurrent storm: every query either sheds cleanly or returns a
+  // result byte-identical to the serial baseline.
+  constexpr int kThreads = 8;
+  std::atomic<int> shed{0};
+  std::atomic<int> admitted{0};
+  std::atomic<int> other_errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto r = env.Run(sql);
+      if (!r.ok()) {
+        if (r.status().code() == StatusCode::kResourceExhausted) {
+          ++shed;
+        } else {
+          ++other_errors;
+        }
+        return;
+      }
+      ++admitted;
+      // Admitted results are identical to the serial baseline.
+      ASSERT_EQ(r->result.rows.size(), baseline->result.rows.size());
+      for (size_t i = 0; i < r->result.rows.size(); ++i) {
+        EXPECT_EQ(r->result.rows[i].ToString(),
+                  baseline->result.rows[i].ToString());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(other_errors.load(), 0);
+  EXPECT_EQ(admitted.load() + shed.load(), kThreads);
+  EXPECT_GE(admitted.load(), 1);
+  AdmissionStats stats = env.db().admission()->stats();
+  EXPECT_LE(stats.active_peak, 2u);
+  EXPECT_EQ(env.db().admission()->active(), 0);
+}
+
+}  // namespace
+}  // namespace wsq

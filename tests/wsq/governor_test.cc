@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/clock.h"
+#include "exec/scan_ops.h"
+#include "plan/logical_plan.h"
+#include "wsq/demo.h"
+
+// End-to-end query governor: deadlines abort promptly without leaking
+// in-flight external calls, cross-thread cancellation works mid-query,
+// and the remaining query budget clamps external call timeouts.
+
+namespace wsq {
+namespace {
+
+DemoOptions SlowWebOptions(int64_t latency_micros) {
+  DemoOptions opt;
+  opt.corpus.num_documents = 1200;
+  opt.corpus.vocab_size = 800;
+  opt.latency = LatencyModel::Fixed(latency_micros);
+  return opt;
+}
+
+// Secondary sort key keeps the result deterministic when counts tie.
+const char kWebSql[] =
+    "SELECT Name, Count FROM States, WebCount WHERE Name = T1 "
+    "ORDER BY Count DESC, Name LIMIT 5";
+
+// The acceptance scenario: a 50 ms deadline over a 1 s-latency
+// destination must come back kDeadlineExceeded in far less than the
+// call latency, with every issued call accounted for.
+TEST(GovernorTest, DeadlineAbortsPromptlyWithoutLeakingCalls) {
+  DemoEnv env(SlowWebOptions(1000000));
+  WsqDatabase::ExecOptions options;
+  options.deadline_micros = 50000;  // 50 ms
+  Stopwatch timer;
+  auto r = env.db().Execute(kWebSql, options);
+  int64_t elapsed = timer.ElapsedMicros();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  // Deadline + a few 5 ms poll quanta — never the 1 s call latency.
+  EXPECT_LT(elapsed, 300000);
+  // Zero leaked in-flight calls: the Close cascade reaped everything.
+  ReqPump* pump = env.db().pump();
+  EXPECT_EQ(pump->pending_results(), 0u);
+  ReqPumpStats stats = pump->stats();
+  EXPECT_EQ(stats.registered,
+            stats.completed + stats.cancelled + stats.shed);
+  // Every issued call was torn down one way or the other: either the
+  // clamped timeout expired it (failed) or the Close cascade cancelled
+  // it — never by waiting out the 1 s destination latency.
+  EXPECT_GT(stats.failed + stats.cancelled, 0u);
+}
+
+TEST(GovernorTest, AlreadyExpiredDeadlineFailsBeforeIssuingCalls) {
+  DemoEnv env(SlowWebOptions(1000000));
+  WsqDatabase::ExecOptions options;
+  options.deadline_micros = 1;  // expires effectively immediately
+  auto r = env.db().Execute(kWebSql, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(env.db().pump()->pending_results(), 0u);
+}
+
+TEST(GovernorTest, CrossThreadCancelAbortsExecute) {
+  DemoEnv env(SlowWebOptions(1000000));
+  CancellationToken token;
+  WsqDatabase::ExecOptions options;
+  options.cancel = &token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.Cancel();
+  });
+  Stopwatch timer;
+  auto r = env.db().Execute(kWebSql, options);
+  int64_t elapsed = timer.ElapsedMicros();
+  canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+      << r.status().ToString();
+  EXPECT_LT(elapsed, 500000);
+  EXPECT_EQ(env.db().pump()->pending_results(), 0u);
+}
+
+TEST(GovernorTest, DeadlineDoesNotPerturbFastQueries) {
+  DemoOptions opt;
+  opt.corpus.num_documents = 1200;
+  opt.corpus.vocab_size = 800;
+  opt.latency = LatencyModel::Instant();
+  DemoEnv env(opt);
+  auto baseline = env.db().Execute(kWebSql);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  WsqDatabase::ExecOptions options;
+  options.deadline_micros = 60LL * 1000 * 1000;  // generous
+  auto governed = env.db().Execute(kWebSql, options);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+  ASSERT_EQ(governed->result.rows.size(), baseline->result.rows.size());
+  for (size_t i = 0; i < governed->result.rows.size(); ++i) {
+    EXPECT_EQ(governed->result.rows[i].ToString(),
+              baseline->result.rows[i].ToString());
+  }
+}
+
+// Several queries with private tokens racing a canceller thread: every
+// Execute must terminate with OK or kCancelled, and the pump ledger
+// must balance afterwards (TSan target).
+TEST(GovernorTest, ConcurrentExecuteAndCancelRaces) {
+  DemoEnv env(SlowWebOptions(30000));
+  constexpr int kQueries = 6;
+  std::vector<CancellationToken> tokens(kQueries);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kQueries);
+  for (int q = 0; q < kQueries; ++q) {
+    threads.emplace_back([&env, &tokens, &finished, q] {
+      WsqDatabase::ExecOptions options;
+      options.cancel = &tokens[q];
+      auto r = env.db().Execute(kWebSql, options);
+      EXPECT_TRUE(r.ok() ||
+                  r.status().code() == StatusCode::kCancelled)
+          << r.status().ToString();
+      ++finished;
+    });
+  }
+  std::thread canceller([&tokens] {
+    for (int q = 0; q < kQueries; q += 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      tokens[q].Cancel();
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  canceller.join();
+  EXPECT_EQ(finished.load(), kQueries);
+  ReqPump* pump = env.db().pump();
+  pump->Drain();
+  EXPECT_EQ(pump->pending_results(), 0u);
+  ReqPumpStats stats = pump->stats();
+  EXPECT_EQ(stats.registered,
+            stats.completed + stats.cancelled + stats.shed);
+}
+
+// ---------------------------------------------------------------------
+// Deadline clamping of external call timeouts (unit level, via a fake
+// virtual table that records the timeout it was handed).
+
+class RecordingTable : public VirtualTable {
+ public:
+  RecordingTable() : name_("Fake"), destination_("fake") {}
+
+  const std::string& name() const override { return name_; }
+  const std::string& destination() const override {
+    return destination_;
+  }
+
+  Schema SchemaForTerms(size_t n) const override {
+    Schema s;
+    s.AddColumn(Column("SearchExp", TypeId::kString, name_));
+    for (size_t i = 1; i <= n; ++i) {
+      s.AddColumn(
+          Column("T" + std::to_string(i), TypeId::kString, name_));
+    }
+    s.AddColumn(Column("Out", TypeId::kInt64, name_));
+    return s;
+  }
+
+  size_t NumOutputColumns() const override { return 1; }
+  bool SingleRowOutput() const override { return true; }
+
+  Result<std::vector<Row>> Fetch(const VTableRequest&) override {
+    return std::vector<Row>{Row({Value::Int(1)})};
+  }
+
+  using VirtualTable::SubmitAsync;
+  CallId SubmitAsync(const VTableRequest&, ReqPump* pump,
+                     int64_t timeout_micros) override {
+    last_timeout_micros = timeout_micros;
+    return pump->Register(destination_, [](CallCompletion done) {
+      done(CallResult{Status::OK(), {Row({Value::Int(1)})}});
+    });
+  }
+
+  int64_t last_timeout_micros = -1;
+
+ private:
+  std::string name_;
+  std::string destination_;
+};
+
+class ClampTest : public ::testing::Test {
+ protected:
+  // Opens an AEVScan over `table` with the given pump default timeout
+  // and token, returning the timeout the table saw.
+  int64_t OpenAndRecord(RecordingTable* table, int64_t pump_default,
+                        const CancellationToken* token) {
+    ReqPump::Limits limits;
+    limits.default_timeout_micros = pump_default;
+    ReqPump pump(limits);
+    EVScanNode node(table, "Fake", 1);
+    node.constant_terms[1] = Value::Str("term");
+    node.async = true;
+    AEVScanOperator op(&node, &pump);
+    op.SetCancelToken(token);
+    Status s = op.Open();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    Row row;
+    while (true) {
+      auto more = op.Next(&row);
+      EXPECT_TRUE(more.ok());
+      if (!more.ok() || !*more) break;
+    }
+    EXPECT_TRUE(op.Close().ok());
+    pump.Drain();
+    return table->last_timeout_micros;
+  }
+};
+
+TEST_F(ClampTest, RemainingBudgetClampsCallTimeout) {
+  RecordingTable table;
+  CancellationToken token;
+  token.SetDeadlineAfter(100000);  // 100 ms left
+  // Pump default is 10 s: the query budget must win.
+  int64_t timeout =
+      OpenAndRecord(&table, 10LL * 1000 * 1000, &token);
+  EXPECT_GT(timeout, 0);
+  EXPECT_LE(timeout, 100000);
+}
+
+TEST_F(ClampTest, SmallerPumpDefaultWinsOverLargeBudget) {
+  RecordingTable table;
+  CancellationToken token;
+  token.SetDeadlineAfter(60LL * 1000 * 1000);  // a minute left
+  int64_t timeout = OpenAndRecord(&table, 1000, &token);
+  EXPECT_EQ(timeout, 1000);
+}
+
+TEST_F(ClampTest, NoDeadlinePassesZeroForPumpDefault) {
+  RecordingTable table;
+  // No deadline on the token: the scan should defer to the pump's
+  // default timeout by passing 0.
+  CancellationToken token;
+  EXPECT_EQ(OpenAndRecord(&table, 1000, &token), 0);
+  RecordingTable no_token_table;
+  EXPECT_EQ(OpenAndRecord(&no_token_table, 1000, nullptr), 0);
+}
+
+TEST_F(ClampTest, ExpiredBudgetRefusesToIssueTheCall) {
+  RecordingTable table;
+  CancellationToken token;
+  token.SetDeadline(NowMicros() - 1);
+  ReqPump pump;
+  EVScanNode node(&table, "Fake", 1);
+  node.constant_terms[1] = Value::Str("term");
+  node.async = true;
+  AEVScanOperator op(&node, &pump);
+  op.SetCancelToken(&token);
+  Status s = op.Open();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  // The call was never issued.
+  EXPECT_EQ(table.last_timeout_micros, -1);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -23,6 +23,16 @@ Checks, in order of how often they have bitten this codebase:
                    reproducible from explicit seeds (common/random.h).
   include-guard    Headers use #ifndef WSQ_<PATH>_H_ guards matching
                    their path (or #pragma once, which we also accept).
+  cancel-blind-wait
+                   Untimed CondVar .Wait( calls in annotated
+                   directories must be cancellation-aware: the
+                   surrounding lines must consult a shutdown/stop flag
+                   or a cancellation token (timed WaitForMicros polls
+                   are always fine). A consumer parked in a blind Wait
+                   cannot observe a query deadline or a shutting-down
+                   pump. Legitimately unconditional waits (destructor
+                   drains with no reachable token) carry a
+                   `wsqlint: allow(cancel-blind-wait)` comment.
 
 Exit status: 0 clean, 1 findings, 2 usage/setup error.
 """
@@ -40,6 +50,7 @@ ANNOTATED_DIRS = (
     "src/net",
     "src/storage",
     "src/exec",
+    "src/wsq",
 )
 
 # Files allowed to touch the raw primitives: the annotation layer itself.
@@ -129,6 +140,9 @@ STD_PRIMITIVE = re.compile(
     r"|condition_variable_any)\b")
 MANUAL_LOCK = re.compile(r"[.>]\s*(?:lock|unlock|try_lock)\s*\(")
 GUARDED_BY = re.compile(r"WSQ_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
+UNTIMED_WAIT = re.compile(r"[.>]\s*Wait\s*\(")
+CANCEL_AWARE = re.compile(r"shutdown|stop|cancel|token", re.I)
+WAIT_SUPPRESS = "wsqlint: allow(cancel-blind-wait)"
 RAND_CALL = re.compile(r"(?<![\w:])s?rand\s*\(")
 RANDOM_DEVICE = re.compile(r"std::random_device\b")
 INCLUDE_IOSTREAM = re.compile(r'#\s*include\s*<iostream>')
@@ -175,6 +189,30 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                 path, line_of(code, m.start()), "manual-lock",
                 "manual lock()/unlock() call; use the MutexLock RAII "
                 "guard (its Lock()/Unlock() members handle re-locking)"))
+
+    # --- cancel-blind-wait ------------------------------------------
+    if annotated and rel not in PRIMITIVE_ALLOWLIST:
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+        for m in UNTIMED_WAIT.finditer(code):
+            line = line_of(code, m.start())
+            # Suppression comment on the wait line or the one above
+            # (comments are stripped from `code`, so consult `raw`).
+            window = raw_lines[max(0, line - 2):line]
+            if any(WAIT_SUPPRESS in l for l in window):
+                continue
+            # Cancellation-aware if nearby code consults a shutdown /
+            # stop flag or a cancellation token.
+            lo, hi = max(0, line - 7), min(len(code_lines), line + 6)
+            context = "\n".join(code_lines[lo:hi])
+            if CANCEL_AWARE.search(context):
+                continue
+            findings.append(Finding(
+                path, line, "cancel-blind-wait",
+                "untimed CondVar Wait with no shutdown/cancellation "
+                "check in sight; poll with WaitForMicros against a "
+                "token, gate on a shutdown flag, or annotate with "
+                f"'{WAIT_SUPPRESS}' if the wait is provably bounded"))
 
     # --- iostream ---------------------------------------------------
     if in_src:
