@@ -9,6 +9,9 @@
 //   \tables            stored and virtual tables
 //   \sync | \async     switch execution strategy (default async)
 //   \plan <select>     show the plan without executing
+//   \analyze <select>  EXPLAIN ANALYZE: run + profiled plan tree
+//   \trace <select>    run + per-query trace spans
+//   \metrics           Prometheus dump of the metrics registry
 //   \latency <ms>      report the configured latency
 //   \quit
 //
@@ -28,6 +31,7 @@
 #include "common/cancellation.h"
 #include "common/strings.h"
 #include "dsq/dsq_engine.h"
+#include "obs/metrics.h"
 #include "wsq/demo.h"
 
 namespace {
@@ -55,6 +59,10 @@ void PrintHelp() {
       "  \\tables              list stored and virtual tables\n"
       "  \\sync / \\async       choose execution strategy\n"
       "  \\plan <select...>    EXPLAIN the (async) plan\n"
+      "  \\analyze <select...> run the query, print the profiled plan\n"
+      "                       (rows, calls, self time, blocked time)\n"
+      "  \\trace <select...>   run the query, print its trace spans\n"
+      "  \\metrics             dump the metrics registry (Prometheus)\n"
       "  \\dsq <phrase>        DSQ: explain a phrase with DB terms\n"
       "  \\latency             show simulated search latency\n"
       "  \\deadline <ms>       per-query deadline (0 = none)\n"
@@ -154,6 +162,39 @@ int main() {
                         t.source.c_str(), (long long)t.count);
           }
           if (r->terms.empty()) std::printf("  (no correlations)\n");
+        }
+      } else if (trimmed == "\\metrics") {
+        std::printf(
+            "%s",
+            wsq::MetricsRegistry::Global()->ExportPrometheusText()
+                .c_str());
+      } else if (wsq::StartsWith(trimmed, "\\analyze ") ||
+                 wsq::StartsWith(trimmed, "\\trace ")) {
+        bool want_trace = wsq::StartsWith(trimmed, "\\trace ");
+        std::string sql = trimmed.substr(want_trace ? 7 : 9);
+        wsq::WsqDatabase::ExecOptions exec_options;
+        exec_options.async_iteration = async;
+        exec_options.analyze = !want_trace;
+        exec_options.trace = want_trace;
+        exec_options.deadline_micros = deadline_ms * 1000;
+        auto r = env.db().Execute(
+            want_trace ? sql : "EXPLAIN ANALYZE " +
+                                   std::string(async ? "ASYNC " : "SYNC ") +
+                                   sql,
+            exec_options);
+        if (!r.ok()) {
+          std::printf("error: %s\n", r.status().ToString().c_str());
+        } else if (want_trace && r->trace.has_value()) {
+          std::printf("%s", r->trace->ToString().c_str());
+          std::printf("(%zu rows, %.3fs, %llu Web searches)\n",
+                      r->result.rows.size(),
+                      r->stats.elapsed_micros * 1e-6,
+                      (unsigned long long)r->stats.external_calls);
+        } else if (!r->result.rows.empty() &&
+                   !r->result.rows[0].empty() &&
+                   r->result.rows[0].value(0).is_string()) {
+          std::printf("%s", r->result.rows[0].value(0)
+                                .AsString().c_str());
         }
       } else if (wsq::StartsWith(trimmed, "\\plan ")) {
         auto plan = env.db().ExplainSelect(trimmed.substr(6), async);

@@ -4,14 +4,96 @@
 #include <cassert>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace wsq {
 
+namespace {
+
+/// Records one resolved call's timings into the registry histograms.
+/// Callers must NOT hold Core::mu: the registry lock order is
+/// registry → component, so touching the registry under the pump lock
+/// could deadlock against the pump's own collector.
+void RecordCallTiming(const std::string& destination,
+                      int64_t queue_wait_micros, int64_t in_flight_micros) {
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  Histogram* latency = registry->GetHistogram(
+      "wsq_external_call_latency_micros",
+      "Dispatch-to-completion latency of external calls",
+      {{"destination", destination}});
+  if (latency != nullptr) latency->Record(in_flight_micros);
+  static Histogram* queue_wait = registry->GetHistogram(
+      "wsq_reqpump_queue_wait_micros",
+      "Time external calls waited for a ReqPump limit slot");
+  if (queue_wait != nullptr) queue_wait->Record(queue_wait_micros);
+}
+
+}  // namespace
+
 ReqPump::ReqPump(Limits limits)
     : core_(std::make_shared<Core>(limits)),
-      timer_([core = core_] { TimerLoop(std::move(core)); }) {}
+      timer_([core = core_] { TimerLoop(std::move(core)); }) {
+  // Publish the pump's stats ledger (kept authoritative in Core::stats)
+  // via a collector; several pumps merge into process-wide series.
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [core = core_](MetricsEmitter* emitter) {
+        ReqPumpStats s;
+        int in_flight;
+        size_t queued;
+        size_t pending;
+        {
+          MutexLock lock(&core->mu);
+          s = core->stats;
+          in_flight = core->in_flight_global;
+          queued = core->queue.size();
+          pending = core->results.size();
+        }
+        emitter->EmitCounter("wsq_reqpump_calls_registered_total",
+                             "External calls registered", {}, s.registered);
+        emitter->EmitCounter("wsq_reqpump_calls_dispatched_total",
+                             "External calls handed to their dispatch fn",
+                             {}, s.dispatched);
+        emitter->EmitCounter("wsq_reqpump_calls_completed_total",
+                             "External calls completed (incl. failures)",
+                             {}, s.completed);
+        emitter->EmitCounter("wsq_reqpump_calls_failed_total",
+                             "External calls completed non-OK", {},
+                             s.failed);
+        emitter->EmitCounter("wsq_reqpump_calls_timed_out_total",
+                             "External calls expired by the deadline timer",
+                             {}, s.timed_out);
+        emitter->EmitCounter("wsq_reqpump_calls_cancelled_total",
+                             "External calls resolved kCancelled", {},
+                             s.cancelled);
+        emitter->EmitCounter("wsq_reqpump_calls_shed_total",
+                             "External calls shed at Register (queue full)",
+                             {}, s.shed);
+        emitter->EmitCounter(
+            "wsq_reqpump_late_completions_discarded_total",
+            "Real completions discarded after timeout/cancel", {},
+            s.late_discarded);
+        emitter->EmitGauge("wsq_reqpump_in_flight",
+                           "Currently dispatched external calls", {},
+                           in_flight);
+        emitter->EmitGauge("wsq_reqpump_queued",
+                           "External calls waiting for a limit slot", {},
+                           static_cast<int64_t>(queued));
+        emitter->EmitGauge("wsq_reqpump_pending_results",
+                           "Completed results not yet taken (ReqPumpHash)",
+                           {}, static_cast<int64_t>(pending));
+        emitter->EmitGauge("wsq_reqpump_max_in_flight",
+                           "Peak concurrently dispatched calls", {},
+                           static_cast<int64_t>(s.max_in_flight));
+        emitter->EmitGauge("wsq_reqpump_queued_peak",
+                           "Peak wait-queue length", {},
+                           static_cast<int64_t>(s.queued_peak));
+      });
+}
 
 ReqPump::~ReqPump() {
+  // Unhook the collector before tearing anything down: after this, no
+  // export can observe a half-destroyed pump.
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
   {
     MutexLock lock(&core_->mu);
     // Drop never-dispatched queued calls, then wait for in-flight ones.
@@ -21,7 +103,6 @@ ReqPump::~ReqPump() {
       core_->results[q.id] =
           CallResult{Status::Cancelled("ReqPump shut down"), {}};
       core_->unresolved.erase(q.id);
-      core_->dest_by_id.erase(q.id);
       ++core_->stats.cancelled;
       --core_->outstanding;
     }
@@ -81,14 +162,15 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
       return id;
     }
     ++core_->outstanding;
-    core_->unresolved.insert(id);
-    core_->dest_by_id.emplace(id, destination);
-    int64_t deadline =
-        has_deadline ? NowMicros() + timeout_micros : 0;
+    int64_t now = NowMicros();
+    core_->unresolved.emplace(
+        id, CallMeta{destination, now, dispatch_now ? now : 0});
+    int64_t deadline = has_deadline ? now + timeout_micros : 0;
     if (has_deadline) {
       core_->deadlines.push(Deadline{deadline, id, destination});
     }
     if (dispatch_now) {
+      ++core_->stats.dispatched;
       ++core_->in_flight_global;
       ++core_->in_flight_by_dest[destination];
       core_->stats.max_in_flight =
@@ -125,6 +207,9 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
                          const std::string& destination,
                          CallResult result) {
   std::vector<QueuedCall> to_dispatch;
+  int64_t queue_wait_micros = 0;
+  int64_t in_flight_micros = 0;
+  bool record_timing = false;
   {
     MutexLock lock(&core->mu);
     if (core->abandoned.erase(id) > 0) {
@@ -133,13 +218,24 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
       ++core->stats.late_discarded;
       return;
     }
+    auto meta = core->unresolved.find(id);
+    if (meta != core->unresolved.end() &&
+        meta->second.dispatched_micros > 0) {
+      queue_wait_micros =
+          meta->second.dispatched_micros - meta->second.registered_micros;
+      in_flight_micros = NowMicros() - meta->second.dispatched_micros;
+      core->stats.queue_wait_micros_total += queue_wait_micros;
+      core->stats.in_flight_micros_total += in_flight_micros;
+      record_timing = true;
+    }
     if (!result.status.ok()) {
       ++core->stats.failed;
     }
     ++core->stats.completed;
+    result.queue_wait_micros = queue_wait_micros;
+    result.in_flight_micros = in_flight_micros;
     core->results[id] = std::move(result);
     core->unresolved.erase(id);
-    core->dest_by_id.erase(id);
     --core->in_flight_global;
     --core->in_flight_by_dest[destination];
     ++core->completion_seq;
@@ -147,6 +243,10 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
     to_dispatch = TakeDispatchableLocked(core.get());
   }
   core->cv.NotifyAll();
+  // Outside the lock (see RecordCallTiming).
+  if (record_timing) {
+    RecordCallTiming(destination, queue_wait_micros, in_flight_micros);
+  }
   for (QueuedCall& q : to_dispatch) {
     Dispatch(core, q.id, q.destination, std::move(q.fn));
   }
@@ -183,9 +283,15 @@ std::vector<ReqPump::QueuedCall> ReqPump::TakeDispatchableLocked(
       ++it;
     }
   }
+  int64_t now = out.empty() ? 0 : NowMicros();
   for (const QueuedCall& q : out) {
+    ++core->stats.dispatched;
     ++core->in_flight_global;
     ++core->in_flight_by_dest[q.destination];
+    auto meta = core->unresolved.find(q.id);
+    if (meta != core->unresolved.end()) {
+      meta->second.dispatched_micros = now;
+    }
   }
   core->stats.max_in_flight =
       std::max(core->stats.max_in_flight,
@@ -216,19 +322,29 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
     }
     Deadline d = core->deadlines.top();
     core->deadlines.pop();
-    if (core->unresolved.count(d.id) == 0) continue;
+    auto meta = core->unresolved.find(d.id);
+    if (meta == core->unresolved.end()) continue;
 
     // Time the call out: complete it with kDeadlineExceeded so blocked
     // consumers wake immediately.
     ++core->stats.timed_out;
     ++core->stats.failed;
     ++core->stats.completed;
-    core->results[d.id] = CallResult{
+    CallResult timeout_result{
         Status::DeadlineExceeded("external call to '" + d.destination +
                                  "' exceeded its deadline"),
         {}};
-    core->unresolved.erase(d.id);
-    core->dest_by_id.erase(d.id);
+    if (meta->second.dispatched_micros > 0) {
+      timeout_result.queue_wait_micros =
+          meta->second.dispatched_micros - meta->second.registered_micros;
+      timeout_result.in_flight_micros =
+          now - meta->second.dispatched_micros;
+      core->stats.queue_wait_micros_total +=
+          timeout_result.queue_wait_micros;
+      core->stats.in_flight_micros_total += timeout_result.in_flight_micros;
+    }
+    core->results[d.id] = std::move(timeout_result);
+    core->unresolved.erase(meta);
     ++core->completion_seq;
     --core->outstanding;
 
@@ -262,17 +378,25 @@ bool ReqPump::CancelCall(CallId id) {
   std::vector<QueuedCall> to_dispatch;
   {
     MutexLock lock(&core_->mu);
-    if (core_->unresolved.count(id) == 0) return false;
-    core_->unresolved.erase(id);
-    std::string destination;
-    auto dest = core_->dest_by_id.find(id);
-    if (dest != core_->dest_by_id.end()) {
-      destination = dest->second;
-      core_->dest_by_id.erase(dest);
+    auto meta = core_->unresolved.find(id);
+    if (meta == core_->unresolved.end()) return false;
+    std::string destination = meta->second.destination;
+    CallResult cancel_result{Status::Cancelled("external call cancelled"),
+                             {}};
+    if (meta->second.dispatched_micros > 0) {
+      int64_t now = NowMicros();
+      cancel_result.queue_wait_micros =
+          meta->second.dispatched_micros - meta->second.registered_micros;
+      cancel_result.in_flight_micros =
+          now - meta->second.dispatched_micros;
+      core_->stats.queue_wait_micros_total +=
+          cancel_result.queue_wait_micros;
+      core_->stats.in_flight_micros_total +=
+          cancel_result.in_flight_micros;
     }
+    core_->unresolved.erase(meta);
     ++core_->stats.cancelled;
-    core_->results[id] =
-        CallResult{Status::Cancelled("external call cancelled"), {}};
+    core_->results[id] = std::move(cancel_result);
     ++core_->completion_seq;
     --core_->outstanding;
 

@@ -27,6 +27,14 @@ namespace wsq {
 struct CallResult {
   Status status;
   std::vector<Row> rows;
+  /// Timing attached by the ReqPump when it resolves the call: time the
+  /// call waited for a limit slot, and time it spent dispatched. Both 0
+  /// for calls resolved before dispatch (shed, cancelled in queue) and
+  /// for results not produced by a ReqPump. Carried on the result so
+  /// the consuming (query) thread can trace cross-thread work without
+  /// touching pump internals.
+  int64_t queue_wait_micros = 0;
+  int64_t in_flight_micros = 0;
 };
 
 /// Completion sink handed to the call's dispatch function.
@@ -59,6 +67,19 @@ struct ReqPumpStats {
   /// Limits::max_queued (resolved kResourceExhausted immediately). Not
   /// counted in `completed`/`failed`.
   uint64_t shed = 0;
+  /// Calls actually handed to their dispatch function (immediately at
+  /// Register or later from the wait queue). Every dispatched call is
+  /// eventually resolved exactly once, so at quiescence
+  /// `dispatched <= registered` and
+  /// `registered == completed + cancelled + shed`.
+  uint64_t dispatched = 0;
+  /// Sums of the per-call timings attached to CallResult, accumulated
+  /// when a dispatched call resolves (completion, timeout, or cancel).
+  /// `in_flight_micros_total / completed` approximates mean call
+  /// latency; the full distribution lives in the
+  /// `wsq_external_call_latency_micros` histogram.
+  int64_t queue_wait_micros_total = 0;
+  int64_t in_flight_micros_total = 0;
 };
 
 /// The paper's "Request Pump" (§4.1): a global module that issues
@@ -186,6 +207,14 @@ class ReqPump {
     int64_t deadline_micros = 0;
   };
 
+  /// Per-unresolved-call bookkeeping (see Core::unresolved).
+  struct CallMeta {
+    std::string destination;
+    int64_t registered_micros = 0;
+    /// 0 while the call waits in the queue; set when it is dispatched.
+    int64_t dispatched_micros = 0;
+  };
+
   struct Deadline {
     int64_t when_micros;
     CallId id;
@@ -217,11 +246,12 @@ class ReqPump {
     /// "ReqPumpHash"
     std::unordered_map<CallId, CallResult> results WSQ_GUARDED_BY(mu);
     /// Registered calls with no result yet (not completed, timed out,
-    /// or cancelled). Timer entries for ids outside this set are stale.
-    std::unordered_set<CallId> unresolved WSQ_GUARDED_BY(mu);
-    /// Destination of every unresolved call, so CancelCall(id) can
-    /// release the right per-destination slot.
-    std::unordered_map<CallId, std::string> dest_by_id WSQ_GUARDED_BY(mu);
+    /// or cancelled), with the metadata needed to resolve them: the
+    /// destination (so CancelCall releases the right per-destination
+    /// slot) and registration/dispatch timestamps for queue-wait and
+    /// in-flight timing. Timer entries for ids outside this map are
+    /// stale.
+    std::unordered_map<CallId, CallMeta> unresolved WSQ_GUARDED_BY(mu);
     /// Dispatched calls that timed out: their eventual real completion
     /// must be discarded without touching counters or results.
     std::unordered_set<CallId> abandoned WSQ_GUARDED_BY(mu);
@@ -259,6 +289,9 @@ class ReqPump {
 
   std::shared_ptr<Core> core_;
   std::thread timer_;
+  /// MetricsRegistry collector handle (removed first in ~ReqPump so the
+  /// callback never outlives the pump's registration).
+  uint64_t collector_id_ = 0;
 };
 
 }  // namespace wsq

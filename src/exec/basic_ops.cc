@@ -4,7 +4,7 @@
 
 namespace wsq {
 
-Result<bool> FilterOperator::Next(Row* row) {
+Result<bool> FilterOperator::NextImpl(Row* row) {
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
@@ -15,7 +15,7 @@ Result<bool> FilterOperator::Next(Row* row) {
   }
 }
 
-Result<bool> ProjectOperator::Next(Row* row) {
+Result<bool> ProjectOperator::NextImpl(Row* row) {
   Row input;
   WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(&input));
   if (!more) return false;
@@ -28,7 +28,7 @@ Result<bool> ProjectOperator::Next(Row* row) {
   return true;
 }
 
-Result<bool> LimitOperator::Next(Row* row) {
+Result<bool> LimitOperator::NextImpl(Row* row) {
   if (emitted_ >= node_->limit()) return false;
   WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
   if (!more) return false;
@@ -36,7 +36,7 @@ Result<bool> LimitOperator::Next(Row* row) {
   return true;
 }
 
-Result<bool> DistinctOperator::Next(Row* row) {
+Result<bool> DistinctOperator::NextImpl(Row* row) {
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));

@@ -15,11 +15,13 @@ class FilterOperator : public Operator {
   FilterOperator(const FilterNode* node, OperatorPtr child)
       : Operator(&node->schema()),
         node_(node),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* row) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   const FilterNode* node_;
@@ -32,11 +34,13 @@ class ProjectOperator : public Operator {
   ProjectOperator(const ProjectNode* node, OperatorPtr child)
       : Operator(&node->schema()),
         node_(node),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override { return child_->Open(); }
-  Result<bool> Next(Row* row) override;
-  Status Close() override { return child_->Close(); }
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   const ProjectNode* node_;
@@ -49,14 +53,16 @@ class LimitOperator : public Operator {
   LimitOperator(const LimitNode* node, OperatorPtr child)
       : Operator(&node->schema()),
         node_(node),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override {
+  Status OpenImpl() override {
     emitted_ = 0;
     return child_->Open();
   }
-  Result<bool> Next(Row* row) override;
-  Status Close() override { return child_->Close(); }
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   const LimitNode* node_;
@@ -69,14 +75,16 @@ class DistinctOperator : public Operator {
  public:
   DistinctOperator(const DistinctNode* node, OperatorPtr child)
       : Operator(&node->schema()),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override {
+  Status OpenImpl() override {
     seen_.clear();
     return child_->Open();
   }
-  Result<bool> Next(Row* row) override;
-  Status Close() override { return child_->Close(); }
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override { return child_->Close(); }
 
  private:
   struct RowHash {

@@ -28,6 +28,7 @@ Result<std::unique_ptr<VScanOperator>> BuildVScan(const EVScanNode& node,
                                             &ctx->sync_external_calls);
   }
   scan->SetCancelToken(ctx->token);
+  scan->SetObservability(ctx->tracer, ctx->profile, node.Label());
   return scan;
 }
 
@@ -159,10 +160,13 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
   }
   if (op == nullptr) return Status::Internal("unknown plan node kind");
   op->SetCancelToken(ctx->token);
+  op->SetObservability(ctx->tracer, ctx->profile, plan.Label());
   return op;
 }
 
-Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
+Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx,
+                              PlanProfileNode* profile_out) {
+  if (profile_out != nullptr) ctx->profile = true;
   WSQ_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperatorTree(plan, ctx));
   ResultSet result;
   result.schema = plan.schema();
@@ -188,6 +192,7 @@ Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx) {
     result.rows.push_back(std::move(row));
   }
   WSQ_RETURN_IF_ERROR(root->Close());
+  if (profile_out != nullptr) *profile_out = root->BuildProfileTree();
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include "async/req_pump.h"
 #include "common/cancellation.h"
 #include "exec/operator.h"
+#include "obs/op_profile.h"
+#include "obs/trace.h"
 #include "plan/logical_plan.h"
 
 namespace wsq {
@@ -24,6 +26,12 @@ struct ExecContext {
   /// BuildOperatorTree installs it on every operator; null = ungoverned.
   /// Must outlive the operator tree.
   const CancellationToken* token = nullptr;
+  /// Per-query trace recorder; null = tracing off. Owned by the caller,
+  /// used only from the executor thread.
+  Tracer* tracer = nullptr;
+  /// When true, BuildOperatorTree enables per-operator profiling
+  /// (EXPLAIN ANALYZE) on every operator it creates.
+  bool profile = false;
   std::atomic<uint64_t> sync_external_calls{0};
   /// External calls that completed with a non-OK status.
   std::atomic<uint64_t> failed_calls{0};
@@ -57,8 +65,11 @@ struct ResultSet {
 Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                                       ExecContext* ctx);
 
-/// Builds, opens, drains, and closes the plan.
-Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx);
+/// Builds, opens, drains, and closes the plan. With `profile_out`
+/// non-null, `ctx->profile` is forced on and the annotated operator
+/// tree (EXPLAIN ANALYZE) is written there on success.
+Result<ResultSet> ExecutePlan(const PlanNode& plan, ExecContext* ctx,
+                              PlanProfileNode* profile_out = nullptr);
 
 }  // namespace wsq
 

@@ -4,7 +4,7 @@
 
 namespace wsq {
 
-Status NestedLoopJoinOperator::Open() {
+Status NestedLoopJoinOperator::OpenImpl() {
   WSQ_RETURN_IF_ERROR(left_->Open());
   WSQ_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
@@ -21,7 +21,7 @@ Status NestedLoopJoinOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> NestedLoopJoinOperator::Next(Row* row) {
+Result<bool> NestedLoopJoinOperator::NextImpl(Row* row) {
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!have_left_) {
@@ -45,19 +45,19 @@ Result<bool> NestedLoopJoinOperator::Next(Row* row) {
   }
 }
 
-Status NestedLoopJoinOperator::Close() {
+Status NestedLoopJoinOperator::CloseImpl() {
   right_rows_.clear();
   return left_->Close();
 }
 
-Status DependentJoinOperator::Open() {
+Status DependentJoinOperator::OpenImpl() {
   WSQ_RETURN_IF_ERROR(left_->Open());
   have_left_ = false;
   right_open_ = false;
   return Status::OK();
 }
 
-Result<bool> DependentJoinOperator::Next(Row* row) {
+Result<bool> DependentJoinOperator::NextImpl(Row* row) {
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!have_left_) {
@@ -92,7 +92,7 @@ Result<bool> DependentJoinOperator::Next(Row* row) {
   }
 }
 
-Status DependentJoinOperator::Close() {
+Status DependentJoinOperator::CloseImpl() {
   if (right_open_) {
     WSQ_RETURN_IF_ERROR(right_->Close());
     right_open_ = false;

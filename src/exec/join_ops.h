@@ -17,11 +17,14 @@ class NestedLoopJoinOperator : public Operator {
       : Operator(&node->schema()),
         node_(node),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)) {
+    AddChild(left_.get());
+    AddChild(right_.get());
+  }
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   const NestedLoopJoinNode* node_;  // null for cross product
@@ -38,7 +41,10 @@ class NestedLoopJoinOperator : public Operator {
       : Operator(schema),
         node_(nullptr),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)) {
+    AddChild(left_.get());
+    AddChild(right_.get());
+  }
 };
 
 /// Cross product: a nested-loop join without a predicate.
@@ -60,11 +66,14 @@ class DependentJoinOperator : public Operator {
       : Operator(&node->schema()),
         node_(node),
         left_(std::move(left)),
-        right_(std::move(right)) {}
+        right_(std::move(right)) {
+    AddChild(left_.get());
+    AddChild(right_.get());
+  }
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   const DependentJoinNode* node_;

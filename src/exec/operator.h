@@ -2,10 +2,15 @@
 #define WSQ_EXEC_OPERATOR_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/cancellation.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/op_profile.h"
+#include "obs/trace.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -22,6 +27,14 @@ namespace wsq {
 /// tuples (kCancelled / kDeadlineExceeded) instead of running to
 /// completion. The executor's error-path Close cascade then reaps any
 /// outstanding external calls.
+///
+/// Observability: Open/Next/Close are non-virtual wrappers around the
+/// OpenImpl/NextImpl/CloseImpl virtuals. With profiling enabled
+/// (EXPLAIN ANALYZE) the wrappers accumulate an OpProfile — call
+/// counts, rows out, per-phase wall time; with a tracer attached they
+/// additionally emit "op" spans for Open and Close (Next is aggregated,
+/// never per-call, to keep span budgets sane). When neither is on, the
+/// wrapper is a single branch on top of the virtual call.
 class Operator {
  public:
   explicit Operator(const Schema* schema) : schema_(schema) {}
@@ -30,13 +43,27 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  virtual Status Open() = 0;
+  Status Open() {
+    if (!profile_on_ && tracer_ == nullptr) return OpenImpl();
+    return OpenInstrumented();
+  }
 
   /// Produces the next tuple into `row`; returns false at end of
   /// stream. `row` is only valid when true is returned.
-  virtual Result<bool> Next(Row* row) = 0;
+  Result<bool> Next(Row* row) {
+    if (!profile_on_) return NextImpl(row);
+    int64_t start = NowMicros();
+    Result<bool> got = NextImpl(row);
+    profile_.next_calls++;
+    profile_.next_micros += NowMicros() - start;
+    if (got.ok() && got.value()) profile_.rows_out++;
+    return got;
+  }
 
-  virtual Status Close() = 0;
+  Status Close() {
+    if (!profile_on_ && tracer_ == nullptr) return CloseImpl();
+    return CloseInstrumented();
+  }
 
   const Schema& schema() const { return *schema_; }
 
@@ -44,7 +71,27 @@ class Operator {
   /// query). Called once by BuildOperatorTree before Open.
   void SetCancelToken(const CancellationToken* token) { cancel_ = token; }
 
+  /// Attaches the query's tracer and/or enables profiling. Called once
+  /// by BuildOperatorTree before Open; `label` is the plan node label
+  /// used in spans and the EXPLAIN ANALYZE tree.
+  void SetObservability(Tracer* tracer, bool profile, std::string label) {
+    tracer_ = tracer;
+    profile_on_ = profile;
+    label_ = std::move(label);
+  }
+
+  const OpProfile& profile() const { return profile_; }
+  const std::string& label() const { return label_; }
+
+  /// Builds this operator's annotated-plan subtree (EXPLAIN ANALYZE).
+  /// self time = own total minus the children's totals, clamped at 0.
+  PlanProfileNode BuildProfileTree() const;
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* row) = 0;
+  virtual Status CloseImpl() = 0;
+
   /// OK while the query may keep running; kCancelled/kDeadlineExceeded
   /// once the governor has pulled the plug.
   Status CheckAlive() const {
@@ -53,9 +100,33 @@ class Operator {
 
   const CancellationToken* cancel_token() const { return cancel_; }
 
+  /// Null when tracing is off; instrumentation sites branch on it.
+  Tracer* tracer() const { return tracer_; }
+  bool profiling() const { return profile_on_; }
+
+  /// Mutable profile hooks for subclasses that track operator-specific
+  /// costs (external calls issued, ReqSync blocked time).
+  void CountCallIssued() { profile_.calls_issued++; }
+  void AddBlockedMicros(int64_t micros) {
+    profile_.blocked_on_sync_micros += micros;
+  }
+
+  /// Registers a child for the profile tree; subclasses that own child
+  /// operators call this from their constructor. `child` must outlive
+  /// this operator (it does: the tree owns children via OperatorPtr).
+  void AddChild(const Operator* child) { children_.push_back(child); }
+
  private:
+  Status OpenInstrumented();
+  Status CloseInstrumented();
+
   const Schema* schema_;
   const CancellationToken* cancel_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  bool profile_on_ = false;
+  std::string label_;
+  OpProfile profile_;
+  std::vector<const Operator*> children_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -17,6 +17,21 @@ void UpdateMax(std::atomic<uint64_t>* target, uint64_t value) {
 }
 }  // namespace
 
+void ReqSyncOperator::BlockedWait(uint64_t seq) {
+  if (!profiling() && tracer() == nullptr) {
+    pump_->WaitForCompletionBeyond(seq, cancel_token());
+    return;
+  }
+  int64_t start = NowMicros();
+  if (tracer() != nullptr) {
+    Tracer::Scope span(tracer(), "reqsync", "wait");
+    pump_->WaitForCompletionBeyond(seq, cancel_token());
+  } else {
+    pump_->WaitForCompletionBeyond(seq, cancel_token());
+  }
+  AddBlockedMicros(NowMicros() - start);
+}
+
 void ReqSyncOperator::AddEntry(Row row, std::set<CallId> pending) {
   uint64_t id = next_entry_id_++;
   for (CallId c : pending) {
@@ -25,6 +40,12 @@ void ReqSyncOperator::AddEntry(Row row, std::set<CallId> pending) {
   size_t bytes = row.ApproxBytes();
   buffered_bytes_ += bytes;
   entries_.emplace(id, Entry{std::move(row), std::move(pending), bytes});
+  if (tracer() != nullptr) {
+    tracer()->Event("reqsync", "buffer",
+                    StrFormat("pending=%zu buffered_rows=%zu",
+                              entries_.at(id).pending.size(),
+                              entries_.size()));
+  }
   // Proliferation copies land here too, so shed-oldest keeps its bound
   // even when one completion fans a tuple out into many.
   if (node_->shed_oldest) ShedToBudget();
@@ -72,7 +93,7 @@ Status ReqSyncOperator::WaitForRoom() {
     WSQ_ASSIGN_OR_RETURN(bool progressed, PollCompletions());
     if (progressed) continue;
     if (!HasRoom()) {
-      pump_->WaitForCompletionBeyond(seq, cancel_token());
+      BlockedWait(seq);
     }
   }
   return Status::OK();
@@ -88,7 +109,7 @@ void ReqSyncOperator::Absorb(Row row) {
   }
 }
 
-Status ReqSyncOperator::Open() {
+Status ReqSyncOperator::OpenImpl() {
   entries_.clear();
   waiters_.clear();
   ready_.clear();
@@ -203,6 +224,22 @@ Status ReqSyncOperator::DegradeFailedCall(CallId call,
 
 Status ReqSyncOperator::ProcessCompletion(CallId call,
                                           const CallResult& result) {
+  if (tracer() != nullptr) {
+    // Recorded on the query thread from the timing the pump attached to
+    // the result, so the cross-thread call is visible in the trace.
+    tracer()->Event(
+        "reqsync", result.status.ok() ? "complete" : "failed",
+        StrFormat("call=%llu rows=%zu queue_wait=%lld us in_flight=%lld us",
+                  (unsigned long long)call, result.rows.size(),
+                  (long long)result.queue_wait_micros,
+                  (long long)result.in_flight_micros));
+    if (result.status.ok() && result.rows.size() > 1) {
+      tracer()->Event("reqsync", "proliferate",
+                      StrFormat("call=%llu copies=%zu",
+                                (unsigned long long)call,
+                                result.rows.size()));
+    }
+  }
   if (!result.status.ok()) {
     return DegradeFailedCall(call, result.status);
   }
@@ -237,7 +274,7 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
   return Status::OK();
 }
 
-Status ReqSyncOperator::Close() {
+Status ReqSyncOperator::CloseImpl() {
   // A query killed by its governor must not wait out its calls'
   // natural latencies: cancel them first — CancelCall resolves a
   // not-yet-complete call immediately (dropping it from the queue or
@@ -274,7 +311,7 @@ Result<bool> ReqSyncOperator::PollCompletions() {
   return progressed;
 }
 
-Result<bool> ReqSyncOperator::Next(Row* row) {
+Result<bool> ReqSyncOperator::NextImpl(Row* row) {
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     if (!ready_.empty()) {
@@ -307,7 +344,7 @@ Result<bool> ReqSyncOperator::Next(Row* row) {
     uint64_t seq = pump_->completion_seq();
     WSQ_ASSIGN_OR_RETURN(bool progressed, PollCompletions());
     if (!progressed && ready_.empty() && !entries_.empty()) {
-      pump_->WaitForCompletionBeyond(seq, cancel_token());
+      BlockedWait(seq);
     }
   }
 }

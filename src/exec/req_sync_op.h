@@ -47,15 +47,17 @@ class ReqSyncOperator : public Operator {
         node_(node),
         child_(std::move(child)),
         pump_(pump),
-        ctx_(ctx) {}
+        ctx_(ctx) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
 
   /// Reaps any still-outstanding call results (relevant on error/early
   /// termination paths) so they do not accumulate in the shared
   /// ReqPumpHash, then closes the child.
-  Status Close() override;
+  Status CloseImpl() override;
 
   /// Peak number of tuples buffered while waiting (observability).
   size_t peak_buffered() const { return peak_buffered_; }
@@ -91,6 +93,13 @@ class ReqSyncOperator : public Operator {
   /// Non-blocking: drains every already-completed call we wait on.
   /// Returns true if any tuple changed state.
   Result<bool> PollCompletions();
+
+  /// WaitForCompletionBeyond wrapper that, under profiling/tracing,
+  /// accumulates OpProfile::blocked_on_sync_micros and emits a
+  /// "reqsync.wait" span. This blocked time is the paper's async win in
+  /// one number: waits overlap all in-flight calls, so it approaches
+  /// the MAX of their latencies instead of the sum.
+  void BlockedWait(uint64_t seq);
 
   /// Replaces placeholders of `call` in `row` with `values` fields.
   static Result<Row> PatchRow(const Row& row, CallId call,

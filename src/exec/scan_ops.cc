@@ -6,22 +6,22 @@
 
 namespace wsq {
 
-Status SeqScanOperator::Open() {
+Status SeqScanOperator::OpenImpl() {
   scanner_.emplace(node_->table());
   return Status::OK();
 }
 
-Result<bool> SeqScanOperator::Next(Row* row) {
+Result<bool> SeqScanOperator::NextImpl(Row* row) {
   WSQ_RETURN_IF_ERROR(CheckAlive());
   return scanner_->Next(row);
 }
 
-Status SeqScanOperator::Close() {
+Status SeqScanOperator::CloseImpl() {
   scanner_.reset();
   return Status::OK();
 }
 
-Status IndexScanOperator::Open() {
+Status IndexScanOperator::OpenImpl() {
   next_ = 0;
   const BPlusTree* tree = node_->index()->tree();
   if (node_->IsEquality()) {
@@ -40,7 +40,7 @@ Status IndexScanOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> IndexScanOperator::Next(Row* row) {
+Result<bool> IndexScanOperator::NextImpl(Row* row) {
   if (next_ >= rids_.size()) return false;
   WSQ_ASSIGN_OR_RETURN(std::string bytes,
                        node_->table()->heap()->Get(rids_[next_++]));
@@ -48,7 +48,7 @@ Result<bool> IndexScanOperator::Next(Row* row) {
   return true;
 }
 
-Status IndexScanOperator::Close() {
+Status IndexScanOperator::CloseImpl() {
   rids_.clear();
   return Status::OK();
 }
@@ -117,7 +117,7 @@ Result<std::vector<Value>> VScanBase::InputValues(
   return inputs;
 }
 
-Status EVScanOperator::Open() {
+Status EVScanOperator::OpenImpl() {
   rows_.clear();
   next_ = 0;
   // The synchronous Fetch below blocks uninterruptibly; refuse to start
@@ -127,22 +127,31 @@ Status EVScanOperator::Open() {
   if (call_counter_ != nullptr) {
     call_counter_->fetch_add(1, std::memory_order_relaxed);
   }
-  WSQ_ASSIGN_OR_RETURN(rows_, node_->table()->Fetch(request));
+  CountCallIssued();
+  if (tracer() != nullptr) {
+    // The blocking fetch is the whole cost of a synchronous EVScan; one
+    // span per call makes sum-of-latencies visible in the trace.
+    Tracer::Scope span(tracer(), "net", "fetch");
+    span.AppendDetail(node_->effective_name());
+    WSQ_ASSIGN_OR_RETURN(rows_, node_->table()->Fetch(request));
+  } else {
+    WSQ_ASSIGN_OR_RETURN(rows_, node_->table()->Fetch(request));
+  }
   return Status::OK();
 }
 
-Result<bool> EVScanOperator::Next(Row* row) {
+Result<bool> EVScanOperator::NextImpl(Row* row) {
   if (next_ >= rows_.size()) return false;
   *row = rows_[next_++];
   return true;
 }
 
-Status EVScanOperator::Close() {
+Status EVScanOperator::CloseImpl() {
   rows_.clear();
   return Status::OK();
 }
 
-Status AEVScanOperator::Open() {
+Status AEVScanOperator::OpenImpl() {
   emitted_ = false;
   WSQ_RETURN_IF_ERROR(CheckAlive());
   WSQ_ASSIGN_OR_RETURN(VTableRequest request, BuildRequest());
@@ -161,10 +170,16 @@ Status AEVScanOperator::Open() {
     if (pump_default > 0 && pump_default < budget) budget = pump_default;
   }
   call_ = node_->table()->SubmitAsync(request, pump_, budget);
+  CountCallIssued();
+  if (tracer() != nullptr) {
+    tracer()->Event("reqpump", "register",
+                    StrFormat("call=%llu %s", (unsigned long long)call_,
+                              node_->effective_name().c_str()));
+  }
   return Status::OK();
 }
 
-Result<bool> AEVScanOperator::Next(Row* row) {
+Result<bool> AEVScanOperator::NextImpl(Row* row) {
   if (emitted_) return false;
   emitted_ = true;
   Row out;
@@ -177,7 +192,7 @@ Result<bool> AEVScanOperator::Next(Row* row) {
   return true;
 }
 
-Status AEVScanOperator::Close() {
+Status AEVScanOperator::CloseImpl() {
   if (call_ != kInvalidCallId && !emitted_) {
     // Defensive reap: the call was registered at Open but its
     // placeholder row was never emitted (query aborted, or the

@@ -18,9 +18,9 @@ class SeqScanOperator : public Operator {
   explicit SeqScanOperator(const ScanNode* node)
       : Operator(&node->schema()), node_(node) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   const ScanNode* node_;
@@ -33,9 +33,9 @@ class IndexScanOperator : public Operator {
   explicit IndexScanOperator(const IndexScanNode* node)
       : Operator(&node->schema()), node_(node) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   const IndexScanNode* node_;
@@ -77,9 +77,9 @@ class EVScanOperator : public VScanBase {
                  std::atomic<uint64_t>* call_counter = nullptr)
       : VScanBase(node), call_counter_(call_counter) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   std::atomic<uint64_t>* call_counter_;
@@ -96,9 +96,9 @@ class AEVScanOperator : public VScanBase {
   AEVScanOperator(const EVScanNode* node, ReqPump* pump)
       : VScanBase(node), pump_(pump) {}
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   ReqPump* pump_;

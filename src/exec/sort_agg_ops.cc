@@ -6,7 +6,7 @@
 
 namespace wsq {
 
-Status SortOperator::Open() {
+Status SortOperator::OpenImpl() {
   rows_.clear();
   next_ = 0;
   WSQ_RETURN_IF_ERROR(child_->Open());
@@ -50,13 +50,13 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOperator::Next(Row* row) {
+Result<bool> SortOperator::NextImpl(Row* row) {
   if (next_ >= rows_.size()) return false;
   *row = rows_[next_++];
   return true;
 }
 
-Status SortOperator::Close() {
+Status SortOperator::CloseImpl() {
   rows_.clear();
   if (child_open_) {
     child_open_ = false;
@@ -138,7 +138,7 @@ Result<Value> AggregateOperator::Finalize(
   return Status::Internal("unknown aggregate function");
 }
 
-Status AggregateOperator::Open() {
+Status AggregateOperator::OpenImpl() {
   results_.clear();
   next_ = 0;
   WSQ_RETURN_IF_ERROR(child_->Open());
@@ -184,13 +184,13 @@ Status AggregateOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> AggregateOperator::Next(Row* row) {
+Result<bool> AggregateOperator::NextImpl(Row* row) {
   if (next_ >= results_.size()) return false;
   *row = results_[next_++];
   return true;
 }
 
-Status AggregateOperator::Close() {
+Status AggregateOperator::CloseImpl() {
   results_.clear();
   if (child_open_) {
     child_open_ = false;

@@ -16,11 +16,13 @@ class SortOperator : public Operator {
   SortOperator(const SortNode* node, OperatorPtr child)
       : Operator(&node->schema()),
         node_(node),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   const SortNode* node_;
@@ -41,11 +43,13 @@ class AggregateOperator : public Operator {
   AggregateOperator(const AggregateNode* node, OperatorPtr child)
       : Operator(&node->schema()),
         node_(node),
-        child_(std::move(child)) {}
+        child_(std::move(child)) {
+    AddChild(child_.get());
+  }
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  Status Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  Status CloseImpl() override;
 
  private:
   struct Accumulator {

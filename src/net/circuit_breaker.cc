@@ -1,6 +1,7 @@
 #include "net/circuit_breaker.h"
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace wsq {
 
@@ -106,7 +107,30 @@ int CircuitBreaker::consecutive_failures() const {
 
 CircuitBreakerSearchService::CircuitBreakerSearchService(
     SearchService* wrapped, CircuitBreakerOptions options)
-    : wrapped_(wrapped), breaker_(std::move(options)) {}
+    : wrapped_(wrapped), breaker_(std::move(options)) {
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        MetricLabels labels{{"destination", name()}};
+        CircuitBreakerStats s = breaker_.stats();
+        emitter->EmitCounter("wsq_circuit_trips_total",
+                             "Circuit-breaker closed/half-open to open "
+                             "transitions",
+                             labels, s.trips);
+        emitter->EmitCounter("wsq_circuit_fast_failures_total",
+                             "Requests rejected while the circuit was open",
+                             labels, s.fast_failures);
+        emitter->EmitCounter("wsq_circuit_probes_total",
+                             "Probe requests admitted while half-open",
+                             labels, s.probes);
+        emitter->EmitGauge("wsq_circuit_open",
+                           "1 while the circuit is open, else 0", labels,
+                           breaker_.state() == CircuitState::kOpen ? 1 : 0);
+      });
+}
+
+CircuitBreakerSearchService::~CircuitBreakerSearchService() {
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
+}
 
 void CircuitBreakerSearchService::Submit(SearchRequest request,
                                          SearchCallback done) {

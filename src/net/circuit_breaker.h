@@ -89,6 +89,9 @@ class CircuitBreakerSearchService : public SearchService {
   CircuitBreakerSearchService(SearchService* wrapped,
                               CircuitBreakerOptions options = {});
 
+  /// Unhooks the per-destination stats collector from the registry.
+  ~CircuitBreakerSearchService() override;
+
   const std::string& name() const override { return wrapped_->name(); }
 
   void Submit(SearchRequest request, SearchCallback done) override;
@@ -99,6 +102,7 @@ class CircuitBreakerSearchService : public SearchService {
  private:
   SearchService* wrapped_;
   CircuitBreaker breaker_;
+  uint64_t collector_id_ = 0;
 };
 
 }  // namespace wsq

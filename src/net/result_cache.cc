@@ -1,11 +1,39 @@
 #include "net/result_cache.h"
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace wsq {
 
 ResultCache::ResultCache(size_t capacity, int64_t ttl_micros)
-    : capacity_(capacity == 0 ? 1 : capacity), ttl_micros_(ttl_micros) {}
+    : capacity_(capacity == 0 ? 1 : capacity), ttl_micros_(ttl_micros) {
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        ResultCacheStats s;
+        size_t entries;
+        {
+          MutexLock lock(&mu_);
+          s = stats_;
+          entries = lru_.size();
+        }
+        emitter->EmitCounter("wsq_result_cache_hits_total",
+                             "Search responses served from cache", {},
+                             s.hits);
+        emitter->EmitCounter("wsq_result_cache_misses_total",
+                             "Cache lookups that went to the engine", {},
+                             s.misses);
+        emitter->EmitCounter("wsq_result_cache_evictions_total",
+                             "Entries evicted by the LRU capacity bound",
+                             {}, s.evictions);
+        emitter->EmitGauge("wsq_result_cache_entries",
+                           "Entries currently cached", {},
+                           static_cast<int64_t>(entries));
+      });
+}
+
+ResultCache::~ResultCache() {
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
+}
 
 std::optional<SearchResponse> ResultCache::Get(const std::string& key) {
   MutexLock lock(&mu_);

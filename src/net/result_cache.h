@@ -27,6 +27,12 @@ class ResultCache {
   /// `capacity` entries; `ttl_micros` <= 0 disables expiry.
   explicit ResultCache(size_t capacity, int64_t ttl_micros = 0);
 
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Unhooks the stats collector from the metrics registry.
+  ~ResultCache();
+
   std::optional<SearchResponse> Get(const std::string& key);
   void Put(const std::string& key, SearchResponse response);
 
@@ -49,6 +55,7 @@ class ResultCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> map_
       WSQ_GUARDED_BY(mu_);
   ResultCacheStats stats_ WSQ_GUARDED_BY(mu_);
+  uint64_t collector_id_ = 0;
 };
 
 /// SearchService decorator that answers repeated requests from a

@@ -1,0 +1,346 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wsq {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Canonical label rendering: sorted by key, `{k="v",k2="v2"}`; empty
+/// labels render as "". Identical label sets always produce identical
+/// text, which is what makes the text usable as a series key.
+std::string CanonicalLabels(MetricLabels labels) {
+  if (labels.empty()) return "";
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Injects one more label into already-canonical label text.
+std::string WithExtraLabel(const std::string& labels_text,
+                           std::string_view key, std::string_view value) {
+  std::string extra;
+  extra += key;
+  extra += "=\"";
+  extra += EscapeLabelValue(value);
+  extra += "\"";
+  if (labels_text.empty()) return "{" + extra + "}";
+  std::string out = labels_text;
+  out.insert(out.size() - 1, "," + extra);
+  return out;
+}
+
+std::string EscapeJson(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+constexpr double kExportQuantiles[] = {0.5, 0.9, 0.95, 0.99};
+
+}  // namespace
+
+MetricsRegistry* MetricsRegistry::Global() {
+  // Deliberately leaked: instrument pointers handed to hot paths and
+  // collector handles held by components must stay valid through
+  // static destruction, whatever order it runs in.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return global;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetLocked(
+    MetricType type, const std::string& name, const std::string& help,
+    const MetricLabels& labels) {
+  std::string key = name + CanonicalLabels(labels);
+  auto it = instruments_.find(key);
+  if (it != instruments_.end()) {
+    return it->second->type == type ? it->second.get() : nullptr;
+  }
+  auto inst = std::make_unique<Instrument>();
+  inst->type = type;
+  inst->name = name;
+  inst->help = help;
+  inst->labels_text = CanonicalLabels(labels);
+  switch (type) {
+    case MetricType::kCounter:
+      inst->counter = std::make_unique<Counter>();
+      inst->counter->gate_ = &recording_enabled_;
+      break;
+    case MetricType::kGauge:
+      inst->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      inst->histogram = std::make_unique<Histogram>();
+      inst->histogram->gate_ = &recording_enabled_;
+      break;
+  }
+  Instrument* out = inst.get();
+  instruments_.emplace(std::move(key), std::move(inst));
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const MetricLabels& labels) {
+  MutexLock lock(&mu_);
+  Instrument* inst = GetLocked(MetricType::kCounter, name, help, labels);
+  return inst == nullptr ? nullptr : inst->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const MetricLabels& labels) {
+  MutexLock lock(&mu_);
+  Instrument* inst = GetLocked(MetricType::kGauge, name, help, labels);
+  return inst == nullptr ? nullptr : inst->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const MetricLabels& labels) {
+  MutexLock lock(&mu_);
+  Instrument* inst = GetLocked(MetricType::kHistogram, name, help, labels);
+  return inst == nullptr ? nullptr : inst->histogram.get();
+}
+
+uint64_t MetricsRegistry::AddCollector(CollectorFn fn) {
+  MutexLock lock(&mu_);
+  uint64_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  MutexLock lock(&mu_);
+  collectors_.erase(id);
+}
+
+/// Accumulates collector output as Samples alongside the instruments'.
+class MetricsRegistry::CollectingEmitter : public MetricsEmitter {
+ public:
+  explicit CollectingEmitter(std::vector<Sample>* out) : out_(out) {}
+
+  void EmitCounter(std::string_view name, std::string_view help,
+                   MetricLabels labels, uint64_t value) override {
+    Sample s = Base(MetricType::kCounter, name, help, std::move(labels));
+    s.counter_value = value;
+    out_->push_back(std::move(s));
+  }
+
+  void EmitGauge(std::string_view name, std::string_view help,
+                 MetricLabels labels, int64_t value) override {
+    Sample s = Base(MetricType::kGauge, name, help, std::move(labels));
+    s.gauge_value = value;
+    out_->push_back(std::move(s));
+  }
+
+  void EmitHistogram(std::string_view name, std::string_view help,
+                     MetricLabels labels, HistogramSnapshot snapshot) override {
+    Sample s = Base(MetricType::kHistogram, name, help, std::move(labels));
+    s.histogram = std::move(snapshot);
+    out_->push_back(std::move(s));
+  }
+
+ private:
+  static Sample Base(MetricType type, std::string_view name,
+                     std::string_view help, MetricLabels labels) {
+    Sample s;
+    s.type = type;
+    s.name = std::string(name);
+    s.help = std::string(help);
+    s.labels_text = CanonicalLabels(std::move(labels));
+    return s;
+  }
+
+  std::vector<Sample>* out_;
+};
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Collect() const {
+  std::vector<Sample> raw;
+  {
+    MutexLock lock(&mu_);
+    raw.reserve(instruments_.size());
+    for (const auto& [key, inst] : instruments_) {
+      Sample s;
+      s.type = inst->type;
+      s.name = inst->name;
+      s.help = inst->help;
+      s.labels_text = inst->labels_text;
+      switch (inst->type) {
+        case MetricType::kCounter:
+          s.counter_value = inst->counter->Value();
+          break;
+        case MetricType::kGauge:
+          s.gauge_value = inst->gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          s.histogram = inst->histogram->Snapshot();
+          break;
+      }
+      raw.push_back(std::move(s));
+    }
+    CollectingEmitter emitter(&raw);
+    for (const auto& [id, fn] : collectors_) fn(&emitter);
+  }
+
+  // Merge duplicates: several components publishing the same series
+  // (e.g. one ReqPump per database) roll up into process totals.
+  std::map<std::pair<std::string, std::string>, Sample> merged;
+  for (Sample& s : raw) {
+    auto key = std::make_pair(s.name, s.labels_text);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(std::move(key), std::move(s));
+      continue;
+    }
+    Sample& dst = it->second;
+    if (dst.type != s.type) continue;  // type conflict: first wins
+    switch (dst.type) {
+      case MetricType::kCounter: dst.counter_value += s.counter_value; break;
+      case MetricType::kGauge: dst.gauge_value += s.gauge_value; break;
+      case MetricType::kHistogram: dst.histogram.Merge(s.histogram); break;
+    }
+  }
+
+  std::vector<Sample> out;
+  out.reserve(merged.size());
+  for (auto& [key, s] : merged) out.push_back(std::move(s));
+  return out;  // map iteration order = sorted by (name, labels)
+}
+
+std::string MetricsRegistry::ExportPrometheusText() const {
+  std::vector<Sample> samples = Collect();
+  std::string out;
+  size_t i = 0;
+  while (i < samples.size()) {
+    // One family per metric name; samples arrive sorted.
+    size_t begin = i;
+    const std::string& name = samples[begin].name;
+    size_t end = begin;
+    while (end < samples.size() && samples[end].name == name) ++end;
+    i = end;
+
+    const Sample& first = samples[begin];
+    if (!first.help.empty()) {
+      out += "# HELP " + name + " " + first.help + "\n";
+    }
+    if (first.type == MetricType::kHistogram) {
+      out += "# TYPE " + name + " summary\n";
+      for (size_t j = begin; j < end; ++j) {
+        const Sample& s = samples[j];
+        for (double q : kExportQuantiles) {
+          out += name +
+                 WithExtraLabel(s.labels_text, "quantile",
+                                StrFormat("%g", q)) +
+                 StrFormat(" %.6g\n", s.histogram.Quantile(q));
+        }
+        out += name + "_sum" + s.labels_text +
+               StrFormat(" %llu\n", (unsigned long long)s.histogram.sum);
+        out += name + "_count" + s.labels_text +
+               StrFormat(" %llu\n", (unsigned long long)s.histogram.count);
+      }
+      out += "# TYPE " + name + "_max gauge\n";
+      for (size_t j = begin; j < end; ++j) {
+        const Sample& s = samples[j];
+        out += name + "_max" + s.labels_text +
+               StrFormat(" %lld\n", (long long)s.histogram.max);
+      }
+      continue;
+    }
+    out += "# TYPE " + name + " " + std::string(TypeName(first.type)) + "\n";
+    for (size_t j = begin; j < end; ++j) {
+      const Sample& s = samples[j];
+      if (s.type == MetricType::kCounter) {
+        out += name + s.labels_text +
+               StrFormat(" %llu\n", (unsigned long long)s.counter_value);
+      } else {
+        out += name + s.labels_text +
+               StrFormat(" %lld\n", (long long)s.gauge_value);
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::vector<Sample> samples = Collect();
+  std::string out = "{\"metrics\":[";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + EscapeJson(s.name) + "\"";
+    out += ",\"type\":\"" + std::string(TypeName(s.type)) + "\"";
+    out += ",\"labels\":\"" + EscapeJson(s.labels_text) + "\"";
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += StrFormat(",\"value\":%llu", (unsigned long long)s.counter_value);
+        break;
+      case MetricType::kGauge:
+        out += StrFormat(",\"value\":%lld", (long long)s.gauge_value);
+        break;
+      case MetricType::kHistogram:
+        out += StrFormat(
+            ",\"count\":%llu,\"sum\":%llu,\"max\":%lld,"
+            "\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g",
+            (unsigned long long)s.histogram.count,
+            (unsigned long long)s.histogram.sum, (long long)s.histogram.max,
+            s.histogram.Quantile(0.5), s.histogram.Quantile(0.95),
+            s.histogram.Quantile(0.99));
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wsq

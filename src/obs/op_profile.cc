@@ -1,0 +1,60 @@
+#include "obs/op_profile.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wsq {
+
+std::string FormatMicros(int64_t micros) {
+  if (micros < 1000) return StrFormat("%lld us", (long long)micros);
+  if (micros < 1000000) {
+    return StrFormat("%.1f ms", static_cast<double>(micros) / 1000.0);
+  }
+  return StrFormat("%.2f s", static_cast<double>(micros) / 1e6);
+}
+
+uint64_t PlanProfileNode::TotalCallsIssued() const {
+  uint64_t total = profile.calls_issued;
+  for (const PlanProfileNode& child : children) {
+    total += child.TotalCallsIssued();
+  }
+  return total;
+}
+
+int64_t PlanProfileNode::TotalBlockedMicros() const {
+  int64_t total = profile.blocked_on_sync_micros;
+  for (const PlanProfileNode& child : children) {
+    total += child.TotalBlockedMicros();
+  }
+  return total;
+}
+
+void PlanProfileNode::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += label;
+  *out += StrFormat("  [rows=%llu", (unsigned long long)profile.rows_out);
+  if (profile.calls_issued > 0) {
+    *out += StrFormat(" calls=%llu", (unsigned long long)profile.calls_issued);
+  }
+  *out += " total=" + FormatMicros(profile.total_micros());
+  *out += " self=" + FormatMicros(self_micros);
+  if (profile.blocked_on_sync_micros > 0) {
+    *out += " blocked=" + FormatMicros(profile.blocked_on_sync_micros);
+  }
+  if (profile.opens > 1) {
+    *out += StrFormat(" opens=%llu", (unsigned long long)profile.opens);
+  }
+  *out += "]\n";
+  for (const PlanProfileNode& child : children) {
+    child.AppendTo(out, indent + 1);
+  }
+}
+
+std::string PlanProfileNode::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+}  // namespace wsq

@@ -1,0 +1,57 @@
+#ifndef WSQ_OBS_OP_PROFILE_H_
+#define WSQ_OBS_OP_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsq {
+
+/// Per-operator execution profile, filled by the Operator base wrappers
+/// when a query runs with profiling (EXPLAIN ANALYZE / \analyze).
+struct OpProfile {
+  uint64_t opens = 0;
+  uint64_t next_calls = 0;
+  uint64_t rows_out = 0;
+  /// External calls issued by this operator (EVScan/AEVScan).
+  uint64_t calls_issued = 0;
+  int64_t open_micros = 0;
+  int64_t next_micros = 0;
+  int64_t close_micros = 0;
+  /// Time a ReqSync spent parked on ReqPump completions (the number the
+  /// paper's max-vs-sum latency claim is about: under asynchronous
+  /// iteration this approaches the MAX of the outstanding call
+  /// latencies, not their sum).
+  int64_t blocked_on_sync_micros = 0;
+
+  /// Wall time spent inside this operator's Open+Next+Close, including
+  /// time inside its children.
+  int64_t total_micros() const {
+    return open_micros + next_micros + close_micros;
+  }
+};
+
+/// Annotated plan tree returned by EXPLAIN ANALYZE: one node per
+/// operator, mirroring the logical plan shape.
+struct PlanProfileNode {
+  std::string label;  ///< the plan node's Label()
+  OpProfile profile;
+  /// total_micros minus the children's totals (clamped at 0).
+  int64_t self_micros = 0;
+  std::vector<PlanProfileNode> children;
+
+  std::string ToString() const;
+  void AppendTo(std::string* out, int indent) const;
+
+  /// Sum of a field across this node and every descendant.
+  uint64_t TotalCallsIssued() const;
+  int64_t TotalBlockedMicros() const;
+};
+
+/// "417 us" / "30.1 ms" / "2.50 s" — compact duration for plan
+/// annotations and slow-query lines.
+std::string FormatMicros(int64_t micros);
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_OP_PROFILE_H_

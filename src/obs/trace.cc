@@ -1,0 +1,68 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace wsq {
+
+namespace {
+thread_local Tracer* tls_tracer = nullptr;
+}  // namespace
+
+Tracer* Tracer::CurrentThread() { return tls_tracer; }
+
+Tracer::ThreadBinding::ThreadBinding(Tracer* tracer)
+    : previous_(tls_tracer) {
+  if (tracer != nullptr) tls_tracer = tracer;
+}
+
+Tracer::ThreadBinding::~ThreadBinding() { tls_tracer = previous_; }
+
+QueryTrace Tracer::Finish() {
+  QueryTrace trace;
+  trace.dropped_spans = dropped_;
+  trace.max_spans = max_spans_;
+  trace.spans = std::move(spans_);
+  spans_.clear();
+  dropped_ = 0;
+  // Spans are appended when they close, so children precede their
+  // parents; re-order parents-first for reading: by start time, with
+  // ties broken outermost-first.
+  std::stable_sort(trace.spans.begin(), trace.spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     if (a.start_micros != b.start_micros) {
+                       return a.start_micros < b.start_micros;
+                     }
+                     return a.depth < b.depth;
+                   });
+  return trace;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  for (const TraceSpan& span : spans) {
+    out += StrFormat("[%10lld us] ", (long long)span.start_micros);
+    if (span.instant) {
+      out += "     event    ";
+    } else {
+      out += StrFormat("%8lld us  ", (long long)span.duration_micros);
+    }
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.category;
+    out += ".";
+    out += span.name;
+    if (!span.detail.empty()) {
+      out += "  ";
+      out += span.detail;
+    }
+    out += "\n";
+  }
+  if (dropped_spans > 0) {
+    out += StrFormat("... %llu span(s) dropped (budget %zu)\n",
+                     (unsigned long long)dropped_spans, max_spans);
+  }
+  return out;
+}
+
+}  // namespace wsq

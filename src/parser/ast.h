@@ -301,12 +301,16 @@ class UpdateStatement : public Statement {
   ParsedExprPtr where;  // null updates every row
 };
 
-/// EXPLAIN [SYNC|ASYNC] <select>. Prints the physical plan (after the
-/// asynchronous-iteration rewrite when ASYNC).
+/// EXPLAIN [ANALYZE] [SYNC|ASYNC] <select>. Plain EXPLAIN prints the
+/// physical plan (after the asynchronous-iteration rewrite when
+/// ASYNC). EXPLAIN ANALYZE actually runs the query and prints the plan
+/// annotated with per-operator profiles; it defaults to ASYNC, like
+/// normal execution.
 class ExplainStatement : public Statement {
  public:
   ExplainStatement() : Statement(Kind::kExplain) {}
 
+  bool analyze = false;
   bool async = false;
   std::unique_ptr<SelectStatement> select;
 };

@@ -45,6 +45,7 @@ std::string_view TokenTypeToString(TokenType t) {
     case TokenType::kInto: return "INTO";
     case TokenType::kValues: return "VALUES";
     case TokenType::kExplain: return "EXPLAIN";
+    case TokenType::kAnalyze: return "ANALYZE";
     case TokenType::kAsync: return "ASYNC";
     case TokenType::kSync: return "SYNC";
     case TokenType::kHaving: return "HAVING";
@@ -104,6 +105,7 @@ TokenType KeywordType(const std::string& upper) {
           {"INTO", TokenType::kInto},
           {"VALUES", TokenType::kValues},
           {"EXPLAIN", TokenType::kExplain},
+          {"ANALYZE", TokenType::kAnalyze},
           {"ASYNC", TokenType::kAsync},
           {"SYNC", TokenType::kSync},
           {"HAVING", TokenType::kHaving},

@@ -333,10 +333,13 @@ Result<std::unique_ptr<UpdateStatement>> Parser::ParseUpdate() {
 Result<std::unique_ptr<ExplainStatement>> Parser::ParseExplain() {
   WSQ_RETURN_IF_ERROR(Expect(TokenType::kExplain, "").status());
   auto stmt = std::make_unique<ExplainStatement>();
+  stmt->analyze = Match(TokenType::kAnalyze);
   if (Match(TokenType::kAsync)) {
     stmt->async = true;
-  } else {
-    Match(TokenType::kSync);
+  } else if (!Match(TokenType::kSync) && stmt->analyze) {
+    // ANALYZE runs the query for real, so it follows Execute's default
+    // (asynchronous iteration) unless SYNC is spelled out.
+    stmt->async = true;
   }
   WSQ_ASSIGN_OR_RETURN(stmt->select, ParseSelectStatement());
   return stmt;

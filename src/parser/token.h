@@ -42,6 +42,7 @@ enum class TokenType {
   kLike,
   kValues,
   kExplain,
+  kAnalyze,
   kAsync,
   kSync,
   kHaving,

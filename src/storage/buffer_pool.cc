@@ -4,6 +4,8 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wsq {
 
@@ -14,9 +16,40 @@ BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
     frames_.push_back(std::make_unique<Page>());
     free_frames_.push_back(pool_size - 1 - i);
   }
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        BufferPoolStats s;
+        size_t resident;
+        {
+          MutexLock lock(&mu_);
+          s = stats_;
+          resident = page_table_.size();
+        }
+        emitter->EmitCounter("wsq_buffer_pool_hits_total",
+                             "Page fetches served from memory", {}, s.hits);
+        emitter->EmitCounter("wsq_buffer_pool_misses_total",
+                             "Page fetches that read from disk", {},
+                             s.misses);
+        emitter->EmitCounter("wsq_buffer_pool_evictions_total",
+                             "Resident pages evicted by LRU", {},
+                             s.evictions);
+        emitter->EmitCounter("wsq_buffer_pool_flushes_total",
+                             "Dirty pages written back to disk", {},
+                             s.flushes);
+        emitter->EmitCounter("wsq_buffer_pool_flush_failures_total",
+                             "Dirty-page write-backs that failed", {},
+                             s.flush_failures);
+        emitter->EmitGauge("wsq_buffer_pool_resident_pages",
+                           "Pages currently resident", {},
+                           static_cast<int64_t>(resident));
+        emitter->EmitGauge("wsq_buffer_pool_frames",
+                           "Total frames in the pool", {},
+                           static_cast<int64_t>(frames_.size()));
+      });
 }
 
 BufferPool::~BufferPool() {
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
   // Destructors can't propagate errors; failures were already counted
   // in stats_.flush_failures and the pages stay dirty in a dead pool.
   WSQ_IGNORE_STATUS(FlushAll());
@@ -33,6 +66,12 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     return page;
   }
   ++stats_.misses;
+  if (Tracer* tracer = Tracer::CurrentThread()) {
+    // Attributes the disk read to the query running on this thread
+    // (operators have no storage handle to thread a tracer through).
+    tracer->Event("storage", "page_miss",
+                  StrFormat("page=%d", page_id));
+  }
   WSQ_ASSIGN_OR_RETURN(size_t frame, GetVictimFrame());
   Page* page = frames_[frame].get();
   WSQ_RETURN_IF_ERROR(disk_->ReadPage(page_id, page->data_));

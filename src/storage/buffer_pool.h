@@ -87,6 +87,8 @@ class BufferPool {
       WSQ_GUARDED_BY(mu_);
   std::vector<size_t> free_frames_ WSQ_GUARDED_BY(mu_);
   BufferPoolStats stats_ WSQ_GUARDED_BY(mu_);
+  /// Metrics-registry collector handle, removed in the destructor.
+  uint64_t collector_id_ = 0;
 };
 
 /// RAII pin guard: unpins on destruction.

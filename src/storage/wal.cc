@@ -7,6 +7,8 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/checksum.h"
 
 namespace wsq {
@@ -158,6 +160,30 @@ Status InMemoryWalStorage::Reset() {
 
 // --- LogWriter -----------------------------------------------------------
 
+namespace {
+
+/// WAL volume counters. LogWriter holds no lock, so the registry call
+/// in the function-local static initializer is safe here.
+Counter* WalAppendCounter() {
+  static Counter* c = MetricsRegistry::Global()->GetCounter(
+      "wsq_wal_page_images_total", "Full-page images appended to the WAL");
+  return c;
+}
+
+Counter* WalBytesCounter() {
+  static Counter* c = MetricsRegistry::Global()->GetCounter(
+      "wsq_wal_appended_bytes_total", "Bytes appended to the WAL");
+  return c;
+}
+
+Counter* WalCommitCounter() {
+  static Counter* c = MetricsRegistry::Global()->GetCounter(
+      "wsq_wal_commits_total", "Checkpoint commit records synced");
+  return c;
+}
+
+}  // namespace
+
 Status LogWriter::AppendPageImage(PageId page_id, const char* frame) {
   if (!wrote_header_) {
     WSQ_RETURN_IF_ERROR(wal_->Append(WalFileHeader()));
@@ -170,6 +196,12 @@ Status LogWriter::AppendPageImage(PageId page_id, const char* frame) {
   AppendU32(&record, static_cast<uint32_t>(kPageSize));
   record.append(frame, kPageSize);
   SealRecord(&record);
+  if (Counter* c = WalAppendCounter()) c->Increment();
+  if (Counter* c = WalBytesCounter()) c->Add(record.size());
+  if (Tracer* tracer = Tracer::CurrentThread()) {
+    tracer->Event("wal", "append_page",
+                  StrFormat("page=%d bytes=%zu", page_id, record.size()));
+  }
   return wal_->Append(record);
 }
 
@@ -183,7 +215,20 @@ Status LogWriter::Commit(uint32_t page_count) {
   AppendU32(&record, page_count);
   SealRecord(&record);
   WSQ_RETURN_IF_ERROR(wal_->Append(record));
-  return wal_->Sync();
+  if (Tracer* tracer = Tracer::CurrentThread()) {
+    Tracer::Scope span(tracer, "wal", "commit");
+    span.AppendDetail(StrFormat("pages=%u", page_count));
+    Status synced = wal_->Sync();
+    if (synced.ok() && WalCommitCounter() != nullptr) {
+      WalCommitCounter()->Increment();
+    }
+    return synced;
+  }
+  Status synced = wal_->Sync();
+  if (synced.ok() && WalCommitCounter() != nullptr) {
+    WalCommitCounter()->Increment();
+  }
+  return synced;
 }
 
 // --- LogReader -----------------------------------------------------------

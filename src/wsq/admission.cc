@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace wsq {
 
@@ -12,6 +13,47 @@ namespace {
 /// promptly even if no slot frees up.
 constexpr int64_t kCancelPollMicros = 5000;
 }  // namespace
+
+AdmissionController::AdmissionController(AdmissionLimits limits)
+    : limits_(limits) {
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        AdmissionStats s;
+        int active;
+        int queued;
+        {
+          MutexLock lock(&mu_);
+          s = stats_;
+          active = active_;
+          queued = queued_;
+        }
+        emitter->EmitCounter("wsq_admission_admitted_total",
+                             "Queries granted an execution slot", {},
+                             s.admitted);
+        emitter->EmitCounter("wsq_admission_shed_queue_full_total",
+                             "Arrivals shed: admission queue full", {},
+                             s.shed_queue_full);
+        emitter->EmitCounter("wsq_admission_shed_timeout_total",
+                             "Queued queries shed: wait bound exceeded", {},
+                             s.shed_timeout);
+        emitter->EmitCounter(
+            "wsq_admission_shed_cancelled_total",
+            "Queued queries shed: cancelled/deadline while waiting", {},
+            s.shed_cancelled);
+        emitter->EmitGauge("wsq_admission_active",
+                           "Queries executing right now", {}, active);
+        emitter->EmitGauge("wsq_admission_queued",
+                           "Queries waiting for an execution slot", {},
+                           queued);
+        emitter->EmitGauge("wsq_admission_active_peak",
+                           "Peak concurrently executing queries", {},
+                           static_cast<int64_t>(s.active_peak));
+      });
+}
+
+AdmissionController::~AdmissionController() {
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
+}
 
 void AdmissionController::Ticket::Release() {
   if (controller_ == nullptr) return;

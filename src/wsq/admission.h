@@ -48,12 +48,14 @@ struct AdmissionStats {
 /// Thread-safe; Admit may be called concurrently from any thread.
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionLimits limits)
-      : limits_(limits) {}
+  explicit AdmissionController(AdmissionLimits limits);
   AdmissionController() : AdmissionController(AdmissionLimits{}) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Unhooks the stats collector from the metrics registry.
+  ~AdmissionController();
 
   /// RAII slot: releasing (destroying) it wakes one queued query. The
   /// controller must outlive every Ticket.
@@ -106,6 +108,8 @@ class AdmissionController {
   int active_ WSQ_GUARDED_BY(mu_) = 0;
   int queued_ WSQ_GUARDED_BY(mu_) = 0;
   AdmissionStats stats_ WSQ_GUARDED_BY(mu_);
+  /// Metrics-registry collector handle (see MetricsRegistry contract).
+  uint64_t collector_id_ = 0;
 };
 
 }  // namespace wsq

@@ -1,15 +1,27 @@
 #include "wsq/database.h"
 
+#include <atomic>
+
 #include "catalog/catalog_serde.h"
 #include "plan/cost_model.h"
 #include "common/strings.h"
 #include "storage/serde.h"
 #include "common/clock.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "wsq/web_tables.h"
 
 namespace wsq {
+
+namespace {
+
+/// Process-unique query ids: one sequence across every open database,
+/// so slow-query lines and traces from different databases never
+/// collide in a shared log.
+std::atomic<uint64_t> g_next_query_id{1};
+
+}  // namespace
 
 WsqDatabase::WsqDatabase(const Options& options,
                          std::unique_ptr<DiskManager> owned_disk,
@@ -27,7 +39,9 @@ WsqDatabase::WsqDatabase(const Options& options,
       buffer_pool_(options.buffer_pool_pages, disk_),
       catalog_(&buffer_pool_),
       pump_(options.pump_limits),
-      admission_(options.admission) {}
+      admission_(options.admission),
+      slow_query_log_(options.slow_query_micros,
+                      options.slow_query_sink) {}
 
 WsqDatabase::WsqDatabase(const Options& options)
     : WsqDatabase(options, std::make_unique<InMemoryDiskManager>(),
@@ -146,6 +160,57 @@ Status WsqDatabase::RegisterSearchEngine(const std::string& engine_name,
 
 Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
                                             const ExecOptions& options) {
+  // Per-query observability wrapper around the real dispatch: every
+  // statement — success or failure — lands in the registry counters,
+  // the latency histogram, and (past the threshold) the slow-query
+  // log. Instrument handles are fetched once per process.
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  static Counter* queries = registry->GetCounter(
+      "wsq_queries_total", "Statements executed (all kinds)");
+  static Counter* errors = registry->GetCounter(
+      "wsq_query_errors_total", "Statements that returned an error");
+  static Histogram* latency = registry->GetHistogram(
+      "wsq_query_latency_micros", "End-to-end statement latency");
+
+  uint64_t query_id =
+      g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch timer;
+  Result<QueryExecution> result = ExecuteInternal(sql, options);
+  int64_t elapsed = timer.ElapsedMicros();
+
+  if (queries != nullptr) queries->Increment();
+  if (latency != nullptr) latency->Record(elapsed);
+  if (!result.ok() && errors != nullptr) errors->Increment();
+
+  SlowQueryRecord record;
+  record.query_id = query_id;
+  record.sql = sql;
+  record.elapsed_micros = elapsed;
+  if (result.ok()) {
+    result->stats.query_id = query_id;
+    // Prefer the executor's own elapsed time for SELECTs (it excludes
+    // parse/admission); the wrapper's timer covers everything else.
+    if (result->stats.elapsed_micros == 0) {
+      result->stats.elapsed_micros = elapsed;
+    }
+    record.ok = true;
+    record.rows = result->result.rows.size();
+    record.external_calls = result->stats.external_calls;
+    record.failed_calls = result->stats.failed_calls;
+    record.degraded_tuples = result->stats.dropped_tuples +
+                             result->stats.null_padded_tuples +
+                             result->stats.shed_tuples;
+    record.async_iteration = result->stats.async_iteration;
+  } else {
+    record.ok = false;
+    record.error = result.status().ToString();
+  }
+  slow_query_log_.MaybeLog(std::move(record), options.slow_query_micros);
+  return result;
+}
+
+Result<QueryExecution> WsqDatabase::ExecuteInternal(
+    const std::string& sql, const ExecOptions& options) {
   // Query governor: one token carries the deadline and the cancel flag
   // for the whole statement. A caller-supplied token lets another
   // thread abort mid-flight; otherwise a private one enforces just the
@@ -190,6 +255,32 @@ Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
       return ExecuteUpdate(static_cast<const UpdateStatement&>(*stmt));
     case Statement::Kind::kExplain: {
       const auto& explain = static_cast<const ExplainStatement&>(*stmt);
+      if (explain.analyze) {
+        // EXPLAIN ANALYZE actually runs the query, then returns the
+        // profile-annotated operator tree instead of the rows.
+        ExecOptions run = options;
+        run.analyze = true;
+        run.async_iteration = explain.async;
+        WSQ_ASSIGN_OR_RETURN(
+            QueryExecution exec,
+            ExecuteSelect(*explain.select, run, token));
+        std::string text;
+        if (exec.profile.has_value()) text = exec.profile->ToString();
+        text += StrFormat(
+            "-- rows=%llu elapsed=%s external_calls=%llu mode=%s\n",
+            static_cast<unsigned long long>(exec.result.rows.size()),
+            FormatMicros(exec.stats.elapsed_micros).c_str(),
+            static_cast<unsigned long long>(exec.stats.external_calls),
+            exec.stats.async_iteration ? "async" : "sync");
+        QueryExecution out;
+        out.stats = exec.stats;
+        out.profile = std::move(exec.profile);
+        out.trace = std::move(exec.trace);
+        out.result.schema =
+            Schema({Column("Plan", TypeId::kString, "")});
+        out.result.rows.push_back(Row({Value::Str(std::move(text))}));
+        return out;
+      }
       Binder binder(&catalog_, &vtables_, options_.binder);
       WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan,
                            binder.Bind(*explain.select));
@@ -231,9 +322,27 @@ Result<std::string> WsqDatabase::ExplainSelect(const std::string& sql,
 Result<QueryExecution> WsqDatabase::ExecuteSelect(
     const SelectStatement& stmt, const ExecOptions& options,
     const CancellationToken* token) {
-  Binder binder(&catalog_, &vtables_, options_.binder);
-  WSQ_ASSIGN_OR_RETURN(PlanNodePtr plan, binder.Bind(stmt));
+  // The tracer (when requested) lives for the whole select so the
+  // bind/rewrite/execute phases all land in one trace; the TLS binding
+  // lets the buffer pool and WAL attach their I/O to this query.
+  std::unique_ptr<Tracer> tracer;
+  if (options.trace) {
+    tracer = std::make_unique<Tracer>(options.trace_max_spans);
+  }
+  Tracer::ThreadBinding binding(tracer.get());
+
+  PlanNodePtr plan;
+  {
+    std::optional<Tracer::Scope> span;
+    if (tracer != nullptr) span.emplace(tracer.get(), "query", "bind");
+    Binder binder(&catalog_, &vtables_, options_.binder);
+    WSQ_ASSIGN_OR_RETURN(plan, binder.Bind(stmt));
+  }
   if (options.async_iteration) {
+    std::optional<Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer.get(), "query", "rewrite");
+    }
     RewriteOptions rewrite = options.rewrite;
     if (options.on_call_error != OnCallError::kFailQuery) {
       rewrite.on_call_error = options.on_call_error;
@@ -246,8 +355,24 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   ExecContext ctx;
   ctx.pump = &pump_;
   ctx.token = token;
+  ctx.tracer = tracer.get();
+  ctx.profile = options.analyze;
+  PlanProfileNode profile;
   Stopwatch timer;
-  WSQ_ASSIGN_OR_RETURN(ResultSet result, ExecutePlan(*plan, &ctx));
+  Result<ResultSet> executed = [&]() -> Result<ResultSet> {
+    std::optional<Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer.get(), "query", "execute");
+    }
+    return ExecutePlan(*plan, &ctx,
+                       options.analyze ? &profile : nullptr);
+  }();
+  if (!executed.ok() && tracer != nullptr) {
+    tracer->Event("query", "error",
+                  std::string(StatusCodeToString(
+                      executed.status().code())));
+  }
+  WSQ_ASSIGN_OR_RETURN(ResultSet result, std::move(executed));
 
   QueryExecution out;
   out.result = std::move(result);
@@ -262,6 +387,8 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   out.stats.shed_tuples = ctx.shed_tuples.load();
   out.stats.peak_buffered_rows = ctx.reqsync_peak_rows.load();
   out.stats.peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
+  if (options.analyze) out.profile = std::move(profile);
+  if (tracer != nullptr) out.trace = tracer->Finish();
   return out;
 }
 

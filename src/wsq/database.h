@@ -9,6 +9,9 @@
 #include "common/cancellation.h"
 #include "exec/executor.h"
 #include "net/search_service.h"
+#include "obs/op_profile.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "plan/async_rewriter.h"
 #include "plan/binder.h"
 #include "storage/buffer_pool.h"
@@ -21,6 +24,8 @@ namespace wsq {
 
 /// Observability for one executed query.
 struct QueryStats {
+  /// Process-unique query id (also tags the slow-query log line).
+  uint64_t query_id = 0;
   int64_t elapsed_micros = 0;
   /// External (search engine) calls issued by this query.
   uint64_t external_calls = 0;
@@ -46,6 +51,11 @@ struct QueryStats {
 struct QueryExecution {
   ResultSet result;
   QueryStats stats;
+  /// Annotated operator tree; filled when ExecOptions::analyze was set
+  /// (EXPLAIN ANALYZE / \analyze).
+  std::optional<PlanProfileNode> profile;
+  /// Structured spans; filled when ExecOptions::trace was set.
+  std::optional<QueryTrace> trace;
 };
 
 /// The WSQ system facade: a Redbase-style relational engine (catalog,
@@ -68,6 +78,12 @@ class WsqDatabase {
     /// crash harness, which wants the last checkpoint — not a clean
     /// shutdown — to be the durable truth.
     bool checkpoint_on_close = true;
+    /// Database-wide slow-query threshold: queries whose wall time
+    /// reaches it are reported to `slow_query_sink`. 0 disables the
+    /// log; ExecOptions::slow_query_micros overrides per query.
+    int64_t slow_query_micros = 0;
+    /// Destination for slow-query records; null = one line to stderr.
+    SlowQueryLog::Sink slow_query_sink;
   };
 
   /// In-memory database (tests, examples, benches).
@@ -139,6 +155,17 @@ class WsqDatabase {
     /// another thread abort the query with kCancelled. Null = Execute
     /// uses a private token (deadline_micros still applies).
     CancellationToken* cancel = nullptr;
+    /// Collect per-operator profiles (rows, calls, self/total time,
+    /// ReqSync blocked time) and fill QueryExecution::profile. This is
+    /// what EXPLAIN ANALYZE and the shell's \analyze turn on.
+    bool analyze = false;
+    /// Record structured trace spans and fill QueryExecution::trace.
+    bool trace = false;
+    /// Span budget when `trace` is set; 0 = Tracer::kDefaultMaxSpans.
+    size_t trace_max_spans = 0;
+    /// Per-query slow-query threshold: -1 inherits the database
+    /// default, 0 disables the log for this query, > 0 overrides.
+    int64_t slow_query_micros = -1;
   };
 
   /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the
@@ -172,6 +199,11 @@ class WsqDatabase {
   static Result<std::unique_ptr<WsqDatabase>> OpenImpl(
       std::unique_ptr<WsqDatabase> db);
 
+  /// Execute minus the per-query observability wrapper (query id,
+  /// registry counters/latency histogram, slow-query log).
+  Result<QueryExecution> ExecuteInternal(const std::string& sql,
+                                         const ExecOptions& options);
+
   Result<QueryExecution> ExecuteSelect(const SelectStatement& stmt,
                                        const ExecOptions& options,
                                        const CancellationToken* token);
@@ -195,6 +227,7 @@ class WsqDatabase {
   VirtualTableRegistry vtables_;
   ReqPump pump_;
   AdmissionController admission_;
+  SlowQueryLog slow_query_log_;
 };
 
 }  // namespace wsq

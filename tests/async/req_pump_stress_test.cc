@@ -111,6 +111,17 @@ TEST(ReqPumpStressTest, ProducersVsBlockingConsumerWithTimeouts) {
   EXPECT_LE(stats.max_in_flight, 6u);
   // Every result was taken: nothing left in ReqPumpHash.
   EXPECT_EQ(pump.pending_results(), 0u);
+  // Timing ledger: at quiescence every registered call was resolved
+  // exactly once, only dispatched calls accrued time, and the accrued
+  // durations are sane.
+  EXPECT_EQ(stats.registered, stats.completed + stats.cancelled + stats.shed);
+  EXPECT_LE(stats.dispatched, stats.registered);
+  EXPECT_GE(stats.queue_wait_micros_total, 0);
+  // Limits force queueing (6 slots, 240 calls), so some call must have
+  // measurably waited, and every dispatched call was in flight for at
+  // least its simulated round-trip.
+  EXPECT_GT(stats.queue_wait_micros_total, 0);
+  EXPECT_GT(stats.in_flight_micros_total, 0);
 }
 
 // Polling consumer: TryTake + WaitForCompletionBeyond race against the
@@ -174,8 +185,15 @@ TEST(ReqPumpStressTest, PollingConsumerThenDrain) {
   pump.Drain();
 
   EXPECT_EQ(taken.load(), kTotal);
-  EXPECT_EQ(pump.stats().completed, static_cast<uint64_t>(kTotal));
+  ReqPumpStats stats = pump.stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kTotal));
   EXPECT_EQ(pump.in_flight(), 0);
+  // Ledger balance after Drain: everything registered is accounted for.
+  EXPECT_EQ(stats.registered, stats.completed + stats.cancelled + stats.shed);
+  EXPECT_EQ(stats.dispatched, static_cast<uint64_t>(kTotal));
+  // Every call slept >= 50 us in flight.
+  EXPECT_GE(stats.in_flight_micros_total, 50 * kTotal);
+  EXPECT_GE(stats.queue_wait_micros_total, 0);
 }
 
 // Destroy the pump while calls are dispatched, queued, and timing out.

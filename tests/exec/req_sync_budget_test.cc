@@ -25,16 +25,16 @@ class VectorOperator : public Operator {
   VectorOperator(const Schema* schema, std::vector<Row> rows)
       : Operator(schema), rows_(std::move(rows)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     next_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (next_ >= rows_.size()) return false;
     *row = rows_[next_++];
     return true;
   }
-  Status Close() override { return Status::OK(); }
+  Status CloseImpl() override { return Status::OK(); }
 
  private:
   std::vector<Row> rows_;

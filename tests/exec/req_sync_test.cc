@@ -21,16 +21,16 @@ class VectorOperator : public Operator {
   VectorOperator(const Schema* schema, std::vector<Row> rows)
       : Operator(schema), rows_(std::move(rows)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     next_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (next_ >= rows_.size()) return false;
     *row = rows_[next_++];
     return true;
   }
-  Status Close() override { return Status::OK(); }
+  Status CloseImpl() override { return Status::OK(); }
 
  private:
   std::vector<Row> rows_;
@@ -395,13 +395,13 @@ class CountingOperator : public Operator {
   CountingOperator(const Schema* schema, std::vector<Row> rows)
       : Operator(schema), inner_(schema, std::move(rows)) {}
 
-  Status Open() override { return inner_.Open(); }
-  Result<bool> Next(Row* row) override {
+  Status OpenImpl() override { return inner_.Open(); }
+  Result<bool> NextImpl(Row* row) override {
     auto r = inner_.Next(row);
     if (r.ok() && *r) ++pulled_;
     return r;
   }
-  Status Close() override { return inner_.Close(); }
+  Status CloseImpl() override { return inner_.Close(); }
 
   int pulled() const { return pulled_; }
 

@@ -1,0 +1,136 @@
+// MetricsRegistry behavior: instrument identity, type-mismatch
+// surfacing, collector merge semantics, export stability, and the
+// recording kill switch. Uses local registries so nothing leaks into
+// the process-global one.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace wsq {
+namespace {
+
+TEST(MetricsRegistryTest, SameNameSameLabelsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("wsq_test_events_total", "help");
+  Counter* b = registry.GetCounter("wsq_test_events_total", "help");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+
+  // Label order must not matter: both spellings are one series.
+  Gauge* g1 = registry.GetGauge("wsq_test_depth", "help",
+                                {{"a", "1"}, {"b", "2"}});
+  Gauge* g2 = registry.GetGauge("wsq_test_depth", "help",
+                                {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(g1, g2);
+
+  // Different labels = different instrument.
+  Gauge* g3 = registry.GetGauge("wsq_test_depth", "help", {{"a", "9"}});
+  EXPECT_NE(g1, g3);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("wsq_test_things_total", "help"), nullptr);
+  EXPECT_EQ(registry.GetGauge("wsq_test_things_total", "help"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("wsq_test_things_total", "help"),
+            nullptr);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportIsStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsq_test_b_total", "b help")->Add(2);
+  registry.GetGauge("wsq_test_a", "a help")->Set(-5);
+  registry.GetHistogram("wsq_test_lat_micros", "lat help",
+                        {{"destination", "x"}})
+      ->Record(100);
+
+  std::string once = registry.ExportPrometheusText();
+  std::string twice = registry.ExportPrometheusText();
+  // Same state => byte-identical output (sorted by name + labels).
+  EXPECT_EQ(once, twice);
+
+  // Names appear sorted.
+  size_t pos_a = once.find("wsq_test_a ");
+  size_t pos_b = once.find("wsq_test_b_total ");
+  size_t pos_lat = once.find("wsq_test_lat_micros{");
+  ASSERT_NE(pos_a, std::string::npos) << once;
+  ASSERT_NE(pos_b, std::string::npos) << once;
+  ASSERT_NE(pos_lat, std::string::npos) << once;
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_lat);
+
+  // Histograms export summary quantiles, sum, count, and max.
+  EXPECT_NE(once.find("quantile=\"0.5\""), std::string::npos) << once;
+  EXPECT_NE(once.find("quantile=\"0.99\""), std::string::npos) << once;
+  EXPECT_NE(once.find("wsq_test_lat_micros_sum{destination=\"x\"} 100"),
+            std::string::npos)
+      << once;
+  EXPECT_NE(once.find("wsq_test_lat_micros_count{destination=\"x\"} 1"),
+            std::string::npos)
+      << once;
+  EXPECT_NE(once.find("wsq_test_lat_micros_max{destination=\"x\"} 100"),
+            std::string::npos)
+      << once;
+}
+
+TEST(MetricsRegistryTest, CollectorsMergeWithOwnedInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsq_test_merged_total", "help")->Add(3);
+  uint64_t id = registry.AddCollector([](MetricsEmitter* emitter) {
+    emitter->EmitCounter("wsq_test_merged_total", "help", {}, 4);
+    emitter->EmitGauge("wsq_test_side", "help", {}, 7);
+  });
+
+  std::string text = registry.ExportPrometheusText();
+  // Same (name, labels) from instrument + collector sum to one series.
+  EXPECT_NE(text.find("wsq_test_merged_total 7"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wsq_test_side 7"), std::string::npos) << text;
+
+  registry.RemoveCollector(id);
+  text = registry.ExportPrometheusText();
+  EXPECT_NE(text.find("wsq_test_merged_total 3"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("wsq_test_side"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, KillSwitchStopsCountersAndHistograms) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("wsq_test_gated_total", "help");
+  Histogram* h = registry.GetHistogram("wsq_test_gated_micros", "help");
+  Gauge* g = registry.GetGauge("wsq_test_gated", "help");
+
+  registry.SetRecordingEnabled(false);
+  c->Increment();
+  h->Record(50);
+  g->Set(9);  // gauges represent current state and stay live
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(g->Value(), 9);
+
+  registry.SetRecordingEnabled(true);
+  c->Increment();
+  h->Record(50);
+  EXPECT_EQ(c->Value(), 1u);
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsq_test_json_total", "help")->Add(11);
+  std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("wsq_test_json_total"), std::string::npos) << json;
+  EXPECT_NE(json.find("11"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+  EXPECT_NE(MetricsRegistry::Global(), nullptr);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,121 @@
+// Slow-query log: threshold semantics (database default, per-query
+// override, disabled), sink capture, counters, and the injectable
+// clock that keeps the tests deterministic.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/slow_query_log.h"
+
+namespace wsq {
+namespace {
+
+SlowQueryRecord MakeRecord(int64_t elapsed_micros) {
+  SlowQueryRecord r;
+  r.query_id = 42;
+  r.sql = "SELECT Name, Count FROM States, WebCount WHERE Name = T1";
+  r.elapsed_micros = elapsed_micros;
+  r.rows = 5;
+  r.external_calls = 50;
+  r.async_iteration = true;
+  return r;
+}
+
+TEST(SlowQueryLogTest, LogsAtOrAboveThresholdOnly) {
+  std::vector<SlowQueryRecord> seen;
+  SlowQueryLog log(/*threshold_micros=*/1000,
+                   [&seen](const SlowQueryRecord& r) { seen.push_back(r); });
+  EXPECT_TRUE(log.enabled());
+
+  EXPECT_FALSE(log.MaybeLog(MakeRecord(999)));
+  EXPECT_TRUE(log.MaybeLog(MakeRecord(1000)));  // inclusive threshold
+  EXPECT_TRUE(log.MaybeLog(MakeRecord(5000)));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(log.logged_total(), 2u);
+  // The effective threshold is stamped into the emitted record.
+  EXPECT_EQ(seen[0].threshold_micros, 1000);
+  EXPECT_EQ(seen[0].elapsed_micros, 1000);
+}
+
+TEST(SlowQueryLogTest, DisabledByDefaultAndByZeroOverride) {
+  std::vector<SlowQueryRecord> seen;
+  SlowQueryLog off(/*threshold_micros=*/0,
+                   [&seen](const SlowQueryRecord& r) { seen.push_back(r); });
+  EXPECT_FALSE(off.enabled());
+  EXPECT_FALSE(off.MaybeLog(MakeRecord(1'000'000)));
+
+  SlowQueryLog on(/*threshold_micros=*/100,
+                  [&seen](const SlowQueryRecord& r) { seen.push_back(r); });
+  // Per-query override 0 disables even though the default would fire.
+  EXPECT_FALSE(on.MaybeLog(MakeRecord(1'000'000), /*threshold_override=*/0));
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(SlowQueryLogTest, PerQueryOverrideReplacesDefault) {
+  std::vector<SlowQueryRecord> seen;
+  SlowQueryLog log(/*threshold_micros=*/1'000'000,
+                   [&seen](const SlowQueryRecord& r) { seen.push_back(r); });
+  // Tighter override catches what the default would let pass...
+  EXPECT_TRUE(log.MaybeLog(MakeRecord(600), /*threshold_override=*/500));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].threshold_micros, 500);
+  // ...and a disabled default stays authoritative with override < 0.
+  EXPECT_FALSE(log.MaybeLog(MakeRecord(600), /*threshold_override=*/-1));
+}
+
+TEST(SlowQueryLogTest, FakeClockDrivesNowMicros) {
+  int64_t now = 10'000;
+  SlowQueryLog log(/*threshold_micros=*/100, /*sink=*/nullptr,
+                   /*clock=*/[&now] { return now; });
+  int64_t start = log.NowMicros();
+  now += 750;  // the "query" runs for 750 fake microseconds
+  int64_t elapsed = log.NowMicros() - start;
+  EXPECT_EQ(elapsed, 750);
+
+  std::vector<SlowQueryRecord> seen;
+  SlowQueryLog capture(/*threshold_micros=*/100,
+                       [&seen](const SlowQueryRecord& r) {
+                         seen.push_back(r);
+                       },
+                       [&now] { return now; });
+  EXPECT_TRUE(capture.MaybeLog(MakeRecord(elapsed)));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].elapsed_micros, 750);
+}
+
+TEST(SlowQueryLogTest, ToLineRendersKeyValuePairsWithSqlLast) {
+  SlowQueryRecord r = MakeRecord(1'234'567);
+  r.threshold_micros = 1'000'000;
+  r.failed_calls = 2;
+  r.degraded_tuples = 3;
+  std::string line = r.ToLine();
+  EXPECT_NE(line.find("slow_query"), std::string::npos) << line;
+  EXPECT_NE(line.find("id=42"), std::string::npos) << line;
+  EXPECT_NE(line.find("mode=async"), std::string::npos) << line;
+  EXPECT_NE(line.find("rows=5"), std::string::npos) << line;
+  EXPECT_NE(line.find("external_calls=50"), std::string::npos) << line;
+  EXPECT_NE(line.find("failed_calls=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("degraded_tuples=3"), std::string::npos) << line;
+  // sql is the last field (the only one that may contain spaces).
+  size_t sql_pos = line.find("sql=\"");
+  ASSERT_NE(sql_pos, std::string::npos) << line;
+  EXPECT_GT(sql_pos, line.find("rows=")) << line;
+
+  // Newlines in the statement are flattened to keep the record on one
+  // line.
+  SlowQueryRecord multi = MakeRecord(10);
+  multi.sql = "SELECT *\nFROM t";
+  EXPECT_EQ(multi.ToLine().find('\n'), std::string::npos);
+
+  // Failed queries carry the error.
+  SlowQueryRecord failed = MakeRecord(10);
+  failed.ok = false;
+  failed.error = "DEADLINE_EXCEEDED";
+  EXPECT_NE(failed.ToLine().find("DEADLINE_EXCEEDED"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsq

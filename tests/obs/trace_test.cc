@@ -1,0 +1,106 @@
+// Tracer span nesting, ordering, budget truncation, and the TLS
+// binding used by layers without an ExecContext (buffer pool, WAL).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace wsq {
+namespace {
+
+TEST(TracerTest, NestedScopesRecordDepthAndOrder) {
+  Tracer tracer;
+  {
+    Tracer::Scope outer(&tracer, "query", "execute");
+    {
+      Tracer::Scope inner(&tracer, "op", "scan");
+      inner.AppendDetail("t=States");
+    }
+    tracer.Event("reqpump", "register", "call=1");
+  }
+  QueryTrace trace = tracer.Finish();
+  ASSERT_EQ(trace.spans.size(), 3u);
+
+  // Finish() orders parents before children despite spans being
+  // recorded at close (children close first).
+  EXPECT_EQ(trace.spans[0].name, "execute");
+  EXPECT_EQ(trace.spans[0].depth, 0);
+  EXPECT_EQ(trace.spans[1].name, "scan");
+  EXPECT_EQ(trace.spans[1].depth, 1);
+  EXPECT_EQ(trace.spans[1].detail, "t=States");
+  EXPECT_EQ(trace.spans[2].name, "register");
+  EXPECT_TRUE(trace.spans[2].instant);
+  EXPECT_EQ(trace.spans[2].depth, 1);
+
+  // Child lives inside the parent's interval.
+  EXPECT_GE(trace.spans[1].start_micros, trace.spans[0].start_micros);
+  EXPECT_LE(trace.spans[1].duration_micros,
+            trace.spans[0].duration_micros);
+
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("query.execute"), std::string::npos) << text;
+  EXPECT_NE(text.find("op.scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("event"), std::string::npos) << text;
+}
+
+TEST(TracerTest, BudgetTruncationCountsDrops) {
+  Tracer tracer(/*max_spans=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Event("op", "tick");
+  }
+  EXPECT_EQ(tracer.span_count(), 4u);
+  EXPECT_EQ(tracer.dropped_spans(), 6u);
+
+  QueryTrace trace = tracer.Finish();
+  EXPECT_EQ(trace.spans.size(), 4u);
+  EXPECT_EQ(trace.dropped_spans, 6u);
+  EXPECT_EQ(trace.max_spans, 4u);
+  // The rendering reports the truncation.
+  EXPECT_NE(trace.ToString().find("dropped"), std::string::npos);
+
+  // Finish resets the tracer for reuse.
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+}
+
+TEST(TracerTest, ZeroBudgetFallsBackToDefault) {
+  Tracer tracer(0);
+  EXPECT_EQ(tracer.max_spans(), Tracer::kDefaultMaxSpans);
+}
+
+TEST(TracerTest, ThreadBindingNestsAndRestores) {
+  EXPECT_EQ(Tracer::CurrentThread(), nullptr);
+  Tracer outer_tracer;
+  {
+    Tracer::ThreadBinding outer(&outer_tracer);
+    EXPECT_EQ(Tracer::CurrentThread(), &outer_tracer);
+    {
+      // Binding null keeps the current tracer (disabled layers pass
+      // null without tearing down an enclosing query's binding).
+      Tracer::ThreadBinding noop(nullptr);
+      EXPECT_EQ(Tracer::CurrentThread(), &outer_tracer);
+      Tracer inner_tracer;
+      {
+        Tracer::ThreadBinding inner(&inner_tracer);
+        EXPECT_EQ(Tracer::CurrentThread(), &inner_tracer);
+      }
+      EXPECT_EQ(Tracer::CurrentThread(), &outer_tracer);
+    }
+    EXPECT_EQ(Tracer::CurrentThread(), &outer_tracer);
+  }
+  EXPECT_EQ(Tracer::CurrentThread(), nullptr);
+}
+
+TEST(TracerTest, EventsCarryDetailIntoRendering) {
+  Tracer tracer;
+  tracer.Event("reqsync", "complete",
+               "call=3 rows=1 queue_wait=120 in_flight=20000");
+  QueryTrace trace = tracer.Finish();
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_NE(trace.ToString().find("in_flight=20000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -33,6 +33,12 @@ Checks, in order of how often they have bitten this codebase:
                    pump. Legitimately unconditional waits (destructor
                    drains with no reachable token) carry a
                    `wsqlint: allow(cancel-blind-wait)` comment.
+  metric-naming    Metric names passed to MetricsRegistry::Get* and
+                   MetricsEmitter::Emit* must be wsq_-prefixed
+                   snake_case with the unit in the suffix: counters end
+                   _total, histograms end _micros or _bytes (DESIGN.md
+                   §12). One naming scheme keeps the /metrics dump
+                   greppable and dashboards portable.
 
 Exit status: 0 clean, 1 findings, 2 usage/setup error.
 """
@@ -51,6 +57,7 @@ ANNOTATED_DIRS = (
     "src/storage",
     "src/exec",
     "src/wsq",
+    "src/obs",
 )
 
 # Files allowed to touch the raw primitives: the annotation layer itself.
@@ -143,6 +150,10 @@ GUARDED_BY = re.compile(r"WSQ_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
 UNTIMED_WAIT = re.compile(r"[.>]\s*Wait\s*\(")
 CANCEL_AWARE = re.compile(r"shutdown|stop|cancel|token", re.I)
 WAIT_SUPPRESS = "wsqlint: allow(cancel-blind-wait)"
+METRIC_CALL = re.compile(
+    r"\b(GetCounter|GetGauge|GetHistogram"
+    r"|EmitCounter|EmitGauge|EmitHistogram)\s*\(\s*\"")
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
 RAND_CALL = re.compile(r"(?<![\w:])s?rand\s*\(")
 RANDOM_DEVICE = re.compile(r"std::random_device\b")
 INCLUDE_IOSTREAM = re.compile(r'#\s*include\s*<iostream>')
@@ -234,6 +245,45 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                 path, line_of(code, m.start()), "randomness",
                 "std::random_device draws unseeded entropy; plumb a "
                 "seed through the options struct instead"))
+
+    # --- metric-naming ----------------------------------------------
+    # strip_comments keeps offsets and quote characters but blanks
+    # string contents, so the literal is matched in `code` and its text
+    # read back from `raw` at the same positions.
+    if in_src:
+        for m in METRIC_CALL.finditer(code):
+            kind = m.group(1)
+            open_quote = m.end() - 1
+            close_quote = code.find('"', open_quote + 1)
+            if close_quote < 0:
+                continue
+            name = raw[open_quote + 1:close_quote]
+            line = line_of(code, m.start())
+            if not METRIC_NAME.match(name):
+                findings.append(Finding(
+                    path, line, "metric-naming",
+                    f"metric name '{name}' is not snake_case "
+                    "([a-z][a-z0-9_]*)"))
+                continue
+            problem = None
+            if not name.startswith("wsq_"):
+                problem = "must start with 'wsq_'"
+            elif kind in ("GetCounter", "EmitCounter"):
+                if not name.endswith("_total"):
+                    problem = "counters end in '_total'"
+            elif kind in ("GetHistogram", "EmitHistogram"):
+                if not (name.endswith("_micros")
+                        or name.endswith("_bytes")):
+                    problem = ("histograms carry their unit: "
+                               "'_micros' or '_bytes'")
+            elif kind in ("GetGauge", "EmitGauge"):
+                if name.endswith("_total"):
+                    problem = ("'_total' marks a monotonic counter; "
+                               "gauges go up and down")
+            if problem is not None:
+                findings.append(Finding(
+                    path, line, "metric-naming",
+                    f"metric name '{name}': {problem} (DESIGN.md §12)"))
 
     # --- include-guard ----------------------------------------------
     if is_header and in_src:
