@@ -1,0 +1,179 @@
+#ifndef WSQ_BENCH_BENCH_JSON_H_
+#define WSQ_BENCH_BENCH_JSON_H_
+
+// Shared writer for the BENCH_*.json artifacts the benchmarks leave at
+// the repo root (ROADMAP: the perf trajectory should be diffable run
+// to run). Deliberately tiny: an ordered build-then-dump document, no
+// parsing, no dependency. Keys emit in insertion order and numbers
+// format deterministically, so two runs with identical measurements
+// produce byte-identical files.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace wsqbench {
+
+class Json {
+ public:
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Str(std::string v) {
+    Json j(Kind::kString);
+    j.str_ = std::move(v);
+    return j;
+  }
+  static Json Int(long long v) {
+    Json j(Kind::kInt);
+    j.int_ = v;
+    return j;
+  }
+  static Json Real(double v) {
+    Json j(Kind::kReal);
+    j.real_ = v;
+    return j;
+  }
+  static Json Bool(bool v) {
+    Json j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  /// Object member (insertion-ordered; duplicate keys append).
+  Json& Set(const std::string& key, Json v) {
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  Json& Set(const std::string& key, const char* v) {
+    return Set(key, Str(v));
+  }
+  Json& Set(const std::string& key, const std::string& v) {
+    return Set(key, Str(v));
+  }
+  /// One template for every integer width (uint64_t is `unsigned long`
+  /// on LP64 — fixed-width overloads would leave it ambiguous).
+  template <typename T,
+            typename std::enable_if<std::is_integral<T>::value &&
+                                        !std::is_same<T, bool>::value,
+                                    int>::type = 0>
+  Json& Set(const std::string& key, T v) {
+    return Set(key, Int(static_cast<long long>(v)));
+  }
+  Json& Set(const std::string& key, double v) { return Set(key, Real(v)); }
+  Json& Set(const std::string& key, bool v) { return Set(key, Bool(v)); }
+
+  /// Array element.
+  Json& Push(Json v) {
+    members_.emplace_back(std::string(), std::move(v));
+    return *this;
+  }
+
+  std::string Dump(int indent = 1) const {
+    std::string out;
+    DumpTo(&out, indent, 0);
+    out.push_back('\n');
+    return out;
+  }
+
+ private:
+  enum class Kind { kObject, kArray, kString, kInt, kReal, kBool };
+
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static void AppendEscaped(std::string* out, const std::string& s) {
+    out->push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': *out += "\\\""; break;
+        case '\\': *out += "\\\\"; break;
+        case '\n': *out += "\\n"; break;
+        case '\t': *out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out += buf;
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+    out->push_back('"');
+  }
+
+  void DumpTo(std::string* out, int indent, int depth) const {
+    char buf[64];
+    switch (kind_) {
+      case Kind::kString:
+        AppendEscaped(out, str_);
+        return;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%lld", int_);
+        *out += buf;
+        return;
+      case Kind::kReal:
+        // Fixed precision, not %g: "123.4000" and "123.4" must not
+        // alternate between runs that land on either side of a
+        // formatting-width boundary.
+        std::snprintf(buf, sizeof(buf), "%.4f", real_);
+        *out += buf;
+        return;
+      case Kind::kBool:
+        *out += bool_ ? "true" : "false";
+        return;
+      case Kind::kObject:
+      case Kind::kArray:
+        break;
+    }
+    const bool object = kind_ == Kind::kObject;
+    if (members_.empty()) {
+      *out += object ? "{}" : "[]";
+      return;
+    }
+    const std::string pad((depth + 1) * indent, ' ');
+    *out += object ? "{\n" : "[\n";
+    for (size_t i = 0; i < members_.size(); ++i) {
+      *out += pad;
+      if (object) {
+        AppendEscaped(out, members_[i].first);
+        *out += ": ";
+      }
+      members_[i].second.DumpTo(out, indent, depth + 1);
+      if (i + 1 < members_.size()) *out += ",";
+      *out += "\n";
+    }
+    out->append(depth * indent, ' ');
+    *out += object ? "}" : "]";
+  }
+
+  Kind kind_;
+  std::string str_;
+  long long int_ = 0;
+  double real_ = 0.0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Writes `root` to `path` (and echoes it to stdout, matching the
+/// other benchmarks' print-the-JSON convention). Returns false with a
+/// message on stderr if the file cannot be written.
+inline bool WriteBenchJson(const std::string& path, const Json& root) {
+  std::string text = root.Dump();
+  std::fputs(text.c_str(), stdout);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace wsqbench
+
+#endif  // WSQ_BENCH_BENCH_JSON_H_

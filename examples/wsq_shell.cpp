@@ -13,6 +13,7 @@
 //   \trace <select>    run + per-query trace spans
 //   \metrics           Prometheus dump of the metrics registry
 //   \latency <ms>      report the configured latency
+//   \shards            sharded-backend status / partial-result policy
 //   \quit
 //
 // Example session:
@@ -65,6 +66,10 @@ void PrintHelp() {
       "  \\metrics             dump the metrics registry (Prometheus)\n"
       "  \\dsq <phrase>        DSQ: explain a phrase with DB terms\n"
       "  \\latency             show simulated search latency\n"
+      "  \\shards              sharded AltaVista backend status\n"
+      "  \\shards fail         fail queries unless every shard answers\n"
+      "  \\shards quorum <k>   accept k-of-N shards (partial counts)\n"
+      "  \\shards best-effort  accept whatever shards answer\n"
       "  \\deadline <ms>       per-query deadline (0 = none)\n"
       "  \\cancel              cancel the next statement (Ctrl-C\n"
       "                       cancels the one currently running)\n"
@@ -86,6 +91,45 @@ void PrintTables(wsq::DemoEnv& env) {
   }
 }
 
+void PrintShards(wsq::DemoEnv& env, const wsq::ShardOptions& shard) {
+  wsq::SimulatedShardCluster* cluster = env.shard_cluster();
+  if (cluster == nullptr) {
+    std::printf("sharding disabled (set WSQ_SHELL_SHARDS=N)\n");
+    return;
+  }
+  wsq::ShardedSearchService* svc = cluster->service();
+  std::printf("AltaVista backend: %zu shards, policy %s",
+              cluster->num_shards(),
+              wsq::ShardPolicyToString(shard.policy));
+  if (shard.policy == wsq::ShardPolicy::kQuorum) {
+    std::printf(" (min %d)", shard.min_shards);
+  }
+  std::printf("\n");
+  std::vector<bool> health = svc->shard_health();
+  for (size_t i = 0; i < health.size(); ++i) {
+    std::printf(
+        "  shard %zu: %s, breaker %s\n", i,
+        health[i] ? "healthy" : "failing",
+        std::string(wsq::CircuitStateToString(
+                        cluster->breaker(i)->breaker()->state()))
+            .c_str());
+  }
+  wsq::ShardedServiceStats stats = svc->stats();
+  std::printf(
+      "  fanouts=%llu coalesced=%llu shard_calls=%llu hedges=%llu "
+      "hedge_wins=%llu\n  complete=%llu partial=%llu "
+      "quorum_failures=%llu degraded_shards=%llu\n",
+      (unsigned long long)stats.fanouts,
+      (unsigned long long)stats.coalesced,
+      (unsigned long long)stats.shard_calls,
+      (unsigned long long)stats.hedges,
+      (unsigned long long)stats.hedge_wins,
+      (unsigned long long)stats.complete_results,
+      (unsigned long long)stats.partial_results,
+      (unsigned long long)stats.quorum_failures,
+      (unsigned long long)stats.degraded_shards);
+}
+
 }  // namespace
 
 int main() {
@@ -93,8 +137,17 @@ int main() {
   options.corpus.num_documents = 8000;
   options.latency = wsq::LatencyModel{kLatencyMs * 1000,
                                       kLatencyMs * 300, 0.0, 1.0};
+  // The AltaVista backend runs sharded by default (WSQ_SHELL_SHARDS=0
+  // restores the paper's single-server setup). Results are identical
+  // either way; \shards and ExecOptions-level policies become live.
+  options.search_shards = 4;
+  if (const char* shards_env = std::getenv("WSQ_SHELL_SHARDS")) {
+    long n = std::atol(shards_env);
+    options.search_shards = n < 0 ? 0 : static_cast<size_t>(n);
+  }
   wsq::DemoEnv env(options);
 
+  wsq::ShardOptions shard;
   bool async = true;
   int64_t deadline_ms = 0;
   bool cancel_next = false;
@@ -133,6 +186,23 @@ int main() {
         std::printf("execution: asynchronous iteration\n");
       } else if (trimmed == "\\latency") {
         std::printf("simulated search latency: %d ms\n", kLatencyMs);
+      } else if (trimmed == "\\shards") {
+        PrintShards(env, shard);
+      } else if (trimmed == "\\shards fail") {
+        shard.policy = wsq::ShardPolicy::kFail;
+        std::printf("shard policy: fail unless all shards answer\n");
+      } else if (wsq::StartsWith(trimmed, "\\shards quorum")) {
+        shard.policy = wsq::ShardPolicy::kQuorum;
+        shard.min_shards = std::atoi(trimmed.substr(14).c_str());
+        if (shard.min_shards > 0) {
+          std::printf("shard policy: quorum, min %d shard(s)\n",
+                      shard.min_shards);
+        } else {
+          std::printf("shard policy: quorum, min = all shards\n");
+        }
+      } else if (trimmed == "\\shards best-effort") {
+        shard.policy = wsq::ShardPolicy::kBestEffort;
+        std::printf("shard policy: best-effort\n");
       } else if (wsq::StartsWith(trimmed, "\\deadline ")) {
         deadline_ms = std::atoll(trimmed.substr(10).c_str());
         if (deadline_ms < 0) deadline_ms = 0;
@@ -177,6 +247,7 @@ int main() {
         exec_options.analyze = !want_trace;
         exec_options.trace = want_trace;
         exec_options.deadline_micros = deadline_ms * 1000;
+        exec_options.shard = shard;
         auto r = env.db().Execute(
             want_trace ? sql : "EXPLAIN ANALYZE " +
                                    std::string(async ? "ASYNC " : "SYNC ") +
@@ -221,6 +292,7 @@ int main() {
     exec_options.async_iteration = async;
     exec_options.cancel = &token;
     exec_options.deadline_micros = deadline_ms * 1000;
+    exec_options.shard = shard;
     token.Reset();
     if (cancel_next) {
       token.Cancel();
@@ -246,6 +318,13 @@ int main() {
                 r->result.rows.size(), r->stats.elapsed_micros * 1e-6,
                 (unsigned long long)r->stats.external_calls,
                 async ? "async" : "sync");
+    if (r->stats.partial_results > 0) {
+      std::printf(
+          "warning: %llu search(es) answered from a subset of shards "
+          "(%llu shard answers missing); counts are lower bounds\n",
+          (unsigned long long)r->stats.partial_results,
+          (unsigned long long)r->stats.degraded_shards);
+    }
   }
 
   // Flush an unterminated trailing statement (piped input).

@@ -35,6 +35,11 @@ struct CallResult {
   /// touching pump internals.
   int64_t queue_wait_micros = 0;
   int64_t in_flight_micros = 0;
+  /// Shards that failed to contribute to an OK-but-partial result
+  /// (sharded backends under a degrading quorum policy); 0 for complete
+  /// results and non-sharded services. Lets ReqSync surface degradation
+  /// in QueryStats/EXPLAIN ANALYZE without a side channel.
+  uint32_t degraded_shards = 0;
 };
 
 /// Completion sink handed to the call's dispatch function.

@@ -22,10 +22,14 @@ Result<std::unique_ptr<VScanOperator>> BuildVScan(const EVScanNode& node,
       return Status::InvalidArgument(
           "plan contains an AEVScan but no ReqPump was supplied");
     }
-    scan = std::make_unique<AEVScanOperator>(&node, ctx->pump);
+    auto async_scan = std::make_unique<AEVScanOperator>(&node, ctx->pump);
+    async_scan->SetShardOptions(ctx->shard);
+    scan = std::move(async_scan);
   } else {
-    scan = std::make_unique<EVScanOperator>(&node,
-                                            &ctx->sync_external_calls);
+    auto sync_scan = std::make_unique<EVScanOperator>(
+        &node, &ctx->sync_external_calls);
+    sync_scan->SetShardOptions(ctx->shard);
+    scan = std::move(sync_scan);
   }
   scan->SetCancelToken(ctx->token);
   scan->SetObservability(ctx->tracer, ctx->profile, node.Label());

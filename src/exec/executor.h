@@ -8,6 +8,7 @@
 #include "async/req_pump.h"
 #include "common/cancellation.h"
 #include "exec/operator.h"
+#include "net/shard_policy.h"
 #include "obs/op_profile.h"
 #include "obs/trace.h"
 #include "plan/logical_plan.h"
@@ -32,6 +33,9 @@ struct ExecContext {
   /// When true, BuildOperatorTree enables per-operator profiling
   /// (EXPLAIN ANALYZE) on every operator it creates.
   bool profile = false;
+  /// Per-query partial-result policy for sharded search backends;
+  /// copied into every VTableRequest the scans build.
+  ShardOptions shard;
   std::atomic<uint64_t> sync_external_calls{0};
   /// External calls that completed with a non-OK status.
   std::atomic<uint64_t> failed_calls{0};
@@ -48,6 +52,11 @@ struct ExecContext {
   /// (max across operators; see ReqSyncNode::max_buffered_rows).
   std::atomic<uint64_t> reqsync_peak_rows{0};
   std::atomic<uint64_t> reqsync_peak_bytes{0};
+  /// External calls that completed OK but merged from a strict subset
+  /// of shards (quorum / best-effort degradation), and the total shards
+  /// missing across those calls (CallResult::degraded_shards).
+  std::atomic<uint64_t> partial_results{0};
+  std::atomic<uint64_t> degraded_shards{0};
 };
 
 /// A fully-materialized query result.

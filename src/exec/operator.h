@@ -110,6 +110,10 @@ class Operator {
   void AddBlockedMicros(int64_t micros) {
     profile_.blocked_on_sync_micros += micros;
   }
+  void CountPartialResult(uint64_t degraded) {
+    profile_.partial_results++;
+    profile_.degraded_shards += degraded;
+  }
 
   /// Registers a child for the profile tree; subclasses that own child
   /// operators call this from their constructor. `child` must outlive

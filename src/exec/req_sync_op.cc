@@ -243,6 +243,23 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
   if (!result.status.ok()) {
     return DegradeFailedCall(call, result.status);
   }
+  if (result.degraded_shards > 0) {
+    // OK but degraded: a sharded backend answered from a strict subset
+    // of its shards. The tuples are patched normally — the quorum
+    // policy already accepted the loss — but the coverage gap is
+    // surfaced in QueryStats and EXPLAIN ANALYZE.
+    CountPartialResult(result.degraded_shards);
+    if (ctx_ != nullptr) {
+      ++ctx_->partial_results;
+      ctx_->degraded_shards += result.degraded_shards;
+    }
+    if (tracer() != nullptr) {
+      tracer()->Event("reqsync", "partial",
+                      StrFormat("call=%llu degraded_shards=%u",
+                                (unsigned long long)call,
+                                result.degraded_shards));
+    }
+  }
 
   auto waiting = waiters_.find(call);
   if (waiting == waiters_.end()) return Status::OK();

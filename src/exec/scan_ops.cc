@@ -80,6 +80,7 @@ Result<VTableRequest> VScanBase::BuildRequest() const {
   VTableRequest request;
   request.search_exp = node_->search_exp;
   request.rank_limit = node_->rank_limit;
+  request.shard = shard_;
   request.terms.resize(node_->num_terms());
 
   std::vector<bool> filled(node_->num_terms(), false);

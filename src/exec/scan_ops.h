@@ -8,6 +8,7 @@
 #include "async/req_pump.h"
 #include "catalog/catalog.h"
 #include "exec/operator.h"
+#include "net/shard_policy.h"
 #include "plan/logical_plan.h"
 
 namespace wsq {
@@ -55,6 +56,10 @@ class VScanBase : public VScanOperator {
     bound_terms_ = std::move(bindings);
   }
 
+  /// Per-query shard policy stamped onto every request this scan builds
+  /// (ExecContext::shard; see net/shard_policy.h).
+  void SetShardOptions(const ShardOptions& shard) { shard_ = shard; }
+
  protected:
   /// Builds the request; fails if any term is missing or NULL.
   Result<VTableRequest> BuildRequest() const;
@@ -65,6 +70,7 @@ class VScanBase : public VScanOperator {
 
   const EVScanNode* node_;
   std::vector<std::pair<size_t, Value>> bound_terms_;
+  ShardOptions shard_;
 };
 
 /// Blocking external scan: one synchronous call per Open (paper's

@@ -35,7 +35,8 @@ void CircuitBreaker::TripLocked(int64_t now) {
   ++stats_.trips;
 }
 
-bool CircuitBreaker::Allow() {
+bool CircuitBreaker::Allow(bool* as_probe) {
+  if (as_probe != nullptr) *as_probe = false;
   MutexLock lock(&mu_);
   int64_t now = Now();
   if (state_ == CircuitState::kOpen) {
@@ -60,6 +61,7 @@ bool CircuitBreaker::Allow() {
     }
     ++inflight_probes_;
     ++stats_.probes;
+    if (as_probe != nullptr) *as_probe = true;
     return true;
   }
   return true;
@@ -67,20 +69,55 @@ bool CircuitBreaker::Allow() {
 
 void CircuitBreaker::RecordSuccess() {
   MutexLock lock(&mu_);
+  RecordSuccessLocked(state_ == CircuitState::kHalfOpen);
+}
+
+void CircuitBreaker::RecordSuccess(bool was_probe) {
+  MutexLock lock(&mu_);
+  RecordSuccessLocked(was_probe);
+}
+
+void CircuitBreaker::RecordSuccessLocked(bool was_probe) {
   consecutive_failures_ = 0;
-  if (state_ == CircuitState::kHalfOpen) {
-    // Probe succeeded: the engine is back.
+  if (state_ == CircuitState::kHalfOpen && was_probe) {
+    // The probe succeeded: the engine is back. A non-probe success in
+    // half-open (a straggler from before the trip) is NOT evidence the
+    // engine recovered and must not close the circuit.
     state_ = CircuitState::kClosed;
     inflight_probes_ = 0;
   }
 }
 
 void CircuitBreaker::RecordFailure(const Status& status) {
-  if (!IsTransient(status.code())) return;  // engine answered; neutral
   MutexLock lock(&mu_);
+  RecordFailureLocked(status, state_ == CircuitState::kHalfOpen);
+}
+
+void CircuitBreaker::RecordFailure(const Status& status, bool was_probe) {
+  MutexLock lock(&mu_);
+  RecordFailureLocked(status, was_probe);
+}
+
+void CircuitBreaker::RecordFailureLocked(const Status& status,
+                                         bool was_probe) {
+  if (!IsTransient(status.code())) {
+    // The engine answered (badly): neutral for the failure streak. But
+    // if this was the half-open probe, its slot must be released or the
+    // gate stays wedged until the stale-probe escape — blocking real
+    // probes for a whole extra cool-down.
+    if (was_probe && state_ == CircuitState::kHalfOpen &&
+        inflight_probes_ > 0) {
+      --inflight_probes_;
+    }
+    return;
+  }
   int64_t now = Now();
   if (state_ == CircuitState::kHalfOpen) {
-    TripLocked(now);  // probe failed: back to open, fresh cool-down
+    if (was_probe) {
+      TripLocked(now);  // probe failed: back to open, fresh cool-down
+    }
+    // A non-probe transient failure in half-open is stale evidence from
+    // before the trip; the probe's own outcome decides the state.
     return;
   }
   if (state_ == CircuitState::kClosed) {
@@ -134,20 +171,23 @@ CircuitBreakerSearchService::~CircuitBreakerSearchService() {
 
 void CircuitBreakerSearchService::Submit(SearchRequest request,
                                          SearchCallback done) {
-  if (!breaker_.Allow()) {
+  bool as_probe = false;
+  if (!breaker_.Allow(&as_probe)) {
     done(SearchResponse{
         Status::Unavailable("circuit open for engine: " + name()), 0,
         {}});
     return;
   }
+  // Thread the probe flag through to the outcome so only the probe's
+  // own completion releases (or converts) the single half-open slot.
   CircuitBreaker* breaker = &breaker_;
   wrapped_->Submit(
       std::move(request),
-      [breaker, done = std::move(done)](SearchResponse resp) {
+      [breaker, as_probe, done = std::move(done)](SearchResponse resp) {
         if (resp.status.ok()) {
-          breaker->RecordSuccess();
+          breaker->RecordSuccess(as_probe);
         } else {
-          breaker->RecordFailure(resp.status);
+          breaker->RecordFailure(resp.status, as_probe);
         }
         done(std::move(resp));
       });

@@ -54,11 +54,23 @@ class CircuitBreaker {
 
   /// True if a request may be sent now; admitting a request while
   /// half-open counts it as a probe. False = fail fast.
-  bool Allow();
+  bool Allow() { return Allow(nullptr); }
 
-  /// Record the outcome of an admitted request.
+  /// As above; when non-null, `*as_probe` is set to whether THIS
+  /// admission is the half-open probe. Callers thread that flag back
+  /// into RecordSuccess/RecordFailure so the single probe slot is
+  /// released by the probe's own outcome — not wedged by it (a probe
+  /// answering with a non-transient error) and not stolen by stale
+  /// completions from before the trip.
+  bool Allow(bool* as_probe);
+
+  /// Record the outcome of an admitted request. The flag-less forms
+  /// infer `was_probe` from the current state (half-open = probe),
+  /// which is right for callers that serialize probe outcomes.
   void RecordSuccess();
+  void RecordSuccess(bool was_probe);
   void RecordFailure(const Status& status);
+  void RecordFailure(const Status& status, bool was_probe);
 
   CircuitState state() const;
   CircuitBreakerStats stats() const;
@@ -67,6 +79,9 @@ class CircuitBreaker {
  private:
   int64_t Now() const;
   void TripLocked(int64_t now) WSQ_REQUIRES(mu_);
+  void RecordSuccessLocked(bool was_probe) WSQ_REQUIRES(mu_);
+  void RecordFailureLocked(const Status& status, bool was_probe)
+      WSQ_REQUIRES(mu_);
 
   /// Immutable after construction (read without mu_).
   CircuitBreakerOptions options_;

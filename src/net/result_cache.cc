@@ -25,6 +25,10 @@ ResultCache::ResultCache(size_t capacity, int64_t ttl_micros)
         emitter->EmitCounter("wsq_result_cache_evictions_total",
                              "Entries evicted by the LRU capacity bound",
                              {}, s.evictions);
+        emitter->EmitCounter(
+            "wsq_result_cache_rejected_total",
+            "Responses refused admission (non-OK or partial)", {},
+            s.rejected);
         emitter->EmitGauge("wsq_result_cache_entries",
                            "Entries currently cached", {},
                            static_cast<int64_t>(entries));
@@ -83,6 +87,11 @@ ResultCacheStats ResultCache::stats() const {
   return stats_;
 }
 
+void ResultCache::CountRejected() {
+  MutexLock lock(&mu_);
+  ++stats_.rejected;
+}
+
 void ResultCache::Clear() {
   MutexLock lock(&mu_);
   lru_.clear();
@@ -103,7 +112,15 @@ void CachingSearchService::Submit(SearchRequest request,
   wrapped_->Submit(std::move(request),
                    [cache, key, done = std::move(done)](
                        SearchResponse resp) {
-                     if (resp.status.ok()) cache->Put(key, resp);
+                     // Admit only complete successes: a failure is not
+                     // an answer, and a partial (degraded-shard) merge
+                     // would poison every later query with a silently
+                     // truncated count/top-k for the whole TTL.
+                     if (resp.status.ok() && !resp.partial) {
+                       cache->Put(key, resp);
+                     } else {
+                       cache->CountRejected();
+                     }
                      done(std::move(resp));
                    });
 }

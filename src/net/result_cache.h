@@ -17,6 +17,10 @@ struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Responses refused admission: non-OK, or OK-but-partial (a degraded
+  /// sharded answer must not masquerade as the full answer for the
+  /// cache TTL).
+  uint64_t rejected = 0;
 };
 
 /// LRU cache of search responses keyed by request
@@ -35,6 +39,10 @@ class ResultCache {
 
   std::optional<SearchResponse> Get(const std::string& key);
   void Put(const std::string& key, SearchResponse response);
+
+  /// Counts a response CachingSearchService refused to admit (for the
+  /// wsq_result_cache_rejected_total series).
+  void CountRejected();
 
   size_t size() const;
   ResultCacheStats stats() const;

@@ -114,4 +114,9 @@ RetryStats RetryingSearchService::stats() const {
   return stats_;
 }
 
+uint64_t RetryingSearchService::outstanding() const {
+  MutexLock lock(&mu_);
+  return outstanding_;
+}
+
 }  // namespace wsq

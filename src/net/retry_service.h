@@ -62,6 +62,12 @@ class RetryingSearchService : public SearchService {
 
   RetryStats stats() const;
 
+  /// Calls accepted but not yet resolved (including backoff sleeps and
+  /// attempts parked inside the wrapped service). Teardown harnesses
+  /// poll this while unwedging the layer below: the destructor blocks
+  /// until it reaches zero.
+  uint64_t outstanding() const WSQ_EXCLUDES(mu_);
+
  private:
   void Attempt(SearchRequest request, SearchCallback done, int attempt,
                int64_t backoff_micros) WSQ_EXCLUDES(mu_);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/shard_policy.h"
 #include "search/search_engine.h"
 
 namespace wsq {
@@ -21,6 +22,11 @@ struct SearchRequest {
   std::string query;
   size_t k = 20;
 
+  /// Partial-result policy for sharded backends; ignored (harmlessly)
+  /// by single-node services. Not part of CacheKey: the coalescing key
+  /// identifies the *work* (kind, k, query) — policy is per waiter.
+  ShardOptions shard;
+
   /// Cache key: kind + k + query.
   std::string CacheKey() const;
 };
@@ -29,6 +35,13 @@ struct SearchResponse {
   Status status;
   int64_t count = 0;             // kCount
   std::vector<SearchHit> hits;   // kTopK
+  /// Sharded backends report coverage: how many shards the logical call
+  /// fanned out to and how many failed to answer. `partial` is set when
+  /// the response was merged from a strict subset of shards (quorum /
+  /// best-effort degradation) — counts are then lower bounds.
+  int shards_total = 0;
+  int shards_failed = 0;
+  bool partial = false;
 };
 
 using SearchCallback = std::function<void(SearchResponse)>;

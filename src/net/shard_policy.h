@@ -1,0 +1,46 @@
+#ifndef WSQ_NET_SHARD_POLICY_H_
+#define WSQ_NET_SHARD_POLICY_H_
+
+#include <string>
+
+namespace wsq {
+
+/// What a sharded search call does when some shards cannot answer
+/// (dark, tripped breaker, timed out): the paper's single opaque engine
+/// becomes N partitions, and each query chooses how much of the Web it
+/// is willing to lose (DESIGN.md §13).
+enum class ShardPolicy {
+  /// All shards must answer; any shard failure fails the call with
+  /// kUnavailable. Counts stay exact — the WSQ default.
+  kFail,
+  /// At least `min_shards` shards must answer; the response is merged
+  /// from the survivors and marked partial. Counts become lower bounds.
+  kQuorum,
+  /// One answering shard suffices; an all-shards-dark call still fails.
+  kBestEffort,
+};
+
+inline const char* ShardPolicyToString(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kFail:
+      return "fail";
+    case ShardPolicy::kQuorum:
+      return "quorum";
+    case ShardPolicy::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+/// Per-query sharding options, carried from ExecOptions through the
+/// virtual-table request into each SearchRequest.
+struct ShardOptions {
+  ShardPolicy policy = ShardPolicy::kFail;
+  /// kQuorum: minimum answering shards (clamped to [1, N]; 0 means N,
+  /// i.e. quorum degenerates to fail until the caller picks a K).
+  int min_shards = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_SHARD_POLICY_H_

@@ -1,0 +1,644 @@
+#include "net/sharded_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace wsq {
+
+namespace {
+
+/// Shard SearchResponses travel through the ReqPump encoded as
+/// CallResult rows, so the pump ledger IS the data path (no flight-
+/// lifetime side channel for late completions to dangle on):
+///   kCount: one row [count]
+///   kTopK:  one row per hit [url, rank, date, doc, score]
+/// Value::Real stores the double natively, so scores round-trip exactly
+/// and the merged ordering matches the unsharded engine bit-for-bit.
+CallResult EncodeResponse(SearchRequest::Kind kind,
+                          const SearchResponse& resp) {
+  CallResult result;
+  result.status = resp.status;
+  if (!resp.status.ok()) return result;
+  if (kind == SearchRequest::Kind::kCount) {
+    result.rows.push_back(Row({Value::Int(resp.count)}));
+  } else {
+    result.rows.reserve(resp.hits.size());
+    for (const SearchHit& hit : resp.hits) {
+      result.rows.push_back(
+          Row({Value::Str(hit.url), Value::Int(hit.rank),
+               Value::Str(hit.date),
+               Value::Int(static_cast<int64_t>(hit.doc)),
+               Value::Real(hit.score)}));
+    }
+  }
+  return result;
+}
+
+void DecodeRows(SearchRequest::Kind kind, const std::vector<Row>& rows,
+                int64_t* count, std::vector<SearchHit>* hits) {
+  if (kind == SearchRequest::Kind::kCount) {
+    *count = rows.empty() ? 0 : rows[0].value(0).AsInt();
+    return;
+  }
+  hits->reserve(rows.size());
+  for (const Row& row : rows) {
+    SearchHit hit;
+    hit.url = row.value(0).AsString();
+    hit.rank = static_cast<int>(row.value(1).AsInt());
+    hit.date = row.value(2).AsString();
+    hit.doc = static_cast<DocId>(row.value(3).AsInt());
+    hit.score = row.value(4).AsDouble();
+    hits->push_back(std::move(hit));
+  }
+}
+
+/// Shards that must answer OK for this waiter's policy to succeed.
+int NeededShards(const ShardOptions& options, int num_shards) {
+  switch (options.policy) {
+    case ShardPolicy::kFail:
+      return num_shards;
+    case ShardPolicy::kQuorum: {
+      int k = options.min_shards <= 0 ? num_shards : options.min_shards;
+      return std::max(1, std::min(k, num_shards));
+    }
+    case ShardPolicy::kBestEffort:
+      return 1;
+  }
+  return num_shards;
+}
+
+}  // namespace
+
+ShardedSearchService::ShardedSearchService(std::vector<Shard> shards,
+                                           ReqPump* pump, Options options)
+    : shards_(std::move(shards)),
+      pump_(pump),
+      options_(std::move(options)),
+      wake_(std::make_shared<WakeState>()) {
+  destinations_.reserve(shards_.size());
+  latency_hists_.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    destinations_.push_back(shard.primary->name());
+    // Same (name, help, labels) as ReqPump::RecordCallTiming, so this
+    // resolves to the very instrument the pump feeds: observed shard
+    // latency seeds the hedge delay with no extra plumbing.
+    latency_hists_.push_back(MetricsRegistry::Global()->GetHistogram(
+        "wsq_external_call_latency_micros",
+        "Dispatch-to-completion latency of external calls",
+        {{"destination", shard.primary->name()}}));
+  }
+  shard_ok_.assign(shards_.size(), true);
+  shard_decided_ok_.assign(shards_.size(), 0);
+  shard_decided_failed_.assign(shards_.size(), 0);
+  collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        ShardedServiceStats s;
+        std::vector<bool> healthy;
+        std::vector<uint64_t> ok_counts;
+        std::vector<uint64_t> failed_counts;
+        {
+          MutexLock lock(&mu_);
+          s = stats_;
+          healthy = shard_ok_;
+          ok_counts = shard_decided_ok_;
+          failed_counts = shard_decided_failed_;
+        }
+        MetricLabels labels{{"service", options_.name}};
+        emitter->EmitCounter("wsq_shard_fanouts_total",
+                             "Logical requests fanned out to the shards",
+                             labels, s.fanouts);
+        emitter->EmitCounter(
+            "wsq_shard_coalesced_total",
+            "Logical requests answered by joining an in-flight fan-out",
+            labels, s.coalesced);
+        emitter->EmitCounter("wsq_shard_hedges_total",
+                             "Hedge calls issued against shard replicas",
+                             labels, s.hedges);
+        emitter->EmitCounter(
+            "wsq_shard_hedge_wins_total",
+            "Shard calls decided by the hedge instead of the primary",
+            labels, s.hedge_wins);
+        emitter->EmitCounter(
+            "wsq_shard_partial_results_total",
+            "Responses merged from a strict subset of shards", labels,
+            s.partial_results);
+        emitter->EmitCounter(
+            "wsq_shard_quorum_failures_total",
+            "Requests failed because too few shards answered", labels,
+            s.quorum_failures);
+        emitter->EmitCounter(
+            "wsq_shard_degraded_total",
+            "Total shards missing across all partial responses", labels,
+            s.degraded_shards);
+        for (size_t i = 0; i < destinations_.size(); ++i) {
+          MetricLabels shard_labels{{"destination", destinations_[i]}};
+          emitter->EmitGauge(
+              "wsq_shard_healthy",
+              "1 while the shard's last decided call answered OK",
+              shard_labels, healthy[i] ? 1 : 0);
+          emitter->EmitCounter("wsq_shard_calls_ok_total",
+                               "Shard calls decided OK", shard_labels,
+                               ok_counts[i]);
+          emitter->EmitCounter("wsq_shard_calls_failed_total",
+                               "Shard calls decided failed", shard_labels,
+                               failed_counts[i]);
+        }
+      });
+  gather_ = std::thread([this] { GatherLoop(); });
+}
+
+ShardedSearchService::~ShardedSearchService() {
+  MetricsRegistry::Global()->RemoveCollector(collector_id_);
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  {
+    MutexLock lock(&wake_->mu);
+    wake_->ping = true;
+    wake_->cv.NotifyAll();
+  }
+  gather_.join();
+  // Honour the SearchService contract: every accepted request completes.
+  std::vector<Delivery> deliveries;
+  {
+    MutexLock lock(&mu_);
+    for (auto& entry : flights_) {
+      Flight& flight = entry.second;
+      for (ShardCall& call : flight.calls) {
+        if (!call.primary_taken && call.primary != kInvalidCallId) {
+          ReapLegLocked(call.primary);
+          call.primary_taken = true;
+        }
+        if (!call.hedge_taken && call.hedge != kInvalidCallId) {
+          ReapLegLocked(call.hedge);
+          call.hedge_taken = true;
+        }
+      }
+      for (Waiter& waiter : flight.waiters) {
+        deliveries.push_back(Delivery{
+            std::move(waiter.done),
+            SearchResponse{
+                Status::Unavailable("sharded service shutting down: " +
+                                    options_.name),
+                0,
+                {}}});
+      }
+    }
+    flights_.clear();
+    idle_cv_.NotifyAll();
+  }
+  for (Delivery& d : deliveries) d.done(std::move(d.response));
+}
+
+void ShardedSearchService::Submit(SearchRequest request,
+                                  SearchCallback done) {
+  const std::string key = request.CacheKey();
+  bool rejected = false;
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        // Single-flight coalescing: same (kind, k, query) already in
+        // flight — join it as one more waiter. The waiter keeps its own
+        // quorum policy; the shard calls are shared.
+        ++stats_.coalesced;
+        it->second.waiters.push_back(
+            Waiter{request.shard, std::move(done)});
+        return;
+      }
+      ++stats_.fanouts;
+      Flight& flight = flights_[key];
+      flight.request = request;
+      flight.calls.resize(shards_.size());
+      flight.waiters.push_back(Waiter{request.shard, std::move(done)});
+      int64_t now = NowMicros();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        ShardCall& call = flight.calls[i];
+        call.primary = RegisterLeg(shards_[i].primary, flight.request,
+                                   destinations_[i]);
+        ++stats_.shard_calls;
+        if (options_.enable_hedging && shards_[i].replica != nullptr) {
+          call.hedge_at_micros = now + HedgeDelayMicros(i);
+        }
+      }
+    }
+  }
+  if (rejected) {
+    done(SearchResponse{
+        Status::Unavailable("sharded service shutting down: " +
+                            options_.name),
+        0,
+        {}});
+    return;
+  }
+  // Wake the gather loop so it learns the new flight's hedge deadlines.
+  MutexLock lock(&wake_->mu);
+  wake_->ping = true;
+  wake_->cv.NotifyAll();
+}
+
+void ShardedSearchService::Quiesce() {
+  MutexLock lock(&mu_);
+  while (!flights_.empty()) {
+    idle_cv_.WaitForMicros(mu_, 10000);
+  }
+}
+
+ShardedServiceStats ShardedSearchService::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+std::vector<bool> ShardedSearchService::shard_health() const {
+  MutexLock lock(&mu_);
+  return shard_ok_;
+}
+
+CallId ShardedSearchService::RegisterLeg(SearchService* service,
+                                         const SearchRequest& request,
+                                         const std::string& destination) {
+  std::shared_ptr<WakeState> wake = wake_;
+  SearchRequest::Kind kind = request.kind;
+  AsyncCallFn fn = [service, request, kind,
+                    wake](CallCompletion pump_done) {
+    service->Submit(
+        request,
+        [kind, wake, pump_done = std::move(pump_done)](SearchResponse resp) {
+          // Store the result in the pump first, then ping the gather
+          // loop. The wake state is shared, so a completion landing
+          // after ~ShardedSearchService touches valid memory.
+          pump_done(EncodeResponse(kind, resp));
+          MutexLock lock(&wake->mu);
+          wake->ping = true;
+          wake->cv.NotifyAll();
+        });
+  };
+  return pump_->Register(destination, std::move(fn),
+                         options_.call_timeout_micros);
+}
+
+int64_t ShardedSearchService::HedgeDelayMicros(size_t i) const {
+  int64_t delay = options_.default_hedge_delay_micros;
+  const Histogram* hist = latency_hists_[i];
+  if (hist != nullptr) {
+    HistogramSnapshot snap = hist->Snapshot();
+    if (snap.count >= options_.min_hedge_samples) {
+      delay = static_cast<int64_t>(snap.Quantile(options_.hedge_quantile));
+    }
+  }
+  return std::max(delay, options_.hedge_min_delay_micros);
+}
+
+void ShardedSearchService::FireHedgeLocked(Flight* flight, size_t i) {
+  ShardCall& call = flight->calls[i];
+  call.hedge = RegisterLeg(shards_[i].replica, flight->request,
+                           shards_[i].replica->name());
+  ++stats_.hedges;
+  ++stats_.shard_calls;
+}
+
+void ShardedSearchService::ReapLegLocked(CallId id) {
+  // Either the cancel lands (queued call dropped / dispatched call
+  // abandoned) or a result was already present; both leave a result in
+  // ReqPumpHash, so the TryTake always reaps it and the ledger stays
+  // balanced.
+  pump_->CancelCall(id);
+  CallResult discard;
+  pump_->TryTake(id, &discard);
+}
+
+SearchResponse ShardedSearchService::MergeLocked(
+    const Flight& flight) const {
+  SearchResponse resp;
+  resp.status = Status::OK();
+  resp.shards_total = static_cast<int>(flight.calls.size());
+  std::vector<SearchHit> all;
+  for (const ShardCall& call : flight.calls) {
+    if (!call.decided || !call.ok) {
+      ++resp.shards_failed;
+      continue;
+    }
+    resp.count += call.answer.count;
+    all.insert(all.end(), call.answer.hits.begin(),
+               call.answer.hits.end());
+  }
+  resp.partial = resp.shards_failed > 0;
+  if (flight.request.kind == SearchRequest::Kind::kTopK) {
+    resp.count = 0;  // kTopK leaves count unset, like the plain engine
+    // Same order as SearchEngine::Search: score descending, DocId
+    // ascending. Scores are purely per-document, so merging the
+    // per-shard top-k lists reproduces the unsharded top-k exactly.
+    std::sort(all.begin(), all.end(),
+              [](const SearchHit& a, const SearchHit& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    if (all.size() > flight.request.k) all.resize(flight.request.k);
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i].rank = static_cast<int>(i + 1);
+    }
+    resp.hits = std::move(all);
+  }
+  return resp;
+}
+
+bool ShardedSearchService::AdvanceFlightLocked(
+    Flight* flight, int64_t now, std::vector<Delivery>* out) {
+  const int n = static_cast<int>(flight->calls.size());
+  for (size_t i = 0; i < flight->calls.size(); ++i) {
+    ShardCall& call = flight->calls[i];
+    if (call.decided) continue;
+
+    auto decide = [&](bool ok, Status error, bool hedge_won,
+                      const CallResult* result) {
+      call.decided = true;
+      call.ok = ok;
+      call.hedge_won = hedge_won;
+      if (ok) {
+        call.answer.status = Status::OK();
+        DecodeRows(flight->request.kind, result->rows,
+                   &call.answer.count, &call.answer.hits);
+        ++shard_decided_ok_[i];
+        if (hedge_won) ++stats_.hedge_wins;
+      } else {
+        call.answer.status = std::move(error);
+        ++shard_decided_failed_[i];
+      }
+      shard_ok_[i] = ok;
+      // The shard is decided: a still-outstanding losing leg is pure
+      // waste now — cancel and reap it.
+      if (!call.primary_taken) {
+        ReapLegLocked(call.primary);
+        call.primary_taken = true;
+      }
+      if (call.hedge != kInvalidCallId && !call.hedge_taken) {
+        ReapLegLocked(call.hedge);
+        call.hedge_taken = true;
+      }
+    };
+
+    CallResult result;
+    if (!call.primary_taken && pump_->TryTake(call.primary, &result)) {
+      call.primary_taken = true;
+      if (result.status.ok()) {
+        decide(true, Status::OK(), /*hedge_won=*/false, &result);
+        continue;
+      }
+      bool can_fail_over = options_.enable_hedging &&
+                           shards_[i].replica != nullptr;
+      if (!can_fail_over ||
+          (call.hedge != kInvalidCallId && call.hedge_taken)) {
+        decide(false, std::move(result.status), false, nullptr);
+        continue;
+      }
+      if (call.hedge == kInvalidCallId) {
+        // Failure-triggered failover: don't wait for the latency
+        // trigger when the primary has already failed.
+        FireHedgeLocked(flight, i);
+      }
+      continue;  // hedge still outstanding; keep waiting
+    }
+    if (call.hedge != kInvalidCallId && !call.hedge_taken &&
+        pump_->TryTake(call.hedge, &result)) {
+      call.hedge_taken = true;
+      if (result.status.ok()) {
+        decide(true, Status::OK(), /*hedge_won=*/true, &result);
+        continue;
+      }
+      if (call.primary_taken) {
+        // Both legs failed; the primary's error is the representative
+        // one (the hedge usually just repeats it).
+        decide(false, std::move(result.status), false, nullptr);
+        continue;
+      }
+    }
+    if (!call.decided && call.hedge == kInvalidCallId &&
+        call.hedge_at_micros > 0 && now >= call.hedge_at_micros) {
+      // Latency-triggered hedge: the primary has been outstanding past
+      // the configured quantile of this destination's latency.
+      FireHedgeLocked(flight, i);
+    }
+  }
+
+  int decided_failed = 0;
+  int decided_ok = 0;
+  for (const ShardCall& call : flight->calls) {
+    if (!call.decided) continue;
+    if (call.ok) {
+      ++decided_ok;
+    } else {
+      ++decided_failed;
+    }
+  }
+  const bool all_decided = decided_ok + decided_failed == n;
+
+  // Representative error for quorum failures: prefer a non-transient
+  // shard error (the engine answered — e.g. a parse error — and every
+  // shard gave the same answer) over a generic "shards dark".
+  auto failure_status = [&]() -> Status {
+    for (const ShardCall& call : flight->calls) {
+      if (call.decided && !call.ok &&
+          !IsTransient(call.answer.status.code())) {
+        return call.answer.status;
+      }
+    }
+    return Status::Unavailable(
+        options_.name + ": " + std::to_string(decided_failed) + " of " +
+        std::to_string(n) + " shards failed to answer");
+  };
+
+  // Resolve waiters. A waiter fails early once its quorum has become
+  // impossible (more shards down than it can tolerate); successes wait
+  // for every shard to decide so healthy runs merge all shards.
+  SearchResponse merged;
+  bool have_merged = false;
+  auto it = flight->waiters.begin();
+  while (it != flight->waiters.end()) {
+    int need = NeededShards(it->options, n);
+    bool impossible = n - decided_failed < need;
+    if (impossible) {
+      ++stats_.quorum_failures;
+      out->push_back(
+          Delivery{std::move(it->done),
+                   SearchResponse{failure_status(), 0, {}}});
+      it = flight->waiters.erase(it);
+      continue;
+    }
+    if (all_decided) {
+      if (!have_merged) {
+        merged = MergeLocked(*flight);
+        have_merged = true;
+      }
+      SearchResponse resp = merged;
+      if (resp.partial) {
+        ++stats_.partial_results;
+        stats_.degraded_shards +=
+            static_cast<uint64_t>(resp.shards_failed);
+      } else {
+        ++stats_.complete_results;
+      }
+      out->push_back(Delivery{std::move(it->done), std::move(resp)});
+      it = flight->waiters.erase(it);
+      continue;
+    }
+    ++it;
+  }
+
+  if (all_decided) return true;
+  if (flight->waiters.empty()) {
+    // Every waiter has been resolved (all failed early): nobody will
+    // consume the remaining legs, so cancel them instead of letting a
+    // dark shard's timeout keep the flight alive.
+    for (ShardCall& call : flight->calls) {
+      if (!call.primary_taken) {
+        ReapLegLocked(call.primary);
+        call.primary_taken = true;
+      }
+      if (call.hedge != kInvalidCallId && !call.hedge_taken) {
+        ReapLegLocked(call.hedge);
+        call.hedge_taken = true;
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void ShardedSearchService::GatherLoop() {
+  for (;;) {
+    std::vector<Delivery> deliveries;
+    int64_t next_hedge_at = 0;
+    {
+      MutexLock lock(&mu_);
+      if (stopping_) break;
+      int64_t now = NowMicros();
+      for (auto it = flights_.begin(); it != flights_.end();) {
+        if (AdvanceFlightLocked(&it->second, now, &deliveries)) {
+          it = flights_.erase(it);
+        } else {
+          for (const ShardCall& call : it->second.calls) {
+            if (!call.decided && call.hedge == kInvalidCallId &&
+                call.hedge_at_micros > 0) {
+              next_hedge_at =
+                  next_hedge_at == 0
+                      ? call.hedge_at_micros
+                      : std::min(next_hedge_at, call.hedge_at_micros);
+            }
+          }
+          ++it;
+        }
+      }
+      if (flights_.empty()) idle_cv_.NotifyAll();
+    }
+    // Deliver waiter callbacks outside mu_: they may re-enter Submit
+    // (a retry layer above us) or take arbitrary downstream locks.
+    for (Delivery& d : deliveries) d.done(std::move(d.response));
+
+    int64_t wait_micros = options_.poll_micros;
+    if (next_hedge_at > 0) {
+      int64_t until = next_hedge_at - NowMicros();
+      wait_micros = std::min(wait_micros, std::max<int64_t>(until, 100));
+    }
+    MutexLock lock(&wake_->mu);
+    if (!wake_->ping) {
+      wake_->cv.WaitForMicros(wake_->mu, wait_micros);
+    }
+    wake_->ping = false;
+  }
+}
+
+SimulatedShardCluster::SimulatedShardCluster(const Corpus* corpus,
+                                             Options options)
+    : options_(std::move(options)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  const size_t n = options_.num_shards;
+  slices_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slices_.push_back(Corpus::ShardSlice(*corpus, i, n));
+  }
+  std::vector<ShardedSearchService::Shard> shards(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Shard engines keep the base rank_seed: per-document scores are
+    // then identical to the unsharded engine's, which is what makes
+    // merged results byte-identical. Only the name differs.
+    SearchEngineConfig cfg = options_.engine;
+    cfg.name = options_.engine.name + ".shard" + std::to_string(i);
+    engines_.push_back(std::make_unique<SearchEngine>(&slices_[i], cfg));
+    SimulatedSearchService::Options sim;
+    sim.latency = options_.latency;
+    sim.server_capacity = options_.server_capacity;
+    sim.seed = options_.seed + i * 1000003u;
+    nodes_.push_back(std::make_unique<SimulatedSearchService>(
+        engines_[i].get(), sim));
+    FaultPlan plan;
+    if (i < options_.shard_faults.size()) plan = options_.shard_faults[i];
+    faults_.push_back(std::make_unique<FaultInjectingSearchService>(
+        nodes_[i].get(), plan));
+    RetryPolicy retry = options_.retry;
+    retry.seed = options_.seed + i;
+    retries_.push_back(std::make_unique<RetryingSearchService>(
+        faults_[i].get(), retry));
+    breakers_.push_back(std::make_unique<CircuitBreakerSearchService>(
+        retries_[i].get(), options_.breaker));
+    shards[i].primary = breakers_[i].get();
+    if (options_.with_replicas) {
+      SearchEngineConfig replica_cfg = cfg;
+      replica_cfg.name = cfg.name + "r";
+      replica_engines_.push_back(
+          std::make_unique<SearchEngine>(&slices_[i], replica_cfg));
+      SimulatedSearchService::Options replica_sim = sim;
+      replica_sim.seed = sim.seed ^ 0x5eedful;
+      replica_nodes_.push_back(std::make_unique<SimulatedSearchService>(
+          replica_engines_[i].get(), replica_sim));
+      shards[i].replica = replica_nodes_[i].get();
+    }
+  }
+  pump_ = std::make_unique<ReqPump>(options_.pump_limits);
+  ShardedSearchService::Options svc = options_.service;
+  if (svc.name == "sharded") svc.name = options_.engine.name;
+  sharded_ = std::make_unique<ShardedSearchService>(std::move(shards),
+                                                    pump_.get(), svc);
+}
+
+SimulatedShardCluster::~SimulatedShardCluster() {
+  // Tear the front-end down first (fails outstanding waiters, cancels
+  // its legs), then the pump. After that only the service stacks
+  // remain — and the retry layer's destructor blocks until its calls
+  // resolve, which never happens on its own while those calls sit
+  // parked in the fault layer's hang queue below it. Worse, a released
+  // hang completes kUnavailable (transient), which the retry layer may
+  // re-submit — and the resubmission hangs again. So: keep releasing
+  // hung calls until every retry stack reports idle.
+  sharded_.reset();
+  pump_.reset();
+  for (;;) {
+    bool idle = true;
+    for (auto& retry : retries_) {
+      if (retry->outstanding() != 0) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) break;
+    for (auto& fault : faults_) fault->ReleaseHung();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void SimulatedShardCluster::Quiesce() {
+  sharded_->Quiesce();
+  pump_->Drain();
+  for (auto& node : nodes_) node->Quiesce();
+  for (auto& node : replica_nodes_) node->Quiesce();
+}
+
+}  // namespace wsq

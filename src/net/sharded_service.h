@@ -1,0 +1,300 @@
+#ifndef WSQ_NET_SHARDED_SERVICE_H_
+#define WSQ_NET_SHARDED_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "async/req_pump.h"
+#include "common/thread_annotations.h"
+#include "net/circuit_breaker.h"
+#include "net/fault_service.h"
+#include "net/latency_model.h"
+#include "net/retry_service.h"
+#include "net/search_service.h"
+#include "net/shard_policy.h"
+#include "net/simulated_service.h"
+#include "obs/histogram.h"
+#include "search/search_engine.h"
+#include "web/corpus.h"
+
+namespace wsq {
+
+/// Aggregate counters for one ShardedSearchService (exported by its
+/// metrics collector; see DESIGN.md §13).
+struct ShardedServiceStats {
+  /// Logical requests that started a new shard fan-out.
+  uint64_t fanouts = 0;
+  /// Logical requests answered by joining an existing fan-out.
+  uint64_t coalesced = 0;
+  /// Physical shard calls registered on the pump (primaries + hedges).
+  uint64_t shard_calls = 0;
+  /// Hedge calls issued (latency-triggered or failure-triggered).
+  uint64_t hedges = 0;
+  /// Shards decided by their hedge rather than their primary.
+  uint64_t hedge_wins = 0;
+  /// Waiter responses delivered OK with all shards contributing.
+  uint64_t complete_results = 0;
+  /// Waiter responses delivered OK but partial (quorum / best-effort).
+  uint64_t partial_results = 0;
+  /// Waiter responses failed because the policy's quorum was missed.
+  uint64_t quorum_failures = 0;
+  /// Sum over partial responses of the shards missing from each.
+  uint64_t degraded_shards = 0;
+};
+
+/// Scatter-gather front-end over N hash-partitioned search shards
+/// (ROADMAP item 4; ODYS in PAPERS.md): one logical SearchRequest fans
+/// out to every shard through a ReqPump — each shard its own
+/// destination, so per-destination limits, deadlines and latency
+/// histograms apply per shard — and the per-shard answers merge back
+/// into one SearchResponse (top-k by score, counts summed).
+///
+/// Robustness machinery, per DESIGN.md §13:
+///  - Partial-result quorum: each waiter's ShardOptions picks fail /
+///    K-of-N / best-effort when shards cannot answer; degraded
+///    responses are marked partial with shards_failed set.
+///  - Hedged requests: a shard still undecided after a latency-quantile
+///    delay (seeded from the pump's per-destination histograms) is
+///    re-issued against its replica; first success wins, the loser is
+///    cancelled through ReqPump::CancelCall. A failed primary fails
+///    over to the replica immediately.
+///  - Single-flight coalescing: logical requests with the same
+///    (kind, k, query) join one in-flight fan-out as extra waiters;
+///    each waiter still gets its own policy verdict, and one waiter
+///    abandoning its result (e.g. an outer pump cancelling its call)
+///    never disturbs the shared shard calls.
+///
+/// Every accepted request completes, including at destruction
+/// (outstanding waiters are failed with kUnavailable).
+class ShardedSearchService : public SearchService {
+ public:
+  /// One shard: the primary stack and an optional replica used for
+  /// hedging/failover. Both must outlive the service and serve the
+  /// SAME corpus slice with the same rank_seed (merge correctness).
+  struct Shard {
+    SearchService* primary = nullptr;
+    SearchService* replica = nullptr;  // null = no hedging for shard
+  };
+
+  struct Options {
+    /// Logical engine name (what vtables see as the destination).
+    std::string name = "sharded";
+    /// Per-shard-call deadline on the pump; <= 0 = pump default.
+    int64_t call_timeout_micros = 250000;
+    /// Hedge a shard once its primary has been outstanding for this
+    /// quantile of the destination's observed latency distribution.
+    double hedge_quantile = 0.95;
+    /// Observations required before the histogram seeds the delay;
+    /// below this, `default_hedge_delay_micros` is used.
+    uint64_t min_hedge_samples = 50;
+    int64_t default_hedge_delay_micros = 20000;
+    /// Floor for the hedge delay (a noisy fast quantile must not turn
+    /// hedging into always-mirror).
+    int64_t hedge_min_delay_micros = 1000;
+    /// Disable to fan out without ever hedging (benches).
+    bool enable_hedging = true;
+    /// Gather-loop fallback wakeup; bounds reaction time to pump-timer
+    /// completions (deadline expiries) that bypass the completion ping.
+    int64_t poll_micros = 2000;
+  };
+
+  /// `pump` carries the shard calls and must outlive the service.
+  ShardedSearchService(std::vector<Shard> shards, ReqPump* pump,
+                       Options options);
+  ~ShardedSearchService() override;
+
+  const std::string& name() const override { return options_.name; }
+
+  void Submit(SearchRequest request, SearchCallback done) override
+      WSQ_EXCLUDES(mu_);
+
+  /// Blocks until no flight is outstanding (tests/benches).
+  void Quiesce() WSQ_EXCLUDES(mu_);
+
+  size_t num_shards() const { return shards_.size(); }
+  ShardedServiceStats stats() const WSQ_EXCLUDES(mu_);
+
+  /// Per-shard health: true if the shard's last decided call answered
+  /// OK. Exported as wsq_shard_healthy{destination=...}.
+  std::vector<bool> shard_health() const WSQ_EXCLUDES(mu_);
+
+ private:
+  /// Decoded per-shard answer (see EncodeResponse/DecodeResult in the
+  /// .cc: shard SearchResponses travel through the pump as CallResult
+  /// rows, so the pump ledger IS the data path).
+  struct ShardAnswer {
+    Status status;
+    int64_t count = 0;
+    std::vector<SearchHit> hits;
+  };
+
+  /// One shard leg of one flight.
+  struct ShardCall {
+    CallId primary = kInvalidCallId;
+    CallId hedge = kInvalidCallId;
+    /// Steady-clock micros after which the hedge fires; 0 = no timer
+    /// (hedging disabled or no replica).
+    int64_t hedge_at_micros = 0;
+    bool primary_taken = false;
+    bool hedge_taken = false;
+    bool decided = false;
+    bool ok = false;
+    bool hedge_won = false;
+    ShardAnswer answer;  // valid when decided && ok
+  };
+
+  /// One coalesced waiter: the callback plus its own quorum policy.
+  struct Waiter {
+    ShardOptions options;
+    SearchCallback done;
+  };
+
+  /// One in-flight fan-out, keyed by SearchRequest::CacheKey().
+  struct Flight {
+    SearchRequest request;
+    std::vector<ShardCall> calls;
+    std::vector<Waiter> waiters;
+  };
+
+  /// Callback delivery staged while holding mu_, delivered outside it.
+  struct Delivery {
+    SearchCallback done;
+    SearchResponse response;
+  };
+
+  void GatherLoop() WSQ_EXCLUDES(mu_);
+  /// Polls pump results / fires hedges for one flight; appends
+  /// resolved-waiter deliveries. Returns true when the flight is done
+  /// (all waiters delivered) and should be erased.
+  bool AdvanceFlightLocked(Flight* flight, int64_t now,
+                           std::vector<Delivery>* out) WSQ_REQUIRES(mu_);
+  /// Registers shard `i`'s hedge call on the replica.
+  void FireHedgeLocked(Flight* flight, size_t i) WSQ_REQUIRES(mu_);
+  /// Cancels and reaps a still-outstanding losing leg.
+  void ReapLegLocked(CallId id) WSQ_REQUIRES(mu_);
+  /// Merged response over the flight's OK shards for one waiter.
+  SearchResponse MergeLocked(const Flight& flight) const
+      WSQ_REQUIRES(mu_);
+  /// Hedge delay for shard `i` from its latency histogram.
+  int64_t HedgeDelayMicros(size_t i) const;
+  /// Registers a shard call (primary or hedge) on the pump.
+  CallId RegisterLeg(SearchService* service, const SearchRequest& request,
+                     const std::string& destination);
+
+  const std::vector<Shard> shards_;
+  ReqPump* const pump_;
+  const Options options_;
+  /// Per-shard primary destination names (= primary->name()), cached so
+  /// the gather loop never touches wrapped services' locks.
+  std::vector<std::string> destinations_;
+  /// Latency histograms seeding the hedge delay, one per shard;
+  /// fetched once at construction (stable registry pointers).
+  std::vector<const Histogram*> latency_hists_;
+
+  /// Pinged by leg completions so the gather loop reacts immediately;
+  /// shared with the completion lambdas (a completion arriving during
+  /// or after destruction must touch valid memory). Leaf lock: taken
+  /// with mu_ and pump locks NOT held below it in no cycle — order is
+  /// mu_ -> pump.mu -> wake->mu, each released before the next.
+  struct WakeState {
+    Mutex mu;
+    CondVar cv;
+    bool ping WSQ_GUARDED_BY(mu) = false;
+  };
+  std::shared_ptr<WakeState> wake_;
+
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  std::map<std::string, Flight> flights_ WSQ_GUARDED_BY(mu_);
+  ShardedServiceStats stats_ WSQ_GUARDED_BY(mu_);
+  /// Per-shard rolling health bit (last decided outcome; starts true).
+  std::vector<bool> shard_ok_ WSQ_GUARDED_BY(mu_);
+  /// Per-shard decided-call counters for the collector.
+  std::vector<uint64_t> shard_decided_ok_ WSQ_GUARDED_BY(mu_);
+  std::vector<uint64_t> shard_decided_failed_ WSQ_GUARDED_BY(mu_);
+  bool stopping_ WSQ_GUARDED_BY(mu_) = false;
+
+  std::thread gather_;
+  uint64_t collector_id_ = 0;
+};
+
+/// Self-contained N-shard simulated cluster: slices one corpus into N
+/// disjoint shards, builds primary (and optionally replica) engines
+/// per shard — all sharing the base engine's rank_seed so merged
+/// results are byte-identical to an unsharded engine over the full
+/// corpus — wraps each in the fault -> retry -> circuit-breaker stack,
+/// and fronts them with a ShardedSearchService on a private ReqPump.
+/// Used by DemoEnv (`search_shards`), tests/net and bench_shards.
+class SimulatedShardCluster {
+ public:
+  struct Options {
+    size_t num_shards = 4;
+    /// Base engine identity; shard engines are named
+    /// "<name>.shard<i>" / "<name>.shard<i>r" (replicas).
+    SearchEngineConfig engine;
+    LatencyModel latency;
+    /// Per-shard concurrent capacity of each simulated node.
+    size_t server_capacity = 0;
+    uint64_t seed = 1;
+    /// Build a replica node per shard (enables hedging/failover).
+    bool with_replicas = false;
+    /// Fault plans applied per shard (index < num_shards); missing
+    /// entries mean no injected faults. Replicas are not faulted.
+    std::vector<FaultPlan> shard_faults;
+    RetryPolicy retry;
+    CircuitBreakerOptions breaker;
+    ReqPump::Limits pump_limits;
+    ShardedSearchService::Options service;
+  };
+
+  /// `corpus` must outlive the cluster.
+  SimulatedShardCluster(const Corpus* corpus, Options options);
+
+  /// Orderly teardown even with calls parked in the fault layers'
+  /// hang queues: stops the front-end, then releases hung calls until
+  /// every retry stack drains (a released hang is a transient failure,
+  /// so the retry layer may re-submit — and re-park).
+  ~SimulatedShardCluster();
+
+  SimulatedShardCluster(const SimulatedShardCluster&) = delete;
+  SimulatedShardCluster& operator=(const SimulatedShardCluster&) = delete;
+
+  ShardedSearchService* service() { return sharded_.get(); }
+  ReqPump* pump() { return pump_.get(); }
+  size_t num_shards() const { return options_.num_shards; }
+  FaultInjectingSearchService* fault(size_t shard) {
+    return faults_[shard].get();
+  }
+  CircuitBreakerSearchService* breaker(size_t shard) {
+    return breakers_[shard].get();
+  }
+
+  /// Blocks until the front-end and every simulated node are idle.
+  void Quiesce();
+
+ private:
+  Options options_;
+  /// Destruction is bottom-up by declaration order reversal: the
+  /// ShardedSearchService goes first (stops its gather loop and fails
+  /// waiters), then its pump (waits for in-flight legs), then the
+  /// service stacks those legs ran against, then engines and slices.
+  std::vector<Corpus> slices_;
+  std::vector<std::unique_ptr<SearchEngine>> engines_;
+  std::vector<std::unique_ptr<SimulatedSearchService>> nodes_;
+  std::vector<std::unique_ptr<FaultInjectingSearchService>> faults_;
+  std::vector<std::unique_ptr<RetryingSearchService>> retries_;
+  std::vector<std::unique_ptr<CircuitBreakerSearchService>> breakers_;
+  /// Replica stacks (plain simulated nodes; index parallel to shards).
+  std::vector<std::unique_ptr<SearchEngine>> replica_engines_;
+  std::vector<std::unique_ptr<SimulatedSearchService>> replica_nodes_;
+  std::unique_ptr<ReqPump> pump_;
+  std::unique_ptr<ShardedSearchService> sharded_;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_NET_SHARDED_SERVICE_H_

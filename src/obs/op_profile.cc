@@ -42,6 +42,11 @@ void PlanProfileNode::AppendTo(std::string* out, int indent) const {
   if (profile.blocked_on_sync_micros > 0) {
     *out += " blocked=" + FormatMicros(profile.blocked_on_sync_micros);
   }
+  if (profile.partial_results > 0) {
+    *out += StrFormat(" partial=%llu degraded_shards=%llu",
+                      (unsigned long long)profile.partial_results,
+                      (unsigned long long)profile.degraded_shards);
+  }
   if (profile.opens > 1) {
     *out += StrFormat(" opens=%llu", (unsigned long long)profile.opens);
   }

@@ -23,6 +23,10 @@ struct OpProfile {
   /// iteration this approaches the MAX of the outstanding call
   /// latencies, not their sum).
   int64_t blocked_on_sync_micros = 0;
+  /// Calls that completed OK but with shards missing (sharded backend
+  /// under a degrading quorum policy), and the total missing shards.
+  uint64_t partial_results = 0;
+  uint64_t degraded_shards = 0;
 
   /// Wall time spent inside this operator's Open+Next+Close, including
   /// time inside its children.

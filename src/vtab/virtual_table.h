@@ -7,6 +7,7 @@
 
 #include "async/req_pump.h"
 #include "common/result.h"
+#include "net/shard_policy.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -23,6 +24,9 @@ struct VTableRequest {
   /// Maximum Rank to return (WebPages); the binder injects the paper's
   /// default (Rank < 20 ⇒ limit 19) when the query has no restriction.
   int64_t rank_limit = 19;
+  /// Per-query partial-result policy, forwarded to sharded backends
+  /// (ExecOptions::shard → ExecContext → here → SearchRequest::shard).
+  ShardOptions shard;
 };
 
 /// A table-valued external source: "a program that looks like a table

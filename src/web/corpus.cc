@@ -149,4 +149,34 @@ Corpus Corpus::Generate(const CorpusConfig& config,
   return corpus;
 }
 
+size_t Corpus::ShardOf(DocId id, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // SplitMix64 finalizer: decorrelates the dense ids so shard loads are
+  // balanced regardless of how documents were generated.
+  uint64_t x = static_cast<uint64_t>(id) + 0x9E3779B97f4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x = x ^ (x >> 31);
+  return static_cast<size_t>(x % num_shards);
+}
+
+Corpus Corpus::ShardSlice(const Corpus& full, size_t shard,
+                          size_t num_shards) {
+  Corpus slice;
+  slice.vocabulary_ = full.vocabulary_;
+  slice.documents_.reserve(full.documents_.size());
+  for (const Document& doc : full.documents_) {
+    if (ShardOf(doc.id, num_shards) == shard) {
+      slice.documents_.push_back(doc);
+    } else {
+      // Keep the slot so DocIds stay dense (scores hash the id), but
+      // strip the content: a blank doc yields no postings.
+      Document blank;
+      blank.id = doc.id;
+      slice.documents_.push_back(std::move(blank));
+    }
+  }
+  return slice;
+}
+
 }  // namespace wsq

@@ -63,6 +63,20 @@ class Corpus {
                          std::vector<EntitySpec> entities,
                          std::vector<CooccurrenceSpec> cooccurrences = {});
 
+  /// The slice of `full` owned by shard `shard` of `num_shards`:
+  /// documents keep their dense DocIds (so per-shard scores and ranks
+  /// merge byte-identically with the unsharded engine), but docs owned
+  /// by other shards are blanked — no terms, so they produce no
+  /// postings and match nothing. Ownership is ShardOf(id, num_shards),
+  /// a seed-independent hash, so the union over all shards is exactly
+  /// `full` and the slices are pairwise disjoint.
+  static Corpus ShardSlice(const Corpus& full, size_t shard,
+                           size_t num_shards);
+
+  /// Which shard owns document `id` under `num_shards`-way hash
+  /// partitioning (SplitMix64 finalizer of the id, mod N).
+  static size_t ShardOf(DocId id, size_t num_shards);
+
   size_t size() const { return documents_.size(); }
   const Document& document(DocId id) const { return documents_[id]; }
   const std::vector<Document>& documents() const { return documents_; }

@@ -357,6 +357,7 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   ctx.token = token;
   ctx.tracer = tracer.get();
   ctx.profile = options.analyze;
+  ctx.shard = options.shard;
   PlanProfileNode profile;
   Stopwatch timer;
   Result<ResultSet> executed = [&]() -> Result<ResultSet> {
@@ -387,6 +388,8 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   out.stats.shed_tuples = ctx.shed_tuples.load();
   out.stats.peak_buffered_rows = ctx.reqsync_peak_rows.load();
   out.stats.peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
+  out.stats.partial_results = ctx.partial_results.load();
+  out.stats.degraded_shards = ctx.degraded_shards.load();
   if (options.analyze) out.profile = std::move(profile);
   if (tracer != nullptr) out.trace = tracer->Finish();
   return out;

@@ -46,6 +46,12 @@ struct QueryStats {
   /// Peak pending tuples / approximate bytes buffered by any ReqSync.
   uint64_t peak_buffered_rows = 0;
   uint64_t peak_buffered_bytes = 0;
+  /// External calls that answered OK but from a strict subset of their
+  /// backend's shards (quorum / best-effort degradation), and the total
+  /// shards missing across those calls. Nonzero means counts in the
+  /// result are lower bounds.
+  uint64_t partial_results = 0;
+  uint64_t degraded_shards = 0;
 };
 
 struct QueryExecution {
@@ -166,6 +172,11 @@ class WsqDatabase {
     /// Per-query slow-query threshold: -1 inherits the database
     /// default, 0 disables the log for this query, > 0 overrides.
     int64_t slow_query_micros = -1;
+    /// Partial-result policy when a search backend is sharded: fail the
+    /// call unless all shards answer (default), accept K-of-N, or take
+    /// whatever answers (see net/shard_policy.h). Ignored by unsharded
+    /// backends.
+    ShardOptions shard;
   };
 
   /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the

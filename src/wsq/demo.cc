@@ -31,13 +31,25 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
 
   SearchService* av = av_service_.get();
   SearchService* google = google_service_.get();
+  if (options.search_shards > 0) {
+    SimulatedShardCluster::Options cluster;
+    cluster.num_shards = options.search_shards;
+    cluster.engine = av_cfg;
+    cluster.latency = options.latency;
+    cluster.server_capacity = options.server_capacity;
+    cluster.seed = options.seed;
+    cluster.with_replicas = options.shard_replicas;
+    shard_cluster_ =
+        std::make_unique<SimulatedShardCluster>(corpus_.get(), cluster);
+    av = shard_cluster_->service();
+  }
   if (options.client_cache_entries > 0) {
     client_cache_ =
         std::make_unique<ResultCache>(options.client_cache_entries);
-    av_cached_ = std::make_unique<CachingSearchService>(
-        av_service_.get(), client_cache_.get());
+    av_cached_ =
+        std::make_unique<CachingSearchService>(av, client_cache_.get());
     google_cached_ = std::make_unique<CachingSearchService>(
-        google_service_.get(), client_cache_.get());
+        google, client_cache_.get());
     av = av_cached_.get();
     google = google_cached_.get();
   }

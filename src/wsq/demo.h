@@ -5,6 +5,7 @@
 
 #include "data/datasets.h"
 #include "net/result_cache.h"
+#include "net/sharded_service.h"
 #include "net/simulated_service.h"
 #include "search/search_engine.h"
 #include "wsq/database.h"
@@ -24,6 +25,13 @@ struct DemoOptions {
   ReqPump::Limits pump_limits;
   /// Overload admission control for the database (default: off).
   AdmissionLimits admission;
+  /// Partition the AltaVista backend into this many simulated shards
+  /// behind a ShardedSearchService (0 = the paper's unsharded setup).
+  /// Per-query ExecOptions::shard then picks the partial-result policy.
+  size_t search_shards = 0;
+  /// Give each shard a replica node (enables hedged requests). Only
+  /// meaningful when search_shards > 0.
+  bool shard_replicas = true;
   uint64_t seed = 42;
 };
 
@@ -46,6 +54,8 @@ class DemoEnv {
   const SearchEngine& altavista_engine() const { return *av_engine_; }
   const SearchEngine& google_engine() const { return *google_engine_; }
   ResultCache* client_cache() { return client_cache_.get(); }
+  /// Non-null when DemoOptions::search_shards > 0.
+  SimulatedShardCluster* shard_cluster() { return shard_cluster_.get(); }
 
   /// Convenience: Execute and fail loudly in tests/examples.
   Result<QueryExecution> Run(const std::string& sql,
@@ -60,6 +70,7 @@ class DemoEnv {
   std::unique_ptr<SearchEngine> google_engine_;
   std::unique_ptr<SimulatedSearchService> av_service_;
   std::unique_ptr<SimulatedSearchService> google_service_;
+  std::unique_ptr<SimulatedShardCluster> shard_cluster_;
   std::unique_ptr<ResultCache> client_cache_;
   std::unique_ptr<CachingSearchService> av_cached_;
   std::unique_ptr<CachingSearchService> google_cached_;

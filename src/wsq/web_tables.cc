@@ -88,6 +88,7 @@ CallId WebCountTable::SubmitAsync(const VTableRequest& request,
   SearchRequest sreq;
   sreq.kind = SearchRequest::Kind::kCount;
   sreq.query = std::move(*query);
+  sreq.shard = request.shard;
   SearchService* service = service_;
   return submit(
       [service, sreq = std::move(sreq)](CallCompletion done) mutable {
@@ -96,6 +97,12 @@ CallId WebCountTable::SubmitAsync(const VTableRequest& request,
           result.status = resp.status;
           if (resp.status.ok()) {
             result.rows.push_back(Row({Value::Int(resp.count)}));
+            // Degraded-coverage accounting (sharded backends): the
+            // count is a lower bound when shards were missing.
+            result.degraded_shards =
+                resp.partial
+                    ? static_cast<uint32_t>(resp.shards_failed)
+                    : 0;
           }
           done(std::move(result));
         });
@@ -191,6 +198,7 @@ CallId WebPagesTable::SubmitAsync(const VTableRequest& request,
   sreq.kind = SearchRequest::Kind::kTopK;
   sreq.query = std::move(*query);
   sreq.k = static_cast<size_t>(request.rank_limit);
+  sreq.shard = request.shard;
   SearchService* service = service_;
   return submit(
       [service, sreq = std::move(sreq)](CallCompletion done) mutable {
@@ -199,6 +207,10 @@ CallId WebPagesTable::SubmitAsync(const VTableRequest& request,
           result.status = resp.status;
           if (resp.status.ok()) {
             result.rows = HitsToOutputRows(resp.hits);
+            result.degraded_shards =
+                resp.partial
+                    ? static_cast<uint32_t>(resp.shards_failed)
+                    : 0;
           }
           done(std::move(result));
         });

@@ -1,0 +1,142 @@
+// Destination-isolation regressions for ReqPump, written for the
+// sharded search backend: each shard is its own pump destination, so
+// one dark shard saturating its per-destination slots must never
+// starve the other shards' calls, and a governor cancelling one
+// coalesced waiter's call must not disturb an unrelated one.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "async/req_pump.h"
+
+namespace wsq {
+namespace {
+
+CallResult OkRow(int64_t v) {
+  return CallResult{Status::OK(), {Row({Value::Int(v)})}};
+}
+
+/// A destination that accepts calls but never completes them (a wedged
+/// shard). Completions are parked and released at teardown to satisfy
+/// the every-call-completes contract.
+class BlackHole {
+ public:
+  AsyncCallFn Call() {
+    return [this](CallCompletion done) {
+      std::lock_guard<std::mutex> lock(mu_);
+      parked_.push_back(std::move(done));
+    };
+  }
+
+  size_t parked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return parked_.size();
+  }
+
+  void ReleaseAll() {
+    std::vector<CallCompletion> held;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      held.swap(parked_);
+    }
+    for (CallCompletion& done : held) {
+      done(CallResult{Status::Unavailable("black hole released"), {}});
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<CallCompletion> parked_;
+};
+
+TEST(ReqPumpIsolationTest, DarkDestinationDoesNotStarveOthers) {
+  ReqPump::Limits limits;
+  limits.max_per_destination = 2;
+  ReqPump pump(limits);
+  BlackHole dark;
+
+  // Wedge shard0: two dispatched calls hold both its slots, and two
+  // more queue behind them, going nowhere.
+  std::vector<CallId> wedged;
+  for (int i = 0; i < 4; ++i) {
+    wedged.push_back(pump.Register("shard0", dark.Call()));
+  }
+  // Give dispatch a moment: exactly the per-destination cap reaches the
+  // black hole, the rest wait in the pump queue.
+  for (int spin = 0; spin < 200 && dark.parked() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(dark.parked(), 2u);
+
+  // Healthy shards behind the blocked head of the queue must still
+  // dispatch and complete: a blocked destination is skipped, not a
+  // barrier.
+  std::vector<CallId> healthy;
+  for (int i = 0; i < 8; ++i) {
+    std::string dest = "shard" + std::to_string(1 + i % 3);
+    int64_t v = i;
+    healthy.push_back(
+        pump.Register(dest, [v](CallCompletion done) { done(OkRow(v)); }));
+  }
+  for (size_t i = 0; i < healthy.size(); ++i) {
+    CallResult r = pump.TakeBlocking(healthy[i]);
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(r.rows[0].value(0).AsInt(), static_cast<int64_t>(i));
+  }
+  // The wedged destination made no progress meanwhile.
+  EXPECT_EQ(dark.parked(), 2u);
+
+  // Reap the wedged calls the way a governor would (cancel + take):
+  // the dispatched pair is abandoned, the queued pair dropped. Their
+  // parked completions are then released and discarded as late.
+  for (CallId id : wedged) {
+    ASSERT_TRUE(pump.CancelCall(id));
+    CallResult r;
+    ASSERT_TRUE(pump.TryTake(id, &r));
+    EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  }
+  dark.ReleaseAll();
+  pump.Drain();
+  ReqPumpStats s = pump.stats();
+  EXPECT_EQ(s.registered, s.completed + s.cancelled + s.shed);
+}
+
+TEST(ReqPumpIsolationTest, CancellingOneWaiterLeavesOthersIntact) {
+  // Two consumers of the same backend work (the single-flight pattern):
+  // each holds its own CallId; cancelling one must not complete, drop,
+  // or corrupt the other.
+  ReqPump pump;
+  BlackHole slow;
+
+  CallId cancelled = pump.Register("shard0", slow.Call());
+  std::atomic<bool> fired{false};
+  CallId kept = pump.Register("shard0", [&](CallCompletion done) {
+    std::thread([&fired, done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      fired = true;
+      done(OkRow(42));
+    }).detach();
+  });
+
+  ASSERT_TRUE(pump.CancelCall(cancelled));
+  CallResult gone;
+  ASSERT_TRUE(pump.TryTake(cancelled, &gone));
+  EXPECT_EQ(gone.status.code(), StatusCode::kCancelled);
+
+  CallResult r = pump.TakeBlocking(kept);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(fired.load());
+  EXPECT_EQ(r.rows[0].value(0).AsInt(), 42);
+
+  slow.ReleaseAll();
+  pump.Drain();
+  ReqPumpStats s = pump.stats();
+  EXPECT_EQ(s.registered, s.completed + s.cancelled + s.shed);
+}
+
+}  // namespace
+}  // namespace wsq

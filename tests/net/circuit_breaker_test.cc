@@ -126,6 +126,69 @@ TEST(CircuitBreakerTest, ProbeFailureReopensWithFreshCooldown) {
   EXPECT_TRUE(breaker.Allow());  // next probe
 }
 
+TEST(CircuitBreakerTest, NonTransientProbeOutcomeReleasesTheGate) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsWithClock(&clock, 3, 1000));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Status::Unavailable("down"));
+  }
+  clock.now = 1000;
+  bool as_probe = false;
+  ASSERT_TRUE(breaker.Allow(&as_probe));
+  ASSERT_TRUE(as_probe);
+  // The probe came back with a non-transient error: the engine is
+  // reachable but the query is bad. That neither closes nor re-trips —
+  // but it MUST release the single probe slot, or the circuit wedges
+  // half-open until the stale-probe escape a full cool-down later.
+  breaker.RecordFailure(Status::ExecutionError("bad query"), true);
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(&as_probe));  // fresh probe, immediately
+  EXPECT_TRUE(as_probe);
+  breaker.RecordSuccess(true);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglerSuccessDoesNotCloseHalfOpen) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsWithClock(&clock, 3, 1000));
+  // A slow call dispatched before the trip is still in flight...
+  bool pre_trip_probe = false;
+  ASSERT_TRUE(breaker.Allow(&pre_trip_probe));
+  ASSERT_FALSE(pre_trip_probe);  // closed: not a probe
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Status::Unavailable("down"));
+  }
+  clock.now = 1000;
+  bool as_probe = false;
+  ASSERT_TRUE(breaker.Allow(&as_probe));  // the real probe
+  ASSERT_TRUE(as_probe);
+  // ...and its success lands while the probe is outstanding. Stale
+  // evidence from before the outage must not close the circuit.
+  breaker.RecordSuccess(false);
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  // Nor may a stale transient failure re-trip it under the probe.
+  breaker.RecordFailure(Status::Unavailable("stale"), false);
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  // The probe's own verdict decides.
+  breaker.RecordSuccess(true);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FlaglessCallsKeepLegacyInference) {
+  FakeClock clock;
+  CircuitBreaker breaker(OptionsWithClock(&clock, 3, 1000));
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Status::Unavailable("down"));
+  }
+  clock.now = 1000;
+  ASSERT_TRUE(breaker.Allow());
+  ASSERT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  // The flag-less overload infers was_probe from the half-open state,
+  // so pre-existing callers (and tests) behave as before.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+}
+
 TEST(CircuitBreakerTest, StateNames) {
   EXPECT_EQ(CircuitStateToString(CircuitState::kClosed), "Closed");
   EXPECT_EQ(CircuitStateToString(CircuitState::kOpen), "Open");

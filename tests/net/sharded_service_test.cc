@@ -1,0 +1,481 @@
+#include "net/sharded_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "net/result_cache.h"
+
+namespace wsq {
+namespace {
+
+/// Small shared corpus + unsharded reference engine. The reference
+/// SimulatedSearchService answers over the full corpus; clusters must
+/// merge back to exactly its answers.
+class ShardedServiceTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kQueries[] = {
+      "colorado", "utah", "colorado utah", "nevada", "zzz_nohit"};
+
+  static const Corpus& TestCorpus() {
+    static const Corpus* const kCorpus = [] {
+      CorpusConfig cfg;
+      cfg.num_documents = 500;
+      cfg.vocab_size = 300;
+      cfg.seed = 7;
+      return new Corpus(Corpus::Generate(
+          cfg, {{"colorado", 3.0}, {"utah", 1.5}, {"nevada", 0.5}}));
+    }();
+    return *kCorpus;
+  }
+
+  static SearchEngineConfig BaseEngineConfig() {
+    SearchEngineConfig cfg;
+    cfg.name = "AV";
+    cfg.rank_seed = 1234;
+    return cfg;
+  }
+
+  static SearchResponse Reference(SearchRequest req) {
+    static SearchEngine* const kEngine =
+        new SearchEngine(&TestCorpus(), BaseEngineConfig());
+    static SimulatedSearchService* const kService = [] {
+      SimulatedSearchService::Options opt;
+      opt.latency = LatencyModel::Instant();
+      return new SimulatedSearchService(kEngine, opt);
+    }();
+    return kService->Execute(std::move(req));
+  }
+
+  static SimulatedShardCluster::Options FastCluster(size_t n) {
+    SimulatedShardCluster::Options opt;
+    opt.num_shards = n;
+    opt.engine = BaseEngineConfig();
+    opt.latency = LatencyModel::Instant();
+    opt.service.poll_micros = 500;
+    return opt;
+  }
+
+  static SearchRequest Count(const std::string& q) {
+    SearchRequest req;
+    req.kind = SearchRequest::Kind::kCount;
+    req.query = q;
+    return req;
+  }
+
+  static SearchRequest TopK(const std::string& q, size_t k = 10) {
+    SearchRequest req;
+    req.kind = SearchRequest::Kind::kTopK;
+    req.query = q;
+    req.k = k;
+    return req;
+  }
+
+  static void ExpectLedgerBalanced(ReqPump* pump) {
+    ReqPumpStats s = pump->stats();
+    EXPECT_EQ(s.registered, s.completed + s.cancelled + s.shed)
+        << "registered=" << s.registered << " completed=" << s.completed
+        << " cancelled=" << s.cancelled << " shed=" << s.shed;
+  }
+};
+
+constexpr const char* ShardedServiceTest::kQueries[];
+
+TEST_F(ShardedServiceTest, ShardOfPartitionsEveryDocument) {
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    std::vector<size_t> sizes(n, 0);
+    for (DocId id = 0; id < TestCorpus().size(); ++id) {
+      size_t s = Corpus::ShardOf(id, n);
+      ASSERT_LT(s, n);
+      ++sizes[s];
+    }
+    // The hash spreads documents across every shard (no empty shard at
+    // these sizes), so a merge bug on any shard is visible.
+    for (size_t s = 0; s < n; ++s) {
+      EXPECT_GT(sizes[s], 0u) << "shards=" << n << " shard=" << s;
+    }
+  }
+}
+
+TEST_F(ShardedServiceTest, ByteIdenticalToUnshardedAtEveryShardCount) {
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    SimulatedShardCluster cluster(&TestCorpus(), FastCluster(n));
+    for (const char* q : kQueries) {
+      SearchResponse want = Reference(Count(q));
+      SearchResponse got = cluster.service()->Execute(Count(q));
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      EXPECT_EQ(got.count, want.count) << "shards=" << n << " q=" << q;
+      EXPECT_EQ(got.shards_total, static_cast<int>(n));
+      EXPECT_EQ(got.shards_failed, 0);
+      EXPECT_FALSE(got.partial);
+
+      SearchResponse want_k = Reference(TopK(q));
+      SearchResponse got_k = cluster.service()->Execute(TopK(q));
+      ASSERT_TRUE(got_k.status.ok()) << got_k.status.ToString();
+      EXPECT_EQ(got_k.count, want_k.count);
+      ASSERT_EQ(got_k.hits.size(), want_k.hits.size())
+          << "shards=" << n << " q=" << q;
+      for (size_t i = 0; i < got_k.hits.size(); ++i) {
+        EXPECT_EQ(got_k.hits[i].url, want_k.hits[i].url);
+        EXPECT_EQ(got_k.hits[i].rank, want_k.hits[i].rank);
+        EXPECT_EQ(got_k.hits[i].doc, want_k.hits[i].doc);
+        EXPECT_EQ(got_k.hits[i].date, want_k.hits[i].date);
+        EXPECT_EQ(got_k.hits[i].score, want_k.hits[i].score);
+      }
+    }
+    cluster.Quiesce();
+    ExpectLedgerBalanced(cluster.pump());
+  }
+}
+
+TEST_F(ShardedServiceTest, FailPolicyFailsWithoutLeakingCalls) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.shard_faults.resize(4);
+  opt.shard_faults[1].permanent_rate = 1.0;  // shard 1 hard-down
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  SearchRequest req = Count("colorado");
+  req.shard.policy = ShardPolicy::kFail;
+  SearchResponse resp = cluster.service()->Execute(req);
+  EXPECT_FALSE(resp.status.ok());
+  // The representative error is the shard's own (non-transient) one.
+  EXPECT_EQ(resp.status.code(), StatusCode::kExecutionError)
+      << resp.status.ToString();
+
+  cluster.Quiesce();
+  ExpectLedgerBalanced(cluster.pump());
+  EXPECT_EQ(cluster.service()->stats().quorum_failures, 1u);
+}
+
+TEST_F(ShardedServiceTest, QuorumPolicyDegradesWithDarkShard) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.shard_faults.resize(4);
+  opt.shard_faults[2].permanent_rate = 1.0;
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  SearchResponse full = Reference(Count("colorado"));
+
+  SearchRequest req = Count("colorado");
+  req.shard.policy = ShardPolicy::kQuorum;
+  req.shard.min_shards = 3;
+  SearchResponse resp = cluster.service()->Execute(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.partial);
+  EXPECT_EQ(resp.shards_total, 4);
+  EXPECT_EQ(resp.shards_failed, 1);
+  // Degraded count: a true lower bound, strictly below the full answer
+  // (the dark shard holds some "colorado" documents at this size).
+  EXPECT_GT(resp.count, 0);
+  EXPECT_LT(resp.count, full.count);
+
+  // min_shards above the reachable shard count fails instead.
+  req.shard.min_shards = 4;
+  SearchResponse strict = cluster.service()->Execute(req);
+  EXPECT_FALSE(strict.status.ok());
+
+  cluster.Quiesce();
+  ExpectLedgerBalanced(cluster.pump());
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_EQ(stats.partial_results, 1u);
+  EXPECT_EQ(stats.quorum_failures, 1u);
+  EXPECT_EQ(stats.degraded_shards, 1u);
+}
+
+TEST_F(ShardedServiceTest, BestEffortAnswersDespiteMostShardsDark) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.shard_faults.resize(4);
+  for (size_t s : {0u, 1u, 3u}) {
+    opt.shard_faults[s].permanent_rate = 1.0;
+  }
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  SearchRequest req = TopK("colorado");
+  req.shard.policy = ShardPolicy::kBestEffort;
+  SearchResponse resp = cluster.service()->Execute(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_TRUE(resp.partial);
+  EXPECT_EQ(resp.shards_failed, 3);
+  // Whatever came back is still rank-ordered.
+  for (size_t i = 0; i < resp.hits.size(); ++i) {
+    EXPECT_EQ(resp.hits[i].rank, static_cast<int>(i) + 1);
+  }
+
+  cluster.Quiesce();
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, PerWaiterPoliciesJudgeTheSameFlight) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  // Slow shards so both waiters join one flight before it resolves.
+  opt.latency = LatencyModel::Fixed(20000);
+  opt.shard_faults.resize(4);
+  opt.shard_faults[0].permanent_rate = 1.0;
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  struct Outcome {
+    Mutex mu;
+    CondVar cv;
+    int done WSQ_GUARDED_BY(mu) = 0;
+    SearchResponse strict WSQ_GUARDED_BY(mu);
+    SearchResponse lax WSQ_GUARDED_BY(mu);
+  } outcome;
+
+  // Best-effort waiter first: it cannot resolve until every shard
+  // decides (>= the 20ms shard latency), so the flight is still
+  // pending when the strict waiter arrives — even though shard 0's
+  // permanent fault fails almost instantly. The other order is racy:
+  // a lone kFail waiter can resolve (and reap the flight) before the
+  // second Submit joins it.
+  SearchRequest lax_req = Count("utah");
+  lax_req.shard.policy = ShardPolicy::kBestEffort;
+  cluster.service()->Submit(lax_req, [&outcome](SearchResponse r) {
+    MutexLock lock(&outcome.mu);
+    outcome.lax = std::move(r);
+    ++outcome.done;
+    outcome.cv.NotifyAll();
+  });
+  SearchRequest strict_req = Count("utah");
+  strict_req.shard.policy = ShardPolicy::kFail;
+  cluster.service()->Submit(strict_req, [&outcome](SearchResponse r) {
+    MutexLock lock(&outcome.mu);
+    outcome.strict = std::move(r);
+    ++outcome.done;
+    outcome.cv.NotifyAll();
+  });
+
+  {
+    MutexLock lock(&outcome.mu);
+    while (outcome.done < 2) {  // test-bounded by the ctest timeout
+      outcome.cv.WaitForMicros(outcome.mu, 5000);
+    }
+    EXPECT_FALSE(outcome.strict.status.ok());
+    ASSERT_TRUE(outcome.lax.status.ok())
+        << outcome.lax.status.ToString();
+    EXPECT_TRUE(outcome.lax.partial);
+    EXPECT_EQ(outcome.lax.shards_failed, 1);
+  }
+
+  cluster.Quiesce();
+  // Both logical requests shared one fan-out.
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_EQ(stats.fanouts, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.shard_calls, 4u);
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, CoalescingSharesOneFanOut) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.latency = LatencyModel::Fixed(20000);
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  constexpr int kWaiters = 6;
+  struct Outcome {
+    Mutex mu;
+    CondVar cv;
+    int done WSQ_GUARDED_BY(mu) = 0;
+    std::vector<int64_t> counts WSQ_GUARDED_BY(mu);
+  } outcome;
+
+  for (int i = 0; i < kWaiters; ++i) {
+    cluster.service()->Submit(
+        Count("colorado"), [&outcome](SearchResponse r) {
+          MutexLock lock(&outcome.mu);
+          ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+          outcome.counts.push_back(r.count);
+          ++outcome.done;
+          outcome.cv.NotifyAll();
+        });
+  }
+  {
+    MutexLock lock(&outcome.mu);
+    while (outcome.done < kWaiters) {  // bounded by the ctest timeout
+      outcome.cv.WaitForMicros(outcome.mu, 5000);
+    }
+    int64_t want = Reference(Count("colorado")).count;
+    for (int64_t c : outcome.counts) EXPECT_EQ(c, want);
+  }
+
+  cluster.Quiesce();
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_EQ(stats.fanouts, 1u);
+  EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kWaiters - 1));
+  EXPECT_EQ(stats.shard_calls, 4u);
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, FailedPrimaryFailsOverToReplica) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.with_replicas = true;
+  opt.shard_faults.resize(4);
+  opt.shard_faults[1].permanent_rate = 1.0;  // primary 1 dark; replica fine
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  SearchRequest req = Count("colorado");
+  req.shard.policy = ShardPolicy::kFail;  // only passes via the replica
+  SearchResponse resp = cluster.service()->Execute(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.partial);
+  EXPECT_EQ(resp.count, Reference(Count("colorado")).count);
+
+  cluster.Quiesce();
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_GE(stats.hedges, 1u);
+  EXPECT_GE(stats.hedge_wins, 1u);
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, SlowPrimaryIsHedgedAndLoserReaped) {
+  SimulatedShardCluster::Options opt = FastCluster(2);
+  opt.with_replicas = true;
+  // Primaries stall 200ms before forwarding; replicas are clean, so the
+  // latency-triggered hedge (default delay 5ms here) wins every shard.
+  opt.shard_faults.resize(2);
+  for (auto& plan : opt.shard_faults) {
+    plan.delay_rate = 1.0;
+    plan.delay_micros = 200000;
+  }
+  opt.service.default_hedge_delay_micros = 5000;
+  opt.service.call_timeout_micros = 2000000;
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  SearchRequest req = TopK("colorado");
+  req.shard.policy = ShardPolicy::kFail;
+  SearchResponse want = Reference(TopK("colorado"));
+  SearchResponse resp = cluster.service()->Execute(req);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_FALSE(resp.partial);
+  ASSERT_EQ(resp.hits.size(), want.hits.size());
+  for (size_t i = 0; i < resp.hits.size(); ++i) {
+    EXPECT_EQ(resp.hits[i].url, want.hits[i].url);
+  }
+
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_EQ(stats.hedges, 2u);
+  EXPECT_EQ(stats.hedge_wins, 2u);
+
+  // The abandoned primaries resolve (cancelled) once their delayed
+  // forwards land; the ledger must balance, not leak.
+  cluster.Quiesce();
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, OuterCancelOfOneWaiterSparesTheOthers) {
+  // The DB-side pump registers logical calls against the sharded
+  // service; cancelling one coalesced waiter's call must not disturb
+  // the shared shard fan-out or the surviving waiter.
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.latency = LatencyModel::Fixed(20000);
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  ReqPump outer;
+  auto call = [&cluster](CallCompletion done) {
+    cluster.service()->Submit(
+        Count("colorado"), [done](SearchResponse resp) {
+          CallResult result;
+          result.status = resp.status;
+          if (resp.status.ok()) {
+            result.rows.push_back(Row({Value::Int(resp.count)}));
+          }
+          done(std::move(result));
+        });
+  };
+  CallId a = outer.Register("AV", call);
+  CallId b = outer.Register("AV", call);
+
+  ASSERT_TRUE(outer.CancelCall(a));
+  CallResult cancelled;
+  ASSERT_TRUE(outer.TryTake(a, &cancelled));
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kCancelled);
+
+  CallResult survivor = outer.TakeBlocking(b);
+  ASSERT_TRUE(survivor.status.ok()) << survivor.status.ToString();
+  ASSERT_EQ(survivor.rows.size(), 1u);
+  EXPECT_EQ(survivor.rows[0].value(0).AsInt(),
+            Reference(Count("colorado")).count);
+
+  cluster.Quiesce();
+  outer.Drain();
+  ShardedServiceStats stats = cluster.service()->stats();
+  EXPECT_EQ(stats.fanouts, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  ExpectLedgerBalanced(cluster.pump());
+}
+
+TEST_F(ShardedServiceTest, DestructionFailsOutstandingWaiters) {
+  SimulatedShardCluster::Options opt = FastCluster(2);
+  opt.shard_faults.resize(2);
+  opt.shard_faults[0].hang_rate = 1.0;
+  opt.shard_faults[1].hang_rate = 1.0;
+  opt.service.call_timeout_micros = 60000000;  // only teardown resolves
+
+  struct Outcome {
+    Mutex mu;
+    CondVar cv;
+    bool done WSQ_GUARDED_BY(mu) = false;
+    Status status WSQ_GUARDED_BY(mu);
+  } outcome;
+  {
+    SimulatedShardCluster cluster(&TestCorpus(), opt);
+    cluster.service()->Submit(
+        Count("colorado"), [&outcome](SearchResponse resp) {
+          MutexLock lock(&outcome.mu);
+          outcome.done = true;
+          outcome.status = resp.status;
+          outcome.cv.NotifyAll();
+        });
+    // Destroying the cluster (service first, then pump, then the fault
+    // layer releasing its hung calls) must complete the waiter.
+  }
+  MutexLock lock(&outcome.mu);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_FALSE(outcome.status.ok());
+}
+
+TEST_F(ShardedServiceTest, CacheRejectsPartialResponses) {
+  SimulatedShardCluster::Options opt = FastCluster(4);
+  opt.shard_faults.resize(4);
+  opt.shard_faults[3].permanent_rate = 1.0;
+  SimulatedShardCluster cluster(&TestCorpus(), opt);
+
+  ResultCache cache(16);
+  CachingSearchService cached(cluster.service(), &cache);
+
+  // Partial (best-effort, one shard dark): served, but never admitted.
+  SearchRequest req = Count("colorado");
+  req.shard.policy = ShardPolicy::kBestEffort;
+  SearchResponse degraded = cached.Execute(req);
+  ASSERT_TRUE(degraded.status.ok());
+  ASSERT_TRUE(degraded.partial);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+
+  // Failures are not admitted either.
+  SearchRequest fail_req = Count("colorado");
+  fail_req.shard.policy = ShardPolicy::kFail;
+  SearchResponse failed = cached.Execute(fail_req);
+  ASSERT_FALSE(failed.status.ok());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 2u);
+
+  // A complete response (query missing the dark shard's documents is
+  // still partial-free only if no shard failed — use a healthy cluster).
+  cluster.Quiesce();
+  ExpectLedgerBalanced(cluster.pump());
+
+  SimulatedShardCluster healthy(&TestCorpus(), FastCluster(2));
+  CachingSearchService healthy_cached(healthy.service(), &cache);
+  SearchResponse full = healthy_cached.Execute(Count("colorado"));
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.partial);
+  EXPECT_EQ(cache.size(), 1u);
+  SearchResponse hit = healthy_cached.Execute(Count("colorado"));
+  EXPECT_EQ(hit.count, full.count);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -33,6 +33,19 @@ Checks, in order of how often they have bitten this codebase:
                    pump. Legitimately unconditional waits (destructor
                    drains with no reachable token) carry a
                    `wsqlint: allow(cancel-blind-wait)` comment.
+  submit-drops-callback
+                   SearchService::Submit overrides must not be able to
+                   drop their callback: the SearchService contract says
+                   every accepted request eventually completes, and a
+                   dropped SearchCallback wedges whoever is parked on
+                   the pump slot it was supposed to release. Every bare
+                   `return;` inside a Submit body must invoke the
+                   callback or hand it off (std::move / pass-through)
+                   within the preceding lines, and the body must use
+                   the callback at least once. Handoffs the matcher
+                   cannot see (e.g. parked earlier on another branch)
+                   carry a `wsqlint: allow(submit-drops-callback)`
+                   comment.
   metric-naming    Metric names passed to MetricsRegistry::Get* and
                    MetricsEmitter::Emit* must be wsq_-prefixed
                    snake_case with the unit in the suffix: counters end
@@ -150,6 +163,10 @@ GUARDED_BY = re.compile(r"WSQ_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
 UNTIMED_WAIT = re.compile(r"[.>]\s*Wait\s*\(")
 CANCEL_AWARE = re.compile(r"shutdown|stop|cancel|token", re.I)
 WAIT_SUPPRESS = "wsqlint: allow(cancel-blind-wait)"
+SUBMIT_SIG = re.compile(
+    r"\bSubmit\s*\(\s*SearchRequest\s+\w+\s*,\s*"
+    r"SearchCallback\s+(\w+)\s*\)\s*(?:override\s*)?\{")
+SUBMIT_SUPPRESS = "wsqlint: allow(submit-drops-callback)"
 METRIC_CALL = re.compile(
     r"\b(GetCounter|GetGauge|GetHistogram"
     r"|EmitCounter|EmitGauge|EmitHistogram)\s*\(\s*\"")
@@ -224,6 +241,54 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                 "check in sight; poll with WaitForMicros against a "
                 "token, gate on a shutdown flag, or annotate with "
                 f"'{WAIT_SUPPRESS}' if the wait is provably bounded"))
+
+    # --- submit-drops-callback --------------------------------------
+    # Scans each SearchService::Submit override body: every bare
+    # `return;` needs the callback invoked or handed off nearby, and
+    # the callback must be used at least once overall. Heuristic, not
+    # flow analysis — the suppression comment covers handoffs on
+    # another branch (e.g. a callback parked in a container earlier).
+    if in_src:
+        raw_lines = raw.splitlines()
+        for m in SUBMIT_SIG.finditer(code):
+            cb = m.group(1)
+            # Brace-match the function body.
+            depth, i = 1, m.end()
+            while i < len(code) and depth > 0:
+                if code[i] == "{":
+                    depth += 1
+                elif code[i] == "}":
+                    depth -= 1
+                i += 1
+            body = code[m.end():i]
+            body_start_line = line_of(code, m.end())
+            cb_use = re.compile(
+                r"\b" + cb + r"\s*\("        # invocation
+                r"|\bmove\s*\(\s*" + cb + r"\s*\)"  # handoff by move
+                r"|[,(]\s*" + cb + r"\s*[,)]")      # pass-through arg
+            sig_line = line_of(code, m.start())
+            if not cb_use.search(body):
+                findings.append(Finding(
+                    path, sig_line, "submit-drops-callback",
+                    f"Submit never invokes or hands off its callback "
+                    f"'{cb}'; every accepted request must eventually "
+                    "complete (net/search_service.h)"))
+                continue
+            for r in re.finditer(r"\breturn\s*;", body):
+                line = body_start_line + body.count("\n", 0, r.start())
+                window = raw_lines[max(0, line - 2):line]
+                if any(SUBMIT_SUPPRESS in l for l in window):
+                    continue
+                # Look back a handful of lines for a callback use.
+                back = body[:r.start()].splitlines()[-8:]
+                if cb_use.search("\n".join(back)):
+                    continue
+                findings.append(Finding(
+                    path, line, "submit-drops-callback",
+                    f"bare 'return;' in Submit with no use of callback "
+                    f"'{cb}' in the preceding lines; complete the "
+                    "request on every path or annotate with "
+                    f"'{SUBMIT_SUPPRESS}'"))
 
     # --- iostream ---------------------------------------------------
     if in_src:
