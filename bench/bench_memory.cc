@@ -1,0 +1,336 @@
+// Memory-governor degradation bench: the same Zipf-skewed query mix
+// (full sorts, grouped aggregates, DISTINCT over a ~23 MB tracked
+// working set) run under database budgets of unlimited / 64 MB /
+// 16 MB / 4 MB. Each budget runs in its own forked child so the
+// kernel's peak-RSS counter (getrusage ru_maxrss) is measured
+// independently per setting; results cross the pipe as a fixed-size
+// record.
+//
+// Emits BENCH_memory.json (run from the repo root). Gates, checked
+// with --check (non-zero exit on violation):
+//   - every budget returns byte-identical results (row-hash equality
+//     against the unlimited run; degradation must never change answers)
+//   - per-query tracked peak stays under each finite budget
+//   - degradation is monotone: tighter budgets spill at least as many
+//     bytes, and the unlimited run spills nothing
+//   - peak RSS of the tightest budget stays bounded by the unlimited
+//     run's peak (spilling trades disk for memory, never the reverse)
+//   - ledgers balance: after the mix, the only bytes still charged are
+//     the buffer pool's resident pages, and no spill scratch files
+//     remain
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "storage/page.h"
+#include "wsq/database.h"
+
+namespace {
+
+using wsqbench::Json;
+
+constexpr size_t kRows = 120000;
+constexpr size_t kQueries = 16;
+constexpr double kZipfSkew = 1.1;
+constexpr uint64_t kSeed = 17;
+constexpr size_t kMB = 1024 * 1024;
+// 0 = unlimited; must stay first (it is the correctness and RSS
+// reference for the constrained runs).
+constexpr size_t kBudgets[] = {0, 64 * kMB, 16 * kMB, 4 * kMB};
+
+// The Zipf head is the full sort — the most memory-hungry shape.
+const char* const kMix[] = {
+    "SELECT K, V FROM Big ORDER BY K, V",
+    "SELECT K, COUNT(*), SUM(V), MIN(V), MAX(V) FROM Big "
+    "GROUP BY K ORDER BY K",
+    "SELECT G, V FROM Big ORDER BY G DESC, V",
+    "SELECT DISTINCT K FROM Big ORDER BY K",
+    "SELECT G, COUNT(*) FROM Big GROUP BY G ORDER BY G",
+};
+
+/// Everything a child measures, shipped through the pipe verbatim.
+struct ChildReport {
+  double load_seconds = 0;
+  double wall_seconds = 0;
+  uint64_t result_hash = 0;
+  uint64_t result_rows = 0;
+  uint64_t queries_ok = 0;
+  uint64_t refusals = 0;  // kResourceExhausted admission retries
+  uint64_t failed = 0;    // queries that never succeeded
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_runs = 0;
+  uint64_t peak_tracked_bytes = 0;  // max over the mix
+  uint64_t pressure_released_bytes = 0;
+  int64_t p50_micros = 0;
+  int64_t p95_micros = 0;
+  uint64_t ru_maxrss_kb = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t final_used_bytes = 0;
+  uint64_t active_spill_files = 0;
+};
+
+void LoadBigTable(wsq::WsqDatabase* db) {
+  wsq::TableInfo* t = *db->catalog()->CreateTable(
+      "Big", wsq::Schema({wsq::Column("K", wsq::TypeId::kString),
+                          wsq::Column("G", wsq::TypeId::kInt64),
+                          wsq::Column("V", wsq::TypeId::kInt64)}));
+  wsq::Rng rng(99);
+  for (size_t i = 0; i < kRows; ++i) {
+    wsq::Status s = t->Insert(wsq::Row(
+        {wsq::Value::Str("row-" + std::to_string(rng.Uniform(509))),
+         wsq::Value::Int(static_cast<int64_t>(rng.Uniform(61))),
+         wsq::Value::Int(static_cast<int64_t>(i))}));
+    if (!s.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+      _exit(3);
+    }
+  }
+}
+
+int64_t Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+/// FNV-1a mix of every result row, in emission order: two runs agree
+/// iff they produced the same rows in the same order.
+void MixRows(const wsq::ResultSet& result, uint64_t* hash,
+             uint64_t* rows) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  *hash = (*hash ^ result.rows.size()) * kPrime;
+  for (const wsq::Row& row : result.rows) {
+    *hash = (*hash ^ row.Hash()) * kPrime;
+    ++*rows;
+  }
+}
+
+ChildReport RunBudget(size_t budget_bytes) {
+  ChildReport out;
+  wsq::WsqDatabase::Options options;
+  options.memory_budget_bytes = budget_bytes;
+  wsq::WsqDatabase db(options);
+
+  wsq::Stopwatch load;
+  LoadBigTable(&db);
+  out.load_seconds = static_cast<double>(load.ElapsedMicros()) / 1e6;
+
+  out.result_hash = 14695981039346656037ULL;  // FNV offset basis
+  wsq::Rng rng(kSeed);
+  wsq::ZipfDistribution zipf(std::size(kMix), kZipfSkew);
+  std::vector<int64_t> lat;
+  lat.reserve(kQueries);
+
+  wsq::Stopwatch wall;
+  for (size_t i = 0; i < kQueries; ++i) {
+    const char* sql = kMix[zipf.Sample(rng)];
+    wsq::Stopwatch timer;
+    auto r = db.Execute(sql);
+    // Tier 3 may refuse admission under a full budget; the contract is
+    // "retry after load drops" — a single-threaded mix should drain
+    // immediately.
+    for (int retry = 0; !r.ok() &&
+                        r.status().code() ==
+                            wsq::StatusCode::kResourceExhausted &&
+                        retry < 50;
+         ++retry) {
+      ++out.refusals;
+      r = db.Execute(sql);
+    }
+    lat.push_back(timer.ElapsedMicros());
+    if (!r.ok()) {
+      ++out.failed;
+      std::fprintf(stderr, "query failed under budget %zu: %s\n",
+                   budget_bytes, r.status().ToString().c_str());
+      continue;
+    }
+    ++out.queries_ok;
+    MixRows(r->result, &out.result_hash, &out.result_rows);
+    out.spilled_bytes += r->stats.spilled_bytes;
+    out.spill_runs += r->stats.spill_runs;
+    out.pressure_released_bytes += r->stats.pressure_released_bytes;
+    out.peak_tracked_bytes =
+        std::max(out.peak_tracked_bytes, r->stats.peak_memory_bytes);
+  }
+  out.wall_seconds = static_cast<double>(wall.ElapsedMicros()) / 1e6;
+
+  std::sort(lat.begin(), lat.end());
+  out.p50_micros = Percentile(lat, 0.50);
+  out.p95_micros = Percentile(lat, 0.95);
+
+  out.resident_bytes =
+      db.buffer_pool()->resident_pages() * wsq::kPageSize;
+  out.final_used_bytes = db.memory_budget()->used();
+  out.active_spill_files = db.spill()->active_files();
+
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  out.ru_maxrss_kb = static_cast<uint64_t>(ru.ru_maxrss);
+  return out;
+}
+
+/// Forks a child for one budget setting so its peak RSS is measured in
+/// isolation; the report returns over a pipe.
+bool RunBudgetInChild(size_t budget_bytes, ChildReport* report) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  std::fflush(stdout);
+  std::fflush(stderr);
+  pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    close(fds[0]);
+    ChildReport r = RunBudget(budget_bytes);
+    const char* p = reinterpret_cast<const char*>(&r);
+    size_t left = sizeof(r);
+    while (left > 0) {
+      ssize_t n = write(fds[1], p, left);
+      if (n <= 0) _exit(4);
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    close(fds[1]);
+    // _exit: the parent's stdio buffers are inherited; a normal exit
+    // would flush them a second time.
+    _exit(0);
+  }
+  close(fds[1]);
+  char* p = reinterpret_cast<char*>(report);
+  size_t left = sizeof(*report);
+  while (left > 0) {
+    ssize_t n = read(fds[0], p, left);
+    if (n <= 0) break;
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  close(fds[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  return left == 0 && WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+}
+
+std::string BudgetName(size_t bytes) {
+  if (bytes == 0) return "unlimited";
+  return std::to_string(bytes / kMB) + "MB";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
+  constexpr size_t kNumBudgets = std::size(kBudgets);
+  ChildReport reports[kNumBudgets];
+  bool children_ok = true;
+  for (size_t i = 0; i < kNumBudgets; ++i) {
+    if (!RunBudgetInChild(kBudgets[i], &reports[i])) {
+      std::fprintf(stderr, "bench_memory: child for budget %s failed\n",
+                   BudgetName(kBudgets[i]).c_str());
+      children_ok = false;
+    }
+  }
+
+  const ChildReport& unlimited = reports[0];
+  const ChildReport& tightest = reports[kNumBudgets - 1];
+
+  bool identical = children_ok;
+  bool tracked_bounded = true;
+  bool monotone_spill = children_ok && unlimited.spilled_bytes == 0 &&
+                        tightest.spilled_bytes > 0;
+  bool ledger_balanced = children_ok;
+  for (size_t i = 0; i < kNumBudgets; ++i) {
+    const ChildReport& r = reports[i];
+    identical = identical && r.queries_ok == kQueries && r.failed == 0 &&
+                r.result_hash == unlimited.result_hash &&
+                r.result_rows == unlimited.result_rows;
+    if (kBudgets[i] != 0) {
+      // The charge protocol permits one forced per-row overage past the
+      // limit (measured: < 200 bytes); bound it at a page-sized slack.
+      tracked_bounded = tracked_bounded &&
+                        r.peak_tracked_bytes <= kBudgets[i] + 16 * 1024;
+      // Budgets are ordered loosest → tightest: spill must not shrink.
+      monotone_spill = monotone_spill &&
+                       r.spilled_bytes >= reports[i - 1].spilled_bytes;
+    }
+    ledger_balanced = ledger_balanced &&
+                      r.final_used_bytes == r.resident_bytes &&
+                      r.active_spill_files == 0;
+  }
+  // Spilling bounds the working set: the tightest budget's peak RSS
+  // must not exceed the unlimited run's (small slack for allocator /
+  // sanitizer noise; the expected gap is tens of megabytes).
+  constexpr uint64_t kRssSlackKb = 4096;
+  bool rss_bounded =
+      children_ok &&
+      tightest.ru_maxrss_kb <= unlimited.ru_maxrss_kb + kRssSlackKb;
+  bool pass = children_ok && identical && tracked_bounded &&
+              monotone_spill && rss_bounded && ledger_balanced;
+
+  Json budgets = Json::Array();
+  for (size_t i = 0; i < kNumBudgets; ++i) {
+    const ChildReport& r = reports[i];
+    double qps = r.wall_seconds > 0
+                     ? static_cast<double>(r.queries_ok) / r.wall_seconds
+                     : 0.0;
+    Json row = Json::Object();
+    row.Set("budget", BudgetName(kBudgets[i]))
+        .Set("budget_bytes", static_cast<long long>(kBudgets[i]))
+        .Set("queries", r.queries_ok)
+        .Set("wall_seconds", r.wall_seconds)
+        .Set("qps", qps)
+        .Set("p50_micros", r.p50_micros)
+        .Set("p95_micros", r.p95_micros)
+        .Set("spilled_bytes", r.spilled_bytes)
+        .Set("spill_runs", r.spill_runs)
+        .Set("peak_tracked_bytes", r.peak_tracked_bytes)
+        .Set("pressure_released_bytes", r.pressure_released_bytes)
+        .Set("admission_retries", r.refusals)
+        .Set("peak_rss_kb", r.ru_maxrss_kb)
+        .Set("identical_to_unlimited",
+             r.result_hash == unlimited.result_hash)
+        .Set("ledger_balanced", r.final_used_bytes == r.resident_bytes &&
+                                    r.active_spill_files == 0);
+    budgets.Push(std::move(row));
+  }
+
+  Json config = Json::Object();
+  config.Set("rows", static_cast<long long>(kRows))
+      .Set("queries", static_cast<long long>(kQueries))
+      .Set("mix_shapes", static_cast<long long>(std::size(kMix)))
+      .Set("zipf_skew", kZipfSkew)
+      .Set("result_rows_per_run", unlimited.result_rows)
+      .Set("seed", static_cast<long long>(kSeed));
+
+  Json gates = Json::Object();
+  gates.Set("children_ok", children_ok)
+      .Set("identical_across_budgets", identical)
+      .Set("tracked_peak_under_budget", tracked_bounded)
+      .Set("spill_monotone_with_pressure", monotone_spill)
+      .Set("tightest_rss_bounded_by_unlimited", rss_bounded)
+      .Set("ledgers_balanced_no_leaked_files", ledger_balanced)
+      .Set("pass", pass);
+
+  Json root = Json::Object();
+  root.Set("bench", "memory")
+      .Set("config", std::move(config))
+      .Set("budgets", std::move(budgets))
+      .Set("gates", std::move(gates));
+
+  if (!wsqbench::WriteBenchJson("BENCH_memory.json", root)) return 2;
+  if (check && !pass) {
+    std::fprintf(stderr, "bench_memory: gate violated (see gates)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -71,6 +71,8 @@ void PrintHelp() {
       "  \\shards quorum <k>   accept k-of-N shards (partial counts)\n"
       "  \\shards best-effort  accept whatever shards answer\n"
       "  \\deadline <ms>       per-query deadline (0 = none)\n"
+      "  \\memory              memory governor status (budgets, spill)\n"
+      "  \\budget <mb>         per-query memory budget (0 = none)\n"
       "  \\cancel              cancel the next statement (Ctrl-C\n"
       "                       cancels the one currently running)\n"
       "  \\quit                exit\n"
@@ -130,6 +132,53 @@ void PrintShards(wsq::DemoEnv& env, const wsq::ShardOptions& shard) {
       (unsigned long long)stats.degraded_shards);
 }
 
+void PrintBudget(const char* label, wsq::MemoryBudget* budget) {
+  if (budget->limit() == 0) {
+    std::printf("  %-8s used=%zu peak=%zu (unlimited)\n", label,
+                budget->used(), budget->peak_used());
+  } else {
+    std::printf("  %-8s used=%zu peak=%zu limit=%zu\n", label,
+                budget->used(), budget->peak_used(), budget->limit());
+  }
+  wsq::MemoryBudgetStats s = budget->stats();
+  if (s.reserve_failures > 0 || s.forced_overages > 0 ||
+      s.pressure_invocations > 0) {
+    std::printf(
+        "           reserve_failures=%llu pressure_runs=%llu "
+        "pressure_released=%llu forced_overages=%llu\n",
+        (unsigned long long)s.reserve_failures,
+        (unsigned long long)s.pressure_invocations,
+        (unsigned long long)s.pressure_released_bytes,
+        (unsigned long long)s.forced_overages);
+  }
+}
+
+void PrintMemory(wsq::DemoEnv& env, size_t query_budget_mb) {
+  std::printf("memory budgets (bytes):\n");
+  PrintBudget("process", wsq::MemoryBudget::Process());
+  PrintBudget("db", env.db().memory_budget());
+  if (query_budget_mb > 0) {
+    std::printf("  per-query budget: %zu MB\n", query_budget_mb);
+  } else {
+    std::printf("  per-query budget: none\n");
+  }
+  if (wsq::SpillManager* spill = env.db().spill()) {
+    wsq::SpillStats s = spill->stats();
+    std::printf(
+        "spill: files=%llu (active %zu) runs=%llu written=%llu read=%llu\n",
+        (unsigned long long)s.files_created, spill->active_files(),
+        (unsigned long long)s.runs_written,
+        (unsigned long long)s.bytes_written,
+        (unsigned long long)s.bytes_read);
+  } else {
+    std::printf("spill: disabled\n");
+  }
+  if (wsq::ResultCache* cache = env.client_cache()) {
+    std::printf("result cache: %zu entries, %zu bytes\n", cache->size(),
+                cache->bytes());
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -145,10 +194,18 @@ int main() {
     long n = std::atol(shards_env);
     options.search_shards = n < 0 ? 0 : static_cast<size_t>(n);
   }
+  // Database-wide memory budget in MB (0 = unlimited, the default).
+  if (const char* mem_env = std::getenv("WSQ_SHELL_MEMORY_MB")) {
+    long mb = std::atol(mem_env);
+    if (mb > 0) {
+      options.memory_budget_bytes = static_cast<size_t>(mb) << 20;
+    }
+  }
   wsq::DemoEnv env(options);
 
   wsq::ShardOptions shard;
   bool async = true;
+  size_t query_budget_mb = 0;
   int64_t deadline_ms = 0;
   bool cancel_next = false;
   wsq::CancellationToken token;
@@ -211,6 +268,17 @@ int main() {
                       (long long)deadline_ms);
         } else {
           std::printf("query deadline: none\n");
+        }
+      } else if (trimmed == "\\memory") {
+        PrintMemory(env, query_budget_mb);
+      } else if (wsq::StartsWith(trimmed, "\\budget ")) {
+        long mb = std::atol(trimmed.substr(8).c_str());
+        query_budget_mb = mb < 0 ? 0 : static_cast<size_t>(mb);
+        if (query_budget_mb > 0) {
+          std::printf("per-query memory budget: %zu MB\n",
+                      query_budget_mb);
+        } else {
+          std::printf("per-query memory budget: none\n");
         }
       } else if (trimmed == "\\cancel") {
         cancel_next = true;
@@ -293,6 +361,7 @@ int main() {
     exec_options.cancel = &token;
     exec_options.deadline_micros = deadline_ms * 1000;
     exec_options.shard = shard;
+    exec_options.memory_budget_bytes = query_budget_mb << 20;
     token.Reset();
     if (cancel_next) {
       token.Cancel();
@@ -324,6 +393,18 @@ int main() {
           "(%llu shard answers missing); counts are lower bounds\n",
           (unsigned long long)r->stats.partial_results,
           (unsigned long long)r->stats.degraded_shards);
+    }
+    if (r->stats.spilled_bytes > 0 ||
+        r->stats.pressure_released_bytes > 0) {
+      // Mirror of the partial-result warning for the memory governor:
+      // the answer is complete, but the query ran degraded.
+      std::printf(
+          "note: memory budget pressure — %llu bytes spilled to disk "
+          "(%llu runs), %llu cached bytes shed; peak tracked %llu\n",
+          (unsigned long long)r->stats.spilled_bytes,
+          (unsigned long long)r->stats.spill_runs,
+          (unsigned long long)r->stats.pressure_released_bytes,
+          (unsigned long long)r->stats.peak_memory_bytes);
     }
   }
 

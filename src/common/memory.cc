@@ -1,0 +1,163 @@
+#include "common/memory.h"
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace wsq {
+
+MemoryBudget::MemoryBudget(std::string name, size_t limit_bytes,
+                           MemoryBudget* parent)
+    : name_(std::move(name)), parent_(parent), limit_(limit_bytes) {}
+
+MemoryBudget::~MemoryBudget() = default;
+
+MemoryBudget* MemoryBudget::Process() {
+  static MemoryBudget* const kProcess =
+      new MemoryBudget("process", /*limit_bytes=*/0);
+  return kProcess;
+}
+
+bool MemoryBudget::TryChargeSelf(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    size_t lim = limit_.load(std::memory_order_relaxed);
+    if (lim != 0 && (cur > lim || bytes > lim - cur)) return false;
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      UpdatePeak(cur + bytes);
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::ChargeSelf(size_t bytes) {
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t lim = limit_.load(std::memory_order_relaxed);
+  if (lim != 0 && now > lim) {
+    forced_overages_.fetch_add(1, std::memory_order_relaxed);
+  }
+  UpdatePeak(now);
+}
+
+void MemoryBudget::UpdatePeak(size_t used_now) {
+  size_t cur = peak_.load(std::memory_order_relaxed);
+  while (used_now > cur &&
+         !peak_.compare_exchange_weak(cur, used_now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+size_t MemoryBudget::RunPressureHooks(size_t wanted) {
+  pressure_invocations_.fetch_add(1, std::memory_order_relaxed);
+  size_t freed = 0;
+  MutexLock lock(&mu_);
+  for (auto& [id, hook] : hooks_) {
+    if (freed >= wanted) break;
+    freed += hook(wanted - freed);
+  }
+  pressure_released_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+bool MemoryBudget::TryReserve(size_t bytes) {
+  if (bytes == 0) return true;
+  if (!TryChargeSelf(bytes)) {
+    // Tier 2: ask this budget's components to shed clean state, then
+    // retry once. Hooks release through their own reservations, so the
+    // retry sees the freed headroom directly in used_.
+    RunPressureHooks(bytes);
+    if (!TryChargeSelf(bytes)) {
+      reserve_failures_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+    // Unwind the self charge so a failed reservation nets to zero.
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    reserve_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void MemoryBudget::ForceReserve(size_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    b->ChargeSelf(bytes);
+  }
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    b->used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+size_t MemoryBudget::Available() const {
+  size_t headroom = std::numeric_limits<size_t>::max();
+  for (const MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    size_t lim = b->limit_.load(std::memory_order_relaxed);
+    if (lim == 0) continue;
+    size_t used = b->used_.load(std::memory_order_relaxed);
+    size_t room = used >= lim ? 0 : lim - used;
+    if (room < headroom) headroom = room;
+  }
+  return headroom;
+}
+
+MemoryBudgetStats MemoryBudget::stats() const {
+  MemoryBudgetStats s;
+  s.reserve_failures = reserve_failures_.load(std::memory_order_relaxed);
+  s.pressure_invocations =
+      pressure_invocations_.load(std::memory_order_relaxed);
+  s.pressure_released_bytes =
+      pressure_released_.load(std::memory_order_relaxed);
+  s.forced_overages = forced_overages_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t MemoryBudget::AddPressureHook(PressureHook hook) {
+  MutexLock lock(&mu_);
+  uint64_t id = next_hook_id_++;
+  hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void MemoryBudget::RemovePressureHook(uint64_t id) {
+  MutexLock lock(&mu_);
+  hooks_.erase(id);
+}
+
+void MemoryReservation::Bind(MemoryBudget* budget) {
+  // Rebinding with live charges would strand them on the old budget.
+  if (bytes_ == 0) budget_ = budget;
+}
+
+bool MemoryReservation::TryAdd(size_t bytes) {
+  if (budget_ != nullptr && !budget_->TryReserve(bytes)) return false;
+  bytes_ += bytes;
+  if (bytes_ > peak_) peak_ = bytes_;
+  return true;
+}
+
+void MemoryReservation::ForceAdd(size_t bytes) {
+  if (budget_ != nullptr) budget_->ForceReserve(bytes);
+  bytes_ += bytes;
+  if (bytes_ > peak_) peak_ = bytes_;
+}
+
+void MemoryReservation::Subtract(size_t bytes) {
+  if (bytes > bytes_) bytes = bytes_;  // defensive clamp
+  if (budget_ != nullptr) budget_->Release(bytes);
+  bytes_ -= bytes;
+}
+
+void MemoryReservation::ReleaseAll() {
+  if (bytes_ == 0) return;
+  if (budget_ != nullptr) budget_->Release(bytes_);
+  bytes_ = 0;
+}
+
+}  // namespace wsq

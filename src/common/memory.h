@@ -1,0 +1,174 @@
+#ifndef WSQ_COMMON_MEMORY_H_
+#define WSQ_COMMON_MEMORY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+/// Counters kept by a MemoryBudget (all monotonic).
+struct MemoryBudgetStats {
+  /// TryReserve calls that returned false (after pressure relief).
+  uint64_t reserve_failures = 0;
+  /// Pressure-hook sweeps run on behalf of a failing reservation.
+  uint64_t pressure_invocations = 0;
+  /// Bytes the pressure hooks reported freeing.
+  uint64_t pressure_released_bytes = 0;
+  /// ForceReserve charges that pushed usage past the limit.
+  uint64_t forced_overages = 0;
+};
+
+/// Hierarchical byte ledger: process → database → query → operator.
+///
+/// Every tracked allocation charges a leaf budget, and the charge
+/// propagates to every ancestor, so one process-wide number bounds the
+/// sum of all per-query working sets. Accounting is atomic (CAS against
+/// the limit); 0 means "unlimited". Reservations come in two flavors:
+///
+///   - TryReserve: fail-able. On a limit hit the budget first runs its
+///     pressure hooks (components volunteering clean state to shed —
+///     result cache entries, clean buffer-pool pages) and retries; only
+///     if the retry still fails does it return false. Callers react by
+///     degrading (spilling to disk) or refusing work (admission).
+///   - ForceReserve: unconditional. For charges that must not fail
+///     mid-tuple (a ReqSync absorbing a row already produced); overage
+///     is tracked in stats so it stays observable.
+///
+/// Lock order: a pressure hook runs under this budget's mu_ and may
+/// take its component's lock (cache mu_, pool mu_) — so budget mu_ →
+/// component mu_, and components must NEVER call into a budget while
+/// holding their own lock except through the lock-free charge paths
+/// (TryReserve / ForceReserve / Release touch only atomics unless
+/// pressure fires; re-entrant hook registration would deadlock).
+///
+/// Lifetime: a child must be destroyed before its parent (a child
+/// holds a raw parent pointer); destruction releases nothing — the
+/// owner of each reservation is responsible for balancing its charges
+/// (MemoryReservation does this via RAII).
+class MemoryBudget {
+ public:
+  /// `limit_bytes` 0 = unlimited. `parent` may be null (a root).
+  MemoryBudget(std::string name, size_t limit_bytes,
+               MemoryBudget* parent = nullptr);
+  ~MemoryBudget();
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// The process-wide root every database budget parents under.
+  /// Unlimited by default; tests and main() may SetLimit it.
+  static MemoryBudget* Process();
+
+  /// Charges `bytes` against this budget and every ancestor. On a
+  /// limit hit anywhere on the chain, runs that budget's pressure
+  /// hooks and retries once; returns false (charging nothing) if the
+  /// chain still cannot fit the reservation.
+  bool TryReserve(size_t bytes);
+
+  /// Charges unconditionally (this budget and every ancestor),
+  /// counting an overage where the limit is exceeded.
+  void ForceReserve(size_t bytes);
+
+  /// Releases a prior charge (this budget and every ancestor).
+  void Release(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak_used() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// 0 = unlimited.
+  size_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  void SetLimit(size_t limit_bytes) {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
+
+  /// Headroom before some budget on the ancestor chain (including this
+  /// one) hits its limit; SIZE_MAX when the whole chain is unlimited.
+  /// Advisory: concurrent charges can invalidate it immediately.
+  size_t Available() const;
+
+  const std::string& name() const { return name_; }
+  MemoryBudget* parent() const { return parent_; }
+  MemoryBudgetStats stats() const;
+
+  /// A pressure hook frees what clean state it can and returns the
+  /// number of bytes it released (it must Release them itself through
+  /// whatever reservation charged them). Hooks run in registration
+  /// order until `wanted` bytes are reported freed.
+  using PressureHook = std::function<size_t(size_t wanted)>;
+
+  /// Registers a hook on THIS budget (hooks do not inherit down the
+  /// hierarchy); returns an id for RemovePressureHook. The hook must
+  /// stay valid until removed.
+  uint64_t AddPressureHook(PressureHook hook);
+  void RemovePressureHook(uint64_t id);
+
+ private:
+  /// CAS-charge against this node only; false on limit hit.
+  bool TryChargeSelf(size_t bytes);
+  void ChargeSelf(size_t bytes);
+  void UpdatePeak(size_t used_now);
+  /// Runs hooks until `wanted` bytes are reported freed; returns the
+  /// total reported.
+  size_t RunPressureHooks(size_t wanted);
+
+  const std::string name_;
+  MemoryBudget* const parent_;
+  std::atomic<size_t> limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<uint64_t> reserve_failures_{0};
+  std::atomic<uint64_t> pressure_invocations_{0};
+  std::atomic<uint64_t> pressure_released_{0};
+  std::atomic<uint64_t> forced_overages_{0};
+
+  mutable Mutex mu_;
+  std::map<uint64_t, PressureHook> hooks_ WSQ_GUARDED_BY(mu_);
+  uint64_t next_hook_id_ WSQ_GUARDED_BY(mu_) = 1;
+};
+
+/// RAII bookkeeping for one component's charges against a budget: the
+/// destructor releases whatever is still outstanding, so an operator
+/// torn down on an error path can never leak reserved bytes. Unbound
+/// (null budget) reservations accept charges and track bytes locally —
+/// operators run identical code whether or not the query is governed.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryBudget* budget) : budget_(budget) {}
+  ~MemoryReservation() { ReleaseAll(); }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  /// (Re-)binds the target budget; only valid while nothing is charged.
+  void Bind(MemoryBudget* budget);
+
+  /// TryReserve `bytes` more; always succeeds when unbound.
+  [[nodiscard]] bool TryAdd(size_t bytes);
+  /// ForceReserve `bytes` more.
+  void ForceAdd(size_t bytes);
+  /// Releases part of the charge (clamped to the outstanding amount).
+  void Subtract(size_t bytes);
+  /// Releases the full outstanding charge.
+  void ReleaseAll();
+
+  size_t bytes() const { return bytes_; }
+  size_t peak_bytes() const { return peak_; }
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_COMMON_MEMORY_H_

@@ -41,7 +41,11 @@ Result<bool> DistinctOperator::NextImpl(Row* row) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
     if (!more) return false;
-    if (seen_.insert(*row).second) return true;
+    if (seen_.insert(*row).second) {
+      size_t delta = row->ApproxBytes() + sizeof(Row);
+      if (!mem_.TryAdd(delta)) mem_.ForceAdd(delta);
+      return true;
+    }
   }
 }
 

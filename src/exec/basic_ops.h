@@ -4,6 +4,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/memory.h"
+#include "exec/executor.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -70,21 +72,34 @@ class LimitOperator : public Operator {
   int64_t emitted_ = 0;
 };
 
-/// Duplicate elimination via row hashing.
+/// Duplicate elimination via row hashing. The seen-set is charged to
+/// the query memory budget (TryAdd with ForceAdd fallback: there is no
+/// spill path for hash dedup, so growth past an exhausted budget is
+/// admitted as a tracked overage and surfaced in the stats rather than
+/// failing the query).
 class DistinctOperator : public Operator {
  public:
-  DistinctOperator(const DistinctNode* node, OperatorPtr child)
+  DistinctOperator(const DistinctNode* node, OperatorPtr child,
+                   ExecContext* ctx = nullptr)
       : Operator(&node->schema()),
-        child_(std::move(child)) {
+        child_(std::move(child)),
+        ctx_(ctx) {
     AddChild(child_.get());
   }
 
   Status OpenImpl() override {
     seen_.clear();
+    mem_.ReleaseAll();
+    if (ctx_ != nullptr) mem_.Bind(ctx_->memory);
     return child_->Open();
   }
   Result<bool> NextImpl(Row* row) override;
-  Status CloseImpl() override { return child_->Close(); }
+  Status CloseImpl() override {
+    seen_.clear();
+    RecordPeakBytes(mem_.peak_bytes());
+    mem_.ReleaseAll();
+    return child_->Close();
+  }
 
  private:
   struct RowHash {
@@ -92,6 +107,8 @@ class DistinctOperator : public Operator {
   };
 
   OperatorPtr child_;
+  ExecContext* ctx_ = nullptr;
+  MemoryReservation mem_;
   std::unordered_set<Row, RowHash> seen_;
 };
 

@@ -83,7 +83,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                            BuildOperatorTree(*plan.child(1), ctx));
       op = std::make_unique<NestedLoopJoinOperator>(
           static_cast<const NestedLoopJoinNode*>(&plan), std::move(left),
-          std::move(right));
+          std::move(right), ctx);
       break;
     }
 
@@ -94,7 +94,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
                            BuildOperatorTree(*plan.child(1), ctx));
       op = std::make_unique<CrossProductOperator>(
           static_cast<const CrossProductNode*>(&plan), std::move(left),
-          std::move(right));
+          std::move(right), ctx);
       break;
     }
 
@@ -121,7 +121,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
       op = std::make_unique<SortOperator>(
-          static_cast<const SortNode*>(&plan), std::move(child));
+          static_cast<const SortNode*>(&plan), std::move(child), ctx);
       break;
     }
 
@@ -129,7 +129,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
       op = std::make_unique<DistinctOperator>(
-          static_cast<const DistinctNode*>(&plan), std::move(child));
+          static_cast<const DistinctNode*>(&plan), std::move(child), ctx);
       break;
     }
 
@@ -137,7 +137,7 @@ Result<OperatorPtr> BuildOperatorTree(const PlanNode& plan,
       WSQ_ASSIGN_OR_RETURN(OperatorPtr child,
                            BuildOperatorTree(*plan.child(0), ctx));
       op = std::make_unique<AggregateOperator>(
-          static_cast<const AggregateNode*>(&plan), std::move(child));
+          static_cast<const AggregateNode*>(&plan), std::move(child), ctx);
       break;
     }
 

@@ -7,6 +7,7 @@
 
 #include "async/req_pump.h"
 #include "common/cancellation.h"
+#include "common/memory.h"
 #include "exec/operator.h"
 #include "net/shard_policy.h"
 #include "obs/op_profile.h"
@@ -14,6 +15,8 @@
 #include "plan/logical_plan.h"
 
 namespace wsq {
+
+class SpillManager;  // storage/spill.h
 
 /// Shared execution state: the ReqPump for asynchronous calls plus a
 /// counter of synchronous (blocking) external calls, so QueryStats can
@@ -36,6 +39,14 @@ struct ExecContext {
   /// Per-query partial-result policy for sharded search backends;
   /// copied into every VTableRequest the scans build.
   ShardOptions shard;
+  /// Per-query memory budget (child of the database budget); null =
+  /// ungoverned. Operators charge their materialized state here and
+  /// degrade (spill, backpressure) when a reservation fails. Must
+  /// outlive the operator tree.
+  MemoryBudget* memory = nullptr;
+  /// Spill scratch-file factory; null disables spilling (a failed
+  /// reservation then fails the query with kResourceExhausted).
+  SpillManager* spill = nullptr;
   std::atomic<uint64_t> sync_external_calls{0};
   /// External calls that completed with a non-OK status.
   std::atomic<uint64_t> failed_calls{0};
@@ -57,6 +68,10 @@ struct ExecContext {
   /// missing across those calls (CallResult::degraded_shards).
   std::atomic<uint64_t> partial_results{0};
   std::atomic<uint64_t> degraded_shards{0};
+  /// Memory governor: bytes written to spill runs / runs written by
+  /// Sort+Aggregate operators degrading under a failed reservation.
+  std::atomic<uint64_t> spilled_bytes{0};
+  std::atomic<uint64_t> spill_runs{0};
 };
 
 /// A fully-materialized query result.

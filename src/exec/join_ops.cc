@@ -8,16 +8,21 @@ Status NestedLoopJoinOperator::OpenImpl() {
   WSQ_RETURN_IF_ERROR(left_->Open());
   WSQ_RETURN_IF_ERROR(right_->Open());
   right_rows_.clear();
+  mem_.ReleaseAll();
+  if (ctx_ != nullptr) mem_.Bind(ctx_->memory);
   Row row;
   while (true) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     WSQ_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
     if (!more) break;
+    size_t delta = row.ApproxBytes() + sizeof(Row);
+    if (!mem_.TryAdd(delta)) mem_.ForceAdd(delta);
     right_rows_.push_back(row);
   }
   WSQ_RETURN_IF_ERROR(right_->Close());
   have_left_ = false;
   right_pos_ = 0;
+  RecordPeakBytes(mem_.peak_bytes());
   return Status::OK();
 }
 
@@ -47,6 +52,7 @@ Result<bool> NestedLoopJoinOperator::NextImpl(Row* row) {
 
 Status NestedLoopJoinOperator::CloseImpl() {
   right_rows_.clear();
+  mem_.ReleaseAll();
   return left_->Close();
 }
 
@@ -72,6 +78,8 @@ Result<bool> DependentJoinOperator::NextImpl(Row* row) {
           return Status::Internal(
               "dependent join binding out of range");
         }
+        // Bounded by the plan's binding count, consumed immediately.
+        // wsqlint: allow(unbounded-op-growth)
         bindings.emplace_back(b.term_index,
                               left_row_.value(b.left_column));
       }

@@ -3,21 +3,26 @@
 
 #include <vector>
 
+#include "common/memory.h"
+#include "exec/executor.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
 namespace wsq {
 
 /// Nested-loop join with the right side materialized at Open (the only
-/// join technique in Redbase, paper §5).
+/// join technique in Redbase, paper §5). The materialized build side
+/// is charged to the query memory budget (TryAdd with ForceAdd
+/// fallback — no spill path, so overages are tracked, not fatal).
 class NestedLoopJoinOperator : public Operator {
  public:
   NestedLoopJoinOperator(const NestedLoopJoinNode* node, OperatorPtr left,
-                         OperatorPtr right)
+                         OperatorPtr right, ExecContext* ctx = nullptr)
       : Operator(&node->schema()),
         node_(node),
         left_(std::move(left)),
-        right_(std::move(right)) {
+        right_(std::move(right)),
+        ctx_(ctx) {
     AddChild(left_.get());
     AddChild(right_.get());
   }
@@ -30,6 +35,8 @@ class NestedLoopJoinOperator : public Operator {
   const NestedLoopJoinNode* node_;  // null for cross product
   OperatorPtr left_;
   OperatorPtr right_;
+  ExecContext* ctx_ = nullptr;
+  MemoryReservation mem_;
   std::vector<Row> right_rows_;
   Row left_row_;
   bool have_left_ = false;
@@ -37,11 +44,12 @@ class NestedLoopJoinOperator : public Operator {
 
  protected:
   NestedLoopJoinOperator(const Schema* schema, OperatorPtr left,
-                         OperatorPtr right)
+                         OperatorPtr right, ExecContext* ctx)
       : Operator(schema),
         node_(nullptr),
         left_(std::move(left)),
-        right_(std::move(right)) {
+        right_(std::move(right)),
+        ctx_(ctx) {
     AddChild(left_.get());
     AddChild(right_.get());
   }
@@ -51,9 +59,9 @@ class NestedLoopJoinOperator : public Operator {
 class CrossProductOperator : public NestedLoopJoinOperator {
  public:
   CrossProductOperator(const CrossProductNode* node, OperatorPtr left,
-                       OperatorPtr right)
+                       OperatorPtr right, ExecContext* ctx = nullptr)
       : NestedLoopJoinOperator(&node->schema(), std::move(left),
-                               std::move(right)) {}
+                               std::move(right), ctx) {}
 };
 
 /// Dependent join (paper §4): for every left tuple, binds the right

@@ -114,6 +114,17 @@ class Operator {
     profile_.partial_results++;
     profile_.degraded_shards += degraded;
   }
+  /// Memory-governor hooks: bytes written to a spill run, and the
+  /// high-water mark of this operator's tracked reservation. Recorded
+  /// unconditionally (not gated on profile_on_) — they are cheap and
+  /// the shell's degradation notice needs them even without \analyze.
+  void CountSpill(uint64_t bytes, uint64_t runs) {
+    profile_.spilled_bytes += bytes;
+    profile_.spill_runs += runs;
+  }
+  void RecordPeakBytes(uint64_t bytes) {
+    if (bytes > profile_.peak_bytes) profile_.peak_bytes = bytes;
+  }
 
   /// Registers a child for the profile tree; subclasses that own child
   /// operators call this from their constructor. `child` must outlive

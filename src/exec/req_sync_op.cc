@@ -39,6 +39,10 @@ void ReqSyncOperator::AddEntry(Row row, std::set<CallId> pending) {
   }
   size_t bytes = row.ApproxBytes();
   buffered_bytes_ += bytes;
+  // ForceAdd, not TryAdd: the tuple already exists and must be indexed
+  // for its calls' completions. Admission control is WaitForRoom (which
+  // watches the budget) and, in shed-oldest mode, ShedToBudget.
+  mem_.ForceAdd(bytes);
   entries_.emplace(id, Entry{std::move(row), std::move(pending), bytes});
   if (tracer() != nullptr) {
     tracer()->Event("reqsync", "buffer",
@@ -66,17 +70,34 @@ bool ReqSyncOperator::HasRoom() const {
       buffered_bytes_ >= node_->max_buffered_bytes) {
     return false;
   }
+  // Memory governor: when the query budget has no headroom, stop
+  // pulling from the child while anything is buffered — in-flight
+  // completions drain the buffer and release its charge. With nothing
+  // buffered the next tuple must be admitted regardless (ForceAdd) or
+  // the query could never make progress.
+  if (mem_.budget() != nullptr && !entries_.empty() &&
+      mem_.budget()->Available() == 0) {
+    return false;
+  }
   return true;
 }
 
 void ReqSyncOperator::ShedToBudget() {
+  // Shed past the node's row/byte bounds, and additionally (in this
+  // shed-oldest mode) past an exhausted query memory budget — keeping
+  // at least the newest tuple so the operator still makes progress.
   while (!entries_.empty() &&
          ((node_->max_buffered_rows > 0 &&
            entries_.size() > node_->max_buffered_rows) ||
           (node_->max_buffered_bytes > 0 &&
-           buffered_bytes_ > node_->max_buffered_bytes))) {
+           buffered_bytes_ > node_->max_buffered_bytes) ||
+          (mem_.budget() != nullptr && entries_.size() > 1 &&
+           mem_.budget()->Available() == 0))) {
     auto it = entries_.begin();  // smallest id = oldest pending tuple
     buffered_bytes_ -= it->second.bytes;
+    // Release the dropped tuple's budget charge with it — shedding
+    // that kept the charge would leak reservations until Close.
+    mem_.Subtract(it->second.bytes);
     entries_.erase(it);
     ++shed_tuples_;
     if (ctx_ != nullptr) ++ctx_->shed_tuples;
@@ -84,7 +105,8 @@ void ReqSyncOperator::ShedToBudget() {
 }
 
 Status ReqSyncOperator::WaitForRoom() {
-  if (!HasBudget() || node_->shed_oldest) return Status::OK();
+  if (node_->shed_oldest) return Status::OK();
+  if (!HasBudget() && mem_.budget() == nullptr) return Status::OK();
   while (!HasRoom()) {
     WSQ_RETURN_IF_ERROR(CheckAlive());
     // Snapshot before polling so a completion landing mid-poll makes
@@ -115,6 +137,8 @@ Status ReqSyncOperator::OpenImpl() {
   ready_.clear();
   next_entry_id_ = 1;
   buffered_bytes_ = 0;
+  mem_.ReleaseAll();
+  if (ctx_ != nullptr) mem_.Bind(ctx_->memory);
   peak_buffered_ = 0;
   peak_buffered_bytes_ = 0;
   dropped_tuples_ = 0;
@@ -190,6 +214,7 @@ Status ReqSyncOperator::DegradeFailedCall(CallId call,
       // n = 0); its references under OTHER calls go stale and are
       // skipped there.
       buffered_bytes_ -= it->second.bytes;
+      mem_.Subtract(it->second.bytes);
       entries_.erase(it);
       ++dropped_tuples_;
       if (ctx_ != nullptr) ++ctx_->dropped_tuples;
@@ -200,6 +225,7 @@ Status ReqSyncOperator::DegradeFailedCall(CallId call,
     // NULL and keep the tuple moving.
     Entry entry = std::move(it->second);
     buffered_bytes_ -= entry.bytes;
+    mem_.Subtract(entry.bytes);
     entries_.erase(it);
     entry.pending.erase(call);
     Row padded;
@@ -273,6 +299,7 @@ Status ReqSyncOperator::ProcessCompletion(CallId call,
     if (it == entries_.end()) continue;
     Entry entry = std::move(it->second);
     buffered_bytes_ -= entry.bytes;
+    mem_.Subtract(entry.bytes);
     entries_.erase(it);
     entry.pending.erase(call);
 
@@ -310,6 +337,8 @@ Status ReqSyncOperator::CloseImpl() {
   entries_.clear();
   ready_.clear();
   buffered_bytes_ = 0;
+  RecordPeakBytes(mem_.peak_bytes());
+  mem_.ReleaseAll();
   return child_->Close();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "async/req_pump.h"
+#include "common/memory.h"
 #include "exec/executor.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
@@ -35,6 +36,14 @@ namespace wsq {
 /// already in flight drain the buffer. With shed_oldest the oldest
 /// pending tuple is dropped instead (ExecContext::shed_tuples); its
 /// calls are still reaped at Close.
+///
+/// Memory governance: every buffered tuple's bytes are also charged to
+/// the query MemoryBudget (ExecContext::memory) through a
+/// MemoryReservation — ForceAdd, since the tuple already exists;
+/// admission control is the backpressure above, which additionally
+/// engages when the budget itself is exhausted while tuples are
+/// buffered. Every erase path (completion, degradation, shedding,
+/// Close) releases the matching charge so the ledger balances to zero.
 ///
 /// Thread model: operators are driven by a single executor thread, so
 /// this class has no lock and no WSQ_GUARDED_BY state of its own; all
@@ -123,6 +132,9 @@ class ReqSyncOperator : public Operator {
   OperatorPtr child_;
   ReqPump* pump_;
   ExecContext* ctx_ = nullptr;
+  /// Tracks buffered-tuple bytes against the query budget; mirrors
+  /// buffered_bytes_ exactly (one charge per Entry::bytes).
+  MemoryReservation mem_;
   bool child_drained_ = false;
 
   uint64_t next_entry_id_ = 1;

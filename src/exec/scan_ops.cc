@@ -7,6 +7,8 @@
 namespace wsq {
 
 Status SeqScanOperator::OpenImpl() {
+  // std::optional::emplace — constructs one scanner, grows nothing.
+  // wsqlint: allow(unbounded-op-growth)
   scanner_.emplace(node_->table());
   return Status::OK();
 }

@@ -9,6 +9,14 @@ std::string SearchRequest::CacheKey() const {
   return StrFormat("%c:%zu:", kind == Kind::kCount ? 'c' : 't', k) + query;
 }
 
+size_t SearchResponse::ApproxBytes() const {
+  size_t bytes = sizeof(SearchResponse);
+  for (const SearchHit& h : hits) {
+    bytes += sizeof(SearchHit) + h.url.size() + h.date.size();
+  }
+  return bytes;
+}
+
 SearchResponse SearchService::Execute(SearchRequest request) {
   // Stack-local rendezvous with the completion callback. The capability
   // analysis cannot track locals captured by reference, so the guarded

@@ -42,6 +42,11 @@ struct SearchResponse {
   int shards_total = 0;
   int shards_failed = 0;
   bool partial = false;
+
+  /// Approximate heap footprint of the payload (struct + hit strings);
+  /// what the result cache charges against its byte bound and the
+  /// process memory budget.
+  size_t ApproxBytes() const;
 };
 
 using SearchCallback = std::function<void(SearchResponse)>;

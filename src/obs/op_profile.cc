@@ -47,6 +47,15 @@ void PlanProfileNode::AppendTo(std::string* out, int indent) const {
                       (unsigned long long)profile.partial_results,
                       (unsigned long long)profile.degraded_shards);
   }
+  if (profile.spilled_bytes > 0) {
+    *out += StrFormat(" spilled_bytes=%llu spill_runs=%llu",
+                      (unsigned long long)profile.spilled_bytes,
+                      (unsigned long long)profile.spill_runs);
+  }
+  if (profile.peak_bytes > 0) {
+    *out += StrFormat(" peak_bytes=%llu",
+                      (unsigned long long)profile.peak_bytes);
+  }
   if (profile.opens > 1) {
     *out += StrFormat(" opens=%llu", (unsigned long long)profile.opens);
   }

@@ -27,6 +27,13 @@ struct OpProfile {
   /// under a degrading quorum policy), and the total missing shards.
   uint64_t partial_results = 0;
   uint64_t degraded_shards = 0;
+  /// Memory governor: record bytes this operator spilled to temp runs
+  /// (and how many runs), plus the high-water mark of its tracked
+  /// reservation. peak_bytes is filled even when the query is
+  /// ungoverned — the reservation still counts locally.
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_runs = 0;
+  uint64_t peak_bytes = 0;
 
   /// Wall time spent inside this operator's Open+Next+Close, including
   /// time inside its children.

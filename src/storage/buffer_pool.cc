@@ -39,6 +39,10 @@ BufferPool::BufferPool(size_t pool_size, DiskManager* disk) : disk_(disk) {
         emitter->EmitCounter("wsq_buffer_pool_flush_failures_total",
                              "Dirty-page write-backs that failed", {},
                              s.flush_failures);
+        emitter->EmitCounter(
+            "wsq_buffer_pool_pressure_shed_total",
+            "Clean pages shed by a memory-budget pressure callback", {},
+            s.pressure_shed);
         emitter->EmitGauge("wsq_buffer_pool_resident_pages",
                            "Pages currently resident", {},
                            static_cast<int64_t>(resident));
@@ -53,6 +57,50 @@ BufferPool::~BufferPool() {
   // Destructors can't propagate errors; failures were already counted
   // in stats_.flush_failures and the pages stay dirty in a dead pool.
   WSQ_IGNORE_STATUS(FlushAll());
+  if (budget_ != nullptr) {
+    budget_->RemovePressureHook(pressure_hook_id_);
+    MutexLock lock(&mu_);
+    budget_->Release(page_table_.size() * kPageSize);
+  }
+}
+
+void BufferPool::AttachBudget(MemoryBudget* budget) {
+  {
+    MutexLock lock(&mu_);
+    budget_ = budget;
+    budget_->ForceReserve(page_table_.size() * kPageSize);
+  }
+  pressure_hook_id_ = budget->AddPressureHook(
+      [this](size_t wanted) { return ShedCleanPages(wanted); });
+}
+
+size_t BufferPool::ShedCleanPages(size_t wanted) {
+  MutexLock lock(&mu_);
+  size_t freed = 0;
+  // Walk LRU order (front = coldest). Collect victims first: erasing
+  // from lru_ invalidates the iteration.
+  std::vector<size_t> victims;
+  for (size_t frame : lru_) {
+    if (victims.size() * kPageSize >= wanted) break;
+    Page* page = frames_[frame].get();
+    if (page->pin_count_ == 0 && !page->is_dirty_) victims.push_back(frame);
+  }
+  for (size_t frame : victims) {
+    Page* page = frames_[frame].get();
+    page_table_.erase(page->page_id_);
+    auto pos = lru_pos_.find(frame);
+    if (pos != lru_pos_.end()) {
+      lru_.erase(pos->second);
+      lru_pos_.erase(pos);
+    }
+    page->Reset();
+    free_frames_.push_back(frame);
+    ++stats_.evictions;
+    ++stats_.pressure_shed;
+    if (budget_ != nullptr) budget_->Release(kPageSize);
+    freed += kPageSize;
+  }
+  return freed;
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
@@ -79,6 +127,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
   page->pin_count_ = 1;
   page->is_dirty_ = false;
   page_table_[page_id] = frame;
+  if (budget_ != nullptr) budget_->ForceReserve(kPageSize);
   Touch(frame);
   return page;
 }
@@ -93,6 +142,7 @@ Result<Page*> BufferPool::NewPage() {
   page->pin_count_ = 1;
   page->is_dirty_ = true;
   page_table_[page_id] = frame;
+  if (budget_ != nullptr) budget_->ForceReserve(kPageSize);
   Touch(frame);
   return page;
 }
@@ -170,6 +220,11 @@ BufferPoolStats BufferPool::stats() const {
   return stats_;
 }
 
+size_t BufferPool::resident_pages() const {
+  MutexLock lock(&mu_);
+  return page_table_.size();
+}
+
 Result<size_t> BufferPool::GetVictimFrame() {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
@@ -190,6 +245,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
       }
       ++stats_.evictions;
       page_table_.erase(page->page_id_);
+      if (budget_ != nullptr) budget_->Release(kPageSize);
       auto pos = lru_pos_.find(frame);
       if (pos != lru_pos_.end()) {
         lru_.erase(pos->second);

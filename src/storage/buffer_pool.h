@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -25,6 +26,9 @@ struct BufferPoolStats {
   uint64_t flushes = 0;
   /// Dirty-page write-backs that failed (flush, eviction, FlushAll).
   uint64_t flush_failures = 0;
+  /// Clean resident pages dropped by a MemoryBudget pressure callback
+  /// (a subset of `evictions`).
+  uint64_t pressure_shed = 0;
 };
 
 /// Page cache with LRU replacement over a DiskManager.
@@ -64,7 +68,24 @@ class BufferPool {
   /// read-only first phase of a WAL-backed checkpoint.
   std::vector<std::pair<PageId, std::string>> DirtyPageImages() const;
 
+  /// Charges kPageSize per resident page to `budget` (ForceReserve —
+  /// residency is decided by the LRU, not by admission) and registers a
+  /// pressure hook that sheds clean unpinned pages on demand: tier 2 of
+  /// the degradation ladder. Shed pages cost only a re-read; dirty
+  /// pages are never shed under pressure (that would trade memory for
+  /// write I/O on an already-stressed process). Call once, before
+  /// concurrent use; the budget must outlive this pool.
+  void AttachBudget(MemoryBudget* budget);
+
+  /// Drops clean unpinned resident pages (LRU first) until `wanted`
+  /// bytes are freed or none qualify; returns bytes freed. Public for
+  /// tests; also the body of the pressure hook.
+  size_t ShedCleanPages(size_t wanted);
+
   size_t pool_size() const { return frames_.size(); }
+  /// Pages currently resident (each charges kPageSize to an attached
+  /// budget).
+  size_t resident_pages() const;
   BufferPoolStats stats() const;
 
  private:
@@ -87,6 +108,11 @@ class BufferPool {
       WSQ_GUARDED_BY(mu_);
   std::vector<size_t> free_frames_ WSQ_GUARDED_BY(mu_);
   BufferPoolStats stats_ WSQ_GUARDED_BY(mu_);
+  /// Set once by AttachBudget before concurrent use. Charges use
+  /// ForceReserve/Release only (atomics, no hooks), so they are safe
+  /// under mu_.
+  MemoryBudget* budget_ = nullptr;
+  uint64_t pressure_hook_id_ = 0;
   /// Metrics-registry collector handle, removed in the destructor.
   uint64_t collector_id_ = 0;
 };

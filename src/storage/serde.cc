@@ -32,39 +32,40 @@ bool GetU64(std::string_view* in, uint64_t* v) {
   return true;
 }
 
-}  // namespace
-
-Result<std::string> SerializeRow(const Row& row) {
-  std::string out;
-  PutU32(&out, static_cast<uint32_t>(row.size()));
+/// Shared encoder; `allow_placeholders` distinguishes the stored-table
+/// format (incomplete tuples never reach storage) from the transient
+/// spill format.
+void SerializeRowTo(const Row& row, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
   for (const Value& v : row.values()) {
-    out.push_back(static_cast<char>(v.type()));
+    out->push_back(static_cast<char>(v.type()));
     switch (v.type()) {
       case TypeId::kNull:
         break;
       case TypeId::kInt64:
-        PutU64(&out, static_cast<uint64_t>(v.AsInt()));
+        PutU64(out, static_cast<uint64_t>(v.AsInt()));
         break;
       case TypeId::kDouble: {
         uint64_t bits;
         double d = v.AsDouble();
         std::memcpy(&bits, &d, 8);
-        PutU64(&out, bits);
+        PutU64(out, bits);
         break;
       }
       case TypeId::kString:
-        PutU32(&out, static_cast<uint32_t>(v.AsString().size()));
-        out.append(v.AsString());
+        PutU32(out, static_cast<uint32_t>(v.AsString().size()));
+        out->append(v.AsString());
         break;
       case TypeId::kPlaceholder:
-        return Status::Internal(
-            "attempted to serialize an incomplete tuple (placeholder)");
+        PutU64(out, static_cast<uint64_t>(v.AsPlaceholder().call));
+        PutU32(out, static_cast<uint32_t>(v.AsPlaceholder().field));
+        break;
     }
   }
-  return out;
 }
 
-Result<Row> DeserializeRow(std::string_view bytes) {
+Result<Row> DeserializeRowImpl(std::string_view bytes,
+                               bool allow_placeholders) {
   uint32_t n;
   if (!GetU32(&bytes, &n)) {
     return Status::IOError("corrupt row: missing arity");
@@ -105,6 +106,19 @@ Result<Row> DeserializeRow(std::string_view bytes) {
         bytes.remove_prefix(len);
         break;
       }
+      case TypeId::kPlaceholder: {
+        uint64_t call;
+        uint32_t field;
+        if (!allow_placeholders) {
+          return Status::IOError("corrupt row: bad type tag");
+        }
+        if (!GetU64(&bytes, &call) || !GetU32(&bytes, &field)) {
+          return Status::IOError("corrupt row: truncated placeholder");
+        }
+        row.Append(Value::Pending(static_cast<CallId>(call),
+                                  static_cast<int32_t>(field)));
+        break;
+      }
       default:
         return Status::IOError("corrupt row: bad type tag");
     }
@@ -113,6 +127,34 @@ Result<Row> DeserializeRow(std::string_view bytes) {
     return Status::IOError("corrupt row: trailing bytes");
   }
   return row;
+}
+
+}  // namespace
+
+Result<std::string> SerializeRow(const Row& row) {
+  for (const Value& v : row.values()) {
+    if (v.is_placeholder()) {
+      return Status::Internal(
+          "attempted to serialize an incomplete tuple (placeholder)");
+    }
+  }
+  std::string out;
+  SerializeRowTo(row, &out);
+  return out;
+}
+
+Result<Row> DeserializeRow(std::string_view bytes) {
+  return DeserializeRowImpl(bytes, /*allow_placeholders=*/false);
+}
+
+std::string SerializeSpillRow(const Row& row) {
+  std::string out;
+  SerializeRowTo(row, &out);
+  return out;
+}
+
+Result<Row> DeserializeSpillRow(std::string_view bytes) {
+  return DeserializeRowImpl(bytes, /*allow_placeholders=*/true);
 }
 
 }  // namespace wsq

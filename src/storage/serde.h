@@ -15,6 +15,16 @@ Result<std::string> SerializeRow(const Row& row);
 /// Parses a byte string produced by SerializeRow.
 Result<Row> DeserializeRow(std::string_view bytes);
 
+/// Spill variant: same format, but Placeholder values are allowed
+/// (tagged with their CallId + field). Spill files are transient and
+/// strictly in-process — a CallId is meaningful for the lifetime of
+/// the query that spilled it — so incomplete tuples may round-trip
+/// through a Sort/Aggregate run on disk. Never use for stored tables.
+std::string SerializeSpillRow(const Row& row);
+
+/// Parses a byte string produced by SerializeSpillRow.
+Result<Row> DeserializeSpillRow(std::string_view bytes);
+
 }  // namespace wsq
 
 #endif  // WSQ_STORAGE_SERDE_H_

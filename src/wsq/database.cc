@@ -36,12 +36,56 @@ WsqDatabase::WsqDatabase(const Options& options,
       owned_wal_(std::move(owned_wal)),
       wal_(wal != nullptr ? wal : owned_wal_.get()),
       persistent_(persistent),
+      memory_budget_("db", options.memory_budget_bytes,
+                     MemoryBudget::Process()),
       buffer_pool_(options.buffer_pool_pages, disk_),
       catalog_(&buffer_pool_),
       pump_(options.pump_limits),
       admission_(options.admission),
       slow_query_log_(options.slow_query_micros,
-                      options.slow_query_sink) {}
+                      options.slow_query_sink) {
+  // Tier 2 wiring: resident pages are charged to the database budget,
+  // and a pressure hook sheds clean pages when any reservation fails.
+  buffer_pool_.AttachBudget(&memory_budget_);
+  if (options.enable_spill) {
+    SpillManager::Options spill_options;
+    spill_options.dir = options.spill_dir;
+    spill_ = std::make_unique<SpillManager>(spill_options);
+  }
+  mem_collector_id_ = MetricsRegistry::Global()->AddCollector(
+      [this](MetricsEmitter* emitter) {
+        auto emit = [emitter](MemoryBudget* b) {
+          MetricLabels labels{{"budget", b->name()}};
+          emitter->EmitGauge("wsq_mem_used_bytes",
+                             "Bytes currently reserved", labels,
+                             static_cast<int64_t>(b->used()));
+          emitter->EmitGauge("wsq_mem_limit_bytes",
+                             "Budget limit (0 = unlimited)", labels,
+                             static_cast<int64_t>(b->limit()));
+          emitter->EmitGauge("wsq_mem_peak_used_bytes",
+                             "High-water mark of reserved bytes", labels,
+                             static_cast<int64_t>(b->peak_used()));
+          MemoryBudgetStats s = b->stats();
+          emitter->EmitCounter("wsq_mem_reserve_failures_total",
+                               "Reservations refused at this budget",
+                               labels, s.reserve_failures);
+          emitter->EmitCounter(
+              "wsq_mem_pressure_invocations_total",
+              "Pressure-hook sweeps run at this budget", labels,
+              s.pressure_invocations);
+          emitter->EmitCounter(
+              "wsq_mem_pressure_released_bytes_total",
+              "Bytes freed by pressure hooks at this budget", labels,
+              s.pressure_released_bytes);
+          emitter->EmitCounter(
+              "wsq_mem_forced_overages_total",
+              "ForceReserve charges admitted past the limit", labels,
+              s.forced_overages);
+        };
+        emit(MemoryBudget::Process());
+        emit(&memory_budget_);
+      });
+}
 
 WsqDatabase::WsqDatabase(const Options& options)
     : WsqDatabase(options, std::make_unique<InMemoryDiskManager>(),
@@ -49,6 +93,7 @@ WsqDatabase::WsqDatabase(const Options& options)
                   /*wal=*/nullptr, /*persistent=*/false) {}
 
 WsqDatabase::~WsqDatabase() {
+  MetricsRegistry::Global()->RemoveCollector(mem_collector_id_);
   if (persistent_ && options_.checkpoint_on_close) {
     Status s = Checkpoint();
     if (!s.ok()) {
@@ -230,6 +275,19 @@ Result<QueryExecution> WsqDatabase::ExecuteInternal(
   // Waiting for a slot may have consumed the whole budget.
   WSQ_RETURN_IF_ERROR(token->CheckAlive());
 
+  // Tier 3 of the degradation ladder: refuse new statements when the
+  // database/process budget cannot yield even a token reservation.
+  // TryReserve runs the pressure hooks (cache and buffer-pool
+  // shedding) before failing, so this only fires once shedding can no
+  // longer keep the process under budget.
+  constexpr size_t kAdmissionProbeBytes = 16 * 1024;
+  if (!memory_budget_.TryReserve(kAdmissionProbeBytes)) {
+    return Status::ResourceExhausted(
+        "memory budget exhausted: statement refused (raise "
+        "Options::memory_budget_bytes or retry after load drops)");
+  }
+  memory_budget_.Release(kAdmissionProbeBytes);
+
   WSQ_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                        Parser::Parse(sql));
   switch (stmt->kind()) {
@@ -352,12 +410,23 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   }
 
   uint64_t calls_before = pump_.stats().registered;
+  // Per-query budget: a child of the database budget, so the tighter
+  // of the per-query and database/process limits wins. Everything the
+  // operators reserve flows up this chain; the budget must outlive the
+  // operator tree, which ExecutePlan guarantees (the tree dies inside
+  // the call).
+  MemoryBudget query_budget("query", options.memory_budget_bytes,
+                            &memory_budget_);
+  uint64_t db_pressure_before =
+      memory_budget_.stats().pressure_released_bytes;
   ExecContext ctx;
   ctx.pump = &pump_;
   ctx.token = token;
   ctx.tracer = tracer.get();
   ctx.profile = options.analyze;
   ctx.shard = options.shard;
+  ctx.memory = &query_budget;
+  ctx.spill = spill_.get();
   PlanProfileNode profile;
   Stopwatch timer;
   Result<ResultSet> executed = [&]() -> Result<ResultSet> {
@@ -390,6 +459,13 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
   out.stats.peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
   out.stats.partial_results = ctx.partial_results.load();
   out.stats.degraded_shards = ctx.degraded_shards.load();
+  out.stats.spilled_bytes = ctx.spilled_bytes.load();
+  out.stats.spill_runs = ctx.spill_runs.load();
+  out.stats.peak_memory_bytes = query_budget.peak_used();
+  out.stats.pressure_released_bytes =
+      query_budget.stats().pressure_released_bytes +
+      (memory_budget_.stats().pressure_released_bytes -
+       db_pressure_before);
   if (options.analyze) out.profile = std::move(profile);
   if (tracer != nullptr) out.trace = tracer->Finish();
   return out;

@@ -7,6 +7,7 @@
 #include "async/req_pump.h"
 #include "catalog/catalog.h"
 #include "common/cancellation.h"
+#include "common/memory.h"
 #include "exec/executor.h"
 #include "net/search_service.h"
 #include "obs/op_profile.h"
@@ -16,6 +17,7 @@
 #include "plan/binder.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
+#include "storage/spill.h"
 #include "storage/wal.h"
 #include "vtab/virtual_table.h"
 #include "wsq/admission.h"
@@ -52,6 +54,15 @@ struct QueryStats {
   /// result are lower bounds.
   uint64_t partial_results = 0;
   uint64_t degraded_shards = 0;
+  /// Memory governor: bytes written to spill runs (Sort/Aggregate
+  /// degrading to external algorithms) and the number of runs.
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_runs = 0;
+  /// High-water mark of the query's tracked reservations.
+  uint64_t peak_memory_bytes = 0;
+  /// Bytes freed by pressure callbacks (result cache / buffer pool
+  /// shedding) on behalf of this query's reservations.
+  uint64_t pressure_released_bytes = 0;
 };
 
 struct QueryExecution {
@@ -90,6 +101,19 @@ class WsqDatabase {
     int64_t slow_query_micros = 0;
     /// Destination for slow-query records; null = one line to stderr.
     SlowQueryLog::Sink slow_query_sink;
+    /// Database-wide memory budget (a child of the process budget),
+    /// covering operator state, ReqSync buffers, the buffer pool, and
+    /// any attached result cache. 0 = unlimited (everything is still
+    /// tracked, nothing ever fails). On exhaustion the degradation
+    /// ladder runs: operators spill, caches shed, and finally new
+    /// statements are refused with kResourceExhausted.
+    size_t memory_budget_bytes = 0;
+    /// Allow Sort/Aggregate to spill sorted runs to temp files when a
+    /// reservation fails (tier 1). Off = a failed reservation fails
+    /// the query instead.
+    bool enable_spill = true;
+    /// Directory for spill temp files; empty = $TMPDIR, else /tmp.
+    std::string spill_dir;
   };
 
   /// In-memory database (tests, examples, benches).
@@ -177,6 +201,10 @@ class WsqDatabase {
     /// whatever answers (see net/shard_policy.h). Ignored by unsharded
     /// backends.
     ShardOptions shard;
+    /// Per-query memory cap, enforced as a child of the database
+    /// budget (so the tighter of the two wins). 0 = no per-query cap;
+    /// the database/process budgets still apply.
+    size_t memory_budget_bytes = 0;
   };
 
   /// Executes SELECT / CREATE TABLE / INSERT / EXPLAIN. For EXPLAIN the
@@ -197,6 +225,9 @@ class WsqDatabase {
   ReqPump* pump() { return &pump_; }
   BufferPool* buffer_pool() { return &buffer_pool_; }
   AdmissionController* admission() { return &admission_; }
+  /// Database-wide memory budget (attach shared caches here).
+  MemoryBudget* memory_budget() { return &memory_budget_; }
+  SpillManager* spill() { return spill_.get(); }
 
  private:
   WsqDatabase(const Options& options, std::unique_ptr<DiskManager> owned_disk,
@@ -233,12 +264,19 @@ class WsqDatabase {
   WalStorage* wal_;                        // null for in-memory databases
   bool persistent_ = false;
   WalRecoveryResult last_recovery_;
+  /// Declared before (so destroyed after) every component that holds
+  /// charges or pressure hooks against it: buffer pool, spill manager,
+  /// and any caller-attached cache released via our destructor order.
+  MemoryBudget memory_budget_;
+  std::unique_ptr<SpillManager> spill_;
   BufferPool buffer_pool_;
   Catalog catalog_;
   VirtualTableRegistry vtables_;
   ReqPump pump_;
   AdmissionController admission_;
   SlowQueryLog slow_query_log_;
+  /// wsq_mem_* collector handle, removed in the destructor.
+  uint64_t mem_collector_id_ = 0;
 };
 
 }  // namespace wsq

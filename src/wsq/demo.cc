@@ -44,8 +44,9 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
     av = shard_cluster_->service();
   }
   if (options.client_cache_entries > 0) {
-    client_cache_ =
-        std::make_unique<ResultCache>(options.client_cache_entries);
+    client_cache_ = std::make_unique<ResultCache>(
+        options.client_cache_entries, /*ttl_micros=*/0,
+        options.client_cache_bytes);
     av_cached_ =
         std::make_unique<CachingSearchService>(av, client_cache_.get());
     google_cached_ = std::make_unique<CachingSearchService>(
@@ -57,7 +58,13 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
   WsqDatabase::Options db_options;
   db_options.pump_limits = options.pump_limits;
   db_options.admission = options.admission;
+  db_options.memory_budget_bytes = options.memory_budget_bytes;
   db_ = std::make_unique<WsqDatabase>(db_options);
+  if (client_cache_ != nullptr) {
+    // Tier 2: cached responses count against the database budget and
+    // are shed under pressure.
+    client_cache_->AttachBudget(db_->memory_budget());
+  }
 
   Status s = db_->RegisterSearchEngine("AV", av, /*supports_near=*/true);
   if (s.ok()) {
@@ -75,6 +82,13 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
                  s.ToString().c_str());
     std::abort();
   }
+}
+
+DemoEnv::~DemoEnv() {
+  // The cache outlives the database (the pump may still call through
+  // the caching service while draining), so its budget hook must be
+  // removed while the budget is still alive.
+  if (client_cache_ != nullptr) client_cache_->DetachBudget();
 }
 
 Result<QueryExecution> DemoEnv::Run(const std::string& sql,

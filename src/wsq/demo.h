@@ -21,6 +21,13 @@ struct DemoOptions {
   size_t server_capacity = 0;
   /// Attach a client-side result cache of this many entries (0 = none).
   size_t client_cache_entries = 0;
+  /// Byte bound for the client cache (0 = entry bound only). The cache
+  /// is also attached to the database memory budget, so it sheds under
+  /// process-wide pressure (tier 2).
+  size_t client_cache_bytes = 0;
+  /// Database-wide memory budget (0 = unlimited); see
+  /// WsqDatabase::Options::memory_budget_bytes.
+  size_t memory_budget_bytes = 0;
   /// ReqPump concurrency limits.
   ReqPump::Limits pump_limits;
   /// Overload admission control for the database (default: off).
@@ -46,6 +53,10 @@ struct DemoOptions {
 class DemoEnv {
  public:
   explicit DemoEnv(const DemoOptions& options = DemoOptions());
+
+  /// Detaches the client cache from the database budget before the
+  /// database (and its budget) is destroyed; see member order below.
+  ~DemoEnv();
 
   WsqDatabase& db() { return *db_; }
   const Corpus& corpus() const { return *corpus_; }

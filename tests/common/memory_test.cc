@@ -1,0 +1,203 @@
+#include "common/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsq {
+namespace {
+
+TEST(MemoryBudgetTest, ReserveReleaseBalances) {
+  MemoryBudget b("b", 1000);
+  EXPECT_TRUE(b.TryReserve(400));
+  EXPECT_EQ(b.used(), 400u);
+  EXPECT_TRUE(b.TryReserve(600));
+  EXPECT_EQ(b.used(), 1000u);
+  b.Release(1000);
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_EQ(b.peak_used(), 1000u);
+}
+
+TEST(MemoryBudgetTest, LimitRefusesAndCountsFailure) {
+  MemoryBudget b("b", 100);
+  EXPECT_TRUE(b.TryReserve(80));
+  EXPECT_FALSE(b.TryReserve(21));
+  // The failed reservation charged nothing.
+  EXPECT_EQ(b.used(), 80u);
+  EXPECT_EQ(b.stats().reserve_failures, 1u);
+  EXPECT_TRUE(b.TryReserve(20));
+  b.Release(100);
+}
+
+TEST(MemoryBudgetTest, ZeroLimitMeansUnlimited) {
+  MemoryBudget b("b", 0);
+  EXPECT_TRUE(b.TryReserve(static_cast<size_t>(1) << 40));
+  EXPECT_EQ(b.Available(), SIZE_MAX);
+  b.Release(static_cast<size_t>(1) << 40);
+}
+
+TEST(MemoryBudgetTest, ChargePropagatesToAncestors) {
+  MemoryBudget root("root", 0);
+  MemoryBudget mid("mid", 0, &root);
+  MemoryBudget leaf("leaf", 0, &mid);
+  EXPECT_TRUE(leaf.TryReserve(64));
+  EXPECT_EQ(leaf.used(), 64u);
+  EXPECT_EQ(mid.used(), 64u);
+  EXPECT_EQ(root.used(), 64u);
+  leaf.Release(64);
+  EXPECT_EQ(root.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, AncestorLimitBoundsChild) {
+  MemoryBudget parent("parent", 100);
+  MemoryBudget child("child", 0, &parent);
+  EXPECT_TRUE(child.TryReserve(90));
+  // Child is unlimited but the parent refuses: nothing is charged
+  // anywhere (the child's provisional charge is unwound).
+  EXPECT_FALSE(child.TryReserve(20));
+  EXPECT_EQ(child.used(), 90u);
+  EXPECT_EQ(parent.used(), 90u);
+  child.Release(90);
+}
+
+TEST(MemoryBudgetTest, TighterChildLimitWins) {
+  MemoryBudget parent("parent", 1000);
+  MemoryBudget child("child", 50, &parent);
+  EXPECT_FALSE(child.TryReserve(51));
+  EXPECT_TRUE(child.TryReserve(50));
+  EXPECT_EQ(parent.used(), 50u);
+  child.Release(50);
+}
+
+TEST(MemoryBudgetTest, AvailableIsMinHeadroomOverChain) {
+  MemoryBudget parent("parent", 100);
+  MemoryBudget child("child", 1000, &parent);
+  EXPECT_TRUE(child.TryReserve(60));
+  // Parent headroom (40) is tighter than the child's own (940).
+  EXPECT_EQ(child.Available(), 40u);
+  child.Release(60);
+}
+
+TEST(MemoryBudgetTest, ForceReserveOverageIsCounted) {
+  MemoryBudget b("b", 10);
+  b.ForceReserve(25);
+  EXPECT_EQ(b.used(), 25u);
+  EXPECT_EQ(b.stats().forced_overages, 1u);
+  EXPECT_EQ(b.Available(), 0u);
+  b.Release(25);
+}
+
+TEST(MemoryBudgetTest, PressureHookRunsAndReservationRetries) {
+  MemoryBudget b("b", 100);
+  EXPECT_TRUE(b.TryReserve(95));
+  size_t shed_calls = 0;
+  uint64_t id = b.AddPressureHook([&](size_t wanted) {
+    ++shed_calls;
+    size_t freed = wanted <= 95 ? wanted : 95;
+    b.Release(freed);  // behave like a component releasing its charge
+    return freed;
+  });
+  // 95 used + 10 wanted > 100: the hook frees room, the retry fits.
+  EXPECT_TRUE(b.TryReserve(10));
+  EXPECT_EQ(shed_calls, 1u);
+  EXPECT_GE(b.stats().pressure_invocations, 1u);
+  EXPECT_GE(b.stats().pressure_released_bytes, 5u);
+  b.RemovePressureHook(id);
+  b.Release(b.used());
+}
+
+TEST(MemoryBudgetTest, RemovedHookNoLongerRuns) {
+  MemoryBudget b("b", 10);
+  size_t calls = 0;
+  uint64_t id = b.AddPressureHook([&](size_t) {
+    ++calls;
+    return 0u;
+  });
+  EXPECT_FALSE(b.TryReserve(100));
+  EXPECT_EQ(calls, 1u);
+  b.RemovePressureHook(id);
+  EXPECT_FALSE(b.TryReserve(100));
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(MemoryBudgetTest, ProcessRootIsSharedAndUnlimitedByDefault) {
+  MemoryBudget* p = MemoryBudget::Process();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, MemoryBudget::Process());
+  EXPECT_EQ(p->parent(), nullptr);
+}
+
+TEST(MemoryBudgetTest, ConcurrentChargesBalanceToZero) {
+  MemoryBudget b("b", 0);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&b] {
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_TRUE(b.TryReserve(64));
+        b.Release(64);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(b.used(), 0u);
+  EXPECT_GE(b.peak_used(), 64u);
+}
+
+TEST(MemoryReservationTest, DestructorReleasesOutstandingCharge) {
+  MemoryBudget b("b", 0);
+  {
+    MemoryReservation r(&b);
+    ASSERT_TRUE(r.TryAdd(128));
+    EXPECT_EQ(b.used(), 128u);
+  }
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryReservationTest, TracksBytesAndPeak) {
+  MemoryBudget b("b", 0);
+  MemoryReservation r(&b);
+  ASSERT_TRUE(r.TryAdd(100));
+  ASSERT_TRUE(r.TryAdd(50));
+  r.Subtract(120);
+  EXPECT_EQ(r.bytes(), 30u);
+  EXPECT_EQ(r.peak_bytes(), 150u);
+  EXPECT_EQ(b.used(), 30u);
+  r.ReleaseAll();
+  EXPECT_EQ(r.bytes(), 0u);
+  EXPECT_EQ(r.peak_bytes(), 150u);
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryReservationTest, SubtractClampsToOutstanding) {
+  MemoryBudget b("b", 0);
+  MemoryReservation r(&b);
+  r.ForceAdd(10);
+  r.Subtract(1000);
+  EXPECT_EQ(r.bytes(), 0u);
+  EXPECT_EQ(b.used(), 0u);
+}
+
+TEST(MemoryReservationTest, UnboundReservationTracksLocally) {
+  MemoryReservation r;
+  EXPECT_TRUE(r.TryAdd(1 << 20));
+  r.ForceAdd(100);
+  EXPECT_EQ(r.bytes(), (1u << 20) + 100u);
+  EXPECT_EQ(r.budget(), nullptr);
+  r.ReleaseAll();
+  EXPECT_EQ(r.bytes(), 0u);
+}
+
+TEST(MemoryReservationTest, FailedTryAddChargesNothing) {
+  MemoryBudget b("b", 100);
+  MemoryReservation r(&b);
+  ASSERT_TRUE(r.TryAdd(90));
+  EXPECT_FALSE(r.TryAdd(20));
+  EXPECT_EQ(r.bytes(), 90u);
+  EXPECT_EQ(b.used(), 90u);
+}
+
+}  // namespace
+}  // namespace wsq

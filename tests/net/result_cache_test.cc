@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "common/memory.h"
 #include "net/simulated_service.h"
 
 namespace wsq {
@@ -13,6 +14,16 @@ namespace {
 SearchResponse CountResponse(int64_t n) {
   SearchResponse r;
   r.count = n;
+  return r;
+}
+
+/// A response whose ApproxBytes footprint is at least `bytes`.
+SearchResponse PaddedResponse(size_t bytes) {
+  SearchResponse r;
+  r.count = 1;
+  SearchHit hit;
+  hit.url = std::string(bytes, 'u');
+  r.hits.push_back(std::move(hit));
   return r;
 }
 
@@ -69,6 +80,63 @@ TEST(ResultCacheTest, ZeroCapacityClampedToOne) {
   EXPECT_TRUE(cache.Get("a").has_value());
   cache.Put("b", CountResponse(2));
   EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(ResultCacheTest, ByteBoundEvictsLruTail) {
+  // Generous entry capacity; the byte bound is what binds.
+  ResultCache cache(100, /*ttl_micros=*/0, /*max_bytes=*/4096);
+  cache.Put("a", PaddedResponse(1500));
+  cache.Put("b", PaddedResponse(1500));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put("c", PaddedResponse(1500));  // over 4096: evicts "a"
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.bytes(), 4096u);
+}
+
+TEST(ResultCacheTest, BytesTrackReplacementAndClear) {
+  ResultCache cache(8);
+  cache.Put("a", PaddedResponse(1000));
+  size_t big = cache.bytes();
+  EXPECT_GT(big, 1000u);
+  cache.Put("a", PaddedResponse(10));  // replace: bytes shrink
+  EXPECT_LT(cache.bytes(), big);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, AttachedBudgetMirrorsResidentBytes) {
+  MemoryBudget budget("test", 0);
+  ResultCache cache(8);
+  cache.Put("pre", PaddedResponse(500));  // charged retroactively
+  cache.AttachBudget(&budget);
+  EXPECT_EQ(budget.used(), cache.bytes());
+  cache.Put("a", PaddedResponse(700));
+  EXPECT_EQ(budget.used(), cache.bytes());
+  cache.Clear();
+  EXPECT_EQ(budget.used(), 0u);
+  cache.Put("b", PaddedResponse(300));
+  cache.DetachBudget();
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_GT(cache.bytes(), 0u);  // entries survive detach, uncharged
+}
+
+TEST(ResultCacheTest, PressureHookShedsLruEntries) {
+  MemoryBudget budget("test", 8192);
+  ResultCache cache(16);
+  cache.AttachBudget(&budget);
+  cache.Put("old", PaddedResponse(3000));
+  cache.Put("new", PaddedResponse(3000));
+  ASSERT_TRUE(cache.Get("new").has_value());  // "old" is the LRU tail
+  // A reservation the budget cannot fit forces the pressure hook to
+  // shed cached bytes; the retry then succeeds.
+  EXPECT_TRUE(budget.TryReserve(4000));
+  EXPECT_GE(cache.stats().pressure_shed, 1u);
+  EXPECT_FALSE(cache.Get("old").has_value());  // shed LRU-first
+  budget.Release(4000);
+  cache.DetachBudget();
 }
 
 class CachingServiceTest : public ::testing::Test {

@@ -46,6 +46,18 @@ Checks, in order of how often they have bitten this codebase:
                    cannot see (e.g. parked earlier on another branch)
                    carry a `wsqlint: allow(submit-drops-callback)`
                    comment.
+  unbounded-op-growth
+                   OpenImpl/NextImpl bodies in src/exec that grow a
+                   container (push_back / emplace / insert) must go
+                   through the memory-budget API (a MemoryReservation
+                   TryAdd/ForceAdd, a budget TryReserve, or ReqSync's
+                   WaitForRoom) somewhere in the same body: an operator
+                   that buffers unboundedly without charging the ledger
+                   defeats the process-wide governor. Growth that is
+                   bounded by construction (a fixed-arity scratch row,
+                   a per-call batch that is consumed before returning)
+                   carries a `wsqlint: allow(unbounded-op-growth)`
+                   comment.
   metric-naming    Metric names passed to MetricsRegistry::Get* and
                    MetricsEmitter::Emit* must be wsq_-prefixed
                    snake_case with the unit in the suffix: counters end
@@ -167,6 +179,14 @@ SUBMIT_SIG = re.compile(
     r"\bSubmit\s*\(\s*SearchRequest\s+\w+\s*,\s*"
     r"SearchCallback\s+(\w+)\s*\)\s*(?:override\s*)?\{")
 SUBMIT_SUPPRESS = "wsqlint: allow(submit-drops-callback)"
+OP_IMPL_SIG = re.compile(
+    r"\b\w+::(OpenImpl|NextImpl)\s*\([^)]*\)\s*\{")
+CONTAINER_GROWTH = re.compile(
+    r"[.>]\s*(push_back|emplace_back|emplace|try_emplace|insert)\s*\(")
+BUDGET_API = re.compile(
+    r"\bmem_\b|\bTryAdd\b|\bForceAdd\b|\bTryReserve\b|\bForceReserve\b"
+    r"|\bMemoryReservation\b|\bWaitForRoom\b")
+GROWTH_SUPPRESS = "wsqlint: allow(unbounded-op-growth)"
 METRIC_CALL = re.compile(
     r"\b(GetCounter|GetGauge|GetHistogram"
     r"|EmitCounter|EmitGauge|EmitHistogram)\s*\(\s*\"")
@@ -289,6 +309,39 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                     f"'{cb}' in the preceding lines; complete the "
                     "request on every path or annotate with "
                     f"'{SUBMIT_SUPPRESS}'"))
+
+    # --- unbounded-op-growth ----------------------------------------
+    # Scans each out-of-class OpenImpl/NextImpl definition in src/exec:
+    # if the body grows a container anywhere but never touches the
+    # memory-budget API, every growth site is flagged. Heuristic, not
+    # flow analysis — growth bounded by construction carries the
+    # suppression comment.
+    if rel.startswith("src/exec/") and rel.endswith(".cc"):
+        raw_lines = raw.splitlines()
+        for m in OP_IMPL_SIG.finditer(code):
+            depth, i = 1, m.end()
+            while i < len(code) and depth > 0:
+                if code[i] == "{":
+                    depth += 1
+                elif code[i] == "}":
+                    depth -= 1
+                i += 1
+            body = code[m.end():i]
+            if BUDGET_API.search(body):
+                continue
+            body_start_line = line_of(code, m.end())
+            for g in CONTAINER_GROWTH.finditer(body):
+                line = body_start_line + body.count("\n", 0, g.start())
+                window = raw_lines[max(0, line - 2):line]
+                if any(GROWTH_SUPPRESS in l for l in window):
+                    continue
+                findings.append(Finding(
+                    path, line, "unbounded-op-growth",
+                    f"{g.group(1)} in an OpenImpl/NextImpl body with no "
+                    "memory-budget accounting (MemoryReservation "
+                    "TryAdd/ForceAdd, TryReserve, or WaitForRoom); "
+                    "charge the ledger or annotate with "
+                    f"'{GROWTH_SUPPRESS}' if growth is bounded"))
 
     # --- iostream ---------------------------------------------------
     if in_src:
