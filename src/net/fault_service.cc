@@ -123,7 +123,7 @@ void FaultInjectingSearchService::Submit(SearchRequest request,
       return;
     case FaultKind::kHang:
       // Callback parked in hung_ above; ReleaseHung / the destructor
-      // completes it. wsqlint: allow(submit-drops-callback)
+      // completes it.
       return;
     case FaultKind::kNone:
       break;

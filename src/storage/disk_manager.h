@@ -99,6 +99,10 @@ class FileDiskManager : public DiskManager {
         num_pages_(num_pages),
         sync_(sync) {}
 
+  // Page I/O under this lock IS the design: one stdio handle, one
+  // seek-then-read/write pair at a time; interleaving seeks from two
+  // threads would corrupt pages.
+  // wsqcheck: allow(blocking-under-lock)
   mutable Mutex mu_;
   /// path_ and sync_ are immutable after construction (read without
   /// mu_).

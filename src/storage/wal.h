@@ -59,6 +59,10 @@ class FileWalStorage : public WalStorage {
   /// Opens the append handle lazily (first Append after open/Reset).
   Status EnsureOpen() WSQ_REQUIRES(mu_);
 
+  // File I/O under this lock IS the design: the WAL serializes every
+  // append/fsync through one handle, and callers expect Append+Sync
+  // to be atomic with respect to each other.
+  // wsqcheck: allow(blocking-under-lock)
   Mutex mu_;
   /// Immutable after construction (read without mu_).
   std::string path_;

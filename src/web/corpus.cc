@@ -55,9 +55,9 @@ std::vector<std::string> MakeSyntheticVocabulary(size_t n, uint64_t seed) {
   return vocab;
 }
 
-Corpus Corpus::Generate(const CorpusConfig& config,
-                        std::vector<EntitySpec> entities,
-                        std::vector<CooccurrenceSpec> cooccurrences) {
+Corpus Corpus::Generate(
+    const CorpusConfig& config, const std::vector<EntitySpec>& entities,
+    const std::vector<CooccurrenceSpec>& cooccurrences) {
   Corpus corpus;
   corpus.vocabulary_ =
       MakeSyntheticVocabulary(config.vocab_size, config.seed);

@@ -59,9 +59,10 @@ class Corpus {
  public:
   /// Generates a corpus. Entity phrases are tokenized with the same
   /// normalization as queries, so lookups match exactly.
-  static Corpus Generate(const CorpusConfig& config,
-                         std::vector<EntitySpec> entities,
-                         std::vector<CooccurrenceSpec> cooccurrences = {});
+  static Corpus Generate(
+      const CorpusConfig& config,
+      const std::vector<EntitySpec>& entities,
+      const std::vector<CooccurrenceSpec>& cooccurrences = {});
 
   /// The slice of `full` owned by shard `shard` of `num_shards`:
   /// documents keep their dense DocIds (so per-shard scores and ranks

@@ -1,0 +1,21 @@
+// wsqcheck-fixture: dest=src/storage/bad_blocking_direct.cc expect=blocking-under-lock:1
+// fwrite while the MutexLock guard is alive.
+#include <cstdio>
+
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class BlockyWriter {
+ public:
+  void Write(const char* data, unsigned long len) {
+    MutexLock lock(&mu_);
+    fwrite(data, 1, len, file_);
+  }
+
+ private:
+  Mutex mu_;
+  std::FILE* file_ WSQ_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace wsq

@@ -1,0 +1,26 @@
+// wsqcheck-fixture: dest=src/storage/bad_blocking_propagated.cc expect=blocking-under-lock:1
+// The blocking call is one hop away: Flush() holds the lock and calls
+// SyncFile(), which fflushes. Only the call graph can see this.
+#include <cstdio>
+
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class PropagatedWriter {
+ public:
+  void Flush() {
+    MutexLock lock(&mu_);
+    dirty_ = false;
+    SyncFile();
+  }
+
+ private:
+  void SyncFile() { fflush(file_); }
+
+  Mutex mu_;
+  bool dirty_ WSQ_GUARDED_BY(mu_) = false;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace wsq

@@ -1,0 +1,21 @@
+// wsqcheck-fixture: dest=src/net/bad_cancel_blind_wait.cc expect=cancel-blind-wait:1
+// An untimed Wait in a function whose whole body never consults a
+// deadline, flag, or similar escape hatch.
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class BlindWaiter {
+ public:
+  void Park() {
+    MutexLock lock(&mu_);
+    while (pending_ != 0) cv_.Wait(mu_);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int pending_ WSQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace wsq

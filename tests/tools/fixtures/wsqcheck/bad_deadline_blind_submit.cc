@@ -1,0 +1,20 @@
+// wsqcheck-fixture: dest=src/exec/bad_deadline_blind_submit.cc expect=deadline-blind-submit:1
+// SubmitAsync issued on a path that never clamps by RemainingMicros.
+namespace wsq {
+
+class RemoteTable {
+ public:
+  unsigned long SubmitAsync(int request, int pump, long timeout_micros);
+};
+
+class BlindIssuer {
+ public:
+  void Issue(RemoteTable* table) {
+    call_ = table->SubmitAsync(1, 2, 0);
+  }
+
+ private:
+  unsigned long call_ = 0;
+};
+
+}  // namespace wsq

@@ -1,0 +1,23 @@
+// wsqcheck-fixture: dest=src/async/bad_declared_order.cc expect=lock-order:1
+// The declaration promises a_ is acquired before b_; Inverted() nests
+// them the other way round. The declared edge plus the observed edge
+// form a cycle.
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class DeclaredPair {
+ public:
+  void Inverted() {
+    MutexLock lb(&b_);
+    MutexLock la(&a_);
+    ++x_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_ WSQ_ACQUIRED_AFTER(a_);
+  int x_ WSQ_GUARDED_BY(a_) = 0;
+};
+
+}  // namespace wsq

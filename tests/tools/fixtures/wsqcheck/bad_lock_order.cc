@@ -1,0 +1,28 @@
+// wsqcheck-fixture: dest=src/async/bad_lock_order.cc expect=lock-order:1
+// Seeded A->B / B->A inversion: Forward nests b_ inside a_, Back nests
+// a_ inside b_. wsqcheck must report one lock-order cycle with both
+// witness paths.
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class OrderPair {
+ public:
+  void Forward() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);
+    ++x_;
+  }
+  void Back() {
+    MutexLock lb(&b_);
+    MutexLock la(&a_);
+    ++x_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int x_ WSQ_GUARDED_BY(a_) = 0;
+};
+
+}  // namespace wsq

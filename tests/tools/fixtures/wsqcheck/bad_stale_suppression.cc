@@ -1,0 +1,9 @@
+// wsqcheck-fixture: dest=src/common/bad_stale_suppression.cc expect=stale-suppression:1
+// The allow() below suppresses nothing: no lock-order finding can fire
+// on an empty function.
+namespace wsq {
+
+// wsqcheck: allow(lock-order)
+inline int Nothing() { return 0; }
+
+}  // namespace wsq

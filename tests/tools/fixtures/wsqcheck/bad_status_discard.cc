@@ -1,0 +1,23 @@
+// wsqcheck-fixture: dest=src/async/bad_status_discard.cc expect=status-discard:1
+// A Status-returning call whose result falls on the floor.
+namespace wsq {
+
+class Status {
+ public:
+  static Status OK();
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+class Flaky {
+ public:
+  Status Touch();
+};
+
+inline void Caller(Flaky* f) {
+  f->Touch();
+}
+
+}  // namespace wsq

@@ -1,0 +1,18 @@
+// wsqcheck-fixture: dest=src/exec/bad_unbounded_growth.cc expect=unbounded-op-growth:1
+// NextImpl buffers rows without ever touching the memory-budget API.
+#include <vector>
+
+namespace wsq {
+
+class BufferingOperator {
+ public:
+  bool NextImpl(int* row) {
+    rows_.push_back(*row);
+    return true;
+  }
+
+ private:
+  std::vector<int> rows_;
+};
+
+}  // namespace wsq

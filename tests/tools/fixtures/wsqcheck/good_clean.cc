@@ -1,0 +1,95 @@
+// wsqcheck-fixture: dest=src/async/good_clean.cc expect=clean
+// Near-misses for every check: consistent lock order, blocking moved
+// outside the lock, a deadline-aware wait, a clamped SubmitAsync, a
+// handled Status, and one genuinely used suppression.
+#include <cstdio>
+
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+class CleanStatus {
+ public:
+  static CleanStatus OK();
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+class CleanTable {
+ public:
+  unsigned long SubmitAsync(int request, int pump, long timeout_micros);
+};
+
+class CleanDeadline {
+ public:
+  long RemainingMicros() const;
+};
+
+class CleanWorker {
+ public:
+  // Always a_ before b_, in both paths: no cycle.
+  void First() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);
+    ++x_;
+  }
+  void Second() {
+    MutexLock la(&a_);
+    MutexLock lb(&b_);
+    --x_;
+  }
+
+  // Blocking I/O after the guard is released.
+  void WriteOut(const char* data, unsigned long len) {
+    {
+      MutexLock la(&a_);
+      ++x_;
+    }
+    fwrite(data, 1, len, file_);
+  }
+
+  // Deadline-aware: the wait is timed and the body consults the
+  // deadline before parking again.
+  void AwaitDone(CleanDeadline* deadline) {
+    MutexLock la(&a_);
+    while (x_ != 0 && deadline->RemainingMicros() > 0) {
+      cv_.WaitForMicros(a_, 1000);
+    }
+  }
+
+  // Every SubmitAsync clamps by the budget that remains.
+  void Issue(CleanTable* table, CleanDeadline* deadline) {
+    long budget = deadline->RemainingMicros();
+    if (budget <= 0) return;
+    call_ = table->SubmitAsync(1, 2, budget);
+  }
+
+  // The Status is handled, not dropped.
+  void Check(CleanWorker* other) {
+    CleanStatus s = Probe();
+    if (!s.ok()) ++failures_;
+  }
+
+  CleanStatus Probe();
+
+  // Serialized fsync under the lock is this type's contract; the
+  // suppression below is exercised, so it is not stale.
+  void SyncUnderLock() {
+    MutexLock la(&a_);
+    // wsqcheck: allow(blocking-under-lock)
+    fflush(file_);
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  CondVar cv_;
+  int x_ WSQ_GUARDED_BY(a_) = 0;
+  int failures_ = 0;
+  unsigned long call_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace wsq

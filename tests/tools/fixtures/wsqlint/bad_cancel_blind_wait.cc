@@ -1,0 +1,17 @@
+// wsqlint-fixture: dest=src/net/bad_cancel_blind_wait.cc expect=cancel-blind-wait:1
+namespace wsq {
+
+class Parked {
+ public:
+  void Drain() {
+    MutexLock lock(&mu_);
+    while (pending_ != 0) cv_.Wait(mu_);
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int pending_ WSQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace wsq

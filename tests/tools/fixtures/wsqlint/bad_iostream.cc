@@ -1,0 +1,4 @@
+// wsqlint-fixture: dest=src/common/bad_iostream.cc expect=iostream:1
+#include <iostream>
+
+namespace wsq {}

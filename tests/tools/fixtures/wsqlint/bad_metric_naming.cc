@@ -1,0 +1,8 @@
+// wsqlint-fixture: dest=src/obs/bad_metric_naming.cc expect=metric-naming:1
+namespace wsq {
+
+inline void Touch(MetricsRegistry* reg) {
+  reg->GetCounter("queries_served")->Increment();
+}
+
+}  // namespace wsq

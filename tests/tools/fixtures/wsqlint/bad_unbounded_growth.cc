@@ -1,0 +1,9 @@
+// wsqlint-fixture: dest=src/exec/bad_unbounded_growth.cc expect=unbounded-op-growth:1
+namespace wsq {
+
+Result<bool> BufferAll::NextImpl(Row* row) {
+  rows_.push_back(*row);
+  return true;
+}
+
+}  // namespace wsq

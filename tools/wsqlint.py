@@ -64,6 +64,20 @@ Checks, in order of how often they have bitten this codebase:
                    _total, histograms end _micros or _bytes (DESIGN.md
                    §12). One naming scheme keeps the /metrics dump
                    greppable and dashboards portable.
+  stale-suppression
+                   Every `wsqlint: allow(<check>)` comment must still
+                   suppress something: if the check would no longer
+                   fire on that line the comment is reported as an
+                   error. Suppressions that rot after refactors read as
+                   "this was audited" when nothing is being audited.
+
+The include-guard check also validates that the closing `#endif`
+carries a `// WSQ_..._H_` trailing comment matching the guard, so a
+reader at the bottom of a long header knows which scope just closed.
+
+wsqcheck (tools/wsqcheck.py) is the semantic sister tool: it parses
+real ASTs and honours these same `allow()` comments for the checks the
+two tools share (cancel-blind-wait, unbounded-op-growth).
 
 Exit status: 0 clean, 1 findings, 2 usage/setup error.
 """
@@ -200,10 +214,62 @@ def line_of(text: str, pos: int) -> int:
     return text.count("\n", 0, pos) + 1
 
 
+# Checks a `wsqlint: allow(<name>)` comment may legitimately suppress.
+SUPPRESSIBLE = ("cancel-blind-wait", "submit-drops-callback",
+                "unbounded-op-growth")
+ALLOW_RE = re.compile(r"wsqlint:\s*allow\(([a-z][a-z0-9-]*)\)")
+
+
+class Allows:
+    """Per-file `wsqlint: allow()` comments with use tracking, so
+    suppressions that no longer suppress anything surface as
+    stale-suppression findings instead of rotting silently."""
+
+    def __init__(self, raw: str) -> None:
+        self.by_line: dict[int, list] = {}
+        self.all: list = []
+        for i, text in enumerate(raw.splitlines(), start=1):
+            for m in ALLOW_RE.finditer(text):
+                entry = [i, m.group(1), False]  # line, check, used
+                self.by_line.setdefault(i, []).append(entry)
+                self.all.append(entry)
+
+    def suppressed(self, line: int, check: str) -> bool:
+        """Allow() for `check` on the finding line or the line above.
+        Call only once a finding WOULD fire — that is what keeps the
+        used-flags honest for the stale check."""
+        hit = False
+        for probe in (line, line - 1):
+            for entry in self.by_line.get(probe, []):
+                if entry[1] == check:
+                    entry[2] = True
+                    hit = True
+        return hit
+
+    def stale(self, path: pathlib.Path) -> list:
+        out = []
+        for line, check, used in self.all:
+            if used:
+                continue
+            if check not in SUPPRESSIBLE:
+                out.append(Finding(
+                    path, line, "stale-suppression",
+                    f"allow({check}) names a check wsqlint cannot "
+                    f"suppress; suppressible: {', '.join(SUPPRESSIBLE)}"))
+            else:
+                out.append(Finding(
+                    path, line, "stale-suppression",
+                    f"allow({check}) no longer suppresses anything "
+                    "here — the check would not fire on this line; "
+                    "delete the comment"))
+        return out
+
+
 def check_file(root: pathlib.Path, path: pathlib.Path):
     rel = path.relative_to(root).as_posix()
     raw = path.read_text(encoding="utf-8", errors="replace")
     code = strip_comments(raw)
+    allows = Allows(raw)
     findings = []
 
     in_src = rel.startswith("src/")
@@ -244,16 +310,15 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
         code_lines = code.splitlines()
         for m in UNTIMED_WAIT.finditer(code):
             line = line_of(code, m.start())
-            # Suppression comment on the wait line or the one above
-            # (comments are stripped from `code`, so consult `raw`).
-            window = raw_lines[max(0, line - 2):line]
-            if any(WAIT_SUPPRESS in l for l in window):
-                continue
             # Cancellation-aware if nearby code consults a shutdown /
-            # stop flag or a cancellation token.
+            # stop flag or a cancellation token. Decided BEFORE the
+            # suppression is consulted so an allow() next to a wait
+            # that would not fire reads as stale.
             lo, hi = max(0, line - 7), min(len(code_lines), line + 6)
             context = "\n".join(code_lines[lo:hi])
             if CANCEL_AWARE.search(context):
+                continue
+            if allows.suppressed(line, "cancel-blind-wait"):
                 continue
             findings.append(Finding(
                 path, line, "cancel-blind-wait",
@@ -296,12 +361,11 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                 continue
             for r in re.finditer(r"\breturn\s*;", body):
                 line = body_start_line + body.count("\n", 0, r.start())
-                window = raw_lines[max(0, line - 2):line]
-                if any(SUBMIT_SUPPRESS in l for l in window):
-                    continue
                 # Look back a handful of lines for a callback use.
                 back = body[:r.start()].splitlines()[-8:]
                 if cb_use.search("\n".join(back)):
+                    continue
+                if allows.suppressed(line, "submit-drops-callback"):
                     continue
                 findings.append(Finding(
                     path, line, "submit-drops-callback",
@@ -332,8 +396,7 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
             body_start_line = line_of(code, m.end())
             for g in CONTAINER_GROWTH.finditer(body):
                 line = body_start_line + body.count("\n", 0, g.start())
-                window = raw_lines[max(0, line - 2):line]
-                if any(GROWTH_SUPPRESS in l for l in window):
+                if allows.suppressed(line, "unbounded-op-growth"):
                     continue
                 findings.append(Finding(
                     path, line, "unbounded-op-growth",
@@ -423,7 +486,25 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                     path, line_of(code, guard.start()), "include-guard",
                     f"guard '{guard.group(1)}' should be '{expected}' "
                     "(derived from the header's path)"))
+            else:
+                # The closing #endif must say which guard it closes —
+                # at the bottom of a long header that comment is the
+                # only context a reader has. Match against `raw`:
+                # the comment is what is being checked.
+                endifs = [mm for mm in
+                          re.finditer(r"#\s*endif[^\n]*", raw)]
+                if endifs:
+                    last = endifs[-1]
+                    want = f"#endif  // {expected}"
+                    if last.group(0).rstrip() != want:
+                        findings.append(Finding(
+                            path, line_of(raw, last.start()),
+                            "include-guard",
+                            f"closing '#endif' must read '{want}' "
+                            "(trailing comment names the guard it "
+                            "closes)"))
 
+    findings.extend(allows.stale(path))
     return findings
 
 
