@@ -32,7 +32,9 @@
 #include "common/cancellation.h"
 #include "common/strings.h"
 #include "dsq/dsq_engine.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "wsq/demo.h"
 
 namespace {
@@ -73,6 +75,10 @@ void PrintHelp() {
       "  \\deadline <ms>       per-query deadline (0 = none)\n"
       "  \\memory              memory governor status (budgets, spill)\n"
       "  \\budget <mb>         per-query memory budget (0 = none)\n"
+      "  \\statusz             live status report (breakers, admission,\n"
+      "                       memory tree, in-flight calls, shards)\n"
+      "  \\statusz json        the same report as JSON\n"
+      "  \\postmortem last     most recent degraded/failed-query record\n"
       "  \\cancel              cancel the next statement (Ctrl-C\n"
       "                       cancels the one currently running)\n"
       "  \\quit                exit\n"
@@ -271,6 +277,21 @@ int main() {
         }
       } else if (trimmed == "\\memory") {
         PrintMemory(env, query_budget_mb);
+      } else if (trimmed == "\\statusz") {
+        std::printf(
+            "%s", wsq::StatuszRegistry::Global()->Render().ToText().c_str());
+      } else if (trimmed == "\\statusz json") {
+        std::printf(
+            "%s\n",
+            wsq::StatuszRegistry::Global()->Render().ToJson().c_str());
+      } else if (trimmed == "\\postmortem last" ||
+                 trimmed == "\\postmortem") {
+        auto last = env.db().postmortems()->last();
+        if (last == nullptr) {
+          std::printf("no postmortems recorded\n");
+        } else {
+          std::printf("%s\n", last->ToText().c_str());
+        }
       } else if (wsq::StartsWith(trimmed, "\\budget ")) {
         long mb = std::atol(trimmed.substr(8).c_str());
         query_budget_mb = mb < 0 ? 0 : static_cast<size_t>(mb);

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace wsq {
@@ -14,14 +15,19 @@ namespace {
 /// Callers must NOT hold Core::mu: the registry lock order is
 /// registry → component, so touching the registry under the pump lock
 /// could deadlock against the pump's own collector.
+/// `query_id` feeds the latency exemplars: completions land on pump or
+/// service threads, so the thread-bound id is not available here.
 void RecordCallTiming(const std::string& destination,
-                      int64_t queue_wait_micros, int64_t in_flight_micros) {
+                      int64_t queue_wait_micros, int64_t in_flight_micros,
+                      uint64_t query_id) {
   MetricsRegistry* registry = MetricsRegistry::Global();
   Histogram* latency = registry->GetHistogram(
       "wsq_external_call_latency_micros",
       "Dispatch-to-completion latency of external calls",
       {{"destination", destination}});
-  if (latency != nullptr) latency->Record(in_flight_micros);
+  if (latency != nullptr) {
+    latency->RecordWithExemplar(in_flight_micros, query_id);
+  }
   static Histogram* queue_wait = registry->GetHistogram(
       "wsq_reqpump_queue_wait_micros",
       "Time external calls waited for a ReqPump limit slot");
@@ -140,6 +146,8 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
   CallId id;
   bool dispatch_now;
   bool has_deadline = timeout_micros > 0;
+  const uint64_t query_id = CurrentQueryId();
+  size_t queue_depth = 0;
   {
     MutexLock lock(&core_->mu);
     id = core_->next_id++;
@@ -159,12 +167,15 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
           {}};
       ++core_->completion_seq;
       core_->cv.NotifyAll();
+      FlightRecorder::Global()->Record(FrEventType::kCallShed, destination,
+                                       "queue_full", query_id,
+                                       static_cast<int64_t>(id));
       return id;
     }
     ++core_->outstanding;
     int64_t now = NowMicros();
     core_->unresolved.emplace(
-        id, CallMeta{destination, now, dispatch_now ? now : 0});
+        id, CallMeta{destination, now, dispatch_now ? now : 0, query_id});
     int64_t deadline = has_deadline ? now + timeout_micros : 0;
     if (has_deadline) {
       core_->deadlines.push(Deadline{deadline, id, destination});
@@ -178,22 +189,30 @@ CallId ReqPump::Register(const std::string& destination, AsyncCallFn fn,
                    static_cast<uint64_t>(core_->in_flight_global));
     } else {
       core_->queue.push_back(
-          QueuedCall{id, destination, std::move(fn), deadline});
+          QueuedCall{id, destination, std::move(fn), deadline, query_id});
       core_->stats.queued_peak =
           std::max(core_->stats.queued_peak,
                    static_cast<uint64_t>(core_->queue.size()));
+      queue_depth = core_->queue.size();
     }
   }
+  FlightRecorder::Global()->Record(FrEventType::kCallRegister, destination,
+                                   dispatch_now ? "" : "queued", query_id,
+                                   static_cast<int64_t>(id),
+                                   static_cast<int64_t>(queue_depth));
   // Wake the timer so it re-arms for a possibly-earlier deadline.
   if (has_deadline) core_->cv.NotifyAll();
   if (dispatch_now) {
-    Dispatch(core_, id, destination, std::move(fn));
+    Dispatch(core_, id, destination, std::move(fn), query_id);
   }
   return id;
 }
 
 void ReqPump::Dispatch(const std::shared_ptr<Core>& core, CallId id,
-                       const std::string& destination, AsyncCallFn fn) {
+                       const std::string& destination, AsyncCallFn fn,
+                       uint64_t query_id) {
+  FlightRecorder::Global()->Record(FrEventType::kCallDispatch, destination,
+                                   "", query_id, static_cast<int64_t>(id));
   // The completion may fire synchronously (e.g. a cache hit) or from a
   // service thread later; both paths go through OnComplete. The lambda
   // keeps the core alive so even a completion arriving after ~ReqPump
@@ -210,26 +229,37 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
   int64_t queue_wait_micros = 0;
   int64_t in_flight_micros = 0;
   bool record_timing = false;
+  bool failed = false;
+  std::string failure_code;
+  uint64_t query_id = 0;
   {
     MutexLock lock(&core->mu);
     if (core->abandoned.erase(id) > 0) {
       // The deadline timer already completed this call and released its
       // slots; the real result arrives too late and is discarded.
       ++core->stats.late_discarded;
+      lock.Unlock();
+      FlightRecorder::Global()->Record(FrEventType::kCallLateDiscard,
+                                       destination, "", /*query_id=*/0,
+                                       static_cast<int64_t>(id));
       return;
     }
     auto meta = core->unresolved.find(id);
-    if (meta != core->unresolved.end() &&
-        meta->second.dispatched_micros > 0) {
-      queue_wait_micros =
-          meta->second.dispatched_micros - meta->second.registered_micros;
-      in_flight_micros = NowMicros() - meta->second.dispatched_micros;
-      core->stats.queue_wait_micros_total += queue_wait_micros;
-      core->stats.in_flight_micros_total += in_flight_micros;
-      record_timing = true;
+    if (meta != core->unresolved.end()) {
+      query_id = meta->second.query_id;
+      if (meta->second.dispatched_micros > 0) {
+        queue_wait_micros =
+            meta->second.dispatched_micros - meta->second.registered_micros;
+        in_flight_micros = NowMicros() - meta->second.dispatched_micros;
+        core->stats.queue_wait_micros_total += queue_wait_micros;
+        core->stats.in_flight_micros_total += in_flight_micros;
+        record_timing = true;
+      }
     }
     if (!result.status.ok()) {
       ++core->stats.failed;
+      failed = true;
+      failure_code = StatusCodeToString(result.status.code());
     }
     ++core->stats.completed;
     result.queue_wait_micros = queue_wait_micros;
@@ -244,11 +274,16 @@ void ReqPump::OnComplete(const std::shared_ptr<Core>& core, CallId id,
   }
   core->cv.NotifyAll();
   // Outside the lock (see RecordCallTiming).
+  FlightRecorder::Global()->Record(
+      failed ? FrEventType::kCallFailed : FrEventType::kCallComplete,
+      destination, failure_code, query_id, static_cast<int64_t>(id),
+      in_flight_micros);
   if (record_timing) {
-    RecordCallTiming(destination, queue_wait_micros, in_flight_micros);
+    RecordCallTiming(destination, queue_wait_micros, in_flight_micros,
+                     query_id);
   }
   for (QueuedCall& q : to_dispatch) {
-    Dispatch(core, q.id, q.destination, std::move(q.fn));
+    Dispatch(core, q.id, q.destination, std::move(q.fn), q.query_id);
   }
 }
 
@@ -330,6 +365,7 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
     ++core->stats.timed_out;
     ++core->stats.failed;
     ++core->stats.completed;
+    uint64_t query_id = meta->second.query_id;
     CallResult timeout_result{
         Status::DeadlineExceeded("external call to '" + d.destination +
                                  "' exceeded its deadline"),
@@ -343,6 +379,7 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
           timeout_result.queue_wait_micros;
       core->stats.in_flight_micros_total += timeout_result.in_flight_micros;
     }
+    int64_t in_flight_micros = timeout_result.in_flight_micros;
     core->results[d.id] = std::move(timeout_result);
     core->unresolved.erase(meta);
     ++core->completion_seq;
@@ -366,9 +403,13 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
       to_dispatch = TakeDispatchableLocked(core.get());
     }
     lock.Unlock();
+    FlightRecorder::Global()->Record(
+        FrEventType::kCallTimeout, d.destination,
+        was_queued ? "expired_in_queue" : "abandoned", query_id,
+        static_cast<int64_t>(d.id), in_flight_micros);
     core->cv.NotifyAll();
     for (QueuedCall& q : to_dispatch) {
-      Dispatch(core, q.id, q.destination, std::move(q.fn));
+      Dispatch(core, q.id, q.destination, std::move(q.fn), q.query_id);
     }
     lock.Lock();
   }
@@ -376,11 +417,15 @@ void ReqPump::TimerLoop(std::shared_ptr<Core> core) {
 
 bool ReqPump::CancelCall(CallId id) {
   std::vector<QueuedCall> to_dispatch;
+  std::string cancelled_destination;
+  uint64_t query_id = 0;
   {
     MutexLock lock(&core_->mu);
     auto meta = core_->unresolved.find(id);
     if (meta == core_->unresolved.end()) return false;
     std::string destination = meta->second.destination;
+    cancelled_destination = destination;
+    query_id = meta->second.query_id;
     CallResult cancel_result{Status::Cancelled("external call cancelled"),
                              {}};
     if (meta->second.dispatched_micros > 0) {
@@ -417,9 +462,12 @@ bool ReqPump::CancelCall(CallId id) {
       to_dispatch = TakeDispatchableLocked(core_.get());
     }
   }
+  FlightRecorder::Global()->Record(FrEventType::kCallCancel,
+                                   cancelled_destination, "", query_id,
+                                   static_cast<int64_t>(id));
   core_->cv.NotifyAll();
   for (QueuedCall& q : to_dispatch) {
-    Dispatch(core_, q.id, q.destination, std::move(q.fn));
+    Dispatch(core_, q.id, q.destination, std::move(q.fn), q.query_id);
   }
   return true;
 }
@@ -523,6 +571,28 @@ int ReqPump::in_flight() const {
 size_t ReqPump::pending_results() const {
   MutexLock lock(&core_->mu);
   return core_->results.size();
+}
+
+std::vector<ReqPump::InFlightCall> ReqPump::InFlightCalls() const {
+  std::vector<InFlightCall> out;
+  int64_t now = NowMicros();
+  {
+    MutexLock lock(&core_->mu);
+    for (const auto& [id, meta] : core_->unresolved) {
+      if (meta.dispatched_micros <= 0) continue;  // still queued
+      InFlightCall call;
+      call.id = id;
+      call.destination = meta.destination;
+      call.query_id = meta.query_id;
+      call.age_micros = now - meta.dispatched_micros;
+      out.push_back(std::move(call));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const InFlightCall& a, const InFlightCall& b) {
+              return a.id < b.id;
+            });
+  return out;
 }
 
 }  // namespace wsq

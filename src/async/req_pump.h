@@ -197,6 +197,20 @@ class ReqPump {
   /// Currently dispatched (in-flight) calls, excluding abandoned ones.
   int in_flight() const WSQ_EXCLUDES(core_->mu);
 
+  /// One live dispatched call, as reported by InFlightCalls (statusz:
+  /// "which calls are out right now, how old are they, for whom").
+  struct InFlightCall {
+    CallId id = 0;
+    std::string destination;
+    uint64_t query_id = 0;
+    /// Time since dispatch.
+    int64_t age_micros = 0;
+  };
+
+  /// Snapshot of currently dispatched, non-abandoned calls, ordered by
+  /// call id (registration order).
+  std::vector<InFlightCall> InFlightCalls() const WSQ_EXCLUDES(core_->mu);
+
   /// Completed results sitting in ReqPumpHash, not yet taken. Should
   /// return to its pre-query value after a query closes — a growing
   /// number across queries means leaked entries.
@@ -210,6 +224,8 @@ class ReqPump {
     /// Absolute deadline (micros, steady clock); 0 = none. Carried so
     /// the deadline keeps ticking while the call waits for a slot.
     int64_t deadline_micros = 0;
+    /// Query the registering thread was bound to (flight recorder).
+    uint64_t query_id = 0;
   };
 
   /// Per-unresolved-call bookkeeping (see Core::unresolved).
@@ -218,6 +234,10 @@ class ReqPump {
     int64_t registered_micros = 0;
     /// 0 while the call waits in the queue; set when it is dispatched.
     int64_t dispatched_micros = 0;
+    /// Query the registering thread was bound to; stamps completion
+    /// events and latency exemplars, which resolve on pump/service
+    /// threads with no binding of their own.
+    uint64_t query_id = 0;
   };
 
   struct Deadline {
@@ -271,9 +291,11 @@ class ReqPump {
 
   /// Dispatches `fn` for call `id`; caller must NOT hold core->mu (the
   /// call may complete synchronously and re-enter OnComplete).
+  /// `query_id` stamps the flight-recorder dispatch event (queued calls
+  /// dispatch from pump threads where no binding exists).
   static void Dispatch(const std::shared_ptr<Core>& core, CallId id,
-                       const std::string& destination, AsyncCallFn fn)
-      WSQ_EXCLUDES(core->mu);
+                       const std::string& destination, AsyncCallFn fn,
+                       uint64_t query_id) WSQ_EXCLUDES(core->mu);
 
   /// Invoked by call completions (possibly after ~ReqPump).
   static void OnComplete(const std::shared_ptr<Core>& core, CallId id,

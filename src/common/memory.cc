@@ -6,6 +6,21 @@
 
 namespace wsq {
 
+namespace {
+std::atomic<MemoryEventHookFn> g_memory_event_hook{nullptr};
+
+void EmitMemoryEvent(const char* budget_name, bool pressure, int64_t a,
+                     int64_t b) {
+  MemoryEventHookFn hook =
+      g_memory_event_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(budget_name, pressure, a, b);
+}
+}  // namespace
+
+void SetMemoryEventHook(MemoryEventHookFn hook) {
+  g_memory_event_hook.store(hook, std::memory_order_release);
+}
+
 MemoryBudget::MemoryBudget(std::string name, size_t limit_bytes,
                            MemoryBudget* parent)
     : name_(std::move(name)), parent_(parent), limit_(limit_bytes) {}
@@ -51,12 +66,17 @@ void MemoryBudget::UpdatePeak(size_t used_now) {
 size_t MemoryBudget::RunPressureHooks(size_t wanted) {
   pressure_invocations_.fetch_add(1, std::memory_order_relaxed);
   size_t freed = 0;
-  MutexLock lock(&mu_);
-  for (auto& [id, hook] : hooks_) {
-    if (freed >= wanted) break;
-    freed += hook(wanted - freed);
+  {
+    MutexLock lock(&mu_);
+    for (auto& [id, hook] : hooks_) {
+      if (freed >= wanted) break;
+      freed += hook(wanted - freed);
+    }
   }
   pressure_released_.fetch_add(freed, std::memory_order_relaxed);
+  EmitMemoryEvent(name_.c_str(), /*pressure=*/true,
+                  static_cast<int64_t>(wanted),
+                  static_cast<int64_t>(freed));
   return freed;
 }
 
@@ -69,6 +89,9 @@ bool MemoryBudget::TryReserve(size_t bytes) {
     RunPressureHooks(bytes);
     if (!TryChargeSelf(bytes)) {
       reserve_failures_.fetch_add(1, std::memory_order_relaxed);
+      EmitMemoryEvent(name_.c_str(), /*pressure=*/false,
+                      static_cast<int64_t>(bytes),
+                      static_cast<int64_t>(used()));
       return false;
     }
   }

@@ -24,6 +24,21 @@ struct MemoryBudgetStats {
   uint64_t forced_overages = 0;
 };
 
+/// Observability seam: common/ cannot depend on obs/, so memory events
+/// (pressure sweeps, failed reservations) surface through a static
+/// function-pointer hook the flight recorder installs at startup.
+/// `budget_name` is the budget the event fired on; `pressure` is true
+/// for a pressure-hook sweep, false for a final reservation failure;
+/// `a`/`b` are (wanted/freed) or (requested/used) bytes respectively.
+/// The hook must be lock-free-ish and never call back into MemoryBudget.
+using MemoryEventHookFn = void (*)(const char* budget_name, bool pressure,
+                                   int64_t a, int64_t b);
+
+/// Installs the process-wide memory event hook (null = none). Intended
+/// to be called once during static initialization, before concurrent
+/// budget traffic.
+void SetMemoryEventHook(MemoryEventHookFn hook);
+
 /// Hierarchical byte ledger: process → database → query → operator.
 ///
 /// Every tracked allocation charges a leaf budget, and the charge

@@ -1,7 +1,9 @@
 #include "net/circuit_breaker.h"
 
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 
 namespace wsq {
 
@@ -28,6 +30,13 @@ int64_t CircuitBreaker::Now() const {
 }
 
 void CircuitBreaker::TripLocked(int64_t now) {
+  // The recorder append is lock-free (leaf interner mutex at worst), so
+  // recording under mu_ cannot invert any lock order.
+  FlightRecorder::Global()->Record(
+      FrEventType::kBreakerTrip, destination_,
+      state_ == CircuitState::kHalfOpen ? "probe_failed"
+                                        : "failure_threshold",
+      /*query_id=*/0, consecutive_failures_);
   state_ = CircuitState::kOpen;
   open_until_micros_ = now + options_.cooldown_micros;
   inflight_probes_ = 0;
@@ -61,6 +70,8 @@ bool CircuitBreaker::Allow(bool* as_probe) {
     }
     ++inflight_probes_;
     ++stats_.probes;
+    FlightRecorder::Global()->Record(FrEventType::kBreakerProbe,
+                                     destination_, "cooldown_elapsed");
     if (as_probe != nullptr) *as_probe = true;
     return true;
   }
@@ -85,6 +96,8 @@ void CircuitBreaker::RecordSuccessLocked(bool was_probe) {
     // engine recovered and must not close the circuit.
     state_ = CircuitState::kClosed;
     inflight_probes_ = 0;
+    FlightRecorder::Global()->Record(FrEventType::kBreakerClose,
+                                     destination_, "probe_ok");
   }
 }
 
@@ -145,6 +158,7 @@ int CircuitBreaker::consecutive_failures() const {
 CircuitBreakerSearchService::CircuitBreakerSearchService(
     SearchService* wrapped, CircuitBreakerOptions options)
     : wrapped_(wrapped), breaker_(std::move(options)) {
+  breaker_.set_destination(name());
   collector_id_ = MetricsRegistry::Global()->AddCollector(
       [this](MetricsEmitter* emitter) {
         MetricLabels labels{{"destination", name()}};
@@ -163,9 +177,22 @@ CircuitBreakerSearchService::CircuitBreakerSearchService(
                            "1 while the circuit is open, else 0", labels,
                            breaker_.state() == CircuitState::kOpen ? 1 : 0);
       });
+  statusz_id_ = StatuszRegistry::Global()->AddProvider(
+      [this](std::vector<StatuszSection>* out) {
+        StatuszSection s;
+        s.name = "breaker/" + name();
+        s.Add("state", std::string(CircuitStateToString(breaker_.state())));
+        s.AddInt("consecutive_failures", breaker_.consecutive_failures());
+        CircuitBreakerStats stats = breaker_.stats();
+        s.AddUint("trips", stats.trips);
+        s.AddUint("fast_failures", stats.fast_failures);
+        s.AddUint("probes", stats.probes);
+        out->push_back(std::move(s));
+      });
 }
 
 CircuitBreakerSearchService::~CircuitBreakerSearchService() {
+  StatuszRegistry::Global()->RemoveProvider(statusz_id_);
   MetricsRegistry::Global()->RemoveCollector(collector_id_);
 }
 

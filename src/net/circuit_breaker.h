@@ -76,6 +76,14 @@ class CircuitBreaker {
   CircuitBreakerStats stats() const;
   int consecutive_failures() const;
 
+  /// Destination label stamped on flight-recorder transition events.
+  /// Set once right after construction (CircuitBreakerSearchService
+  /// passes its engine name), before any concurrent use.
+  void set_destination(std::string destination) {
+    destination_ = std::move(destination);
+  }
+  const std::string& destination() const { return destination_; }
+
  private:
   int64_t Now() const;
   void TripLocked(int64_t now) WSQ_REQUIRES(mu_);
@@ -85,6 +93,8 @@ class CircuitBreaker {
 
   /// Immutable after construction (read without mu_).
   CircuitBreakerOptions options_;
+  /// Immutable after set_destination (read without mu_).
+  std::string destination_;
 
   mutable Mutex mu_;
   CircuitState state_ WSQ_GUARDED_BY(mu_) = CircuitState::kClosed;
@@ -118,6 +128,8 @@ class CircuitBreakerSearchService : public SearchService {
   SearchService* wrapped_;
   CircuitBreaker breaker_;
   uint64_t collector_id_ = 0;
+  /// \statusz section provider handle, removed in the destructor.
+  uint64_t statusz_id_ = 0;
 };
 
 }  // namespace wsq

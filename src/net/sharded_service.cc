@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "common/clock.h"
+#include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 
 namespace wsq {
 
@@ -149,10 +152,35 @@ ShardedSearchService::ShardedSearchService(std::vector<Shard> shards,
                                failed_counts[i]);
         }
       });
+  statusz_id_ = StatuszRegistry::Global()->AddProvider(
+      [this](std::vector<StatuszSection>* out) {
+        StatuszSection s;
+        s.name = "shards/" + options_.name;
+        ShardedServiceStats stats;
+        std::vector<bool> healthy;
+        {
+          MutexLock lock(&mu_);
+          stats = stats_;
+          healthy.assign(shard_ok_.begin(), shard_ok_.end());
+        }
+        s.AddUint("fanouts", stats.fanouts);
+        s.AddUint("coalesced", stats.coalesced);
+        s.AddUint("hedges", stats.hedges);
+        s.AddUint("hedge_wins", stats.hedge_wins);
+        s.AddUint("partial_results", stats.partial_results);
+        s.AddUint("quorum_failures", stats.quorum_failures);
+        s.AddUint("degraded_shards", stats.degraded_shards);
+        for (size_t i = 0; i < healthy.size(); ++i) {
+          s.Add(StrFormat("health/%s", destinations_[i].c_str()),
+                healthy[i] ? "ok" : "dark");
+        }
+        out->push_back(std::move(s));
+      });
   gather_ = std::thread([this] { GatherLoop(); });
 }
 
 ShardedSearchService::~ShardedSearchService() {
+  StatuszRegistry::Global()->RemoveProvider(statusz_id_);
   MetricsRegistry::Global()->RemoveCollector(collector_id_);
   {
     MutexLock lock(&mu_);
@@ -199,6 +227,7 @@ ShardedSearchService::~ShardedSearchService() {
 void ShardedSearchService::Submit(SearchRequest request,
                                   SearchCallback done) {
   const std::string key = request.CacheKey();
+  const uint64_t query_id = CurrentQueryId();
   bool rejected = false;
   {
     MutexLock lock(&mu_);
@@ -212,14 +241,23 @@ void ShardedSearchService::Submit(SearchRequest request,
         // quorum policy; the shard calls are shared.
         ++stats_.coalesced;
         it->second.waiters.push_back(
-            Waiter{request.shard, std::move(done)});
+            Waiter{request.shard, std::move(done), query_id});
+        FlightRecorder::Global()->Record(
+            FrEventType::kCoalesceJoin, options_.name, "", query_id,
+            static_cast<int64_t>(it->second.flight_id));
         return;
       }
       ++stats_.fanouts;
       Flight& flight = flights_[key];
       flight.request = request;
+      flight.flight_id = next_flight_id_++;
       flight.calls.resize(shards_.size());
-      flight.waiters.push_back(Waiter{request.shard, std::move(done)});
+      flight.waiters.push_back(
+          Waiter{request.shard, std::move(done), query_id});
+      FlightRecorder::Global()->Record(
+          FrEventType::kFanout, options_.name, "", query_id,
+          static_cast<int64_t>(flight.flight_id),
+          static_cast<int64_t>(shards_.size()));
       int64_t now = NowMicros();
       for (size_t i = 0; i < shards_.size(); ++i) {
         ShardCall& call = flight.calls[i];
@@ -304,6 +342,11 @@ void ShardedSearchService::FireHedgeLocked(Flight* flight, size_t i) {
                            shards_[i].replica->name());
   ++stats_.hedges;
   ++stats_.shard_calls;
+  FlightRecorder::Global()->Record(
+      FrEventType::kHedgeFire, shards_[i].replica->name(),
+      call.primary_taken ? "primary_failed" : "latency_quantile",
+      /*query_id=*/0, static_cast<int64_t>(flight->flight_id),
+      static_cast<int64_t>(i));
 }
 
 void ShardedSearchService::ReapLegLocked(CallId id) {
@@ -363,6 +406,7 @@ bool ShardedSearchService::AdvanceFlightLocked(
       call.decided = true;
       call.ok = ok;
       call.hedge_won = hedge_won;
+      std::string fail_code;
       if (ok) {
         call.answer.status = Status::OK();
         DecodeRows(flight->request.kind, result->rows,
@@ -370,17 +414,31 @@ bool ShardedSearchService::AdvanceFlightLocked(
         ++shard_decided_ok_[i];
         if (hedge_won) ++stats_.hedge_wins;
       } else {
+        fail_code = StatusCodeToString(error.code());
         call.answer.status = std::move(error);
         ++shard_decided_failed_[i];
       }
       shard_ok_[i] = ok;
+      FlightRecorder::Global()->Record(
+          ok ? FrEventType::kShardLegOk : FrEventType::kShardLegFail,
+          destinations_[i], ok ? (hedge_won ? "hedge_won" : "") : fail_code,
+          /*query_id=*/0, static_cast<int64_t>(flight->flight_id),
+          static_cast<int64_t>(i));
       // The shard is decided: a still-outstanding losing leg is pure
       // waste now — cancel and reap it.
       if (!call.primary_taken) {
+        FlightRecorder::Global()->Record(
+            FrEventType::kHedgeReap, destinations_[i], "primary_lost",
+            /*query_id=*/0, static_cast<int64_t>(flight->flight_id),
+            static_cast<int64_t>(i));
         ReapLegLocked(call.primary);
         call.primary_taken = true;
       }
       if (call.hedge != kInvalidCallId && !call.hedge_taken) {
+        FlightRecorder::Global()->Record(
+            FrEventType::kHedgeReap, destinations_[i], "hedge_lost",
+            /*query_id=*/0, static_cast<int64_t>(flight->flight_id),
+            static_cast<int64_t>(i));
         ReapLegLocked(call.hedge);
         call.hedge_taken = true;
       }
@@ -467,6 +525,11 @@ bool ShardedSearchService::AdvanceFlightLocked(
     bool impossible = n - decided_failed < need;
     if (impossible) {
       ++stats_.quorum_failures;
+      FlightRecorder::Global()->Record(
+          FrEventType::kQuorumFail, options_.name,
+          std::to_string(decided_failed) + "_of_" + std::to_string(n) +
+              "_shards_failed",
+          it->query_id, static_cast<int64_t>(flight->flight_id), need);
       out->push_back(
           Delivery{std::move(it->done),
                    SearchResponse{failure_status(), 0, {}}});

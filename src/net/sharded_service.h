@@ -151,6 +151,9 @@ class ShardedSearchService : public SearchService {
   struct Waiter {
     ShardOptions options;
     SearchCallback done;
+    /// Query the submitting thread was bound to (flight recorder);
+    /// stamps this waiter's quorum-failure event.
+    uint64_t query_id = 0;
   };
 
   /// One in-flight fan-out, keyed by SearchRequest::CacheKey().
@@ -158,6 +161,9 @@ class ShardedSearchService : public SearchService {
     SearchRequest request;
     std::vector<ShardCall> calls;
     std::vector<Waiter> waiters;
+    /// Monotonic id correlating this fan-out's recorder events
+    /// (coalesce joins, hedges, leg outcomes) across threads.
+    uint64_t flight_id = 0;
   };
 
   /// Callback delivery staged while holding mu_, delivered outside it.
@@ -209,6 +215,7 @@ class ShardedSearchService : public SearchService {
 
   mutable Mutex mu_;
   CondVar idle_cv_;
+  uint64_t next_flight_id_ WSQ_GUARDED_BY(mu_) = 1;
   std::map<std::string, Flight> flights_ WSQ_GUARDED_BY(mu_);
   ShardedServiceStats stats_ WSQ_GUARDED_BY(mu_);
   /// Per-shard rolling health bit (last decided outcome; starts true).
@@ -220,6 +227,8 @@ class ShardedSearchService : public SearchService {
 
   std::thread gather_;
   uint64_t collector_id_ = 0;
+  /// \statusz section provider handle, removed in the destructor.
+  uint64_t statusz_id_ = 0;
 };
 
 /// Self-contained N-shard simulated cluster: slices one corpus into N

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/flight_recorder.h"
+
 namespace wsq {
 
 size_t HistogramBucketIndex(int64_t value) {
@@ -31,6 +33,33 @@ int64_t HistogramBucketUpperBound(size_t index) {
   size_t e = off / kHistogramSubBuckets + 4;
   int64_t width = static_cast<int64_t>(uint64_t{1} << (e - 3));
   return HistogramBucketLowerBound(index) + width - 1;
+}
+
+size_t HistogramExemplarCell(int64_t value) {
+  return HistogramBucketIndex(value) / kHistogramSubBuckets;
+}
+
+void Histogram::RecordExemplarFromThread(int64_t value) {
+  // Gate already checked by Record(). Only stamps when the calling
+  // thread is inside a query (CurrentQueryId() is bound by Execute).
+  uint64_t query_id = CurrentQueryId();
+  if (query_id != 0) StoreExemplar(value, query_id);
+}
+
+std::vector<HistogramExemplar> Histogram::Exemplars() const {
+  std::vector<HistogramExemplar> out;
+  for (size_t i = 0; i < kHistogramExemplarCells; ++i) {
+    uint64_t qid = exemplars_[i].query_id.load(std::memory_order_relaxed);
+    if (qid == 0) continue;
+    HistogramExemplar e;
+    e.cell = i;
+    e.octave_lower_bound =
+        HistogramBucketLowerBound(i * kHistogramSubBuckets);
+    e.value = exemplars_[i].value.load(std::memory_order_relaxed);
+    e.query_id = qid;
+    out.push_back(e);
+  }
+  return out;
 }
 
 HistogramSnapshot Histogram::Snapshot() const {

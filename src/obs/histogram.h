@@ -30,6 +30,26 @@ inline constexpr size_t kHistogramBuckets =
 /// Bucket index for `value`; negative values clamp to bucket 0.
 size_t HistogramBucketIndex(int64_t value);
 
+/// Exemplar cells are one per octave (values 0..15 share cell 0), so a
+/// p99 spike in any octave keeps a pointer to a concrete query.
+inline constexpr size_t kHistogramExemplarCells =
+    kHistogramBuckets / kHistogramSubBuckets;  // 61
+
+/// Exemplar cell index for `value` (the octave of its bucket).
+size_t HistogramExemplarCell(int64_t value);
+
+/// Last recorded (query id, value) witnessed in one octave. The two
+/// fields are separate relaxed atomics, so a cell read during a
+/// concurrent record may pair one event's id with another's value —
+/// acceptable for a forensics hint, never for accounting.
+struct HistogramExemplar {
+  size_t cell = 0;
+  /// Smallest value mapping to this cell's octave.
+  int64_t octave_lower_bound = 0;
+  int64_t value = 0;
+  uint64_t query_id = 0;
+};
+
 /// Smallest / largest (inclusive) value mapping to bucket `index`.
 int64_t HistogramBucketLowerBound(size_t index);
 int64_t HistogramBucketUpperBound(size_t index);
@@ -81,16 +101,46 @@ class Histogram {
     while (value > cur && !max_.compare_exchange_weak(
                               cur, value, std::memory_order_relaxed)) {
     }
+    RecordExemplarFromThread(value);
+  }
+
+  /// Record() plus an explicit exemplar query id, for completion paths
+  /// that run on a thread other than the one bound to the query (pump
+  /// network threads, shard gather threads).
+  void RecordWithExemplar(int64_t value, uint64_t query_id) {
+    if (gate_ != nullptr && !gate_->load(std::memory_order_relaxed)) return;
+    Record(value);
+    if (query_id != 0) StoreExemplar(value < 0 ? 0 : value, query_id);
   }
 
   HistogramSnapshot Snapshot() const;
+
+  /// Populated exemplar cells (query id != 0), ordered by cell.
+  std::vector<HistogramExemplar> Exemplars() const;
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
 
+  /// One (query id, value) pair per octave; see HistogramExemplar.
+  struct ExemplarCell {
+    std::atomic<uint64_t> query_id{0};
+    std::atomic<int64_t> value{0};
+  };
+
+  /// Stamps the exemplar cell with the calling thread's bound query id
+  /// (no-op when none is bound). Out of line: the TLS lookup lives in
+  /// the obs library, not in every including TU.
+  void RecordExemplarFromThread(int64_t value);
+  void StoreExemplar(int64_t value, uint64_t query_id) {
+    ExemplarCell& cell = exemplars_[HistogramExemplarCell(value)];
+    cell.value.store(value, std::memory_order_relaxed);
+    cell.query_id.store(query_id, std::memory_order_relaxed);
+  }
+
   std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_;
+  std::array<ExemplarCell, kHistogramExemplarCells> exemplars_;
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<int64_t> max_{0};

@@ -26,6 +26,20 @@ std::string SlowQueryRecord::ToLine() const {
     out +=
         StrFormat(" degraded_tuples=%llu", (unsigned long long)degraded_tuples);
   }
+  if (partial_results > 0) {
+    out += StrFormat(" partial_results=%llu degraded_shards=%llu",
+                     (unsigned long long)partial_results,
+                     (unsigned long long)degraded_shards);
+  }
+  if (spill_runs > 0) {
+    out += StrFormat(" spill_runs=%llu spilled_bytes=%llu",
+                     (unsigned long long)spill_runs,
+                     (unsigned long long)spilled_bytes);
+  }
+  if (peak_memory_bytes > 0) {
+    out += StrFormat(" peak_memory_bytes=%llu",
+                     (unsigned long long)peak_memory_bytes);
+  }
   if (!ok) {
     out += StrFormat(" error=%s", error.empty() ? "UNKNOWN" : error.c_str());
   }

@@ -23,6 +23,15 @@ struct SlowQueryRecord {
   uint64_t failed_calls = 0;
   /// Tuples dropped or NULL-padded by a degradation policy.
   uint64_t degraded_tuples = 0;
+  /// External calls that answered OK from a strict subset of their
+  /// backend's shards, and the total shards missing across them.
+  uint64_t partial_results = 0;
+  uint64_t degraded_shards = 0;
+  /// Memory governor: spill activity and the reservation high-water
+  /// mark for the query.
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_runs = 0;
+  uint64_t peak_memory_bytes = 0;
   bool async_iteration = false;
 
   /// `slow_query id=7 elapsed=1.20 s ... sql="SELECT ..."` — key=value

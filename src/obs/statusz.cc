@@ -1,0 +1,131 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace wsq {
+namespace {
+
+void JsonEscape(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void StatuszSection::AddInt(std::string key, int64_t value) {
+  items.push_back(
+      {std::move(key), StrFormat("%lld", (long long)value), true});
+}
+
+void StatuszSection::AddUint(std::string key, uint64_t value) {
+  items.push_back(
+      {std::move(key), StrFormat("%llu", (unsigned long long)value), true});
+}
+
+std::string StatuszReport::ToText() const {
+  std::string out;
+  for (const StatuszSection& section : sections) {
+    out += StrFormat("== %s ==\n", section.name.c_str());
+    for (const StatuszItem& item : section.items) {
+      out += StrFormat("  %s: %s\n", item.key.c_str(), item.value.c_str());
+    }
+  }
+  return out;
+}
+
+std::string StatuszReport::ToJson() const {
+  std::string out = "{\"sections\":[";
+  bool first_section = true;
+  for (const StatuszSection& section : sections) {
+    if (!first_section) out += ",";
+    first_section = false;
+    out += "{\"name\":\"";
+    JsonEscape(section.name, &out);
+    out += "\",\"items\":{";
+    bool first_item = true;
+    for (const StatuszItem& item : section.items) {
+      if (!first_item) out += ",";
+      first_item = false;
+      out += "\"";
+      JsonEscape(item.key, &out);
+      out += "\":";
+      if (item.numeric) {
+        out += item.value;
+      } else {
+        out += "\"";
+        JsonEscape(item.value, &out);
+        out += "\"";
+      }
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+StatuszRegistry* StatuszRegistry::Global() {
+  static StatuszRegistry* instance = new StatuszRegistry();
+  return instance;
+}
+
+uint64_t StatuszRegistry::AddProvider(Provider fn) {
+  MutexLock lock(&mu_);
+  uint64_t id = next_id_++;
+  providers_[id] = std::move(fn);
+  return id;
+}
+
+void StatuszRegistry::RemoveProvider(uint64_t id) {
+  MutexLock lock(&mu_);
+  providers_.erase(id);
+}
+
+StatuszReport StatuszRegistry::Render() const {
+  static Counter* renders = MetricsRegistry::Global()->GetCounter(
+      "wsq_statusz_renders_total", "Statusz reports rendered");
+  renders->Increment();
+  StatuszReport report;
+  {
+    MutexLock lock(&mu_);
+    for (const auto& [id, provider] : providers_) {
+      provider(&report.sections);
+    }
+  }
+  // Deterministic composition: sections sorted by name regardless of
+  // provider registration order (stable for equal names, so one
+  // provider's repeated names keep their emitted order).
+  std::stable_sort(report.sections.begin(), report.sections.end(),
+                   [](const StatuszSection& a, const StatuszSection& b) {
+                     return a.name < b.name;
+                   });
+  return report;
+}
+
+}  // namespace wsq

@@ -1,0 +1,88 @@
+#ifndef WSQ_OBS_STATUSZ_H_
+#define WSQ_OBS_STATUSZ_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace wsq {
+
+/// Live process introspection surface (DESIGN.md §16): one call
+/// composes a text + JSON report from whatever sections components have
+/// registered — breaker states and in-flight call ages, admission queue
+/// depth, the memory budget tree with peaks, buffer pool, result cache,
+/// shard health. The obs layer owns only the composition; each
+/// component registers a provider that reads its own stats, which keeps
+/// obs free of dependencies on the layers above it (the same inversion
+/// the metrics collectors use).
+
+/// One key/value row in a section. Values are pre-rendered strings; a
+/// numeric flag lets the JSON encoding emit them unquoted.
+struct StatuszItem {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+/// A named group of rows ("breaker/AltaVista", "memory", ...).
+struct StatuszSection {
+  std::string name;
+  std::vector<StatuszItem> items;
+
+  void Add(std::string key, std::string value) {
+    items.push_back({std::move(key), std::move(value), false});
+  }
+  void AddInt(std::string key, int64_t value);
+  void AddUint(std::string key, uint64_t value);
+};
+
+/// A rendered report. Section order is deterministic (sorted by name)
+/// so identical state renders byte-identically.
+struct StatuszReport {
+  std::vector<StatuszSection> sections;
+
+  /// `== name ==` headers with `  key: value` rows.
+  std::string ToText() const;
+  /// `{"sections":[{"name":...,"items":{...}}]}` with two-decimal reals
+  /// left as the provider rendered them.
+  std::string ToJson() const;
+};
+
+/// Registry of section providers.
+///
+/// Provider contract (mirrors MetricsRegistry collectors): providers
+/// run under the registry lock, must not call back into the registry,
+/// may take their component's lock (lock order registry → component),
+/// and must be removed before the component they capture is destroyed.
+/// A provider may emit any number of sections.
+class StatuszRegistry {
+ public:
+  using Provider = std::function<void(std::vector<StatuszSection>*)>;
+
+  StatuszRegistry() = default;
+  StatuszRegistry(const StatuszRegistry&) = delete;
+  StatuszRegistry& operator=(const StatuszRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed).
+  static StatuszRegistry* Global();
+
+  /// Registers a provider; returns a handle for RemoveProvider.
+  uint64_t AddProvider(Provider fn) WSQ_EXCLUDES(mu_);
+  void RemoveProvider(uint64_t id) WSQ_EXCLUDES(mu_);
+
+  /// Runs every provider and returns the merged, sorted report.
+  StatuszReport Render() const WSQ_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::map<uint64_t, Provider> providers_ WSQ_GUARDED_BY(mu_);
+  uint64_t next_id_ WSQ_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace wsq
+
+#endif  // WSQ_OBS_STATUSZ_H_

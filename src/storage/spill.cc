@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace wsq {
@@ -29,6 +30,17 @@ SpillWriter::SpillWriter(SpillFile* file) : file_(file) {
 }
 
 Status SpillWriter::FlushPage() {
+  Status st = FlushPageImpl();
+  if (!st.ok()) {
+    FlightRecorder::Global()->Record(
+        FrEventType::kSpillFail, "spill", StatusCodeToString(st.code()),
+        /*query_id=*/0, static_cast<int64_t>(run_.records),
+        static_cast<int64_t>(run_.bytes));
+  }
+  return st;
+}
+
+Status SpillWriter::FlushPageImpl() {
   WSQ_ASSIGN_OR_RETURN(PageId page, file_->disk()->AllocatePage());
   if (!started_) {
     run_.first_page = page;
@@ -78,6 +90,10 @@ Result<SpillRun> SpillWriter::Finish() {
   mgr->records_written_.fetch_add(run_.records,
                                   std::memory_order_relaxed);
   mgr->bytes_written_.fetch_add(run_.bytes, std::memory_order_relaxed);
+  FlightRecorder::Global()->Record(FrEventType::kSpillRun, "spill",
+                                   /*cause=*/"", /*query_id=*/0,
+                                   static_cast<int64_t>(run_.records),
+                                   static_cast<int64_t>(run_.bytes));
   return run_;
 }
 

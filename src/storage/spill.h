@@ -58,7 +58,9 @@ class SpillWriter {
 
  private:
   Status PutBytes(const char* data, size_t n);
+  /// Records a flight-recorder spill_fail event on any write failure.
   Status FlushPage();
+  Status FlushPageImpl();
 
   SpillFile* file_;
   char frame_[kPageSize];

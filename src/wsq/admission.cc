@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace wsq {
@@ -83,12 +84,18 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   // queueing is disabled), else join it for a bounded wait.
   if (queued_ >= limits_.max_queued) {
     ++stats_.shed_queue_full;
+    FlightRecorder::Global()->Record(FrEventType::kAdmissionShed,
+                                     "admission", "queue_full",
+                                     /*query_id=*/0, queued_);
     return Status::ResourceExhausted(
         "server overloaded: admission queue is full");
   }
   ++queued_;
   stats_.queued_peak =
       std::max(stats_.queued_peak, static_cast<uint64_t>(queued_));
+  const int64_t wait_start_micros = NowMicros();
+  FlightRecorder::Global()->Record(FrEventType::kAdmissionWait, "admission",
+                                   "slots_busy", /*query_id=*/0, queued_);
   const int64_t wait_deadline =
       limits_.max_queue_wait_micros > 0
           ? NowMicros() + limits_.max_queue_wait_micros
@@ -118,7 +125,14 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
     cv_.WaitForMicros(mu_, wait);
   }
   --queued_;
-  if (!shed.ok()) return shed;
+  if (!shed.ok()) {
+    FlightRecorder::Global()->Record(
+        FrEventType::kAdmissionShed, "admission",
+        shed.code() == StatusCode::kResourceExhausted ? "wait_timeout"
+                                                      : "cancelled",
+        /*query_id=*/0, NowMicros() - wait_start_micros);
+    return shed;
+  }
   ++active_;
   ++stats_.admitted;
   stats_.active_peak =

@@ -8,7 +8,9 @@
 #include "storage/serde.h"
 #include "common/clock.h"
 #include "common/macros.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "parser/parser.h"
 #include "wsq/web_tables.h"
 
@@ -43,7 +45,10 @@ WsqDatabase::WsqDatabase(const Options& options,
       pump_(options.pump_limits),
       admission_(options.admission),
       slow_query_log_(options.slow_query_micros,
-                      options.slow_query_sink) {
+                      options.slow_query_sink),
+      postmortem_log_(options.postmortem_min_interval_micros,
+                      options.postmortem_sink, /*clock=*/nullptr,
+                      options.postmortem_max_events) {
   // Tier 2 wiring: resident pages are charged to the database budget,
   // and a pressure hook sheds clean pages when any reservation fails.
   buffer_pool_.AttachBudget(&memory_budget_);
@@ -85,6 +90,82 @@ WsqDatabase::WsqDatabase(const Options& options,
         emit(MemoryBudget::Process());
         emit(&memory_budget_);
       });
+  // \statusz sections for everything this database owns. The provider
+  // runs under the statusz registry lock and takes only component locks
+  // below it (the metrics-collector lock order).
+  statusz_id_ = StatuszRegistry::Global()->AddProvider(
+      [this](std::vector<StatuszSection>* out) {
+        {
+          StatuszSection s;
+          s.name = "admission";
+          AdmissionStats a = admission_.stats();
+          s.AddInt("active", admission_.active());
+          s.AddInt("queued", admission_.queued());
+          s.AddUint("admitted", a.admitted);
+          s.AddUint("shed_queue_full", a.shed_queue_full);
+          s.AddUint("shed_timeout", a.shed_timeout);
+          s.AddUint("shed_cancelled", a.shed_cancelled);
+          s.AddUint("active_peak", a.active_peak);
+          s.AddUint("queued_peak", a.queued_peak);
+          out->push_back(std::move(s));
+        }
+        for (MemoryBudget* b :
+             {MemoryBudget::Process(), &memory_budget_}) {
+          StatuszSection s;
+          s.name = "memory/" + b->name();
+          s.AddUint("used_bytes", b->used());
+          s.AddUint("peak_used_bytes", b->peak_used());
+          s.AddUint("limit_bytes", b->limit());
+          MemoryBudgetStats ms = b->stats();
+          s.AddUint("reserve_failures", ms.reserve_failures);
+          s.AddUint("pressure_invocations", ms.pressure_invocations);
+          s.AddUint("pressure_released_bytes",
+                    ms.pressure_released_bytes);
+          out->push_back(std::move(s));
+        }
+        {
+          StatuszSection s;
+          s.name = "buffer_pool";
+          BufferPoolStats bp = buffer_pool_.stats();
+          s.AddUint("pool_pages", buffer_pool_.pool_size());
+          s.AddUint("resident_pages", buffer_pool_.resident_pages());
+          s.AddUint("hits", bp.hits);
+          s.AddUint("misses", bp.misses);
+          s.AddUint("evictions", bp.evictions);
+          out->push_back(std::move(s));
+        }
+        if (spill_ != nullptr) {
+          StatuszSection s;
+          s.name = "spill";
+          SpillStats sp = spill_->stats();
+          s.AddUint("active_files", spill_->active_files());
+          s.AddUint("runs_written", sp.runs_written);
+          s.AddUint("bytes_written", sp.bytes_written);
+          s.AddUint("bytes_read", sp.bytes_read);
+          out->push_back(std::move(s));
+        }
+        {
+          StatuszSection s;
+          s.name = "pump";
+          std::vector<ReqPump::InFlightCall> calls = pump_.InFlightCalls();
+          s.AddUint("in_flight", calls.size());
+          for (const ReqPump::InFlightCall& c : calls) {
+            s.Add(StrFormat("call_%llu", (unsigned long long)c.id),
+                  StrFormat("dest=%s qid=%llu age=%lldus",
+                            c.destination.c_str(),
+                            (unsigned long long)c.query_id,
+                            (long long)c.age_micros));
+          }
+          out->push_back(std::move(s));
+        }
+        {
+          StatuszSection s;
+          s.name = "postmortems";
+          s.AddUint("emitted", postmortem_log_.emitted_total());
+          s.AddUint("suppressed", postmortem_log_.suppressed_total());
+          out->push_back(std::move(s));
+        }
+      });
 }
 
 WsqDatabase::WsqDatabase(const Options& options)
@@ -93,6 +174,7 @@ WsqDatabase::WsqDatabase(const Options& options)
                   /*wal=*/nullptr, /*persistent=*/false) {}
 
 WsqDatabase::~WsqDatabase() {
+  StatuszRegistry::Global()->RemoveProvider(statusz_id_);
   MetricsRegistry::Global()->RemoveCollector(mem_collector_id_);
   if (persistent_ && options_.checkpoint_on_close) {
     Status s = Checkpoint();
@@ -183,6 +265,9 @@ Status WsqDatabase::Checkpoint() {
   if (wal_ != nullptr) {
     WSQ_RETURN_IF_ERROR(wal_->Reset());
   }
+  FlightRecorder::Global()->Record(FrEventType::kWalCheckpoint, "wal",
+                                   /*cause=*/"", /*query_id=*/0,
+                                   static_cast<int64_t>(dirty.size()));
   return Status::OK();
 }
 
@@ -219,18 +304,28 @@ Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
 
   uint64_t query_id =
       g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+  // Bind the id to this thread for the whole statement: every
+  // flight-recorder event the query causes on this thread (admission
+  // waits, call registrations, memory pressure) is stamped with it, and
+  // the pump/sharded layers carry it across threads from here.
+  QueryIdBinding qid_binding(query_id);
+  FlightRecorder* recorder = FlightRecorder::Global();
+  recorder->Record(FrEventType::kQueryBegin, /*destination=*/"",
+                   /*cause=*/"", query_id);
+
   Stopwatch timer;
-  Result<QueryExecution> result = ExecuteInternal(sql, options);
+  QueryStats failure_stats;
+  Result<QueryExecution> result =
+      ExecuteInternal(sql, options, &failure_stats);
   int64_t elapsed = timer.ElapsedMicros();
 
   if (queries != nullptr) queries->Increment();
-  if (latency != nullptr) latency->Record(elapsed);
+  if (latency != nullptr) latency->RecordWithExemplar(elapsed, query_id);
   if (!result.ok() && errors != nullptr) errors->Increment();
 
-  SlowQueryRecord record;
-  record.query_id = query_id;
-  record.sql = sql;
-  record.elapsed_micros = elapsed;
+  // Stats for forensics: the successful execution's, or whatever the
+  // query accumulated before it died.
+  const QueryStats* stats = &failure_stats;
   if (result.ok()) {
     result->stats.query_id = query_id;
     // Prefer the executor's own elapsed time for SELECTs (it excludes
@@ -238,24 +333,76 @@ Result<QueryExecution> WsqDatabase::Execute(const std::string& sql,
     if (result->stats.elapsed_micros == 0) {
       result->stats.elapsed_micros = elapsed;
     }
-    record.ok = true;
-    record.rows = result->result.rows.size();
-    record.external_calls = result->stats.external_calls;
-    record.failed_calls = result->stats.failed_calls;
-    record.degraded_tuples = result->stats.dropped_tuples +
-                             result->stats.null_padded_tuples +
-                             result->stats.shed_tuples;
-    record.async_iteration = result->stats.async_iteration;
-  } else {
-    record.ok = false;
-    record.error = result.status().ToString();
+    stats = &result->stats;
   }
+  const uint64_t degraded_tuples = stats->dropped_tuples +
+                                   stats->null_padded_tuples +
+                                   stats->shed_tuples;
+  const bool degraded =
+      stats->partial_results > 0 || degraded_tuples > 0;
+  recorder->Record(FrEventType::kQueryEnd, /*destination=*/"",
+                   result.ok()
+                       ? (degraded ? "degraded" : "")
+                       : StatusCodeToString(result.status().code()),
+                   query_id, elapsed);
+
+  SlowQueryRecord record;
+  record.query_id = query_id;
+  record.sql = sql;
+  record.elapsed_micros = elapsed;
+  record.ok = result.ok();
+  if (result.ok()) record.rows = result->result.rows.size();
+  if (!result.ok()) record.error = result.status().ToString();
+  record.external_calls = stats->external_calls;
+  record.failed_calls = stats->failed_calls;
+  record.degraded_tuples = degraded_tuples;
+  record.partial_results = stats->partial_results;
+  record.degraded_shards = stats->degraded_shards;
+  record.spilled_bytes = stats->spilled_bytes;
+  record.spill_runs = stats->spill_runs;
+  record.peak_memory_bytes = stats->peak_memory_bytes;
+  record.async_iteration = stats->async_iteration;
   slow_query_log_.MaybeLog(std::move(record), options.slow_query_micros);
+
+  // Postmortem trigger: any failed statement, and any OK statement that
+  // returned degraded data (partial shard answers, dropped/NULL-padded/
+  // shed tuples). Steady-state success emits nothing.
+  if (!result.ok() || degraded) {
+    PostmortemRecord pm;
+    pm.query_id = query_id;
+    pm.sql = sql;
+    pm.ok = result.ok();
+    pm.elapsed_micros = elapsed;
+    if (result.ok()) {
+      pm.verdict = "OK";
+      pm.cause = stats->partial_results > 0
+                     ? StrFormat("partial results from %llu call(s), %llu "
+                                 "shard(s) missing",
+                                 (unsigned long long)stats->partial_results,
+                                 (unsigned long long)stats->degraded_shards)
+                     : StrFormat("%llu tuple(s) degraded",
+                                 (unsigned long long)degraded_tuples);
+    } else {
+      pm.verdict = std::string(
+          StatusCodeToString(result.status().code()));
+      pm.cause = result.status().message();
+    }
+    pm.partial_results = stats->partial_results > 0;
+    pm.degraded_tuples = degraded_tuples;
+    pm.external_calls = stats->external_calls;
+    pm.failed_calls = stats->failed_calls;
+    pm.spilled_bytes = stats->spilled_bytes;
+    pm.spill_runs = stats->spill_runs;
+    pm.peak_memory_bytes = stats->peak_memory_bytes;
+    pm.events = recorder->EventsForQuery(query_id);
+    postmortem_log_.Log(std::move(pm));
+  }
   return result;
 }
 
 Result<QueryExecution> WsqDatabase::ExecuteInternal(
-    const std::string& sql, const ExecOptions& options) {
+    const std::string& sql, const ExecOptions& options,
+    QueryStats* failure_stats) {
   // Query governor: one token carries the deadline and the cancel flag
   // for the whole statement. A caller-supplied token lets another
   // thread abort mid-flight; otherwise a private one enforces just the
@@ -293,7 +440,7 @@ Result<QueryExecution> WsqDatabase::ExecuteInternal(
   switch (stmt->kind()) {
     case Statement::Kind::kSelect:
       return ExecuteSelect(static_cast<const SelectStatement&>(*stmt),
-                           options, token);
+                           options, token, failure_stats);
     case Statement::Kind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const CreateTableStatement&>(*stmt));
@@ -321,7 +468,7 @@ Result<QueryExecution> WsqDatabase::ExecuteInternal(
         run.async_iteration = explain.async;
         WSQ_ASSIGN_OR_RETURN(
             QueryExecution exec,
-            ExecuteSelect(*explain.select, run, token));
+            ExecuteSelect(*explain.select, run, token, failure_stats));
         std::string text;
         if (exec.profile.has_value()) text = exec.profile->ToString();
         text += StrFormat(
@@ -379,7 +526,7 @@ Result<std::string> WsqDatabase::ExplainSelect(const std::string& sql,
 
 Result<QueryExecution> WsqDatabase::ExecuteSelect(
     const SelectStatement& stmt, const ExecOptions& options,
-    const CancellationToken* token) {
+    const CancellationToken* token, QueryStats* failure_stats) {
   // The tracer (when requested) lives for the whole select so the
   // bind/rewrite/execute phases all land in one trace; the TLS binding
   // lets the buffer pool and WAL attach their I/O to this query.
@@ -437,35 +584,43 @@ Result<QueryExecution> WsqDatabase::ExecuteSelect(
     return ExecutePlan(*plan, &ctx,
                        options.analyze ? &profile : nullptr);
   }();
-  if (!executed.ok() && tracer != nullptr) {
-    tracer->Event("query", "error",
-                  std::string(StatusCodeToString(
-                      executed.status().code())));
+  auto fill_stats = [&](QueryStats* stats) {
+    stats->elapsed_micros = timer.ElapsedMicros();
+    stats->external_calls = pump_.stats().registered - calls_before +
+                            ctx.sync_external_calls.load();
+    stats->async_iteration = options.async_iteration;
+    stats->failed_calls = ctx.failed_calls.load();
+    stats->dropped_tuples = ctx.dropped_tuples.load();
+    stats->null_padded_tuples = ctx.null_padded_tuples.load();
+    stats->cancelled_calls = ctx.cancelled_calls.load();
+    stats->shed_tuples = ctx.shed_tuples.load();
+    stats->peak_buffered_rows = ctx.reqsync_peak_rows.load();
+    stats->peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
+    stats->partial_results = ctx.partial_results.load();
+    stats->degraded_shards = ctx.degraded_shards.load();
+    stats->spilled_bytes = ctx.spilled_bytes.load();
+    stats->spill_runs = ctx.spill_runs.load();
+    stats->peak_memory_bytes = query_budget.peak_used();
+    stats->pressure_released_bytes =
+        query_budget.stats().pressure_released_bytes +
+        (memory_budget_.stats().pressure_released_bytes -
+         db_pressure_before);
+  };
+  if (!executed.ok()) {
+    if (tracer != nullptr) {
+      tracer->Event("query", "error",
+                    std::string(StatusCodeToString(
+                        executed.status().code())));
+    }
+    // A dying query still reports what it did (failed external calls,
+    // spill activity, peak memory) for the postmortem.
+    if (failure_stats != nullptr) fill_stats(failure_stats);
+    return executed.status();
   }
-  WSQ_ASSIGN_OR_RETURN(ResultSet result, std::move(executed));
 
   QueryExecution out;
-  out.result = std::move(result);
-  out.stats.elapsed_micros = timer.ElapsedMicros();
-  out.stats.external_calls = pump_.stats().registered - calls_before +
-                             ctx.sync_external_calls.load();
-  out.stats.async_iteration = options.async_iteration;
-  out.stats.failed_calls = ctx.failed_calls.load();
-  out.stats.dropped_tuples = ctx.dropped_tuples.load();
-  out.stats.null_padded_tuples = ctx.null_padded_tuples.load();
-  out.stats.cancelled_calls = ctx.cancelled_calls.load();
-  out.stats.shed_tuples = ctx.shed_tuples.load();
-  out.stats.peak_buffered_rows = ctx.reqsync_peak_rows.load();
-  out.stats.peak_buffered_bytes = ctx.reqsync_peak_bytes.load();
-  out.stats.partial_results = ctx.partial_results.load();
-  out.stats.degraded_shards = ctx.degraded_shards.load();
-  out.stats.spilled_bytes = ctx.spilled_bytes.load();
-  out.stats.spill_runs = ctx.spill_runs.load();
-  out.stats.peak_memory_bytes = query_budget.peak_used();
-  out.stats.pressure_released_bytes =
-      query_budget.stats().pressure_released_bytes +
-      (memory_budget_.stats().pressure_released_bytes -
-       db_pressure_before);
+  out.result = std::move(executed).value();
+  fill_stats(&out.stats);
   if (options.analyze) out.profile = std::move(profile);
   if (tracer != nullptr) out.trace = tracer->Finish();
   return out;

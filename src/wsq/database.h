@@ -10,6 +10,7 @@
 #include "common/memory.h"
 #include "exec/executor.h"
 #include "net/search_service.h"
+#include "obs/flight_recorder.h"
 #include "obs/op_profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
@@ -101,6 +102,15 @@ class WsqDatabase {
     int64_t slow_query_micros = 0;
     /// Destination for slow-query records; null = one line to stderr.
     SlowQueryLog::Sink slow_query_sink;
+    /// Destination for postmortem records (every bad query ending:
+    /// failure, partial results, degraded tuples); null = stderr.
+    /// Always on — disable by sinking to a no-op lambda.
+    PostmortemLog::Sink postmortem_sink;
+    /// At most one emitted postmortem per interval (0 = unlimited);
+    /// suppressed records still update `postmortems()->last()`.
+    int64_t postmortem_min_interval_micros = 0;
+    /// Flight-recorder events retained per postmortem record.
+    size_t postmortem_max_events = 128;
     /// Database-wide memory budget (a child of the process budget),
     /// covering operator state, ReqSync buffers, the buffer pool, and
     /// any attached result cache. 0 = unlimited (everything is still
@@ -228,6 +238,8 @@ class WsqDatabase {
   /// Database-wide memory budget (attach shared caches here).
   MemoryBudget* memory_budget() { return &memory_budget_; }
   SpillManager* spill() { return spill_.get(); }
+  /// Degraded/failed-query forensics (the shell's \postmortem).
+  PostmortemLog* postmortems() { return &postmortem_log_; }
 
  private:
   WsqDatabase(const Options& options, std::unique_ptr<DiskManager> owned_disk,
@@ -242,13 +254,18 @@ class WsqDatabase {
       std::unique_ptr<WsqDatabase> db);
 
   /// Execute minus the per-query observability wrapper (query id,
-  /// registry counters/latency histogram, slow-query log).
+  /// registry counters/latency histogram, slow-query log, postmortem).
+  /// On failure, whatever stats the query accumulated before dying are
+  /// left in `*failure_stats` (zeroes when it never reached execution)
+  /// so the wrapper can still attribute degradation.
   Result<QueryExecution> ExecuteInternal(const std::string& sql,
-                                         const ExecOptions& options);
+                                         const ExecOptions& options,
+                                         QueryStats* failure_stats);
 
   Result<QueryExecution> ExecuteSelect(const SelectStatement& stmt,
                                        const ExecOptions& options,
-                                       const CancellationToken* token);
+                                       const CancellationToken* token,
+                                       QueryStats* failure_stats);
   Result<QueryExecution> ExecuteCreateTable(
       const CreateTableStatement& stmt);
   Result<QueryExecution> ExecuteCreateIndex(
@@ -275,8 +292,11 @@ class WsqDatabase {
   ReqPump pump_;
   AdmissionController admission_;
   SlowQueryLog slow_query_log_;
+  PostmortemLog postmortem_log_;
   /// wsq_mem_* collector handle, removed in the destructor.
   uint64_t mem_collector_id_ = 0;
+  /// \statusz section provider handle, removed in the destructor.
+  uint64_t statusz_id_ = 0;
 };
 
 }  // namespace wsq

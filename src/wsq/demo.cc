@@ -39,6 +39,7 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
     cluster.server_capacity = options.server_capacity;
     cluster.seed = options.seed;
     cluster.with_replicas = options.shard_replicas;
+    cluster.shard_faults = options.shard_faults;
     shard_cluster_ =
         std::make_unique<SimulatedShardCluster>(corpus_.get(), cluster);
     av = shard_cluster_->service();
@@ -59,6 +60,9 @@ DemoEnv::DemoEnv(const DemoOptions& options) {
   db_options.pump_limits = options.pump_limits;
   db_options.admission = options.admission;
   db_options.memory_budget_bytes = options.memory_budget_bytes;
+  db_options.postmortem_sink = options.postmortem_sink;
+  db_options.postmortem_min_interval_micros =
+      options.postmortem_min_interval_micros;
   db_ = std::make_unique<WsqDatabase>(db_options);
   if (client_cache_ != nullptr) {
     // Tier 2: cached responses count against the database budget and

@@ -39,6 +39,14 @@ struct DemoOptions {
   /// Give each shard a replica node (enables hedged requests). Only
   /// meaningful when search_shards > 0.
   bool shard_replicas = true;
+  /// Seeded fault plans applied per shard (index < search_shards;
+  /// missing entries mean no injected faults). Only meaningful when
+  /// search_shards > 0.
+  std::vector<FaultPlan> shard_faults;
+  /// Forwarded to WsqDatabase::Options: capture postmortem records
+  /// instead of the default stderr line (chaos tests do this).
+  PostmortemLog::Sink postmortem_sink;
+  int64_t postmortem_min_interval_micros = 0;
   uint64_t seed = 42;
 };
 

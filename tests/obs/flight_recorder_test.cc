@@ -1,0 +1,281 @@
+// Flight recorder: recording/snapshot semantics, query-id binding,
+// string interning, event rendering, postmortem records, and the
+// seqlock protocol under concurrent writers + snapshots (run under
+// TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace wsq {
+namespace {
+
+// The recorder is process-global and other tests record into it too, so
+// every test here tags its events with a query id unique to this file
+// and filters with EventsForQuery.
+
+TEST(FlightRecorderTest, RecordedEventsAreVisibleInSnapshots) {
+  FlightRecorder* recorder = FlightRecorder::Global();
+  const uint64_t qid = 990001;
+  uint64_t before = recorder->recorded_total();
+  recorder->Record(FrEventType::kCallDispatch, "AltaVista", "", qid,
+                   /*a=*/3);
+  recorder->Record(FrEventType::kCallFailed, "AltaVista",
+                   "DEADLINE_EXCEEDED", qid, /*a=*/3);
+  EXPECT_EQ(recorder->recorded_total(), before + 2);
+
+  std::vector<FrEvent> events = recorder->EventsForQuery(qid);
+  ASSERT_EQ(events.size(), 2u);
+  // Ordered by (timestamp, sequence): dispatch precedes failure.
+  EXPECT_EQ(events[0].type, FrEventType::kCallDispatch);
+  EXPECT_EQ(events[0].destination, "AltaVista");
+  EXPECT_EQ(events[0].a, 3);
+  EXPECT_EQ(events[1].type, FrEventType::kCallFailed);
+  EXPECT_EQ(events[1].cause, "DEADLINE_EXCEEDED");
+  EXPECT_LT(events[0].sequence, events[1].sequence);
+
+  FlightRecorderSnapshot snap = recorder->Snapshot();
+  EXPECT_GE(snap.events.size(), 2u);
+  EXPECT_GE(snap.rings, 1u);
+  EXPECT_GE(snap.recorded_total, before + 2);
+}
+
+TEST(FlightRecorderTest, QueryIdBindingStampsAndNests) {
+  FlightRecorder* recorder = FlightRecorder::Global();
+  EXPECT_EQ(CurrentQueryId(), 0u);
+  {
+    QueryIdBinding outer(990010);
+    EXPECT_EQ(CurrentQueryId(), 990010u);
+    recorder->Record(FrEventType::kAdmissionWait, "", "");
+    {
+      QueryIdBinding inner(990011);
+      EXPECT_EQ(CurrentQueryId(), 990011u);
+      recorder->Record(FrEventType::kAdmissionWait, "", "");
+    }
+    // Nesting restores the previous binding.
+    EXPECT_EQ(CurrentQueryId(), 990010u);
+    // An explicit id beats the binding.
+    recorder->Record(FrEventType::kAdmissionShed, "", "queue_full",
+                     /*query_id=*/990012);
+  }
+  EXPECT_EQ(CurrentQueryId(), 0u);
+
+  EXPECT_EQ(recorder->EventsForQuery(990010).size(), 1u);
+  EXPECT_EQ(recorder->EventsForQuery(990011).size(), 1u);
+  ASSERT_EQ(recorder->EventsForQuery(990012).size(), 1u);
+  EXPECT_EQ(recorder->EventsForQuery(990012)[0].type,
+            FrEventType::kAdmissionShed);
+}
+
+TEST(FlightRecorderTest, InterningIsStableAndSharedAcrossEvents) {
+  FlightRecorder* recorder = FlightRecorder::Global();
+  uint32_t id1 = recorder->InternForTest("shard-7");
+  uint32_t id2 = recorder->InternForTest("shard-7");
+  EXPECT_EQ(id1, id2);
+  EXPECT_NE(id1, 0u);
+  EXPECT_EQ(recorder->ResolveForTest(id1), "shard-7");
+  // Id 0 is reserved for the empty string.
+  EXPECT_EQ(recorder->InternForTest(""), 0u);
+  EXPECT_EQ(recorder->ResolveForTest(0), "");
+  // Out-of-range ids resolve to empty rather than crashing.
+  EXPECT_EQ(recorder->ResolveForTest(0xFFFFFFFF), "");
+}
+
+TEST(FlightRecorderTest, ToLineRendersDeterministicFields) {
+  FrEvent e;
+  e.timestamp_micros = 1734;
+  e.type = FrEventType::kHedgeFire;
+  e.query_id = 42;
+  e.destination = "shard-1";
+  e.cause = "slow_primary";
+  e.a = 2;
+  EXPECT_EQ(e.ToLine(/*base_micros=*/1000),
+            "t=+734us hedge_fire qid=42 dest=shard-1 cause=slow_primary a=2");
+  // Zero/empty fields are omitted.
+  FrEvent bare;
+  bare.timestamp_micros = 5;
+  bare.type = FrEventType::kQueryBegin;
+  EXPECT_EQ(bare.ToLine(), "t=+5us query_begin");
+}
+
+TEST(FlightRecorderTest, EveryEventTypeHasAName) {
+  for (int t = 0; t <= static_cast<int>(FrEventType::kWalCheckpoint); ++t) {
+    EXPECT_NE(FrEventTypeName(static_cast<FrEventType>(t)), "unknown")
+        << "type " << t;
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersVersusSnapshotDuringWrap) {
+  // Writers push several ring generations each while a reader snapshots
+  // continuously: exercises the per-slot seqlock (torn slots must be
+  // dropped, never misreported) and ring registration. TSan covers the
+  // memory-order claims via the CI obs job.
+  FlightRecorder* recorder = FlightRecorder::Global();
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter =
+      static_cast<int>(FlightRing::kSlots) * 3;
+  const uint64_t qid_base = 991000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> malformed{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      FlightRecorderSnapshot snap = recorder->Snapshot();
+      for (const FrEvent& e : snap.events) {
+        // A surviving (non-torn) slot must be internally consistent.
+        if (e.sequence == 0 ||
+            e.type > FrEventType::kWalCheckpoint) {
+          malformed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const uint64_t qid = qid_base + static_cast<uint64_t>(w);
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        recorder->Record(FrEventType::kShardLegOk, "shard-wrap", "", qid,
+                         /*a=*/i);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(malformed.load(), 0u);
+  // After the writers quiesce, each writer thread's ring holds its most
+  // recent kSlots events; the final event of every writer must be
+  // visible and untorn.
+  for (int w = 0; w < kWriters; ++w) {
+    std::vector<FrEvent> events =
+        recorder->EventsForQuery(qid_base + static_cast<uint64_t>(w));
+    ASSERT_FALSE(events.empty()) << "writer " << w;
+    EXPECT_EQ(events.back().a, kEventsPerWriter - 1) << "writer " << w;
+    EXPECT_LE(events.size(), FlightRing::kSlots);
+  }
+}
+
+TEST(PostmortemTest, ToTextRendersHeaderAndIndentedEvents) {
+  PostmortemRecord pm;
+  pm.query_id = 7;
+  pm.sql = "SELECT *\nFROM t";
+  pm.verdict = "DEADLINE_EXCEEDED";
+  pm.cause = "deadline of 50000us exceeded";
+  pm.elapsed_micros = 51000;
+  pm.partial_results = true;
+  pm.degraded_tuples = 2;
+  pm.failed_calls = 1;
+  pm.spill_runs = 1;
+  pm.spilled_bytes = 8192;
+  pm.peak_memory_bytes = 65536;
+  FrEvent e1;
+  e1.timestamp_micros = 1000;
+  e1.type = FrEventType::kCallDispatch;
+  e1.query_id = 7;
+  e1.destination = "AltaVista";
+  FrEvent e2;
+  e2.timestamp_micros = 1400;
+  e2.type = FrEventType::kCallTimeout;
+  e2.query_id = 7;
+  e2.destination = "AltaVista";
+  pm.events = {e1, e2};
+  pm.events_dropped = 3;
+
+  std::string text = pm.ToText();
+  EXPECT_NE(text.find("postmortem id=7 verdict=DEADLINE_EXCEEDED"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cause=\"deadline of 50000us exceeded\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("partial=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("spill_runs=1 spilled_bytes=8192"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("peak_memory_bytes=65536"), std::string::npos) << text;
+  // The multi-line SQL is flattened into the header.
+  EXPECT_NE(text.find("sql=\"SELECT * FROM t\""), std::string::npos) << text;
+  // Elision note + events indented, timestamps relative to the first.
+  EXPECT_NE(text.find("\n  ... 3 earlier events elided"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n  t=+0us call_dispatch qid=7 dest=AltaVista"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\n  t=+400us call_timeout qid=7 dest=AltaVista"),
+            std::string::npos)
+      << text;
+}
+
+PostmortemRecord MakePostmortem(uint64_t qid, size_t num_events = 0) {
+  PostmortemRecord pm;
+  pm.query_id = qid;
+  pm.sql = "SELECT 1";
+  pm.verdict = "OK";
+  pm.cause = "1 tuple(s) degraded";
+  for (size_t i = 0; i < num_events; ++i) {
+    FrEvent e;
+    e.timestamp_micros = static_cast<int64_t>(i);
+    e.type = FrEventType::kShardLegFail;
+    e.query_id = qid;
+    e.a = static_cast<int64_t>(i);
+    pm.events.push_back(e);
+  }
+  return pm;
+}
+
+TEST(PostmortemTest, LogRateLimitsButRetainsLast) {
+  int64_t now = 1'000'000;
+  std::vector<uint64_t> emitted;
+  PostmortemLog log(
+      /*min_interval_micros=*/1000,
+      [&emitted](const PostmortemRecord& r) { emitted.push_back(r.query_id); },
+      /*clock=*/[&now] { return now; });
+
+  EXPECT_TRUE(log.Log(MakePostmortem(1)));
+  now += 500;  // inside the interval: suppressed
+  EXPECT_FALSE(log.Log(MakePostmortem(2)));
+  now += 600;  // 1100us past the first emit: allowed again
+  EXPECT_TRUE(log.Log(MakePostmortem(3)));
+
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(emitted[0], 1u);
+  EXPECT_EQ(emitted[1], 3u);
+  EXPECT_EQ(log.emitted_total(), 2u);
+  EXPECT_EQ(log.suppressed_total(), 1u);
+
+  // The suppressed record still becomes last() at the moment it is
+  // logged, so \postmortem last always shows the newest bad ending.
+  now += 100;
+  EXPECT_FALSE(log.Log(MakePostmortem(4)));
+  auto last = log.last();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->query_id, 4u);
+}
+
+TEST(PostmortemTest, LogTruncatesEventSliceFromTheFront) {
+  std::vector<PostmortemRecord> seen;
+  PostmortemLog log(
+      /*min_interval_micros=*/0,
+      [&seen](const PostmortemRecord& r) { seen.push_back(r); },
+      /*clock=*/nullptr, /*max_events=*/4);
+  EXPECT_EQ(log.max_events(), 4u);
+
+  EXPECT_TRUE(log.Log(MakePostmortem(9, /*num_events=*/10)));
+  ASSERT_EQ(seen.size(), 1u);
+  ASSERT_EQ(seen[0].events.size(), 4u);
+  EXPECT_EQ(seen[0].events_dropped, 6u);
+  // The ending is kept: the last 4 of 10 events survive.
+  EXPECT_EQ(seen[0].events[0].a, 6);
+  EXPECT_EQ(seen[0].events[3].a, 9);
+}
+
+}  // namespace
+}  // namespace wsq

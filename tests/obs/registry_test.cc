@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace wsq {
@@ -117,6 +118,40 @@ TEST(MetricsRegistryTest, KillSwitchStopsCountersAndHistograms) {
   h->Record(50);
   EXPECT_EQ(c->Value(), 1u);
   EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, KillSwitchStopsRecorderAndExemplars) {
+  // The flight recorder and the histogram exemplar path honor the SAME
+  // kill switch: with recording disabled, neither mutates anything.
+  // This half must use the GLOBAL registry — that is the gate the
+  // recorder checks.
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  FlightRecorder* recorder = FlightRecorder::Global();
+  Counter* events =
+      registry->GetCounter("wsq_fr_events_total", "help");
+  Histogram* h = registry->GetHistogram(
+      "wsq_test_exemplar_gate_micros", "help");
+  QueryIdBinding binding(77);
+
+  registry->SetRecordingEnabled(false);
+  uint64_t recorded_before = recorder->recorded_total();
+  uint64_t counter_before = events->Value();
+  recorder->Record(FrEventType::kCallDispatch, "AltaVista", "x");
+  h->Record(500);
+  h->RecordWithExemplar(500, /*query_id=*/77);
+  EXPECT_EQ(recorder->recorded_total(), recorded_before);
+  EXPECT_EQ(events->Value(), counter_before);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_TRUE(h->Exemplars().empty());
+  registry->SetRecordingEnabled(true);
+
+  // Re-enabled: the same calls mutate again (and exemplars appear).
+  recorder->Record(FrEventType::kCallDispatch, "AltaVista", "x");
+  h->RecordWithExemplar(500, /*query_id=*/77);
+  EXPECT_EQ(recorder->recorded_total(), recorded_before + 1);
+  EXPECT_EQ(h->count(), 1u);
+  ASSERT_EQ(h->Exemplars().size(), 1u);
+  EXPECT_EQ(h->Exemplars()[0].query_id, 77u);
 }
 
 TEST(MetricsRegistryTest, JsonExportContainsSeries) {

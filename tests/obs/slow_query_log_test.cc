@@ -117,5 +117,29 @@ TEST(SlowQueryLogTest, ToLineRendersKeyValuePairsWithSqlLast) {
             std::string::npos);
 }
 
+TEST(SlowQueryLogTest, ToLineCarriesDegradationAndMemoryFields) {
+  SlowQueryRecord r = MakeRecord(1'000);
+  r.partial_results = 2;
+  r.degraded_shards = 3;
+  r.spilled_bytes = 4096;
+  r.spill_runs = 2;
+  r.peak_memory_bytes = 1 << 20;
+  std::string line = r.ToLine();
+  EXPECT_NE(line.find("partial_results=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("degraded_shards=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("spill_runs=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("spilled_bytes=4096"), std::string::npos) << line;
+  EXPECT_NE(line.find("peak_memory_bytes=1048576"), std::string::npos)
+      << line;
+  // All structured fields still precede the free-form sql.
+  EXPECT_LT(line.find("peak_memory_bytes="), line.find("sql=\"")) << line;
+
+  // A clean query omits every degradation field (lines stay short).
+  std::string clean = MakeRecord(1'000).ToLine();
+  EXPECT_EQ(clean.find("partial_results="), std::string::npos) << clean;
+  EXPECT_EQ(clean.find("spill_runs="), std::string::npos) << clean;
+  EXPECT_EQ(clean.find("peak_memory_bytes="), std::string::npos) << clean;
+}
+
 }  // namespace
 }  // namespace wsq

@@ -1,0 +1,108 @@
+// Statusz composition: provider registration/removal, deterministic
+// section ordering, the text and JSON renderings, and byte-stable
+// output for identical state.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/statusz.h"
+
+namespace wsq {
+namespace {
+
+TEST(StatuszTest, ProvidersComposeSortedSections) {
+  StatuszRegistry registry;
+  uint64_t id1 = registry.AddProvider([](std::vector<StatuszSection>* out) {
+    StatuszSection s;
+    s.name = "zebra";
+    s.Add("state", "open");
+    out->push_back(std::move(s));
+  });
+  // One provider may emit several sections.
+  uint64_t id2 = registry.AddProvider([](std::vector<StatuszSection>* out) {
+    StatuszSection a;
+    a.name = "alpha";
+    a.AddInt("depth", -3);
+    out->push_back(std::move(a));
+    StatuszSection m;
+    m.name = "middle";
+    m.AddUint("bytes", 4096);
+    out->push_back(std::move(m));
+  });
+
+  StatuszReport report = registry.Render();
+  ASSERT_EQ(report.sections.size(), 3u);
+  // Sorted by name regardless of registration/emit order.
+  EXPECT_EQ(report.sections[0].name, "alpha");
+  EXPECT_EQ(report.sections[1].name, "middle");
+  EXPECT_EQ(report.sections[2].name, "zebra");
+
+  registry.RemoveProvider(id1);
+  report = registry.Render();
+  ASSERT_EQ(report.sections.size(), 2u);
+  EXPECT_EQ(report.sections[0].name, "alpha");
+  registry.RemoveProvider(id2);
+  EXPECT_TRUE(registry.Render().sections.empty());
+}
+
+TEST(StatuszTest, ToTextRendersHeadersAndRows) {
+  StatuszReport report;
+  StatuszSection s;
+  s.name = "breaker/AltaVista";
+  s.Add("state", "open");
+  s.AddUint("trips", 2);
+  report.sections.push_back(std::move(s));
+
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("== breaker/AltaVista =="), std::string::npos) << text;
+  EXPECT_NE(text.find("  state: open"), std::string::npos) << text;
+  EXPECT_NE(text.find("  trips: 2"), std::string::npos) << text;
+}
+
+TEST(StatuszTest, ToJsonQuotesStringsAndLeavesNumbersBare) {
+  StatuszReport report;
+  StatuszSection s;
+  s.name = "spill";
+  s.Add("dir", "/tmp/\"spill\"");  // needs escaping
+  s.AddUint("bytes_written", 8192);
+  s.AddInt("delta", -5);
+  report.sections.push_back(std::move(s));
+
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"name\":\"spill\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bytes_written\":8192"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"delta\":-5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"spill\\\""), std::string::npos) << json;
+}
+
+TEST(StatuszTest, IdenticalStateRendersByteIdentically) {
+  StatuszRegistry registry;
+  registry.AddProvider([](std::vector<StatuszSection>* out) {
+    StatuszSection s;
+    s.name = "memory/process";
+    s.AddUint("used_bytes", 123456);
+    s.AddUint("limit_bytes", 1048576);
+    out->push_back(std::move(s));
+  });
+  registry.AddProvider([](std::vector<StatuszSection>* out) {
+    StatuszSection s;
+    s.name = "admission";
+    s.AddUint("queued", 0);
+    out->push_back(std::move(s));
+  });
+
+  StatuszReport once = registry.Render();
+  StatuszReport twice = registry.Render();
+  EXPECT_EQ(once.ToText(), twice.ToText());
+  EXPECT_EQ(once.ToJson(), twice.ToJson());
+}
+
+TEST(StatuszTest, GlobalIsSingleton) {
+  EXPECT_EQ(StatuszRegistry::Global(), StatuszRegistry::Global());
+  EXPECT_NE(StatuszRegistry::Global(), nullptr);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -1,0 +1,221 @@
+// Postmortem chaos sweep (ctest -L chaos, including the TSan job):
+// under a seeded fault plan every query that fails or returns degraded
+// data must produce exactly one postmortem record that names the
+// responsible destination, and fault-free steady state must produce
+// zero postmortems with a byte-stable \statusz report.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "obs/statusz.h"
+#include "wsq/demo.h"
+
+namespace wsq {
+namespace {
+
+struct Capture {
+  Mutex mu;
+  std::vector<PostmortemRecord> records;
+
+  PostmortemLog::Sink sink() {
+    return [this](const PostmortemRecord& r) {
+      MutexLock lock(&mu);
+      records.push_back(r);
+    };
+  }
+  std::vector<PostmortemRecord> take() {
+    MutexLock lock(&mu);
+    return records;
+  }
+};
+
+DemoOptions BaseOptions() {
+  DemoOptions opt;
+  opt.corpus.num_documents = 600;
+  opt.corpus.vocab_size = 400;
+  opt.latency = LatencyModel::Instant();
+  opt.search_shards = 3;
+  // No replicas: a failed shard leg must stay failed (hedging to a
+  // fault-free replica would mask the fault and the postmortem).
+  opt.shard_replicas = false;
+  return opt;
+}
+
+TEST(PostmortemChaosTest, FaultFreeLoadEmitsNothingAndStatuszIsStable) {
+  Capture capture;
+  DemoOptions opt = BaseOptions();
+  opt.postmortem_sink = capture.sink();
+  DemoEnv env(opt);
+
+  const char* queries[] = {
+      "SELECT Name, Capital FROM States ORDER BY Name LIMIT 5",
+      "SELECT Count FROM WebCount WHERE T1 = 'colorado'",
+      "SELECT Name, Count FROM Sigs, WebCount WHERE Name = T1 "
+      "ORDER BY Count DESC, Name",
+  };
+  for (int round = 0; round < 2; ++round) {
+    for (const char* sql : queries) {
+      auto r = env.Run(sql);
+      ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << sql;
+      EXPECT_EQ(r->stats.partial_results, 0u) << sql;
+      EXPECT_EQ(r->stats.dropped_tuples + r->stats.null_padded_tuples +
+                    r->stats.shed_tuples,
+                0u)
+          << sql;
+    }
+  }
+
+  EXPECT_TRUE(capture.take().empty());
+  EXPECT_EQ(env.db().postmortems()->emitted_total(), 0u);
+  EXPECT_EQ(env.db().postmortems()->suppressed_total(), 0u);
+  EXPECT_EQ(env.db().postmortems()->last(), nullptr);
+
+  // Quiesce every async layer, then the introspection surface must be
+  // byte-stable: identical state renders identically.
+  env.shard_cluster()->Quiesce();
+  env.db().pump()->Drain();
+  std::string once = StatuszRegistry::Global()->Render().ToText();
+  std::string twice = StatuszRegistry::Global()->Render().ToText();
+  EXPECT_EQ(once, twice);
+  // The report covers the live deployment: database + shard sections.
+  EXPECT_NE(once.find("== admission =="), std::string::npos) << once;
+  EXPECT_NE(once.find("== memory/db =="), std::string::npos) << once;
+  EXPECT_NE(once.find("== buffer_pool =="), std::string::npos) << once;
+  EXPECT_NE(once.find("== postmortems =="), std::string::npos) << once;
+  EXPECT_NE(once.find("shards/"), std::string::npos) << once;
+  EXPECT_NE(once.find("breaker/"), std::string::npos) << once;
+}
+
+TEST(PostmortemChaosTest, EveryBadEndingYieldsExactlyOnePostmortem) {
+  Capture capture;
+  DemoOptions opt = BaseOptions();
+  opt.postmortem_sink = capture.sink();
+  // Shard 0 hard-fails every request it sees, deterministically.
+  opt.shard_faults.resize(1);
+  opt.shard_faults[0].permanent_rate = 1.0;
+  opt.shard_faults[0].seed = 7;
+  DemoEnv env(opt);
+
+  std::vector<uint64_t> expected_bad_ids;
+
+  // Best-effort queries survive the dark shard but must confess: OK +
+  // partial stats => one degraded postmortem each.
+  for (const char* term : {"colorado", "utah", "database"}) {
+    WsqDatabase::ExecOptions exec;
+    exec.shard.policy = ShardPolicy::kBestEffort;
+    auto r = env.db().Execute(
+        std::string("SELECT Count FROM WebCount WHERE T1 = '") + term +
+            "'",
+        exec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r->stats.partial_results, 0u) << term;
+    EXPECT_GT(r->stats.degraded_shards, 0u) << term;
+    expected_bad_ids.push_back(r->stats.query_id);
+  }
+
+  // Default (fail-unless-complete) policy: the dark shard fails the
+  // whole query => one failure postmortem each.
+  size_t failed_queries = 0;
+  for (const char* term : {"systems", "query"}) {
+    auto r = env.db().Execute(
+        std::string("SELECT Count FROM WebCount WHERE T1 = '") + term +
+        "'");
+    EXPECT_FALSE(r.ok()) << term;
+    if (!r.ok()) ++failed_queries;
+  }
+
+  // Healthy statements emit nothing even in a faulted deployment.
+  ASSERT_TRUE(
+      env.Run("SELECT Name FROM States ORDER BY Name LIMIT 3").ok());
+
+  std::vector<PostmortemRecord> records = capture.take();
+  ASSERT_EQ(records.size(), expected_bad_ids.size() + failed_queries);
+  EXPECT_EQ(env.db().postmortems()->emitted_total(), records.size());
+
+  size_t degraded_seen = 0;
+  size_t failed_seen = 0;
+  for (const PostmortemRecord& pm : records) {
+    EXPECT_NE(pm.query_id, 0u);
+    EXPECT_FALSE(pm.sql.empty());
+    EXPECT_FALSE(pm.verdict.empty());
+    EXPECT_FALSE(pm.cause.empty());
+    if (pm.ok) {
+      ++degraded_seen;
+      // Exactly one degraded postmortem per best-effort query, id
+      // matched — never two for the same query.
+      size_t matches = 0;
+      for (uint64_t id : expected_bad_ids) {
+        if (id == pm.query_id) ++matches;
+      }
+      EXPECT_EQ(matches, 1u) << "qid " << pm.query_id;
+      EXPECT_TRUE(pm.partial_results);
+      EXPECT_NE(pm.cause.find("shard(s) missing"), std::string::npos)
+          << pm.cause;
+    } else {
+      ++failed_seen;
+      EXPECT_NE(pm.verdict, "OK");
+      EXPECT_GT(pm.failed_calls, 0u);
+    }
+    // The flight-recorder slice names the responsible destination: the
+    // query's external calls (and for failures, the failing call or
+    // quorum verdict) are in the record.
+    bool named_destination = false;
+    for (const FrEvent& e : pm.events) {
+      if ((e.type == FrEventType::kCallFailed ||
+           e.type == FrEventType::kCallComplete ||
+           e.type == FrEventType::kQuorumFail ||
+           e.type == FrEventType::kFanout) &&
+          !e.destination.empty()) {
+        named_destination = true;
+      }
+    }
+    EXPECT_TRUE(named_destination)
+        << "postmortem for qid " << pm.query_id
+        << " names no destination:\n"
+        << pm.ToText();
+  }
+  EXPECT_EQ(degraded_seen, expected_bad_ids.size());
+  EXPECT_EQ(failed_seen, failed_queries);
+
+  // \postmortem last surfaces the most recent bad ending.
+  auto last = env.db().postmortems()->last();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->query_id, records.back().query_id);
+}
+
+TEST(PostmortemChaosTest, RateLimitSuppressesButTracksEveryBadEnding) {
+  Capture capture;
+  DemoOptions opt = BaseOptions();
+  opt.postmortem_sink = capture.sink();
+  // One emitted postmortem per hour: the sweep below emits exactly one
+  // record and suppresses the rest, while last() keeps tracking.
+  opt.postmortem_min_interval_micros = 3'600'000'000LL;
+  opt.shard_faults.resize(1);
+  opt.shard_faults[0].permanent_rate = 1.0;
+  DemoEnv env(opt);
+
+  WsqDatabase::ExecOptions exec;
+  exec.shard.policy = ShardPolicy::kBestEffort;
+  uint64_t last_id = 0;
+  for (const char* term : {"colorado", "utah", "database"}) {
+    auto r = env.db().Execute(
+        std::string("SELECT Count FROM WebCount WHERE T1 = '") + term +
+            "'",
+        exec);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    last_id = r->stats.query_id;
+  }
+
+  EXPECT_EQ(capture.take().size(), 1u);
+  EXPECT_EQ(env.db().postmortems()->emitted_total(), 1u);
+  EXPECT_EQ(env.db().postmortems()->suppressed_total(), 2u);
+  auto last = env.db().postmortems()->last();
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->query_id, last_id);
+}
+
+}  // namespace
+}  // namespace wsq

@@ -62,8 +62,10 @@ Checks, in order of how often they have bitten this codebase:
                    MetricsEmitter::Emit* must be wsq_-prefixed
                    snake_case with the unit in the suffix: counters end
                    _total, histograms end _micros or _bytes (DESIGN.md
-                   §12). One naming scheme keeps the /metrics dump
-                   greppable and dashboards portable.
+                   §12), and must belong to a registered component
+                   family (METRIC_PREFIXES: wsq_reqpump_, wsq_fr_,
+                   wsq_statusz_, ...). One naming scheme keeps the
+                   /metrics dump greppable and dashboards portable.
   stale-suppression
                    Every `wsqlint: allow(<check>)` comment must still
                    suppress something: if the check would no longer
@@ -205,6 +207,26 @@ METRIC_CALL = re.compile(
     r"\b(GetCounter|GetGauge|GetHistogram"
     r"|EmitCounter|EmitGauge|EmitHistogram)\s*\(\s*\"")
 METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*$")
+# Registered metric families: every production series belongs to one
+# component namespace so the /metrics dump groups naturally. A new
+# component registers its prefix here (one line, reviewed) rather than
+# minting ad-hoc names.
+METRIC_PREFIXES = (
+    "wsq_admission_",
+    "wsq_buffer_pool_",
+    "wsq_circuit_",
+    "wsq_external_",
+    "wsq_fr_",          # flight recorder + postmortems
+    "wsq_mem_",
+    "wsq_query_",
+    "wsq_reqpump_",
+    "wsq_result_cache_",
+    "wsq_shard_",
+    "wsq_spill_",
+    "wsq_statusz_",     # introspection surface
+    "wsq_wal_",
+)
+METRIC_EXACT = ("wsq_queries_total",)
 RAND_CALL = re.compile(r"(?<![\w:])s?rand\s*\(")
 RANDOM_DEVICE = re.compile(r"std::random_device\b")
 INCLUDE_IOSTREAM = re.compile(r'#\s*include\s*<iostream>')
@@ -461,6 +483,11 @@ def check_file(root: pathlib.Path, path: pathlib.Path):
                 if name.endswith("_total"):
                     problem = ("'_total' marks a monotonic counter; "
                                "gauges go up and down")
+            if (problem is None and name not in METRIC_EXACT
+                    and not name.startswith(METRIC_PREFIXES)):
+                problem = ("unregistered metric family; add the "
+                           "component prefix to METRIC_PREFIXES in "
+                           "tools/wsqlint.py")
             if problem is not None:
                 findings.append(Finding(
                     path, line, "metric-naming",
